@@ -1,0 +1,56 @@
+// Ablation: DESIGN.md's cluster-transfer concretisation — the paper leaves
+// open whether an attached cluster migrates in parallel (duration max M_i,
+// consistent with the unsaturated-network assumption; our default) or
+// serially (duration sum M_i). The ordering of the Figure-16 variants must
+// not depend on this choice; serial only amplifies the gaps.
+#include "bench_common.hpp"
+
+using namespace omig;
+using migration::AttachTransitivity;
+using migration::ClusterTransfer;
+using migration::PolicyKind;
+
+namespace {
+
+core::ExperimentConfig cfg(int clients, PolicyKind policy,
+                           AttachTransitivity trans, ClusterTransfer mode) {
+  auto c = core::fig16_config(clients, policy, trans);
+  c.transfer = mode;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — parallel vs serial cluster transfer",
+      "Figure-17 parameters at C=8");
+
+  core::TextTable table{{"variant", "parallel", "serial"}};
+  const struct {
+    const char* label;
+    PolicyKind policy;
+    AttachTransitivity trans;
+  } variants[] = {
+      {"migration+unrestricted", PolicyKind::Conventional,
+       AttachTransitivity::Unrestricted},
+      {"migration+A-transitive", PolicyKind::Conventional,
+       AttachTransitivity::ATransitive},
+      {"placement+unrestricted", PolicyKind::Placement,
+       AttachTransitivity::Unrestricted},
+      {"placement+A-transitive", PolicyKind::Placement,
+       AttachTransitivity::ATransitive},
+  };
+  for (const auto& v : variants) {
+    const auto par = core::run_experiment(
+        cfg(8, v.policy, v.trans, ClusterTransfer::Parallel));
+    const auto ser = core::run_experiment(
+        cfg(8, v.policy, v.trans, ClusterTransfer::Serial));
+    table.add_row({v.label, core::format_double(par.total_per_call, 4),
+                   core::format_double(ser.total_per_call, 4)});
+  }
+  std::cout << table.to_text()
+            << "\nExpectation: serial >= parallel everywhere; variant "
+               "ordering unchanged.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: Section 3.4's alternative to alliances — exclusive attachments
+// (an object may be attached to at most one other object, first come first
+// served). The paper describes but does not plot this; we run it on the
+// Figure-16/17 workload next to unrestricted and A-transitive attachment.
+#include "bench_common.hpp"
+
+using namespace omig;
+using migration::AttachTransitivity;
+using migration::PolicyKind;
+
+namespace {
+
+core::ExperimentConfig cfg(int clients, PolicyKind policy,
+                           AttachTransitivity trans, bool exclusive) {
+  auto c = core::fig16_config(clients, policy, trans);
+  c.exclusive_attachments = exclusive;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — exclusive attachments (Section 3.4 alternative)",
+      "Figure-17 parameters; exclusive = at most one attachment per object");
+
+  std::vector<core::SweepVariant> variants{
+      {"migration+unrestricted",
+       [](double x) {
+         return cfg(static_cast<int>(x), PolicyKind::Conventional,
+                    AttachTransitivity::Unrestricted, false);
+       }},
+      {"migration+exclusive",
+       [](double x) {
+         return cfg(static_cast<int>(x), PolicyKind::Conventional,
+                    AttachTransitivity::Unrestricted, true);
+       }},
+      {"migration+A-transitive",
+       [](double x) {
+         return cfg(static_cast<int>(x), PolicyKind::Conventional,
+                    AttachTransitivity::ATransitive, false);
+       }},
+      {"placement+exclusive",
+       [](double x) {
+         return cfg(static_cast<int>(x), PolicyKind::Placement,
+                    AttachTransitivity::Unrestricted, true);
+       }},
+  };
+
+  const auto xs = bench::client_axis(12, bench::env_int("OMIG_POINTS", 7));
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("clients", variants, points,
+                                 core::Metric::TotalPerCall);
+  std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"
+            << table.to_text()
+            << "\nExpectation: exclusive attachment caps cluster size at 2, "
+               "landing between unrestricted and A-transitive.\n";
+  return 0;
+}

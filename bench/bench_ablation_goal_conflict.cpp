@@ -1,0 +1,38 @@
+// Ablation: conflicting *goals*, not just conflicting instances of one
+// policy. Section 2.2: load-sharing, communication performance and
+// availability "are not compatible in general". We mix placement clients
+// (optimising communication) with load-sharing clients (optimising node
+// load) on one shared server pool and sweep the mix.
+#include "bench_common.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+int main() {
+  bench::print_header(
+      "Ablation — conflicting goals: communication vs load-sharing "
+      "(Section 2.2)",
+      "D=6 C=6 S1=3 M=6 N~exp(8) t_m~exp(10); x = clients pursuing "
+      "load-sharing instead of placement");
+
+  core::TextTable table{{"load-sharing clients", "mean comm-time/call",
+                         "migrations", "max node load"}};
+  for (int sharers = 0; sharers <= 6; ++sharers) {
+    auto cfg = core::fig8_config(10.0, PolicyKind::Placement);
+    cfg.workload.nodes = 6;
+    cfg.workload.clients = 6;
+    cfg.egoistic_clients = sharers;
+    cfg.egoistic_policy = PolicyKind::LoadShare;
+    const auto r = core::run_experiment(cfg);
+    table.add_row({std::to_string(sharers),
+                   core::format_double(r.total_per_call, 4),
+                   std::to_string(r.migrations), "-"});
+  }
+  std::cout << table.to_text()
+            << "\nExpectation: every client that swaps the communication "
+               "goal for the load-sharing goal scatters the shared servers "
+               "away from their callers — the system-wide communication "
+               "metric degrades monotonically, even though each component "
+               "is 'optimising'.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: Section 4.2.2 claims the placement break-even point grows
+// over-proportionally in N/M. We sweep the hot-spot experiment (Figure 13
+// parameters) for several N/M ratios and report where each policy crosses
+// the sedentary baseline.
+#include "bench_common.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+namespace {
+
+core::ExperimentConfig cfg(int clients, double mean_calls, double m,
+                           PolicyKind policy) {
+  auto c = core::fig12_config(clients, policy);
+  c.workload.mean_calls = mean_calls;
+  c.workload.migration_duration = m;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — break-even vs N/M ratio (Section 4.2.2 claim)",
+      "Figure-13 parameters, varying N (mean calls) at fixed M=6");
+
+  const std::vector<double> mean_calls{8.0, 12.0, 16.0, 24.0};
+  const auto xs = bench::client_axis(25, bench::env_int("OMIG_POINTS", 9));
+
+  for (const double n : mean_calls) {
+    core::TextTable table{{"clients", "without-migration", "migration",
+                           "transient-placement"}};
+    for (const double x : xs) {
+      const int c = static_cast<int>(x);
+      std::vector<double> row;
+      for (const auto policy :
+           {PolicyKind::Sedentary, PolicyKind::Conventional,
+            PolicyKind::Placement}) {
+        row.push_back(
+            core::run_experiment(cfg(c, n, 6.0, policy)).total_per_call);
+      }
+      table.add_numeric_row(x, row, 4);
+    }
+    std::cout << "\nN/M = " << n / 6.0 << " (N mean " << n << ", M 6):\n"
+              << table.to_text();
+  }
+  std::cout << "\nExpectation: larger N/M pushes both break-even points "
+               "right, the placement one much further (sublinear growth).\n";
+  return 0;
+}

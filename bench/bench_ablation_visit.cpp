@@ -1,0 +1,48 @@
+// Ablation: move() vs visit() (Section 2.3 — call-by-move vs call-by-visit).
+// visit() migrates the object back when the block ends; under contention
+// the return trips double the migration traffic, but they also restore the
+// object for clients near its home. Not plotted in the paper.
+#include "bench_common.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+namespace {
+
+core::ExperimentConfig cfg(double tm, PolicyKind policy, bool visit) {
+  auto c = core::fig8_config(tm, policy);
+  c.workload.use_visit = visit;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation — move() vs visit() blocks",
+      "Figure-9 parameters; x = mean t_m");
+
+  std::vector<core::SweepVariant> variants{
+      {"migration+move",
+       [](double x) { return cfg(x, PolicyKind::Conventional, false); }},
+      {"migration+visit",
+       [](double x) { return cfg(x, PolicyKind::Conventional, true); }},
+      {"placement+move",
+       [](double x) { return cfg(x, PolicyKind::Placement, false); }},
+      {"placement+visit",
+       [](double x) { return cfg(x, PolicyKind::Placement, true); }},
+  };
+
+  const std::vector<double> xs{2, 5, 10, 20, 40, 70, 100};
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("mean-distance-t_m", variants, points,
+                                 core::Metric::TotalPerCall);
+  std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"
+            << table.to_text()
+            << "\nExpectation: visit() pays an extra (uncharged, background)"
+               " return migration per block; its per-call costs stay close "
+               "to move() at low concurrency and the next mover must wait "
+               "for returning objects under contention.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+
+namespace omig::bench {
+
+/// Reads an integer knob from the environment (bench resolution control).
+inline int env_int(const char* name, int fallback) {
+  if (const char* s = std::getenv(name)) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// True when OMIG_PROGRESS is set: per-point progress goes to stderr.
+inline std::ostream* progress_stream() {
+  static const bool on = std::getenv("OMIG_PROGRESS") != nullptr;
+  return on ? &std::cerr : nullptr;
+}
+
+/// Prints the standard bench header: what the paper shows and with which
+/// parameters, so the output is self-describing in bench_output.txt.
+inline void print_header(const std::string& title,
+                         const std::string& params) {
+  std::cout << "==============================================================\n"
+            << title << '\n'
+            << params << '\n'
+            << "stopping: " << core::stopping_rule_from_env().relative_target *
+                                   100.0
+            << "% half-width at p=0.99 (override: OMIG_CI_TARGET, "
+               "OMIG_MAX_BLOCKS)\n"
+            << "==============================================================\n";
+}
+
+/// Client-count x-axis helper: 1..max, thinned to ~`points` values.
+inline std::vector<double> client_axis(int max_clients, int points) {
+  std::vector<double> xs;
+  const double step =
+      points > 1 ? static_cast<double>(max_clients - 1) / (points - 1) : 1.0;
+  int last = 0;
+  for (int i = 0; i < points; ++i) {
+    int c = 1 + static_cast<int>(step * i + 0.5);
+    if (c > max_clients) c = max_clients;
+    if (c == last) continue;
+    last = c;
+    xs.push_back(static_cast<double>(c));
+  }
+  return xs;
+}
+
+}  // namespace omig::bench

@@ -1,0 +1,39 @@
+// Figure 8: mean communication time per call vs the mean distance t_m
+// between two usages, for no-migration / conventional migration / transient
+// placement (parameters of Figure 9: D=3, C=3, S1=3, M=6, N~exp(8)).
+#include "bench_common.hpp"
+
+#include "core/plot.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+int main() {
+  bench::print_header(
+      "Figure 8 — Increasing the usage frequency",
+      "D=3 C=3 S1=3 S2=0 M=6 N~exp(8) t_i~exp(1); x = mean t_m");
+
+  std::vector<core::SweepVariant> variants{
+      {"without-migration",
+       [](double x) { return core::fig8_config(x, PolicyKind::Sedentary); }},
+      {"migration",
+       [](double x) {
+         return core::fig8_config(x, PolicyKind::Conventional);
+       }},
+      {"transient-placement",
+       [](double x) { return core::fig8_config(x, PolicyKind::Placement); }},
+  };
+
+  const std::vector<double> xs{1,  2,  4,  6,  8,  10, 15, 20,
+                               30, 40, 50, 60, 70, 80, 90, 100};
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("mean-distance-t_m", variants, points,
+                                 core::Metric::TotalPerCall);
+  std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"
+            << table.to_text() << '\n'
+            << core::plot_sweep(variants, points,
+                                core::Metric::TotalPerCall)
+            << "\ncsv:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 11: the migration-load component of Figure 8: mean migration time
+// per call vs mean distance t_m.
+#include "bench_common.hpp"
+
+#include "core/plot.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+int main() {
+  bench::print_header(
+      "Figure 11 — Migration load",
+      "D=3 C=3 S1=3 S2=0 M=6 N~exp(8) t_i~exp(1); x = mean t_m");
+
+  std::vector<core::SweepVariant> variants{
+      {"without-migration",
+       [](double x) { return core::fig8_config(x, PolicyKind::Sedentary); }},
+      {"migration",
+       [](double x) {
+         return core::fig8_config(x, PolicyKind::Conventional);
+       }},
+      {"transient-placement",
+       [](double x) { return core::fig8_config(x, PolicyKind::Placement); }},
+  };
+
+  const std::vector<double> xs{1,  2,  4,  6,  8,  10, 15, 20,
+                               30, 40, 50, 60, 70, 80, 90, 100};
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("mean-distance-t_m", variants, points,
+                                 core::Metric::MigrationPerCall);
+  std::cout << core::to_string(core::Metric::MigrationPerCall) << "\n\n"
+            << table.to_text() << '\n'
+            << core::plot_sweep(variants, points,
+                                core::Metric::MigrationPerCall)
+            << "\ncsv:\n" << table.to_csv();
+  return 0;
+}

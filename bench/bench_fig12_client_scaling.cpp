@@ -1,0 +1,46 @@
+// Figure 12: mean communication time per call vs number of clients (hot
+// spot; parameters of Figure 13: D=27, S1=3, M=6, N~exp(8), t_m~exp(30)).
+// Paper shape: migration crosses the sedentary line at ~6 clients and grows
+// linearly; placement grows sublinearly and crosses at ~20.
+#include "bench_common.hpp"
+
+#include "core/plot.hpp"
+
+using namespace omig;
+using migration::PolicyKind;
+
+int main() {
+  bench::print_header(
+      "Figure 12 — Increasing the number of clients",
+      "D=27 S1=3 S2=0 M=6 N~exp(8) t_i~exp(1) t_m~exp(30); x = #clients");
+
+  std::vector<core::SweepVariant> variants{
+      {"without-migration",
+       [](double x) {
+         return core::fig12_config(static_cast<int>(x),
+                                   PolicyKind::Sedentary);
+       }},
+      {"migration",
+       [](double x) {
+         return core::fig12_config(static_cast<int>(x),
+                                   PolicyKind::Conventional);
+       }},
+      {"transient-placement",
+       [](double x) {
+         return core::fig12_config(static_cast<int>(x),
+                                   PolicyKind::Placement);
+       }},
+  };
+
+  const auto xs = bench::client_axis(25, bench::env_int("OMIG_POINTS", 13));
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("clients", variants, points,
+                                 core::Metric::TotalPerCall);
+  std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"
+            << table.to_text() << '\n'
+            << core::plot_sweep(variants, points,
+                                core::Metric::TotalPerCall)
+            << "\ncsv:\n" << table.to_csv();
+  return 0;
+}

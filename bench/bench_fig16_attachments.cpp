@@ -1,0 +1,62 @@
+// Figure 16: keeping objects together — conventional migration and
+// transient placement, each with unrestricted vs A-transitive (alliance-
+// scoped) attachment, against the sedentary baseline (parameters of
+// Figure 17: D=24, S1=6, S2=6, ring-overlapping working sets of 2).
+#include "bench_common.hpp"
+
+#include "core/plot.hpp"
+
+using namespace omig;
+using migration::AttachTransitivity;
+using migration::PolicyKind;
+
+int main() {
+  bench::print_header(
+      "Figure 16 — Attachments in non-monolithic environments",
+      "D=24 S1=6 S2=6 M=6 N~exp(6) t_i~exp(1) t_m~exp(30) |WS|=2; "
+      "x = #clients");
+
+  auto cfg = [](double x, PolicyKind policy, AttachTransitivity trans) {
+    return core::fig16_config(static_cast<int>(x), policy, trans);
+  };
+
+  std::vector<core::SweepVariant> variants{
+      {"without-migration",
+       [&](double x) {
+         return cfg(x, PolicyKind::Sedentary,
+                    AttachTransitivity::Unrestricted);
+       }},
+      {"migration+unrestricted",
+       [&](double x) {
+         return cfg(x, PolicyKind::Conventional,
+                    AttachTransitivity::Unrestricted);
+       }},
+      {"migration+A-transitive",
+       [&](double x) {
+         return cfg(x, PolicyKind::Conventional,
+                    AttachTransitivity::ATransitive);
+       }},
+      {"placement+unrestricted",
+       [&](double x) {
+         return cfg(x, PolicyKind::Placement,
+                    AttachTransitivity::Unrestricted);
+       }},
+      {"placement+A-transitive",
+       [&](double x) {
+         return cfg(x, PolicyKind::Placement,
+                    AttachTransitivity::ATransitive);
+       }},
+  };
+
+  const auto xs = bench::client_axis(12, bench::env_int("OMIG_POINTS", 12));
+  const auto points = core::run_sweep(xs, variants,
+                                      bench::progress_stream());
+  auto table = core::sweep_table("clients", variants, points,
+                                 core::Metric::TotalPerCall);
+  std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"
+            << table.to_text() << '\n'
+            << core::plot_sweep(variants, points,
+                                core::Metric::TotalPerCall)
+            << "\ncsv:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// throughput of the DES kernel, RNG speed, attachment-closure computation,
+// and end-to-end experiment cost per simulated block.
+#include <benchmark/benchmark.h>
+
+#include "core/presets.hpp"
+#include "migration/attachment.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace omig;
+
+sim::Task ping(sim::Engine& eng, int hops) {
+  for (int i = 0; i < hops; ++i) co_await eng.delay(1.0);
+}
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    eng.spawn(ping(eng, hops));
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1'000)->Arg(100'000);
+
+void BM_ManyConcurrentProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < procs; ++i) eng.spawn(ping(eng, 100));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 100);
+}
+BENCHMARK(BM_ManyConcurrentProcesses)->Arg(100)->Arg(1'000);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng{1, 0};
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_AttachmentClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  migration::AttachmentGraph g;
+  // Ring of n objects: worst-case closure walks everything.
+  for (int i = 0; i < n; ++i) {
+    g.attach(migration::ObjectId{static_cast<std::uint32_t>(i)},
+             migration::ObjectId{static_cast<std::uint32_t>((i + 1) % n)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.closure(migration::ObjectId{0}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AttachmentClosure)->Arg(12)->Arg(256);
+
+void BM_ExperimentBlocks(benchmark::State& state) {
+  // End-to-end cost of one simulated move-block (Figure-9 parameters).
+  for (auto _ : state) {
+    auto cfg = core::fig8_config(30.0, migration::PolicyKind::Placement);
+    cfg.stopping.min_observations = 500;
+    cfg.stopping.max_observations = 500;
+    cfg.stopping.relative_target = 1.0;
+    const auto r = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.total_per_call);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_ExperimentBlocks)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Microbenchmarks of the live multi-threaded runtime (google-benchmark):
+// local vs remote invocation throughput, migration latency including the
+// byte-level linearisation round trip, and placement move/end cycles.
+#include <benchmark/benchmark.h>
+
+#include "runtime/live_system.hpp"
+#include "runtime/serde.hpp"
+
+namespace {
+
+using namespace omig::runtime;
+
+ObjectFactory counter_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("inc", [](ObjectState& self, const std::string&) {
+      self.fields["value"] =
+          std::to_string(std::stoi(self.fields["value"]) + 1);
+      return self.fields["value"];
+    });
+    return obj;
+  };
+}
+
+ObjectState counter_state() {
+  ObjectState s;
+  s.type = "counter";
+  s.fields["value"] = "0";
+  return s;
+}
+
+std::unique_ptr<LiveSystem> make_system(std::size_t nodes) {
+  LiveSystem::Options opts;
+  opts.nodes = nodes;
+  auto sys = std::make_unique<LiveSystem>(opts);
+  sys->register_type("counter", counter_factory());
+  sys->start();
+  sys->create("c", counter_state(), 0);
+  return sys;
+}
+
+void BM_LiveInvokeLocal(benchmark::State& state) {
+  auto sys = make_system(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->invoke_from(0, "c", "inc", ""));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveInvokeLocal);
+
+void BM_LiveInvokeRemote(benchmark::State& state) {
+  auto sys = make_system(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->invoke_from(1, "c", "inc", ""));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveInvokeRemote);
+
+void BM_LiveMigrateRoundTrip(benchmark::State& state) {
+  auto sys = make_system(2);
+  for (auto _ : state) {
+    sys->migrate("c", 1);
+    sys->migrate("c", 0);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LiveMigrateRoundTrip);
+
+void BM_LiveMoveEndCycle(benchmark::State& state) {
+  auto sys = make_system(3);
+  std::size_t dest = 1;
+  for (auto _ : state) {
+    auto token = sys->move("c", dest);
+    sys->end(token);
+    dest = 3 - dest;  // alternate 1 <-> 2
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LiveMoveEndCycle);
+
+void BM_SerdeRoundTrip(benchmark::State& state) {
+  ObjectState s;
+  s.type = "cart";
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    s.fields["field-" + std::to_string(i)] = std::string(32, 'x');
+  }
+  for (auto _ : state) {
+    auto decoded = decode(encode(s));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerdeRoundTrip)->Arg(4)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Hot-spot scenario (paper Section 4.2.2): a popular service object used by
+// a growing number of clients. "The common knowledge that it is better not
+// to migrate such objects" emerges from the data: this example sweeps the
+// client count and prints where each policy crosses the sedentary baseline,
+// then demonstrates fix() as the operator's big hammer.
+//
+// Build & run:   ./build/examples/hotspot_registry
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+#include "migration/primitives.hpp"
+
+using namespace omig;
+
+namespace {
+
+stats::StoppingRule demo_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.03;
+  rule.min_observations = 1'000;
+  rule.max_observations = 15'000;
+  return rule;
+}
+
+void sweep_hotspot() {
+  std::vector<core::SweepVariant> variants{
+      {"without-migration",
+       [](double x) {
+         auto cfg = core::fig12_config(static_cast<int>(x),
+                                       migration::PolicyKind::Sedentary);
+         cfg.stopping = demo_rule();
+         return cfg;
+       }},
+      {"migration",
+       [](double x) {
+         auto cfg = core::fig12_config(static_cast<int>(x),
+                                       migration::PolicyKind::Conventional);
+         cfg.stopping = demo_rule();
+         return cfg;
+       }},
+      {"transient-placement",
+       [](double x) {
+         auto cfg = core::fig12_config(static_cast<int>(x),
+                                       migration::PolicyKind::Placement);
+         cfg.stopping = demo_rule();
+         return cfg;
+       }},
+  };
+  const std::vector<double> xs{2, 4, 6, 8, 12, 16, 20, 24};
+  const auto points = core::run_sweep(xs, variants);
+  std::cout << core::sweep_table("clients", variants, points,
+                                 core::Metric::TotalPerCall, 3)
+                   .to_text();
+
+  // Locate the break-even points (first x where the policy is worse than
+  // the sedentary baseline).
+  auto break_even = [&](std::size_t column) -> double {
+    for (const auto& p : points) {
+      if (p.results[column].total_per_call >
+          p.results[0].total_per_call) {
+        return p.x;
+      }
+    }
+    return -1.0;
+  };
+  const double mig = break_even(1);
+  const double pla = break_even(2);
+  std::cout << "\nbreak-even vs sedentary: migration at ~"
+            << (mig < 0 ? std::string{">24"} : std::to_string(static_cast<int>(mig)))
+            << " clients, placement at ~"
+            << (pla < 0 ? std::string{">24"} : std::to_string(static_cast<int>(pla)))
+            << " clients (paper: 6 vs 20).\n\n";
+}
+
+sim::Task impatient_client(sim::Engine& engine,
+                           migration::Primitives& prims,
+                           objsys::ObjectId registry_obj, objsys::NodeId me,
+                           int* refused) {
+  migration::MoveBlock blk = prims.move(me, registry_obj);
+  co_await prims.begin(blk);
+  if (blk.moved.empty() && !blk.lock_held) ++*refused;
+  for (int i = 0; i < 4; ++i) co_await prims.call(me, registry_obj);
+  prims.end(blk);
+  (void)engine;
+}
+
+void demonstrate_fix() {
+  std::cout << "operator intervention: fix() the hot object\n";
+  sim::Engine engine;
+  net::FullMesh mesh{8};
+  net::LatencyModel latency{mesh, net::LatencyMode::Fixed, 1.0};
+  objsys::ObjectRegistry registry{engine, 8};
+  sim::Rng rng{3, 0};
+  objsys::Invoker invoker{engine, registry, latency, rng};
+  migration::AttachmentGraph attachments;
+  migration::AllianceRegistry alliances;
+  migration::MigrationManager manager{
+      engine, registry, latency, rng, attachments, alliances, {}};
+  auto policy =
+      migration::make_policy(migration::PolicyKind::Placement, manager);
+  migration::Primitives prims{manager, *policy, invoker};
+
+  const objsys::ObjectId reg = registry.create("name-registry", objsys::NodeId{0});
+  prims.fix(reg);  // the operator pins the hot spot to node 0
+
+  int refused = 0;
+  for (std::uint32_t n = 1; n <= 7; ++n) {
+    engine.spawn(
+        impatient_client(engine, prims, reg, objsys::NodeId{n}, &refused));
+  }
+  engine.run();
+  std::cout << "  7 clients tried to move the fixed registry; " << refused
+            << " moves were refused, object stayed at node "
+            << prims.location_of(reg) << ", migrations: "
+            << registry.migrations() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "hot-spot registry: when NOT to migrate\n\n";
+  sweep_hotspot();
+  demonstrate_fix();
+  return 0;
+}

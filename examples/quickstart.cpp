@@ -1,0 +1,99 @@
+// Quickstart: build a tiny distributed object system, express a migration
+// policy with the paper's primitives (move / end, attach, fix), run it in
+// the discrete-event simulator, and compare the place-policy against
+// conventional migration under a conflicting workload.
+//
+// Build & run:   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/presets.hpp"
+#include "core/table.hpp"
+#include "migration/primitives.hpp"
+
+using namespace omig;
+
+namespace {
+
+// --- Part 1: the primitives, hands-on -------------------------------------
+//
+// A 3-node system. A "document" object lives on node 0; a worker process on
+// node 2 runs a move-block against it — exactly the pattern of the paper's
+// Figure 2 (visit a list, process it locally, let it go).
+sim::Task worker(sim::Engine& engine, migration::Primitives& prims,
+                 objsys::ObjectId document) {
+  const objsys::NodeId me{2};
+
+  migration::MoveBlock blk = prims.move(me, document);
+  std::cout << "  worker: requesting move of 'document' to node " << me
+            << "\n";
+  co_await prims.begin(blk);
+  std::cout << "  worker: document now at node "
+            << prims.location_of(document) << " (t=" << engine.now()
+            << ")\n";
+
+  for (int i = 0; i < 5; ++i) {
+    co_await prims.call(me, document);  // local → free
+  }
+  prims.end(blk);
+  std::cout << "  worker: processed 5 calls locally, block ended (t="
+            << engine.now() << ")\n";
+}
+
+void part1_primitives() {
+  std::cout << "Part 1 — the linguistic primitives\n";
+  sim::Engine engine;
+  net::FullMesh mesh{3};
+  net::LatencyModel latency{mesh, net::LatencyMode::Fixed, 1.0};
+  objsys::ObjectRegistry registry{engine, 3};
+  sim::Rng rng{1, 0};
+  objsys::Invoker invoker{engine, registry, latency, rng};
+  migration::AttachmentGraph attachments;
+  migration::AllianceRegistry alliances;
+  migration::MigrationManager manager{
+      engine, registry, latency, rng, attachments, alliances, {}};
+  auto policy =
+      migration::make_policy(migration::PolicyKind::Placement, manager);
+  migration::Primitives prims{manager, *policy, invoker};
+
+  const objsys::ObjectId document = registry.create("document", objsys::NodeId{0});
+  const objsys::ObjectId index = registry.create("index", objsys::NodeId{0});
+  prims.attach(document, index);  // keep the index with the document
+
+  engine.spawn(worker(engine, prims, document));
+  engine.run();
+
+  std::cout << "  after the block: index followed the document to node "
+            << prims.location_of(index) << "\n\n";
+}
+
+// --- Part 2: why the place-policy exists ------------------------------------
+void part2_conflict_experiment() {
+  std::cout << "Part 2 — conflicting movers (Figure-9 parameters, t_m=10)\n";
+  core::TextTable table{{"policy", "mean comm-time/call", "migrations"}};
+  for (const auto policy :
+       {migration::PolicyKind::Sedentary, migration::PolicyKind::Conventional,
+        migration::PolicyKind::Placement}) {
+    auto cfg = core::fig8_config(10.0, policy);
+    cfg.stopping.relative_target = 0.02;
+    cfg.stopping.max_observations = 20'000;
+    const auto r = core::run_experiment(cfg);
+    table.add_row({std::string{migration::to_string(policy)},
+                   core::format_double(r.total_per_call, 3),
+                   std::to_string(r.migrations)});
+  }
+  std::cout << table.to_text()
+            << "\nUnder contention the conventional move() thrashes; "
+               "transient placement migrates once per conflict epoch and "
+               "forwards the losers' calls instead.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "omig quickstart — object migration in non-monolithic "
+               "distributed applications\n\n";
+  part1_primitives();
+  part2_conflict_experiment();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Static catalogue scenario: a read-mostly product catalogue shared by
+// many independently developed storefront components.
+//
+// Two mechanisms from the paper compose here:
+//  * Section 1: "moving a static object simply creates a copy" — declaring
+//    the catalogue immutable turns every conflicting move() into a local
+//    copy and the hot-spot problem dissolves.
+//  * Section 5 (outlook): if the catalogue must stay *mutable* (prices
+//    change), replicate-on-read helps only while reads dominate; at higher
+//    write rates, uncoordinated invalidations make replication worse than
+//    doing nothing — the migration story all over again.
+//
+// Build & run:   ./build/examples/static_catalogue
+#include <iostream>
+
+#include "core/presets.hpp"
+#include "core/table.hpp"
+
+using namespace omig;
+
+namespace {
+
+stats::StoppingRule demo_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.03;
+  rule.min_observations = 1'000;
+  rule.max_observations = 12'000;
+  return rule;
+}
+
+core::ExperimentResult run(bool immutable, double read_fraction,
+                           objsys::ReplicationMode mode) {
+  auto cfg = core::fig12_config(12, migration::PolicyKind::Conventional);
+  cfg.workload.immutable_servers = immutable;
+  cfg.workload.read_fraction = read_fraction;
+  cfg.replication = mode;
+  cfg.stopping = demo_rule();
+  return core::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "static catalogue: 12 storefronts sharing 3 catalogue "
+               "objects (hot spot)\n\n";
+
+  core::TextTable table{{"catalogue variant", "comm-time/call",
+                         "migrations", "copies", "invalidations"}};
+
+  const auto mutable_hot =
+      run(false, 0.0, objsys::ReplicationMode::None);
+  table.add_row({"mutable, conventional move()",
+                 core::format_double(mutable_hot.total_per_call, 3),
+                 std::to_string(mutable_hot.migrations),
+                 std::to_string(mutable_hot.replications),
+                 std::to_string(mutable_hot.invalidations)});
+
+  const auto immutable_cat =
+      run(true, 0.0, objsys::ReplicationMode::None);
+  table.add_row({"declared immutable (copies on move)",
+                 core::format_double(immutable_cat.total_per_call, 3),
+                 std::to_string(immutable_cat.migrations),
+                 std::to_string(immutable_cat.replications),
+                 std::to_string(immutable_cat.invalidations)});
+
+  const auto repl_reads =
+      run(false, 0.98, objsys::ReplicationMode::ReplicateOnRead);
+  table.add_row({"mutable, replicate-on-read, 98% reads",
+                 core::format_double(repl_reads.total_per_call, 3),
+                 std::to_string(repl_reads.migrations),
+                 std::to_string(repl_reads.replications),
+                 std::to_string(repl_reads.invalidations)});
+
+  const auto repl_writes =
+      run(false, 0.60, objsys::ReplicationMode::ReplicateOnRead);
+  table.add_row({"mutable, replicate-on-read, 60% reads",
+                 core::format_double(repl_writes.total_per_call, 3),
+                 std::to_string(repl_writes.migrations),
+                 std::to_string(repl_writes.replications),
+                 std::to_string(repl_writes.invalidations)});
+
+  const auto no_repl =
+      run(false, 0.60, objsys::ReplicationMode::None);
+  table.add_row({"mutable, no replication, 60% reads",
+                 core::format_double(no_repl.total_per_call, 3),
+                 std::to_string(no_repl.migrations), "0", "0"});
+
+  std::cout << table.to_text()
+            << "\nTakeaways: declaring the catalogue immutable removes the "
+               "conflict problem entirely; replicating a mutable catalogue "
+               "is a bet on the read ratio — at 60% reads the invalidation "
+               "churn makes it worse than no replication at all, the "
+               "paper's Section-5 conjecture in numbers.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, full test suite, every table/figure/ablation.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+#
+# Knobs (see README): OMIG_CI_TARGET (default 0.01 = the paper's stopping
+# rule), OMIG_MAX_BLOCKS, OMIG_POINTS, OMIG_PROGRESS=1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt + bench_output.txt"

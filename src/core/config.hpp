@@ -1,0 +1,61 @@
+// Textual experiment configuration ("key=value") for the CLI front-end.
+//
+// Lets users run any experiment of the paper — and beyond-paper variants —
+// without writing C++:   omig_sim policy=placement clients=12 tm=10
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace omig::core {
+
+/// Thrown on unknown keys or malformed values (with a helpful message).
+class ConfigError : public std::runtime_error {
+public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Enum parsers (case-sensitive, kebab-case; nullopt on no match).
+std::optional<migration::PolicyKind> policy_from_string(std::string_view s);
+std::optional<migration::AttachTransitivity> transitivity_from_string(
+    std::string_view s);
+std::optional<migration::ClusterTransfer> transfer_from_string(
+    std::string_view s);
+std::optional<net::TopologyKind> topology_from_string(std::string_view s);
+std::optional<net::LatencyMode> latency_from_string(std::string_view s);
+std::optional<objsys::LocationScheme> location_from_string(
+    std::string_view s);
+
+const char* to_string(net::TopologyKind kind);
+const char* to_string(net::LatencyMode mode);
+const char* to_string(migration::AttachTransitivity transitivity);
+const char* to_string(migration::ClusterTransfer transfer);
+
+/// Applies one "key=value" assignment to `config`. Throws ConfigError on
+/// unknown keys or unparsable values. Recognised keys:
+///   nodes clients servers1 servers2 ws         (populations)
+///   m n ti tm visit                            (Table-1 parameters)
+///   policy attach exclusive transfer           (migration semantics)
+///   topology latency location                  (substrate)
+///   egoistic-clients egoistic-policy           (mixed-policy extension)
+///   ci min-blocks max-blocks warmup max-time seed   (run control)
+void apply_assignment(ExperimentConfig& config, std::string_view key,
+                      std::string_view value);
+
+/// Parses a list of "key=value" tokens on top of `base`.
+ExperimentConfig parse_config(const std::vector<std::string>& tokens,
+                              ExperimentConfig base = {});
+
+/// One-line human-readable summary of a configuration (round-trippable
+/// through parse_config for the non-default fields).
+std::string describe(const ExperimentConfig& config);
+
+/// The help text listing every key (used by the CLI).
+std::string config_help();
+
+}  // namespace omig::core

@@ -1,0 +1,144 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <optional>
+
+#include "core/metrics.hpp"
+#include "migration/alliance.hpp"
+#include "migration/attachment.hpp"
+#include "objsys/invocation.hpp"
+#include "objsys/registry.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "workload/fragmented.hpp"
+#include "workload/one_layer.hpp"
+#include "workload/two_layer.hpp"
+
+namespace omig::core {
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                trace::TraceLog* trace) {
+  workload::validate(config.workload);
+  OMIG_REQUIRE(config.egoistic_clients >= 0 &&
+                   config.egoistic_clients <= config.workload.clients,
+               "egoistic client count out of range");
+  OMIG_REQUIRE(config.egoistic_clients == 0 ||
+                   (config.workload.servers2 == 0 &&
+                    config.workload.fragments == 0),
+               "mixed policies are only supported on one-layer workloads");
+
+  sim::Engine engine;
+  auto topology = net::make_topology(
+      config.topology, static_cast<std::size_t>(config.workload.nodes));
+  net::LatencyModel latency{*topology, config.latency_mode, 1.0};
+  objsys::ObjectRegistry registry{
+      engine, static_cast<std::size_t>(config.workload.nodes)};
+
+  sim::Rng net_rng{config.seed, 1};
+  sim::Rng mgr_rng{config.seed, 2};
+  objsys::Invoker invoker{engine, registry, latency, net_rng};
+  invoker.set_replication(config.replication,
+                          config.workload.migration_duration);
+
+  migration::AttachmentGraph attachments{
+      config.exclusive_attachments
+          ? migration::AttachmentGraph::Mode::Exclusive
+          : migration::AttachmentGraph::Mode::Standard};
+  migration::AllianceRegistry alliances;
+
+  migration::ManagerOptions opts;
+  opts.migration_duration = config.workload.migration_duration;
+  opts.transitivity = config.transitivity;
+  opts.transfer = config.transfer;
+  opts.clear_majority_minimum = config.clear_majority_minimum;
+  migration::MigrationManager manager{engine, registry,  latency, mgr_rng,
+                                      attachments, alliances, opts};
+
+  std::optional<objsys::LocationService> service;
+  if (config.location_scheme != objsys::LocationScheme::None) {
+    service.emplace(engine, registry, latency, mgr_rng,
+                    config.location_scheme);
+    invoker.set_location_service(&*service);
+    manager.set_location_service(&*service);
+  }
+
+  auto policy = migration::make_policy(config.policy, manager);
+  Recorder recorder{engine, config.stopping, config.warmup_time};
+  manager.set_background_cost_sink(
+      [&recorder](double cost) { recorder.on_background_migration(cost); });
+  if (trace != nullptr) manager.set_trace(trace);
+
+  std::unique_ptr<migration::MigrationPolicy> egoistic;
+  if (config.workload.fragments > 0) {
+    workload::spawn_fragmented(engine, registry, manager, *policy, invoker,
+                               recorder, config.workload, config.seed);
+  } else if (config.workload.servers2 == 0) {
+    std::vector<migration::MigrationPolicy*> per_client(
+        static_cast<std::size_t>(config.workload.clients), policy.get());
+    if (config.egoistic_clients > 0) {
+      egoistic = migration::make_policy(config.egoistic_policy, manager);
+      for (int i = 0; i < config.egoistic_clients; ++i) {
+        per_client[static_cast<std::size_t>(i)] = egoistic.get();
+      }
+    }
+    workload::spawn_one_layer_mixed(engine, registry, manager, per_client,
+                                    invoker, recorder, config.workload,
+                                    config.seed);
+  } else {
+    workload::spawn_two_layer(engine, registry, manager, *policy, invoker,
+                              recorder, config.workload, config.seed);
+  }
+
+  engine.run_until(config.max_time);
+
+  ExperimentResult r;
+  r.total_per_call = recorder.total_per_call();
+  r.call_duration = recorder.call_duration_per_call();
+  r.migration_per_call = recorder.migration_per_call();
+  const auto ci = recorder.total_interval();
+  r.ci_half_width = ci.half_width;
+  r.ci_relative = ci.relative();
+  r.blocks = recorder.blocks();
+  r.calls = recorder.calls();
+  r.migrations = registry.migrations();
+  r.transfers = manager.transfers_started();
+  r.control_messages = manager.control_messages();
+  r.remote_calls = invoker.remote_invocations();
+  r.blocked_calls = invoker.blocked_invocations();
+  r.replications = registry.replications();
+  r.replica_hits = invoker.replica_hits();
+  r.invalidations = registry.invalidations();
+  r.events = engine.events_processed();
+  r.sim_time = engine.now();
+  r.call_p50 = recorder.call_duration_quantile(0.50);
+  r.call_p95 = recorder.call_duration_quantile(0.95);
+  r.call_p99 = recorder.call_duration_quantile(0.99);
+
+  // Tear the processes down while every service they reference is alive.
+  engine.clear();
+  return r;
+}
+
+stats::StoppingRule stopping_rule_from_env() {
+  stats::StoppingRule rule;
+  rule.level = 0.99;
+  rule.relative_target = 0.01;
+  rule.min_batches = 16;
+  rule.min_observations = 2'000;
+  rule.max_observations = 120'000;
+  if (const char* s = std::getenv("OMIG_CI_TARGET")) {
+    const double v = std::atof(s);
+    if (v > 0.0) rule.relative_target = v;
+  }
+  if (const char* s = std::getenv("OMIG_MIN_BLOCKS")) {
+    const long v = std::atol(s);
+    if (v > 0) rule.min_observations = static_cast<std::uint64_t>(v);
+  }
+  if (const char* s = std::getenv("OMIG_MAX_BLOCKS")) {
+    const long v = std::atol(s);
+    if (v > 0) rule.max_observations = static_cast<std::uint64_t>(v);
+  }
+  return rule;
+}
+
+}  // namespace omig::core

@@ -1,0 +1,88 @@
+// Experiment configuration and runner: one call = one simulated data point.
+#pragma once
+
+#include <cstdint>
+
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+#include "objsys/invocation.hpp"
+#include "objsys/location_service.hpp"
+#include "stats/batch_means.hpp"
+#include "trace/log.hpp"
+#include "workload/params.hpp"
+
+namespace omig::core {
+
+/// Everything that defines one simulation run.
+struct ExperimentConfig {
+  workload::WorkloadParams workload;
+  migration::PolicyKind policy = migration::PolicyKind::Placement;
+
+  /// Attachment semantics (only relevant when the workload attaches
+  /// objects, i.e. the two-layer model).
+  migration::AttachTransitivity transitivity =
+      migration::AttachTransitivity::Unrestricted;
+  bool exclusive_attachments = false;
+  migration::ClusterTransfer transfer = migration::ClusterTransfer::Parallel;
+  /// "Clear majority" threshold for the reinstantiation policy (see
+  /// ManagerOptions::clear_majority_minimum).
+  int clear_majority_minimum = 2;
+
+  /// Mutable-object replication (Section 5 outlook; see docs/MODEL.md).
+  objsys::ReplicationMode replication = objsys::ReplicationMode::None;
+
+  net::TopologyKind topology = net::TopologyKind::FullMesh;
+  net::LatencyMode latency_mode = net::LatencyMode::Uniform;
+  objsys::LocationScheme location_scheme = objsys::LocationScheme::None;
+
+  /// Beyond-paper (Section 2.4's "completely egoistic" implementor): the
+  /// first `egoistic_clients` clients run `egoistic_policy` while everyone
+  /// else runs `policy`. One-layer workloads only.
+  int egoistic_clients = 0;
+  migration::PolicyKind egoistic_policy =
+      migration::PolicyKind::Conventional;
+
+  stats::StoppingRule stopping;
+  sim::SimTime warmup_time = 500.0;
+  sim::SimTime max_time = 1e9;
+  std::uint64_t seed = 0x0a1b2c3d4e5f6071ULL;
+};
+
+/// The measured outcome of one run.
+struct ExperimentResult {
+  double total_per_call = 0.0;      ///< Figures 8/12/14/16 y-axis
+  double call_duration = 0.0;       ///< Figure 10 y-axis
+  double migration_per_call = 0.0;  ///< Figure 11 y-axis
+  double ci_half_width = 0.0;
+  double ci_relative = 0.0;
+  std::uint64_t blocks = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t migrations = 0;      ///< completed object relocations
+  std::uint64_t transfers = 0;       ///< physical transfer operations
+  std::uint64_t control_messages = 0;
+  std::uint64_t remote_calls = 0;
+  std::uint64_t blocked_calls = 0;   ///< calls that waited on a transit
+  std::uint64_t replications = 0;    ///< copies installed
+  std::uint64_t replica_hits = 0;    ///< calls served by a local copy
+  std::uint64_t invalidations = 0;   ///< copies dropped by writes/moves
+  std::uint64_t events = 0;
+  sim::SimTime sim_time = 0.0;
+  double call_p50 = 0.0;  ///< median call duration
+  double call_p95 = 0.0;  ///< 95th-percentile call duration
+  double call_p99 = 0.0;  ///< 99th-percentile call duration
+};
+
+/// Runs one experiment to completion (stopping rule or max_time).
+/// If `trace` is non-null, the migration runtime's protocol events are
+/// recorded into it (requests, refusals, transits, locks).
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                trace::TraceLog* trace = nullptr);
+
+/// Reads OMIG_CI_TARGET / OMIG_MIN_BLOCKS / OMIG_MAX_BLOCKS from the
+/// environment into a stopping rule, starting from the paper's defaults
+/// (1% at p = 0.99). Lets the benches trade precision for speed.
+stats::StoppingRule stopping_rule_from_env();
+
+}  // namespace omig::core

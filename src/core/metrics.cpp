@@ -1,0 +1,54 @@
+#include "core/metrics.hpp"
+
+namespace omig::core {
+
+Recorder::Recorder(sim::Engine& engine, stats::StoppingRule rule,
+                   sim::SimTime warmup_time)
+    : engine_{&engine}, rule_{rule}, warmup_time_{warmup_time} {}
+
+void Recorder::on_block(const migration::MoveBlock& blk) {
+  if (engine_->now() < warmup_time_) {
+    ++discarded_;
+    return;
+  }
+  ++blocks_;
+  calls_ += static_cast<std::uint64_t>(blk.calls);
+  const auto weight = static_cast<double>(blk.calls);
+  total_.add(blk.total_cost(), weight);
+  call_.add(blk.call_time, weight);
+  migration_.add(blk.migration_cost, weight);
+  if (rule_.satisfied_by(total_)) engine_->request_stop();
+}
+
+void Recorder::on_background_migration(double cost) {
+  if (engine_->now() < warmup_time_) return;
+  // Weightless observation: the cost still lands in the numerator of the
+  // per-call ratios, so reinstantiation migrations are not free.
+  total_.add(cost, 0.0);
+  migration_.add(cost, 0.0);
+}
+
+void Recorder::on_call(double duration) {
+  if (engine_->now() < warmup_time_) return;
+  call_hist_.add(duration);
+}
+
+double Recorder::call_duration_quantile(double q) const {
+  return call_hist_.quantile(q);
+}
+
+double Recorder::total_per_call() const { return total_.overall_ratio(); }
+
+double Recorder::call_duration_per_call() const {
+  return call_.overall_ratio();
+}
+
+double Recorder::migration_per_call() const {
+  return migration_.overall_ratio();
+}
+
+stats::ConfidenceInterval Recorder::total_interval() const {
+  return total_.interval(rule_.level);
+}
+
+}  // namespace omig::core

@@ -1,0 +1,66 @@
+// Metric collection and the sequential stopping rule.
+//
+// The paper's headline metric is the "mean communication-time per call":
+// the mean duration of an invocation plus the migration cost evenly
+// distributed to the invocations belonging to that migration (Section
+// 4.2.1). Figure 10 plots the invocation-duration component and Figure 11
+// the migration component separately; we track all three as ratio-of-sums
+// with batch-means confidence intervals and stop the simulation when the
+// total metric reaches the paper's 1% half-width at p = 0.99.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/histogram.hpp"
+#include "workload/observer.hpp"
+
+namespace omig::core {
+
+/// Collects per-block observations, maintains the three per-call metrics,
+/// and requests an engine stop once the stopping rule is satisfied.
+class Recorder final : public workload::BlockObserver {
+public:
+  /// Blocks completing before `warmup_time` are discarded (initial
+  /// transient deletion).
+  Recorder(sim::Engine& engine, stats::StoppingRule rule,
+           sim::SimTime warmup_time);
+
+  void on_block(const migration::MoveBlock& blk) override;
+  void on_background_migration(double cost) override;
+  void on_call(double duration) override;
+
+  /// Mean communication time per call (call duration + distributed
+  /// migration cost) — the y-axis of Figures 8, 12, 14 and 16.
+  [[nodiscard]] double total_per_call() const;
+  /// Mean duration of one call — Figure 10.
+  [[nodiscard]] double call_duration_per_call() const;
+  /// Mean migration time per call — Figure 11.
+  [[nodiscard]] double migration_per_call() const;
+
+  [[nodiscard]] stats::ConfidenceInterval total_interval() const;
+
+  /// Quantiles of individual call durations (tail latency: blocked calls
+  /// show up here long before they move the mean).
+  [[nodiscard]] double call_duration_quantile(double q) const;
+  [[nodiscard]] const stats::Histogram& call_histogram() const {
+    return call_hist_;
+  }
+  [[nodiscard]] std::uint64_t blocks() const { return blocks_; }
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+  [[nodiscard]] std::uint64_t discarded_blocks() const { return discarded_; }
+  [[nodiscard]] const stats::StoppingRule& rule() const { return rule_; }
+
+private:
+  sim::Engine* engine_;
+  stats::StoppingRule rule_;
+  sim::SimTime warmup_time_;
+  stats::RatioBatchMeans total_;
+  stats::RatioBatchMeans call_;
+  stats::RatioBatchMeans migration_;
+  stats::Histogram call_hist_{0.0, 60.0, 240};
+  std::uint64_t blocks_ = 0;
+  std::uint64_t calls_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace omig::core

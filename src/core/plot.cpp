@@ -1,0 +1,125 @@
+#include "core/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::core {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+}
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_{width}, height_{height} {
+  OMIG_REQUIRE(width >= 8 && height >= 4, "plot canvas too small");
+}
+
+void AsciiPlot::add_series(std::string label,
+                           std::vector<std::pair<double, double>> points) {
+  const char glyph = kGlyphs[series_.size() % std::size(kGlyphs)];
+  series_.push_back(Series{std::move(label), std::move(points), glyph});
+}
+
+std::string AsciiPlot::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  std::ostringstream os;
+  if (!std::isfinite(xmin)) {
+    os << "(empty plot)\n";
+    return os.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+  // Anchor y at 0 when everything is non-negative and near it: the paper's
+  // figures all start at 0.
+  if (ymin > 0.0 && ymin < 0.5 * ymax) ymin = 0.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  auto col = [&](double x) {
+    return static_cast<std::size_t>(std::lround(
+        (x - xmin) / (xmax - xmin) * static_cast<double>(width_ - 1)));
+  };
+  auto row = [&](double y) {
+    const auto r = static_cast<std::size_t>(std::lround(
+        (y - ymin) / (ymax - ymin) * static_cast<double>(height_ - 1)));
+    return height_ - 1 - r;  // row 0 is the top
+  };
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      canvas[row(y)][col(x)] = s.glyph;
+    }
+  }
+
+  const int label_width = 9;
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double y =
+        ymax - (ymax - ymin) * static_cast<double>(r) /
+                   static_cast<double>(height_ - 1);
+    if (r == 0 || r == height_ - 1 || r == height_ / 2) {
+      os << std::setw(label_width) << std::fixed << std::setprecision(2)
+         << y;
+    } else {
+      os << std::string(label_width, ' ');
+    }
+    os << " |" << canvas[r] << '\n';
+  }
+  os << std::string(label_width + 1, ' ') << '+'
+     << std::string(width_, '-') << '\n';
+  std::ostringstream xs;
+  xs << std::fixed << std::setprecision(1) << xmin;
+  std::ostringstream xe;
+  xe << std::fixed << std::setprecision(1) << xmax;
+  os << std::string(label_width + 2, ' ') << xs.str()
+     << std::string(width_ > xs.str().size() + xe.str().size()
+                        ? width_ - xs.str().size() - xe.str().size()
+                        : 1,
+                    ' ')
+     << xe.str() << '\n';
+  for (const Series& s : series_) {
+    os << std::string(label_width + 2, ' ') << s.glyph << " = " << s.label
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string plot_sweep(const std::vector<SweepVariant>& variants,
+                       const std::vector<SweepPoint>& points, Metric metric,
+                       std::size_t width, std::size_t height) {
+  AsciiPlot plot{width, height};
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::vector<std::pair<double, double>> series;
+    series.reserve(points.size());
+    for (const SweepPoint& p : points) {
+      double y = 0.0;
+      switch (metric) {
+        case Metric::TotalPerCall:
+          y = p.results[v].total_per_call;
+          break;
+        case Metric::CallDuration:
+          y = p.results[v].call_duration;
+          break;
+        case Metric::MigrationPerCall:
+          y = p.results[v].migration_per_call;
+          break;
+      }
+      series.emplace_back(p.x, y);
+    }
+    plot.add_series(variants[v].label, std::move(series));
+  }
+  return plot.render();
+}
+
+}  // namespace omig::core

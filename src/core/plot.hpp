@@ -1,0 +1,50 @@
+// ASCII line plots for the benchmark harness.
+//
+// The paper's evaluation is figures; the benches print the same series as
+// tables *and* as a terminal plot so the shape (who wins, where curves
+// cross) is visible directly in bench_output.txt.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace omig::core {
+
+/// A fixed-size character canvas with auto-scaled axes. Series are drawn
+/// in order with per-series glyphs; later series overwrite earlier ones at
+/// collisions.
+class AsciiPlot {
+public:
+  explicit AsciiPlot(std::size_t width = 64, std::size_t height = 18);
+
+  /// Adds one series. Points need not be sorted; the plot only places
+  /// markers (no interpolation), which is honest for sparse sweeps.
+  void add_series(std::string label,
+                  std::vector<std::pair<double, double>> points);
+
+  /// Renders the canvas with y-axis labels, an x-axis ruler, and a legend.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+
+private:
+  struct Series {
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+    char glyph;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Series> series_;
+};
+
+/// Convenience: plot a sweep's metric, one series per variant.
+std::string plot_sweep(const std::vector<SweepVariant>& variants,
+                       const std::vector<SweepPoint>& points, Metric metric,
+                       std::size_t width = 64, std::size_t height = 18);
+
+}  // namespace omig::core

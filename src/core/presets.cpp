@@ -1,0 +1,71 @@
+#include "core/presets.hpp"
+
+namespace omig::core {
+
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.stopping = stopping_rule_from_env();
+  cfg.warmup_time = 500.0;
+  return cfg;
+}
+
+}  // namespace
+
+workload::WorkloadParams table1_defaults() {
+  workload::WorkloadParams p;
+  p.nodes = 3;
+  p.clients = 3;
+  p.servers1 = 3;
+  p.servers2 = 0;
+  p.migration_duration = 6.0;
+  p.mean_calls = 8.0;
+  p.mean_intercall = 1.0;
+  p.mean_interblock = 30.0;
+  return p;
+}
+
+ExperimentConfig fig8_config(double mean_interblock,
+                             migration::PolicyKind policy) {
+  ExperimentConfig cfg = base_config();
+  cfg.workload = table1_defaults();
+  cfg.workload.mean_interblock = mean_interblock;
+  cfg.policy = policy;
+  return cfg;
+}
+
+ExperimentConfig fig12_config(int clients, migration::PolicyKind policy) {
+  ExperimentConfig cfg = base_config();
+  cfg.workload = table1_defaults();
+  cfg.workload.nodes = 27;
+  cfg.workload.clients = clients;
+  cfg.policy = policy;
+  return cfg;
+}
+
+ExperimentConfig fig14_config(int clients, migration::PolicyKind policy) {
+  ExperimentConfig cfg = base_config();
+  cfg.workload = table1_defaults();
+  cfg.workload.nodes = 3;
+  cfg.workload.clients = clients;
+  cfg.policy = policy;
+  return cfg;
+}
+
+ExperimentConfig fig16_config(int clients, migration::PolicyKind policy,
+                              migration::AttachTransitivity transitivity) {
+  ExperimentConfig cfg = base_config();
+  cfg.workload = table1_defaults();
+  cfg.workload.nodes = 24;
+  cfg.workload.clients = clients;
+  cfg.workload.servers1 = 6;
+  cfg.workload.servers2 = 6;
+  cfg.workload.mean_calls = 6.0;
+  cfg.workload.working_set_size = 2;
+  cfg.policy = policy;
+  cfg.transitivity = transitivity;
+  return cfg;
+}
+
+}  // namespace omig::core

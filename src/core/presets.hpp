@@ -1,0 +1,31 @@
+// Per-figure experiment presets (the parameter boxes of Figures 9, 13, 15
+// and 17 in the paper).
+#pragma once
+
+#include "core/experiment.hpp"
+
+namespace omig::core {
+
+/// Figures 8/10/11 (parameters of Figure 9): D=3, C=3, S1=3, S2=0, M=6,
+/// N~exp(8), t_i~exp(1); x-axis is the mean distance t_m between usages.
+ExperimentConfig fig8_config(double mean_interblock,
+                             migration::PolicyKind policy);
+
+/// Figure 12 (parameters of Figure 13): D=27, S1=3, S2=0, M=6, N~exp(8),
+/// t_i~exp(1), t_m~exp(30); x-axis is the number of clients.
+ExperimentConfig fig12_config(int clients, migration::PolicyKind policy);
+
+/// Figure 14 (parameters of Figure 15): D=3, S1=3, S2=0, M=6, N~exp(8),
+/// t_i~exp(1), t_m~exp(30); x-axis is the number of clients. Meant for the
+/// placement family (conservative / comparing / comparing+reinstantiation).
+ExperimentConfig fig14_config(int clients, migration::PolicyKind policy);
+
+/// Figure 16 (parameters of Figure 17): D=24, S1=6, S2=6, M=6, N~exp(6),
+/// t_i~exp(1), t_m~exp(30); x-axis is the number of clients.
+ExperimentConfig fig16_config(int clients, migration::PolicyKind policy,
+                              migration::AttachTransitivity transitivity);
+
+/// Table 1 defaults: the base parameter set shared by all presets.
+workload::WorkloadParams table1_defaults();
+
+}  // namespace omig::core

@@ -1,0 +1,93 @@
+#include "core/sweep.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace omig::core {
+
+const char* to_string(Metric metric) {
+  switch (metric) {
+    case Metric::TotalPerCall:
+      return "mean communication-time per call";
+    case Metric::CallDuration:
+      return "mean duration of one call";
+    case Metric::MigrationPerCall:
+      return "mean migration-time per call";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double pick(const ExperimentResult& r, Metric metric) {
+  switch (metric) {
+    case Metric::TotalPerCall:
+      return r.total_per_call;
+    case Metric::CallDuration:
+      return r.call_duration;
+    case Metric::MigrationPerCall:
+      return r.migration_per_call;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const std::vector<SweepVariant>& variants,
+                                  std::ostream* progress) {
+  OMIG_REQUIRE(!variants.empty(), "sweep needs at least one variant");
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (double x : xs) {
+    SweepPoint point;
+    point.x = x;
+    for (const auto& variant : variants) {
+      const ExperimentConfig cfg = variant.make_config(x);
+      const ExperimentResult r = run_experiment(cfg);
+      if (progress != nullptr) {
+        *progress << "  x=" << x << "  " << variant.label << ": total/call="
+                  << r.total_per_call << "  (blocks=" << r.blocks
+                  << ", ci=" << r.ci_relative * 100.0 << "%)\n";
+        progress->flush();
+      }
+      point.results.push_back(r);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+TextTable sweep_table(const std::string& x_label,
+                      const std::vector<SweepVariant>& variants,
+                      const std::vector<SweepPoint>& points, Metric metric,
+                      int precision) {
+  std::vector<std::string> headers{x_label};
+  for (const auto& v : variants) headers.push_back(v.label);
+  TextTable table{std::move(headers)};
+  for (const auto& point : points) {
+    std::vector<double> values;
+    values.reserve(point.results.size());
+    for (const auto& r : point.results) values.push_back(pick(r, metric));
+    table.add_numeric_row(point.x, values, precision);
+  }
+  return table;
+}
+
+std::vector<double> linspace(double lo, double hi, int count) {
+  OMIG_REQUIRE(count >= 1, "linspace needs at least one point");
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    xs.push_back(lo);
+    return xs;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    xs.push_back(lo + step * static_cast<double>(i));
+  }
+  return xs;
+}
+
+}  // namespace omig::core

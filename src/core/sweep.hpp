@@ -1,0 +1,50 @@
+// Parameter sweeps: run a family of experiments over an x-axis and emit the
+// paper-style series (one column per policy/variant).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/table.hpp"
+
+namespace omig::core {
+
+/// One curve of a figure: a label plus a config generator over the x-axis.
+struct SweepVariant {
+  std::string label;
+  std::function<ExperimentConfig(double x)> make_config;
+};
+
+/// One measured x position: the results of every variant at that x.
+struct SweepPoint {
+  double x = 0.0;
+  std::vector<ExperimentResult> results;
+};
+
+/// Which per-call metric a table reports.
+enum class Metric {
+  TotalPerCall,      ///< Figures 8 / 12 / 14 / 16
+  CallDuration,      ///< Figure 10
+  MigrationPerCall,  ///< Figure 11
+};
+
+[[nodiscard]] const char* to_string(Metric metric);
+
+/// Runs every variant at every x. If `progress` is non-null, one line per
+/// point is written to it (x, label, value, blocks — useful on long runs).
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const std::vector<SweepVariant>& variants,
+                                  std::ostream* progress = nullptr);
+
+/// Formats sweep output as a table: x column + one column per variant.
+TextTable sweep_table(const std::string& x_label,
+                      const std::vector<SweepVariant>& variants,
+                      const std::vector<SweepPoint>& points, Metric metric,
+                      int precision = 4);
+
+/// Evenly spaced helper (inclusive of both ends when possible).
+std::vector<double> linspace(double lo, double hi, int count);
+
+}  // namespace omig::core

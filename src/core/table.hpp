@@ -1,0 +1,37 @@
+// Aligned text tables and CSV output for the benchmark harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omig::core {
+
+/// Builds a column-aligned text table (and CSV) like the series the paper's
+/// figures plot: one row per x value, one column per policy/variant.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row of already-formatted cells; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell from `x`, remaining cells from `values`,
+  /// formatted with `precision` digits after the decimal point.
+  void add_numeric_row(double x, const std::vector<double>& values,
+                       int precision = 4);
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by the benches).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace omig::core

@@ -1,0 +1,61 @@
+#include "migration/alliance.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::migration {
+
+AllianceId AllianceRegistry::create(std::string name) {
+  const AllianceId id{static_cast<AllianceId::value_type>(alliances_.size())};
+  alliances_.push_back(Entry{std::move(name), {}});
+  return id;
+}
+
+const AllianceRegistry::Entry& AllianceRegistry::entry(AllianceId id) const {
+  OMIG_REQUIRE(id.valid() && id.value() < alliances_.size(),
+               "unknown alliance id");
+  return alliances_[id.value()];
+}
+
+AllianceRegistry::Entry& AllianceRegistry::entry(AllianceId id) {
+  OMIG_REQUIRE(id.valid() && id.value() < alliances_.size(),
+               "unknown alliance id");
+  return alliances_[id.value()];
+}
+
+const std::string& AllianceRegistry::name(AllianceId id) const {
+  return entry(id).name;
+}
+
+void AllianceRegistry::add_member(AllianceId id, ObjectId obj) {
+  auto& members = entry(id).members;
+  if (std::find(members.begin(), members.end(), obj) == members.end()) {
+    members.push_back(obj);
+  }
+}
+
+void AllianceRegistry::remove_member(AllianceId id, ObjectId obj) {
+  auto& members = entry(id).members;
+  std::erase(members, obj);
+}
+
+bool AllianceRegistry::is_member(AllianceId id, ObjectId obj) const {
+  const auto& members = entry(id).members;
+  return std::find(members.begin(), members.end(), obj) != members.end();
+}
+
+const std::vector<ObjectId>& AllianceRegistry::members(AllianceId id) const {
+  return entry(id).members;
+}
+
+std::vector<AllianceId> AllianceRegistry::alliances_of(ObjectId obj) const {
+  std::vector<AllianceId> out;
+  for (std::size_t i = 0; i < alliances_.size(); ++i) {
+    const AllianceId id{static_cast<AllianceId::value_type>(i)};
+    if (is_member(id, obj)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace omig::migration

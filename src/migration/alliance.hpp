@@ -1,0 +1,49 @@
+// Alliances (Section 3.4): dynamic relationships between cooperating
+// objects that make cooperation contexts explicit. An object may belong to
+// several alliances; a migration primitive can be unambiguously related to
+// one alliance, which restricts the transitive closure of attachments that
+// it drags along (A-transitive attachment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "objsys/ids.hpp"
+
+namespace omig::migration {
+
+using objsys::AllianceId;
+using objsys::ObjectId;
+
+/// Registry of alliances and their memberships.
+class AllianceRegistry {
+public:
+  /// Creates a new (empty) alliance.
+  AllianceId create(std::string name);
+
+  [[nodiscard]] std::size_t count() const { return alliances_.size(); }
+  [[nodiscard]] const std::string& name(AllianceId id) const;
+
+  /// Adds an object to an alliance (idempotent).
+  void add_member(AllianceId id, ObjectId obj);
+  /// Removes an object from an alliance (no-op if absent).
+  void remove_member(AllianceId id, ObjectId obj);
+
+  [[nodiscard]] bool is_member(AllianceId id, ObjectId obj) const;
+  [[nodiscard]] const std::vector<ObjectId>& members(AllianceId id) const;
+  /// All alliances `obj` belongs to (objects can be members of several).
+  [[nodiscard]] std::vector<AllianceId> alliances_of(ObjectId obj) const;
+
+private:
+  struct Entry {
+    std::string name;
+    std::vector<ObjectId> members;
+  };
+
+  [[nodiscard]] const Entry& entry(AllianceId id) const;
+  [[nodiscard]] Entry& entry(AllianceId id);
+
+  std::vector<Entry> alliances_;
+};
+
+}  // namespace omig::migration

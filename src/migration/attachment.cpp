@@ -1,0 +1,105 @@
+#include "migration/attachment.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace omig::migration {
+
+bool AttachmentGraph::attach(ObjectId a, ObjectId b, AllianceId ctx) {
+  OMIG_REQUIRE(a.valid() && b.valid(), "attach needs valid object ids");
+  if (a == b) return false;
+  // Duplicate (same pair, same context) — ignored.
+  for (const Edge& e : adj_[a]) {
+    if (e.peer == b && e.ctx == ctx) return false;
+  }
+  if (mode_ == Mode::Exclusive && (degree(a) > 0 || degree(b) > 0)) {
+    // First come, first served: additional attachments are ignored
+    // (Section 3.4, "exclusive attachments").
+    return false;
+  }
+  adj_[a].push_back(Edge{b, ctx});
+  adj_[b].push_back(Edge{a, ctx});
+  edges_ += 2;
+  return true;
+}
+
+bool AttachmentGraph::detach(ObjectId a, ObjectId b) {
+  auto erase_all = [&](ObjectId from, ObjectId peer) {
+    auto it = adj_.find(from);
+    if (it == adj_.end()) return std::size_t{0};
+    const auto before = it->second.size();
+    std::erase_if(it->second, [&](const Edge& e) { return e.peer == peer; });
+    return before - it->second.size();
+  };
+  const std::size_t removed = erase_all(a, b);
+  erase_all(b, a);
+  edges_ -= 2 * removed;
+  return removed > 0;
+}
+
+bool AttachmentGraph::detach(ObjectId a, ObjectId b, AllianceId ctx) {
+  auto erase_one = [&](ObjectId from, ObjectId peer) {
+    auto it = adj_.find(from);
+    if (it == adj_.end()) return false;
+    auto pos = std::find_if(it->second.begin(), it->second.end(),
+                            [&](const Edge& e) {
+                              return e.peer == peer && e.ctx == ctx;
+                            });
+    if (pos == it->second.end()) return false;
+    it->second.erase(pos);
+    return true;
+  };
+  if (!erase_one(a, b)) return false;
+  const bool other = erase_one(b, a);
+  OMIG_ASSERT(other);
+  edges_ -= 2;
+  return true;
+}
+
+bool AttachmentGraph::attached(ObjectId a, ObjectId b) const {
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const Edge& e) { return e.peer == b; });
+}
+
+std::size_t AttachmentGraph::degree(ObjectId a) const {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? 0 : it->second.size();
+}
+
+std::vector<ObjectId> AttachmentGraph::closure(ObjectId start) const {
+  return bfs(start, /*restrict_ctx=*/false, AllianceId::invalid());
+}
+
+std::vector<ObjectId> AttachmentGraph::closure_in(ObjectId start,
+                                                  AllianceId ctx) const {
+  return bfs(start, /*restrict_ctx=*/true, ctx);
+}
+
+std::vector<ObjectId> AttachmentGraph::bfs(ObjectId start, bool restrict_ctx,
+                                           AllianceId ctx) const {
+  std::vector<ObjectId> out;
+  std::unordered_set<ObjectId> seen;
+  std::deque<ObjectId> frontier;
+  seen.insert(start);
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const ObjectId cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    auto it = adj_.find(cur);
+    if (it == adj_.end()) continue;
+    for (const Edge& e : it->second) {
+      if (restrict_ctx && e.ctx != ctx) continue;
+      if (seen.insert(e.peer).second) frontier.push_back(e.peer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,220 @@
+#include "migration/manager.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::migration {
+
+MigrationManager::MigrationManager(sim::Engine& engine,
+                                   ObjectRegistry& registry,
+                                   const net::LatencyModel& latency,
+                                   sim::Rng& rng,
+                                   AttachmentGraph& attachments,
+                                   AllianceRegistry& alliances,
+                                   ManagerOptions options)
+    : engine_{&engine}, registry_{&registry}, latency_{&latency}, rng_{&rng},
+      attachments_{&attachments}, alliances_{&alliances}, options_{options} {
+  OMIG_REQUIRE(options.migration_duration >= 0.0,
+               "migration duration must be non-negative");
+}
+
+MoveBlock MigrationManager::new_block(objsys::NodeId origin, ObjectId target,
+                                      AllianceId alliance, bool visit) {
+  MoveBlock blk;
+  blk.id = objsys::BlockId{next_block_++};
+  blk.origin = origin;
+  blk.target = target;
+  blk.alliance = alliance;
+  blk.visit = visit;
+  return blk;
+}
+
+std::vector<ObjectId> MigrationManager::migration_cluster(
+    ObjectId obj, AllianceId alliance) const {
+  if (options_.transitivity == AttachTransitivity::ATransitive &&
+      alliance.valid()) {
+    return attachments_->closure_in(obj, alliance);
+  }
+  return attachments_->closure(obj);
+}
+
+void MigrationManager::trace_event(trace::EventKind kind, ObjectId object,
+                                   objsys::NodeId node,
+                                   objsys::BlockId block) {
+  if (trace_ == nullptr) return;
+  trace_->record(trace::Event{engine_->now(), kind, object, node, block});
+}
+
+sim::Task MigrationManager::control_message(objsys::NodeId from,
+                                            ObjectId about, MoveBlock* blk) {
+  ++control_;
+  trace_event(trace::EventKind::MoveRequest, about, from,
+              blk ? blk->id : objsys::BlockId::invalid());
+  const objsys::NodeId to = registry_->location(about);
+  const sim::SimTime d = latency_->sample(*rng_, from.value(), to.value());
+  charge(blk, d);
+  co_await engine_->delay(d);
+}
+
+sim::Task MigrationManager::control_reply(ObjectId about, objsys::NodeId to,
+                                          MoveBlock* blk) {
+  ++control_;
+  const objsys::NodeId from = registry_->location(about);
+  const sim::SimTime d = latency_->sample(*rng_, from.value(), to.value());
+  charge(blk, d);
+  co_await engine_->delay(d);
+}
+
+sim::Task MigrationManager::transfer(std::vector<ObjectId> objs,
+                                     objsys::NodeId dest, MoveBlock* blk) {
+  // Wait until no member is in transit under someone else's migration.
+  for (;;) {
+    ObjectId busy = ObjectId::invalid();
+    for (ObjectId o : objs) {
+      if (registry_->in_transit(o)) {
+        busy = o;
+        break;
+      }
+    }
+    if (!busy.valid()) break;
+    co_await registry_->transit_gate(busy).wait();
+  }
+
+  // Partition members: mutable objects transit; immutable ("static")
+  // objects are copied instead — the original stays operational, callers
+  // never block, and conflicting moves commute (paper Section 1).
+  std::vector<ObjectId> moving;
+  std::vector<ObjectId> copying;
+  moving.reserve(objs.size());
+  for (ObjectId o : objs) {
+    const auto& desc = registry_->descriptor(o);
+    if (desc.immutable) {
+      if (desc.mobile && !registry_->is_fixed(o) &&
+          !registry_->has_replica(o, dest)) {
+        copying.push_back(o);
+      }
+    } else if (registry_->is_movable(o) && registry_->location(o) != dest) {
+      moving.push_back(o);
+    }
+  }
+  if (moving.empty() && copying.empty()) co_return;
+
+  sim::SimTime duration = 0.0;
+  auto accumulate = [&](ObjectId o) {
+    sim::SimTime d =
+        options_.migration_duration * registry_->descriptor(o).size;
+    if (service_ != nullptr) {
+      d += service_->migration_overhead(registry_->location(o), dest);
+    }
+    duration = options_.transfer == ClusterTransfer::Parallel
+                   ? std::max(duration, d)
+                   : duration + d;
+  };
+  for (ObjectId o : moving) accumulate(o);
+  for (ObjectId o : copying) accumulate(o);
+
+  ++transfers_;
+  const objsys::BlockId blk_id = blk ? blk->id : objsys::BlockId::invalid();
+  for (ObjectId o : moving) {
+    if (blk) {
+      blk->moved.push_back(o);
+      blk->origins_of_moved.push_back(registry_->location(o));
+    }
+    registry_->begin_transit(o);
+    trace_event(trace::EventKind::MigrationStart, o, dest, blk_id);
+  }
+  charge(blk, duration);
+  co_await engine_->delay(duration);
+  for (ObjectId o : moving) {
+    registry_->finish_transit(o, dest);
+    trace_event(trace::EventKind::MigrationEnd, o, dest, blk_id);
+  }
+  for (ObjectId o : copying) {
+    registry_->add_replica(o, dest);
+    trace_event(trace::EventKind::ReplicaCreated, o, dest, blk_id);
+  }
+}
+
+bool MigrationManager::is_locked(ObjectId obj) const {
+  return locks_.contains(obj);
+}
+
+objsys::BlockId MigrationManager::lock_owner(ObjectId obj) const {
+  auto it = locks_.find(obj);
+  return it == locks_.end() ? objsys::BlockId::invalid() : it->second;
+}
+
+bool MigrationManager::try_lock(ObjectId obj, objsys::BlockId blk) {
+  auto [it, inserted] = locks_.try_emplace(obj, blk);
+  if (inserted) {
+    trace_event(trace::EventKind::Lock, obj, objsys::NodeId::invalid(), blk);
+  }
+  return inserted || it->second == blk;
+}
+
+void MigrationManager::unlock(ObjectId obj, objsys::BlockId blk) {
+  auto it = locks_.find(obj);
+  if (it != locks_.end() && it->second == blk) {
+    locks_.erase(it);
+    trace_event(trace::EventKind::Unlock, obj, objsys::NodeId::invalid(),
+                blk);
+  }
+}
+
+void MigrationManager::note_move(ObjectId obj, objsys::NodeId node) {
+  ++open_moves_[obj][node];
+}
+
+void MigrationManager::note_end(ObjectId obj, objsys::NodeId node) {
+  auto it = open_moves_.find(obj);
+  OMIG_REQUIRE(it != open_moves_.end(), "end without matching move");
+  auto nit = it->second.find(node);
+  OMIG_REQUIRE(nit != it->second.end() && nit->second > 0,
+               "end without matching move at this node");
+  if (--nit->second == 0) it->second.erase(nit);
+}
+
+int MigrationManager::open_moves(ObjectId obj, objsys::NodeId node) const {
+  auto it = open_moves_.find(obj);
+  if (it == open_moves_.end()) return 0;
+  auto nit = it->second.find(node);
+  return nit == it->second.end() ? 0 : nit->second;
+}
+
+objsys::NodeId MigrationManager::strict_majority_node(ObjectId obj) const {
+  auto it = open_moves_.find(obj);
+  if (it == open_moves_.end()) return objsys::NodeId::invalid();
+  objsys::NodeId best = objsys::NodeId::invalid();
+  int best_count = 0;
+  bool tie = false;
+  for (const auto& [node, count] : it->second) {
+    if (count > best_count) {
+      best = node;
+      best_count = count;
+      tie = false;
+    } else if (count == best_count && count > 0) {
+      tie = true;
+    }
+  }
+  if (tie || best_count < options_.clear_majority_minimum) {
+    return objsys::NodeId::invalid();
+  }
+  return best;
+}
+
+void MigrationManager::set_background_cost_sink(
+    std::function<void(double)> sink) {
+  background_sink_ = std::move(sink);
+}
+
+void MigrationManager::charge(MoveBlock* blk, double cost) {
+  if (cost <= 0.0) return;
+  if (blk != nullptr) {
+    blk->migration_cost += cost;
+  } else if (background_sink_) {
+    background_sink_(cost);
+  }
+}
+
+}  // namespace omig::migration

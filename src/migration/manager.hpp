@@ -1,0 +1,161 @@
+// Migration manager: the run-time support of Section 3.1.
+//
+// Migration requests are interpreted at the node of the callee instead of
+// being executed blindly — this is where the place-policy and the dynamic
+// policies hook in. The manager owns the shared mechanics all policies use:
+// computing the attachment cluster that migrates with an object, performing
+// the physical transfer (closing transit gates, advancing time by M,
+// relocating), placement locks, and the per-node open-move bookkeeping used
+// by the dynamic policies of Section 3.3.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "migration/alliance.hpp"
+#include "migration/attachment.hpp"
+#include "migration/block.hpp"
+#include "net/latency.hpp"
+#include "objsys/location_service.hpp"
+#include "objsys/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "trace/log.hpp"
+
+namespace omig::migration {
+
+using objsys::ObjectRegistry;
+
+/// Which attachment closure a migration drags along.
+enum class AttachTransitivity {
+  Unrestricted,  ///< conventional: the whole connected component
+  ATransitive,   ///< restricted to the edges of the block's alliance
+};
+
+/// How a multi-object cluster is physically transferred.
+enum class ClusterTransfer {
+  Parallel,  ///< all members in flight concurrently: duration = max(M_i)
+  Serial,    ///< one after another: duration = sum(M_i)
+};
+
+struct ManagerOptions {
+  /// Migration duration per unit of object size (paper: M = 6, size 1).
+  double migration_duration = 6.0;
+  AttachTransitivity transitivity = AttachTransitivity::Unrestricted;
+  ClusterTransfer transfer = ClusterTransfer::Parallel;
+  /// Minimum open-move count for a node to hold a "clear majority"
+  /// (Section 4.3's reinstantiation trigger). The paper does not quantify
+  /// "clear"; 2 avoids ping-ponging the object after every end-request
+  /// towards whichever single block happens to be open.
+  int clear_majority_minimum = 2;
+};
+
+class MigrationManager {
+public:
+  MigrationManager(sim::Engine& engine, ObjectRegistry& registry,
+                   const net::LatencyModel& latency, sim::Rng& rng,
+                   AttachmentGraph& attachments, AllianceRegistry& alliances,
+                   ManagerOptions options);
+
+  [[nodiscard]] const ManagerOptions& options() const { return options_; }
+  [[nodiscard]] ObjectRegistry& registry() { return *registry_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] AttachmentGraph& attachments() { return *attachments_; }
+  [[nodiscard]] AllianceRegistry& alliances() { return *alliances_; }
+
+  /// Creates a fresh move-block context.
+  MoveBlock new_block(objsys::NodeId origin, ObjectId target,
+                      AllianceId alliance = AllianceId::invalid(),
+                      bool visit = false);
+
+  /// The set of objects that migrates together with `obj` under the
+  /// configured transitivity, given the block's alliance context.
+  [[nodiscard]] std::vector<ObjectId> migration_cluster(
+      ObjectId obj, AllianceId alliance) const;
+
+  /// One-way control message from `from` to the *current* location of
+  /// `about` (e.g. a move request). Charged to `blk` (may be null).
+  sim::Task control_message(objsys::NodeId from, ObjectId about,
+                            MoveBlock* blk);
+
+  /// One-way control message from the current location of `about` back to
+  /// `to` (e.g. the "locked" indication of the place-policy).
+  sim::Task control_reply(ObjectId about, objsys::NodeId to, MoveBlock* blk);
+
+  /// Physically migrates `objs` to `dest`: waits for members that are in
+  /// transit, drops members that are unmovable or already at `dest`, then
+  /// advances time by the (parallel or serial) transfer duration and
+  /// relocates. Appends the objects actually moved (with their previous
+  /// locations) to blk->moved / blk->origins_of_moved and charges the
+  /// duration to the block (or to the background sink if blk is null).
+  sim::Task transfer(std::vector<ObjectId> objs, objsys::NodeId dest,
+                     MoveBlock* blk);
+
+  // --- placement locks ----------------------------------------------------
+  [[nodiscard]] bool is_locked(ObjectId obj) const;
+  [[nodiscard]] objsys::BlockId lock_owner(ObjectId obj) const;
+  /// Acquires the lock for `blk` if free (or already held by `blk`).
+  bool try_lock(ObjectId obj, objsys::BlockId blk);
+  /// Releases the lock if held by `blk`.
+  void unlock(ObjectId obj, objsys::BlockId blk);
+  [[nodiscard]] std::size_t locked_count() const { return locks_.size(); }
+
+  // --- open-move bookkeeping (dynamic policies, Section 3.3) --------------
+  void note_move(ObjectId obj, objsys::NodeId node);
+  void note_end(ObjectId obj, objsys::NodeId node);
+  [[nodiscard]] int open_moves(ObjectId obj, objsys::NodeId node) const;
+  /// The unique node with strictly the most open moves on `obj` (count >=
+  /// options().clear_majority_minimum), or invalid() on a tie / no such
+  /// node.
+  [[nodiscard]] objsys::NodeId strict_majority_node(ObjectId obj) const;
+
+  /// Sink for migration cost not attributable to any block (reinstantiation
+  /// migrations triggered by end-requests run in the background).
+  void set_background_cost_sink(std::function<void(double)> sink);
+
+  /// Optional location-mechanism cost model: migrations then pay the
+  /// scheme's update overhead (name-server update, immediate-update fan-out).
+  /// Not owned.
+  void set_location_service(objsys::LocationService* service) {
+    service_ = service;
+  }
+
+  /// Optional instrumentation: all protocol events (requests, refusals,
+  /// transits, locks) are recorded into `log`. Not owned; null disables.
+  void set_trace(trace::TraceLog* log) { trace_ = log; }
+
+  /// Emits a trace event if a trace log is attached (used by policies for
+  /// block-begin/end and refusal events).
+  void trace_event(trace::EventKind kind,
+                   ObjectId object = ObjectId::invalid(),
+                   objsys::NodeId node = objsys::NodeId::invalid(),
+                   objsys::BlockId block = objsys::BlockId::invalid());
+
+  [[nodiscard]] std::uint64_t transfers_started() const { return transfers_; }
+  [[nodiscard]] std::uint64_t control_messages() const { return control_; }
+
+private:
+  void charge(MoveBlock* blk, double cost);
+
+  sim::Engine* engine_;
+  ObjectRegistry* registry_;
+  const net::LatencyModel* latency_;
+  sim::Rng* rng_;
+  AttachmentGraph* attachments_;
+  AllianceRegistry* alliances_;
+  ManagerOptions options_;
+
+  std::unordered_map<ObjectId, objsys::BlockId> locks_;
+  std::unordered_map<ObjectId, std::unordered_map<objsys::NodeId, int>>
+      open_moves_;
+  std::function<void(double)> background_sink_;
+  objsys::LocationService* service_ = nullptr;
+  trace::TraceLog* trace_ = nullptr;
+  objsys::BlockId::value_type next_block_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t control_ = 0;
+};
+
+}  // namespace omig::migration

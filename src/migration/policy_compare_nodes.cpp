@@ -1,0 +1,58 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+sim::Task CompareNodesPolicy::begin_block(MoveBlock& blk) {
+  mgr_->trace_event(trace::EventKind::BlockBegin, blk.target, blk.origin,
+                    blk.id);
+  co_await mgr_->control_message(blk.origin, blk.target, &blk);
+
+  auto& reg = mgr_->registry();
+
+  if (reg.descriptor(blk.target).immutable) {
+    // Copies commute; no bookkeeping needed for static objects.
+    auto copy_cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+    co_await mgr_->transfer(std::move(copy_cluster), blk.origin, &blk);
+    blk.counted = false;
+    co_return;
+  }
+  // The run-time system at the object records the move-request and the node
+  // it came from (Section 4.3). The bookkeeping itself is free, as in the
+  // paper: "the necessary overhead to collect the dynamic information has
+  // been completely neglected".
+  mgr_->note_move(blk.target, blk.origin);
+  blk.counted = true;
+
+  if (reg.is_fixed(blk.target) || !reg.descriptor(blk.target).mobile) {
+    mgr_->trace_event(trace::EventKind::MoveRefused, blk.target, blk.origin,
+                      blk.id);
+    co_return;  // as with placement: only the request message is charged
+  }
+
+  const objsys::NodeId host = reg.location(blk.target);
+  if (host == blk.origin) co_return;  // already collocated
+
+  // Keep the object at the node with the most open move-requests: migrate
+  // only if the requester's node now holds strictly more than the host.
+  if (mgr_->open_moves(blk.target, blk.origin) >
+      mgr_->open_moves(blk.target, host)) {
+    auto cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+    co_await mgr_->transfer(std::move(cluster), blk.origin, &blk);
+  } else {
+    mgr_->trace_event(trace::EventKind::MoveRefused, blk.target, blk.origin,
+                      blk.id);
+  }
+  // Otherwise: "a conflicting move-request has initially no effect on the
+  // location" — the caller's calls are forwarded remotely; no dedicated
+  // indication message is charged (same accounting as placement).
+}
+
+void CompareNodesPolicy::end_block(MoveBlock& blk) {
+  mgr_->trace_event(trace::EventKind::BlockEnd, blk.target, blk.origin,
+                    blk.id);
+  if (!blk.counted) return;  // immutable target: no open-move bookkeeping
+  mgr_->note_end(blk.target, blk.origin);
+  if (blk.visit) migrate_back(blk);
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,22 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+void CompareReinstantiatePolicy::end_block(MoveBlock& blk) {
+  CompareNodesPolicy::end_block(blk);
+  // "Objects may not only be migrated on move-requests but also on
+  // end-requests, if an end-request leads to a situation that some other
+  // node holds a clear majority on open move-requests." The migration runs
+  // in the background (no block is waiting on it); its cost goes to the
+  // background sink so the metric still accounts for it.
+  auto& reg = mgr_->registry();
+  if (reg.descriptor(blk.target).immutable) return;
+  const objsys::NodeId best = mgr_->strict_majority_node(blk.target);
+  if (best.valid() && best != reg.location(blk.target) &&
+      !reg.in_transit(blk.target)) {
+    auto cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+    mgr_->engine().spawn(mgr_->transfer(std::move(cluster), best, nullptr));
+  }
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,25 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+sim::Task ConventionalPolicy::begin_block(MoveBlock& blk) {
+  // The move request travels to the current location of the target
+  // (Figure 3); the migration is then executed unconditionally — this is
+  // exactly the behaviour whose worst case costs 2M + (2N+2)·C under
+  // concurrency (Section 3.2).
+  mgr_->trace_event(trace::EventKind::BlockBegin, blk.target, blk.origin,
+                    blk.id);
+  co_await mgr_->control_message(blk.origin, blk.target, &blk);
+  auto cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+  co_await mgr_->transfer(std::move(cluster), blk.origin, &blk);
+}
+
+void ConventionalPolicy::end_block(MoveBlock& blk) {
+  // move(): the end-request carries no obligation. visit(): the objects
+  // migrate back to where they came from.
+  mgr_->trace_event(trace::EventKind::BlockEnd, blk.target, blk.origin,
+                    blk.id);
+  if (blk.visit) migrate_back(blk);
+}
+
+}  // namespace omig::migration

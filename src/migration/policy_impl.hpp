@@ -1,0 +1,87 @@
+// Concrete migration policies (one translation unit each).
+#pragma once
+
+#include "migration/policy.hpp"
+
+namespace omig::migration {
+
+/// Baseline: objects never move; move()/end() are no-ops and cost nothing
+/// ("without migration" curves in the paper's figures).
+class SedentaryPolicy final : public MigrationPolicy {
+public:
+  using MigrationPolicy::MigrationPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Sedentary;
+  }
+  sim::Task begin_block(MoveBlock& blk) override;
+  void end_block(MoveBlock& blk) override;
+};
+
+/// Conventional migration: every move() migrates the target (and its
+/// attachment cluster) to the caller, unconditionally (Section 2.3).
+class ConventionalPolicy final : public MigrationPolicy {
+public:
+  using MigrationPolicy::MigrationPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Conventional;
+  }
+  sim::Task begin_block(MoveBlock& blk) override;
+  void end_block(MoveBlock& blk) override;
+};
+
+/// Transient placement (Section 3.2): the first move() wins and locks the
+/// object in place; conflicting move()s receive a "locked" indication and
+/// fall back to remote invocation; end() unlocks locally.
+class PlacementPolicy final : public MigrationPolicy {
+public:
+  using MigrationPolicy::MigrationPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Placement;
+  }
+  sim::Task begin_block(MoveBlock& blk) override;
+  void end_block(MoveBlock& blk) override;
+};
+
+/// "Comparing the nodes" (Section 4.3): the object is kept at the node that
+/// issued the most still-open move-requests; a conflicting move() migrates
+/// the object only once its node holds strictly more open requests than the
+/// current host node.
+class CompareNodesPolicy : public MigrationPolicy {
+public:
+  using MigrationPolicy::MigrationPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::CompareNodes;
+  }
+  sim::Task begin_block(MoveBlock& blk) override;
+  void end_block(MoveBlock& blk) override;
+};
+
+/// "Comparing and reinstantiation" (Section 4.3): like CompareNodes, but an
+/// end-request that leaves some other node with a clear majority of open
+/// move-requests triggers a (background) migration to that node.
+class CompareReinstantiatePolicy final : public CompareNodesPolicy {
+public:
+  using CompareNodesPolicy::CompareNodesPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::CompareReinstantiate;
+  }
+  void end_block(MoveBlock& blk) override;
+};
+
+/// Beyond-paper goal-conflict policy: interprets move() as a load-sharing
+/// request — the object (and its cluster) migrates to the least-loaded
+/// node, not to the caller. Section 2.2: "the different goals are not
+/// compatible in general … availability calls for distributing objects,
+/// while performance calls for collocating them." Mixing this policy with
+/// placement clients demonstrates exactly that incompatibility.
+class LoadSharePolicy final : public MigrationPolicy {
+public:
+  using MigrationPolicy::MigrationPolicy;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::LoadShare;
+  }
+  sim::Task begin_block(MoveBlock& blk) override;
+  void end_block(MoveBlock& blk) override;
+};
+
+}  // namespace omig::migration

@@ -1,0 +1,27 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+sim::Task LoadSharePolicy::begin_block(MoveBlock& blk) {
+  // The load-sharing component interprets move() against its own goal:
+  // "by moving objects around the system, one can take advantage of
+  // lightly used computers" (Section 2.2). It relocates the target — and
+  // everything attached — to the least-loaded node, which is generally
+  // *not* where the caller lives. In a monolithic system this might be a
+  // deliberate trade; in a non-monolithic one it silently fights every
+  // component that moved the object for communication performance.
+  mgr_->trace_event(trace::EventKind::BlockBegin, blk.target, blk.origin,
+                    blk.id);
+  co_await mgr_->control_message(blk.origin, blk.target, &blk);
+  const objsys::NodeId dest = mgr_->registry().least_loaded_node();
+  auto cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+  co_await mgr_->transfer(std::move(cluster), dest, &blk);
+}
+
+void LoadSharePolicy::end_block(MoveBlock& blk) {
+  mgr_->trace_event(trace::EventKind::BlockEnd, blk.target, blk.origin,
+                    blk.id);
+  if (blk.visit) migrate_back(blk);
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,62 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+sim::Task PlacementPolicy::begin_block(MoveBlock& blk) {
+  mgr_->trace_event(trace::EventKind::BlockBegin, blk.target, blk.origin,
+                    blk.id);
+  // Move request forwarded to the current location of the target, as usual.
+  co_await mgr_->control_message(blk.origin, blk.target, &blk);
+
+  auto& reg = mgr_->registry();
+
+  // Static objects never conflict: "moving a static object simply creates
+  // a copy" (Section 1) — no lock is taken and no refusal can happen.
+  if (reg.descriptor(blk.target).immutable) {
+    auto copy_cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+    co_await mgr_->transfer(std::move(copy_cluster), blk.origin, &blk);
+    co_return;
+  }
+
+  // Interpreted at the object (Section 3.2): if another unfinished move
+  // holds the object — or it is fixed — the move has no effect; the
+  // caller's further invocations are simply forwarded remotely and its
+  // end-request will be ignored. Only the request message is charged —
+  // this matches the paper's M + (2N+1)·C accounting, where a conflicting
+  // move contributes exactly one message (the indication rides back with
+  // the first forwarded call; no dedicated reply is modelled).
+  const bool conflicting =
+      mgr_->is_locked(blk.target) && mgr_->lock_owner(blk.target) != blk.id;
+  if (conflicting || reg.is_fixed(blk.target) ||
+      !reg.descriptor(blk.target).mobile) {
+    mgr_->trace_event(trace::EventKind::MoveRefused, blk.target, blk.origin,
+                      blk.id);
+    blk.lock_held = false;
+    co_return;
+  }
+
+  // Successful move: lock every cluster member we can get (members locked
+  // by a conflicting block stay where they are — partial move), transfer,
+  // and keep the lock until the end-request.
+  auto cluster = mgr_->migration_cluster(blk.target, blk.alliance);
+  for (ObjectId o : cluster) {
+    if (mgr_->try_lock(o, blk.id)) blk.locked.push_back(o);
+  }
+  blk.lock_held = true;
+  // Members that are already local stay locked but need no transfer; the
+  // manager filters those. Locks persist until the end-request.
+  co_await mgr_->transfer(blk.locked, blk.origin, &blk);
+}
+
+void PlacementPolicy::end_block(MoveBlock& blk) {
+  // The end-request is a local operation: either it unlocks (successful
+  // move) or it is simply ignored (failed move) — no remote messages.
+  mgr_->trace_event(trace::EventKind::BlockEnd, blk.target, blk.origin,
+                    blk.id);
+  if (!blk.lock_held) return;
+  for (ObjectId o : blk.locked) mgr_->unlock(o, blk.id);
+  blk.lock_held = false;
+  if (blk.visit) migrate_back(blk);
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,19 @@
+#include "migration/policy_impl.hpp"
+
+namespace omig::migration {
+
+sim::Task SedentaryPolicy::begin_block(MoveBlock& blk) {
+  // "Without migration": no request is sent, nothing moves, nothing is
+  // charged. The block still brackets the N invocations so the metrics are
+  // comparable across policies.
+  mgr_->trace_event(trace::EventKind::BlockBegin, blk.target, blk.origin,
+                    blk.id);
+  co_return;
+}
+
+void SedentaryPolicy::end_block(MoveBlock& blk) {
+  mgr_->trace_event(trace::EventKind::BlockEnd, blk.target, blk.origin,
+                    blk.id);
+}
+
+}  // namespace omig::migration

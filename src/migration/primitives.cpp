@@ -1,0 +1,23 @@
+#include "migration/primitives.hpp"
+
+namespace omig::migration {
+
+sim::Task Primitives::call_with_param(objsys::NodeId caller, ObjectId callee,
+                                      ObjectId param, bool visit) {
+  // Figure 1's call-by-move/call-by-visit: the parameter object is moved
+  // to the *callee* for the duration of the invocation. The move is an
+  // implicit move-block whose validity is exactly the call ("the
+  // programmer tells the system that the cost to migrate the named object
+  // is less than the cost to use the object remotely during the validity
+  // of the move primitive", Section 2.3) — and it is interpreted by the
+  // active policy, so a conflicting move simply leaves the parameter
+  // remote.
+  const objsys::NodeId callee_node = mgr_->registry().location(callee);
+  MoveBlock blk = mgr_->new_block(callee_node, param,
+                                  objsys::AllianceId::invalid(), visit);
+  co_await policy_->begin_block(blk);
+  co_await invoker_->invoke(caller, callee);
+  policy_->end_block(blk);
+}
+
+}  // namespace omig::migration

@@ -1,0 +1,43 @@
+// Message latency model.
+//
+// Paper model (Section 4.1): the network runs well below saturation, object
+// traffic is a small share of total load, and location mechanisms are
+// normalised away — so one one-way message takes an exponentially
+// distributed time with mean 1 regardless of the endpoints. We additionally
+// support a hop-scaled mode for the topology ablation.
+#pragma once
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace omig::net {
+
+/// How the hop count between endpoints affects the message duration.
+enum class LatencyMode {
+  Uniform,    ///< paper default: exp(mean) for any remote pair
+  HopScaled,  ///< exp(mean × hops): each hop adds an exponential stage
+  Fixed,      ///< deterministic `mean` per remote message (analytic tests)
+};
+
+/// Samples one-way message durations.
+class LatencyModel {
+public:
+  /// `mean` is the mean one-way duration between adjacent nodes (paper: 1).
+  LatencyModel(const Topology& topology, LatencyMode mode, double mean = 1.0);
+
+  /// Duration of one message from `from` to `to`; 0 if local.
+  [[nodiscard]] sim::SimTime sample(sim::Rng& rng, std::size_t from,
+                                    std::size_t to) const;
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] LatencyMode mode() const { return mode_; }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+private:
+  const Topology* topology_;
+  LatencyMode mode_;
+  double mean_;
+};
+
+}  // namespace omig::net

@@ -1,0 +1,123 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace omig::net {
+
+int Topology::diameter() const {
+  int d = 0;
+  for (std::size_t a = 0; a < node_count(); ++a) {
+    for (std::size_t b = 0; b < node_count(); ++b) {
+      d = std::max(d, hops(a, b));
+    }
+  }
+  return d;
+}
+
+FullMesh::FullMesh(std::size_t n) : n_{n} {
+  OMIG_REQUIRE(n >= 1, "need at least one node");
+}
+
+int FullMesh::hops(std::size_t from, std::size_t to) const {
+  OMIG_REQUIRE(from < n_ && to < n_, "node index out of range");
+  return from == to ? 0 : 1;
+}
+
+Ring::Ring(std::size_t n) : n_{n} {
+  OMIG_REQUIRE(n >= 1, "need at least one node");
+}
+
+int Ring::hops(std::size_t from, std::size_t to) const {
+  OMIG_REQUIRE(from < n_ && to < n_, "node index out of range");
+  const std::size_t d = from > to ? from - to : to - from;
+  return static_cast<int>(std::min(d, n_ - d));
+}
+
+Star::Star(std::size_t n) : n_{n} {
+  OMIG_REQUIRE(n >= 1, "need at least one node");
+}
+
+int Star::hops(std::size_t from, std::size_t to) const {
+  OMIG_REQUIRE(from < n_ && to < n_, "node index out of range");
+  if (from == to) return 0;
+  if (from == 0 || to == 0) return 1;
+  return 2;
+}
+
+Grid::Grid(std::size_t rows, std::size_t cols) : rows_{rows}, cols_{cols} {
+  OMIG_REQUIRE(rows >= 1 && cols >= 1, "grid must be non-empty");
+}
+
+int Grid::hops(std::size_t from, std::size_t to) const {
+  OMIG_REQUIRE(from < node_count() && to < node_count(),
+               "node index out of range");
+  const auto r1 = static_cast<long>(from / cols_);
+  const auto c1 = static_cast<long>(from % cols_);
+  const auto r2 = static_cast<long>(to / cols_);
+  const auto c2 = static_cast<long>(to % cols_);
+  return static_cast<int>(std::labs(r1 - r2) + std::labs(c1 - c2));
+}
+
+Graph::Graph(std::size_t n,
+             const std::vector<std::pair<std::size_t, std::size_t>>& edges)
+    : n_{n}, dist_(n * n, -1) {
+  OMIG_REQUIRE(n >= 1, "need at least one node");
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (auto [a, b] : edges) {
+    OMIG_REQUIRE(a < n && b < n, "edge endpoint out of range");
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    auto* row = &dist_[s * n];
+    row[s] = 0;
+    std::queue<std::size_t> q;
+    q.push(s);
+    while (!q.empty()) {
+      const std::size_t u = q.front();
+      q.pop();
+      for (std::size_t v : adj[u]) {
+        if (row[v] < 0) {
+          row[v] = row[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      OMIG_REQUIRE(row[v] >= 0, "graph topology must be connected");
+    }
+  }
+}
+
+int Graph::hops(std::size_t from, std::size_t to) const {
+  OMIG_REQUIRE(from < n_ && to < n_, "node index out of range");
+  return dist_[from * n_ + to];
+}
+
+std::unique_ptr<Topology> make_topology(TopologyKind kind, std::size_t nodes) {
+  switch (kind) {
+    case TopologyKind::FullMesh:
+      return std::make_unique<FullMesh>(nodes);
+    case TopologyKind::Ring:
+      return std::make_unique<Ring>(nodes);
+    case TopologyKind::Star:
+      return std::make_unique<Star>(nodes);
+    case TopologyKind::Grid: {
+      // Squarest grid with at least `nodes` cells; extra cells are unused by
+      // callers that only index [0, nodes).
+      auto rows = static_cast<std::size_t>(
+          std::floor(std::sqrt(static_cast<double>(nodes))));
+      rows = std::max<std::size_t>(rows, 1);
+      const std::size_t cols = (nodes + rows - 1) / rows;
+      return std::make_unique<Grid>(rows, cols);
+    }
+  }
+  OMIG_REQUIRE(false, "unknown topology kind");
+  return nullptr;
+}
+
+}  // namespace omig::net

@@ -1,0 +1,103 @@
+// Network topologies.
+//
+// The paper's headline results assume a fully connected network; it reports
+// that "we also performed simulations for other structures, but this had no
+// effects on the results" (Section 4.1). We implement several topologies so
+// this claim is checkable (`bench_ablation_topology`): the latency model can
+// scale the message duration with the hop distance between nodes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omig::net {
+
+/// Abstract network structure over `node_count` nodes; provides the hop
+/// distance between two nodes (1 for neighbours, 0 for a node to itself).
+class Topology {
+public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+  [[nodiscard]] virtual int hops(std::size_t from, std::size_t to) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Largest hop distance between any pair of nodes.
+  [[nodiscard]] int diameter() const;
+};
+
+/// Every node one hop from every other node (the paper's default).
+class FullMesh final : public Topology {
+public:
+  explicit FullMesh(std::size_t n);
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const override;
+  [[nodiscard]] std::string name() const override { return "full-mesh"; }
+
+private:
+  std::size_t n_;
+};
+
+/// Bidirectional ring.
+class Ring final : public Topology {
+public:
+  explicit Ring(std::size_t n);
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const override;
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+private:
+  std::size_t n_;
+};
+
+/// Star: node 0 is the hub; leaves reach each other via the hub.
+class Star final : public Topology {
+public:
+  explicit Star(std::size_t n);
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const override;
+  [[nodiscard]] std::string name() const override { return "star"; }
+
+private:
+  std::size_t n_;
+};
+
+/// 2-D grid (rows × cols), Manhattan distance.
+class Grid final : public Topology {
+public:
+  Grid(std::size_t rows, std::size_t cols);
+  [[nodiscard]] std::size_t node_count() const override {
+    return rows_ * cols_;
+  }
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const override;
+  [[nodiscard]] std::string name() const override { return "grid"; }
+
+private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// Arbitrary undirected graph; hop distances precomputed with BFS.
+class Graph final : public Topology {
+public:
+  /// `edges` are undirected (a, b) pairs over [0, n). The graph must be
+  /// connected (checked).
+  Graph(std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>&
+                           edges);
+  [[nodiscard]] std::size_t node_count() const override { return n_; }
+  [[nodiscard]] int hops(std::size_t from, std::size_t to) const override;
+  [[nodiscard]] std::string name() const override { return "graph"; }
+
+private:
+  std::size_t n_;
+  std::vector<int> dist_;  ///< n × n distance matrix
+};
+
+/// Factory for the topology kinds used by benchmarks.
+enum class TopologyKind { FullMesh, Ring, Star, Grid };
+
+std::unique_ptr<Topology> make_topology(TopologyKind kind, std::size_t nodes);
+
+}  // namespace omig::net

@@ -1,0 +1,22 @@
+// Identifier spaces of the distributed object system.
+#pragma once
+
+#include "util/strong_id.hpp"
+
+namespace omig::objsys {
+
+struct NodeTag {};
+struct ObjectTag {};
+struct AllianceTag {};
+struct BlockTag {};
+
+/// A physical node in the distributed system.
+using NodeId = StrongId<NodeTag>;
+/// A (potentially mobile) object.
+using ObjectId = StrongId<ObjectTag>;
+/// A cooperation context ("alliance", Section 3.4 of the paper).
+using AllianceId = StrongId<AllianceTag>;
+/// One dynamic move-block instance (Figure 2 of the paper).
+using BlockId = StrongId<BlockTag>;
+
+}  // namespace omig::objsys

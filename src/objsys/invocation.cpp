@@ -1,0 +1,86 @@
+#include "objsys/invocation.hpp"
+
+#include "objsys/location_service.hpp"
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+
+Invoker::Invoker(sim::Engine& engine, ObjectRegistry& registry,
+                 const net::LatencyModel& latency, sim::Rng& rng)
+    : engine_{&engine}, registry_{&registry}, latency_{&latency}, rng_{&rng} {}
+
+void Invoker::set_replication(ReplicationMode mode, double copy_duration) {
+  OMIG_REQUIRE(copy_duration >= 0.0, "copy duration must be non-negative");
+  replication_ = mode;
+  copy_duration_ = copy_duration;
+}
+
+sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
+                          InvocationKind kind) {
+  // "When the object migrates at the moment of the invocation, the call is
+  // blocked until the object is operational once again" (Section 4.1).
+  if (registry_->in_transit(callee)) {
+    ++blocked_;
+    while (registry_->in_transit(callee)) {
+      co_await registry_->transit_gate(callee).wait();
+    }
+  }
+  ++invocations_;
+  const bool immutable = registry_->descriptor(callee).immutable;
+  const NodeId loc = registry_->location(callee);
+
+  // Writes to a mutable replicated object invalidate every copy. The
+  // invalidation messages fan out asynchronously — they are counted but do
+  // not delay the writer (the paper's model neglects background load).
+  if (!immutable && kind == InvocationKind::Write) {
+    invalidation_messages_ += registry_->drop_replicas(callee);
+  }
+
+  if (loc == caller) co_return;  // local invocation: negligible
+
+  // A local copy serves the call if the access permits it: always for
+  // immutable ("static") objects, reads only for mutable ones.
+  const bool copy_serves =
+      (immutable || kind == InvocationKind::Read) &&
+      registry_->has_replica(callee, caller);
+  if (copy_serves) {
+    ++replica_hits_;
+    co_return;
+  }
+
+  ++remote_;
+  if (service_ != nullptr) {
+    co_await service_->resolve(caller, callee);
+  }
+  // Call message to the callee, result message back.
+  co_await engine_->delay(
+      latency_->sample(*rng_, caller.value(), loc.value()));
+  co_await engine_->delay(
+      latency_->sample(*rng_, loc.value(), caller.value()));
+
+  // Replicate-on-read: the reply ships the object's state; installing the
+  // local copy costs one state transfer, experienced by the caller.
+  if (!immutable && kind == InvocationKind::Read &&
+      replication_ == ReplicationMode::ReplicateOnRead) {
+    co_await engine_->delay(copy_duration_);
+    // The object may have moved or been written meanwhile; only install a
+    // copy if the state we carried is still current (no write dropped our
+    // in-flight copy — approximated by re-checking the location).
+    if (registry_->location(callee) == loc &&
+        !registry_->in_transit(callee)) {
+      registry_->add_replica(callee, caller);
+    }
+  }
+}
+
+sim::Task Invoker::invoke_from_object(ObjectId caller, ObjectId callee,
+                                      InvocationKind kind) {
+  // An object in transit cannot execute; its outgoing call starts once it
+  // is reinstalled.
+  while (registry_->in_transit(caller)) {
+    co_await registry_->transit_gate(caller).wait();
+  }
+  co_await invoke(registry_->location(caller), callee, kind);
+}
+
+}  // namespace omig::objsys

@@ -1,0 +1,88 @@
+// Synchronous object invocation.
+//
+// Calls are trapped by proxies, linearised and forwarded to the current
+// location of the callee (Section 3.1). In the model this costs one call
+// message plus one result message (each exp(1)); a local invocation is free
+// ("about 4 orders of magnitude below the duration of a remote action").
+// If the callee is in transit, the call blocks until the object is
+// reinstalled — this is the mechanism that inflates call durations under
+// conflicting migration policies.
+#pragma once
+
+#include <cstdint>
+
+#include "net/latency.hpp"
+#include "objsys/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace omig::objsys {
+
+class LocationService;
+
+/// Whether an invocation only observes the callee's state (Read) or
+/// modifies it (Write). The paper's model does not distinguish them; the
+/// distinction powers the outlook's replication mechanism: reads can be
+/// served by a local copy, writes go to the primary and invalidate copies.
+enum class InvocationKind { Read, Write };
+
+/// Replication strategy for *mutable* objects (Section 5 outlook).
+enum class ReplicationMode {
+  None,            ///< paper default: no mutable replicas
+  ReplicateOnRead, ///< a remote read installs a local copy (cost: one
+                   ///< state transfer, charged into the call duration)
+};
+
+/// Executes synchronous invocations against the registry.
+class Invoker {
+public:
+  Invoker(sim::Engine& engine, ObjectRegistry& registry,
+          const net::LatencyModel& latency, sim::Rng& rng);
+
+  /// Optional location-mechanism cost model (paper normalises this away;
+  /// see `LocationService` and the ablation benches). Not owned.
+  void set_location_service(LocationService* service) { service_ = service; }
+
+  /// Configures mutable-object replication (default: None) and the state
+  /// transfer duration a replicate-on-read pays (default: the migration
+  /// duration M — it ships the same state).
+  void set_replication(ReplicationMode mode, double copy_duration);
+
+  /// One synchronous invocation from node `caller` on `callee`. Completes
+  /// when the result message has arrived back at the caller. Writes go to
+  /// the primary and invalidate read replicas; reads may be served by a
+  /// local copy.
+  sim::Task invoke(NodeId caller, ObjectId callee,
+                   InvocationKind kind = InvocationKind::Write);
+
+  /// Nested invocation issued *by* an object (e.g. a first-layer server
+  /// calling into its working set): waits until the calling object is
+  /// operational, then invokes from its current location.
+  sim::Task invoke_from_object(ObjectId caller, ObjectId callee,
+                               InvocationKind kind = InvocationKind::Write);
+
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+  [[nodiscard]] std::uint64_t remote_invocations() const { return remote_; }
+  [[nodiscard]] std::uint64_t blocked_invocations() const { return blocked_; }
+  [[nodiscard]] std::uint64_t replica_hits() const { return replica_hits_; }
+  [[nodiscard]] std::uint64_t invalidation_messages() const {
+    return invalidation_messages_;
+  }
+
+private:
+  sim::Engine* engine_;
+  ObjectRegistry* registry_;
+  const net::LatencyModel* latency_;
+  sim::Rng* rng_;
+  LocationService* service_ = nullptr;
+  ReplicationMode replication_ = ReplicationMode::None;
+  double copy_duration_ = 6.0;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t remote_ = 0;
+  std::uint64_t blocked_ = 0;  ///< calls that had to wait for a migration
+  std::uint64_t replica_hits_ = 0;
+  std::uint64_t invalidation_messages_ = 0;
+};
+
+}  // namespace omig::objsys

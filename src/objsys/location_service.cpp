@@ -1,0 +1,113 @@
+#include "objsys/location_service.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+
+const char* to_string(LocationScheme scheme) {
+  switch (scheme) {
+    case LocationScheme::None:
+      return "none";
+    case LocationScheme::NameServer:
+      return "name-server";
+    case LocationScheme::Forwarding:
+      return "forwarding";
+    case LocationScheme::Broadcast:
+      return "broadcast";
+    case LocationScheme::ImmediateUpdate:
+      return "immediate-update";
+  }
+  return "unknown";
+}
+
+LocationService::LocationService(sim::Engine& engine, ObjectRegistry& registry,
+                                 const net::LatencyModel& latency,
+                                 sim::Rng& rng, LocationScheme scheme,
+                                 NodeId name_server)
+    : engine_{&engine}, registry_{&registry}, latency_{&latency}, rng_{&rng},
+      scheme_{scheme}, name_server_{name_server} {
+  OMIG_REQUIRE(name_server.value() < registry.node_count(),
+               "name server node out of range");
+}
+
+sim::Task LocationService::resolve(NodeId from, ObjectId obj) {
+  switch (scheme_) {
+    case LocationScheme::None:
+    case LocationScheme::ImmediateUpdate:
+      // Location is always current at every node.
+      co_return;
+
+    case LocationScheme::NameServer: {
+      if (from == name_server_) co_return;  // local lookup
+      messages_ += 2;
+      co_await engine_->delay(
+          latency_->sample(*rng_, from.value(), name_server_.value()));
+      co_await engine_->delay(
+          latency_->sample(*rng_, name_server_.value(), from.value()));
+      co_return;
+    }
+
+    case LocationScheme::Broadcast: {
+      // One broadcast query (modelled as a single message duration: all
+      // copies are in flight concurrently) plus the answer from the host.
+      messages_ += 2;
+      const NodeId loc = registry_->location(obj);
+      co_await engine_->delay(
+          latency_->sample(*rng_, from.value(), loc.value()));
+      co_await engine_->delay(
+          latency_->sample(*rng_, loc.value(), from.value()));
+      co_return;
+    }
+
+    case LocationScheme::Forwarding: {
+      // The caller only knows the location it last contacted; the call is
+      // forwarded along the chain of addresses the object left behind.
+      // Each extra chain hop is one extra message duration.
+      const auto& hist = registry_->history(obj);
+      const std::uint64_t k = key(from, obj);
+      auto [it, inserted] = known_.try_emplace(k, std::size_t{0});
+      const std::size_t current = hist.size() - 1;
+      const std::size_t cached = std::min(it->second, current);
+      for (std::size_t i = cached; i < current; ++i) {
+        ++messages_;
+        co_await engine_->delay(latency_->sample(*rng_, hist[i].value(),
+                                                 hist[i + 1].value()));
+      }
+      it->second = current;
+      co_return;
+    }
+  }
+}
+
+sim::SimTime LocationService::migration_overhead(NodeId from, NodeId dest) {
+  switch (scheme_) {
+    case LocationScheme::None:
+    case LocationScheme::Forwarding:
+    case LocationScheme::Broadcast:
+      return 0.0;
+
+    case LocationScheme::NameServer:
+      // One update message to the name server, overlapped with the
+      // transfer; it extends the transit if it is the slower leg.
+      ++messages_;
+      return latency_->sample(*rng_, dest.value(), name_server_.value());
+
+    case LocationScheme::ImmediateUpdate: {
+      // Update messages fan out to every node in parallel; the migration
+      // completes when the slowest update has landed.
+      sim::SimTime worst = 0.0;
+      const std::size_t n = registry_->node_count();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == dest.value()) continue;
+        ++messages_;
+        worst = std::max(worst, latency_->sample(*rng_, from.value(), i));
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace omig::objsys

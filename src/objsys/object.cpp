@@ -1,0 +1,13 @@
+#include "objsys/object.hpp"
+
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+
+void validate(const ObjectDescriptor& desc) {
+  OMIG_REQUIRE(desc.id.valid(), "object id must be valid");
+  OMIG_REQUIRE(desc.home.valid(), "object home node must be valid");
+  OMIG_REQUIRE(desc.size > 0.0, "object size must be positive");
+}
+
+}  // namespace omig::objsys

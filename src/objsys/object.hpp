@@ -1,0 +1,31 @@
+// Object descriptors.
+//
+// Objects in the model are opaque state carriers: they have an identity, a
+// size (which scales migration cost) and a mobility attribute (the paper's
+// permanent type-level "sedentary" property, as opposed to the transient
+// fix()/unfix() runtime state kept by the registry).
+#pragma once
+
+#include <string>
+
+#include "objsys/ids.hpp"
+
+namespace omig::objsys {
+
+/// Static properties of an object. Created once; never changes.
+struct ObjectDescriptor {
+  ObjectId id;
+  std::string name;
+  NodeId home;        ///< node the object is created on
+  double size = 1.0;  ///< scales the migration duration (paper: all 1)
+  bool mobile = true; ///< permanent sedentariness (type attribute)
+  /// Immutable ("static") object: parallel accesses are safe, so "moving a
+  /// static object simply creates a copy" (paper Section 1). Copies never
+  /// conflict and never block callers.
+  bool immutable = false;
+};
+
+/// Validates descriptor fields; throws AssertionError on violations.
+void validate(const ObjectDescriptor& desc);
+
+}  // namespace omig::objsys

@@ -1,0 +1,163 @@
+#include "objsys/registry.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+
+ObjectRegistry::ObjectRegistry(sim::Engine& engine, std::size_t node_count)
+    : engine_{&engine}, node_count_{node_count}, load_(node_count, 0) {
+  OMIG_REQUIRE(node_count >= 1, "need at least one node");
+}
+
+ObjectId ObjectRegistry::create(std::string name, NodeId home, double size,
+                                bool mobile, bool immutable) {
+  OMIG_REQUIRE(home.valid() && home.value() < node_count_,
+               "home node out of range");
+  ObjectDescriptor desc;
+  desc.id = ObjectId{static_cast<ObjectId::value_type>(objects_.size())};
+  desc.name = std::move(name);
+  desc.home = home;
+  desc.size = size;
+  desc.mobile = mobile;
+  desc.immutable = immutable;
+  validate(desc);
+  objects_.emplace_back(*engine_, std::move(desc));
+  ++load_[objects_.back().location.value()];
+  return objects_.back().desc.id;
+}
+
+ObjectRegistry::Entry& ObjectRegistry::entry(ObjectId id) {
+  OMIG_REQUIRE(id.valid() && id.value() < objects_.size(),
+               "unknown object id");
+  return objects_[id.value()];
+}
+
+const ObjectRegistry::Entry& ObjectRegistry::entry(ObjectId id) const {
+  OMIG_REQUIRE(id.valid() && id.value() < objects_.size(),
+               "unknown object id");
+  return objects_[id.value()];
+}
+
+const ObjectDescriptor& ObjectRegistry::descriptor(ObjectId id) const {
+  return entry(id).desc;
+}
+
+NodeId ObjectRegistry::location(ObjectId id) const {
+  return entry(id).location;
+}
+
+bool ObjectRegistry::is_resident(ObjectId id, NodeId node) const {
+  return entry(id).location == node;
+}
+
+void ObjectRegistry::fix(ObjectId id) { entry(id).fixed = true; }
+
+void ObjectRegistry::unfix(ObjectId id) { entry(id).fixed = false; }
+
+void ObjectRegistry::refix(ObjectId id) {
+  Entry& e = entry(id);
+  OMIG_REQUIRE(!e.in_transit, "cannot refix an object in transit");
+  e.fixed = true;
+}
+
+bool ObjectRegistry::is_fixed(ObjectId id) const { return entry(id).fixed; }
+
+bool ObjectRegistry::is_movable(ObjectId id) const {
+  const Entry& e = entry(id);
+  return e.desc.mobile && !e.fixed && !e.in_transit;
+}
+
+void ObjectRegistry::begin_transit(ObjectId id) {
+  Entry& e = entry(id);
+  OMIG_REQUIRE(!e.in_transit, "object is already in transit");
+  OMIG_REQUIRE(e.desc.mobile, "sedentary object cannot migrate");
+  OMIG_REQUIRE(!e.desc.immutable,
+               "immutable objects are copied, never transited");
+  e.in_transit = true;
+  e.gate.close();
+}
+
+void ObjectRegistry::finish_transit(ObjectId id, NodeId dest) {
+  OMIG_REQUIRE(dest.valid() && dest.value() < node_count_,
+               "destination node out of range");
+  Entry& e = entry(id);
+  OMIG_REQUIRE(e.in_transit, "object is not in transit");
+  e.in_transit = false;
+  if (e.location != dest) {
+    --load_[e.location.value()];
+    ++load_[dest.value()];
+    e.location = dest;
+    e.history.push_back(dest);
+    ++migrations_;
+    // Read replicas of a relocated mutable object are stale: invalidate.
+    invalidations_ += e.replicas.size();
+    e.replicas.clear();
+  }
+  e.gate.open();
+}
+
+bool ObjectRegistry::in_transit(ObjectId id) const {
+  return entry(id).in_transit;
+}
+
+sim::Gate& ObjectRegistry::transit_gate(ObjectId id) {
+  return entry(id).gate;
+}
+
+const std::vector<NodeId>& ObjectRegistry::history(ObjectId id) const {
+  return entry(id).history;
+}
+
+bool ObjectRegistry::has_replica(ObjectId id, NodeId node) const {
+  const Entry& e = entry(id);
+  if (e.location == node) return true;
+  return std::find(e.replicas.begin(), e.replicas.end(), node) !=
+         e.replicas.end();
+}
+
+void ObjectRegistry::add_replica(ObjectId id, NodeId node) {
+  OMIG_REQUIRE(node.valid() && node.value() < node_count_,
+               "replica node out of range");
+  Entry& e = entry(id);
+  if (has_replica(id, node)) return;
+  e.replicas.push_back(node);
+  ++replications_;
+}
+
+std::size_t ObjectRegistry::drop_replicas(ObjectId id) {
+  Entry& e = entry(id);
+  const std::size_t dropped = e.replicas.size();
+  invalidations_ += dropped;
+  e.replicas.clear();
+  return dropped;
+}
+
+const std::vector<NodeId>& ObjectRegistry::replicas(ObjectId id) const {
+  return entry(id).replicas;
+}
+
+std::size_t ObjectRegistry::objects_at(NodeId node) const {
+  OMIG_REQUIRE(node.valid() && node.value() < node_count_,
+               "node index out of range");
+  return load_[node.value()];
+}
+
+NodeId ObjectRegistry::least_loaded_node() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < node_count_; ++i) {
+    if (load_[i] < load_[best]) best = i;
+  }
+  return NodeId{static_cast<NodeId::value_type>(best)};
+}
+
+NodeId ObjectRegistry::most_loaded_node() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < node_count_; ++i) {
+    if (load_[i] > load_[best]) best = i;
+  }
+  return NodeId{static_cast<NodeId::value_type>(best)};
+}
+
+}  // namespace omig::objsys

@@ -1,0 +1,117 @@
+// Object registry: the run-time location and mobility state of all objects.
+//
+// This corresponds to the per-node run-time support of Section 3.1: it knows
+// where every object currently resides, whether it is fixed, and whether it
+// is in transit (in which case invocations block on the object's gate until
+// it is "reinstalled at the target node").
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "objsys/ids.hpp"
+#include "objsys/object.hpp"
+#include "sim/engine.hpp"
+#include "sim/gate.hpp"
+
+namespace omig::objsys {
+
+/// Central bookkeeping for object locations and transit state. In a real
+/// system this state is sharded across nodes; the simulator keeps it in one
+/// structure since the paper normalises location-mechanism costs away (a
+/// LocationService can re-introduce them).
+class ObjectRegistry {
+public:
+  ObjectRegistry(sim::Engine& engine, std::size_t node_count);
+
+  /// Creates an object at its home node. Returns its id.
+  ObjectId create(std::string name, NodeId home, double size = 1.0,
+                  bool mobile = true, bool immutable = false);
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  [[nodiscard]] const ObjectDescriptor& descriptor(ObjectId id) const;
+  [[nodiscard]] NodeId location(ObjectId id) const;
+  [[nodiscard]] bool is_resident(ObjectId id, NodeId node) const;
+
+  /// Transient fixing (paper's fix()/unfix()/refix() primitives).
+  void fix(ObjectId id);
+  void unfix(ObjectId id);
+  /// refix = atomically re-assert the fixed state (used after a migration
+  /// that was allowed because the object was temporarily unfixed).
+  void refix(ObjectId id);
+  [[nodiscard]] bool is_fixed(ObjectId id) const;
+
+  /// True if the object may migrate right now (mobile type, not fixed).
+  [[nodiscard]] bool is_movable(ObjectId id) const;
+
+  /// Transit state. While in transit, `transit_gate` is closed and callers
+  /// must wait on it. `begin_transit` closes; `finish_transit` relocates the
+  /// object and reopens the gate.
+  void begin_transit(ObjectId id);
+  void finish_transit(ObjectId id, NodeId dest);
+  [[nodiscard]] bool in_transit(ObjectId id) const;
+  [[nodiscard]] sim::Gate& transit_gate(ObjectId id);
+
+  /// Number of completed migrations (diagnostics).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+  // --- replicas -------------------------------------------------------------
+  // Immutable objects are copied on move (paper Section 1). Mutable objects
+  // may carry read replicas (replicate-on-read, the outlook's replication
+  // mechanism); those are dropped on every write or migration.
+  /// True if `node` holds the primary or a copy of `id`.
+  [[nodiscard]] bool has_replica(ObjectId id, NodeId node) const;
+  /// Registers a copy at `node` (idempotent).
+  void add_replica(ObjectId id, NodeId node);
+  /// Invalidates every copy of `id`; returns how many were dropped.
+  std::size_t drop_replicas(ObjectId id);
+  /// Nodes holding copies (excluding the primary location).
+  [[nodiscard]] const std::vector<NodeId>& replicas(ObjectId id) const;
+  /// Number of copies created so far (diagnostics).
+  [[nodiscard]] std::uint64_t replications() const { return replications_; }
+  /// Number of copies invalidated so far (diagnostics).
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+  /// Full location history of an object (used by forwarding-address
+  /// location services); index 0 is the home node.
+  [[nodiscard]] const std::vector<NodeId>& history(ObjectId id) const;
+
+  // --- load accounting (Section 2.2's load-sharing goal) --------------------
+  /// Number of objects currently resident at `node` (primaries only).
+  [[nodiscard]] std::size_t objects_at(NodeId node) const;
+  /// Node currently hosting the fewest / most objects (lowest index wins
+  /// ties, so the choice is deterministic).
+  [[nodiscard]] NodeId least_loaded_node() const;
+  [[nodiscard]] NodeId most_loaded_node() const;
+
+private:
+  struct Entry {
+    ObjectDescriptor desc;
+    NodeId location;
+    bool fixed = false;
+    bool in_transit = false;
+    sim::Gate gate;
+    std::vector<NodeId> history;
+    std::vector<NodeId> replicas;  ///< copies (immutable objects only)
+
+    Entry(sim::Engine& eng, ObjectDescriptor d)
+        : desc{std::move(d)}, location{desc.home}, gate{eng},
+          history{desc.home} {}
+  };
+
+  [[nodiscard]] Entry& entry(ObjectId id);
+  [[nodiscard]] const Entry& entry(ObjectId id) const;
+
+  sim::Engine* engine_;
+  std::size_t node_count_;
+  std::deque<Entry> objects_;  // deque: stable addresses for gates
+  std::vector<std::size_t> load_;  ///< resident objects per node
+  std::uint64_t migrations_ = 0;
+  std::uint64_t replications_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace omig::objsys

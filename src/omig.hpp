@@ -1,0 +1,65 @@
+// Umbrella header: everything a downstream user of the omig library needs.
+//
+//   #include <omig.hpp>   (with -I<repo>/src)
+//
+// Subsystem headers remain individually includable; this header just saves
+// application code the scavenger hunt.
+#pragma once
+
+// simulation kernel
+#include "sim/engine.hpp"
+#include "sim/gate.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/when_all.hpp"
+
+// statistics
+#include "stats/batch_means.hpp"
+#include "stats/histogram.hpp"
+#include "stats/quantiles.hpp"
+#include "stats/welford.hpp"
+
+// network model
+#include "net/latency.hpp"
+#include "net/topology.hpp"
+
+// distributed object system
+#include "objsys/ids.hpp"
+#include "objsys/invocation.hpp"
+#include "objsys/location_service.hpp"
+#include "objsys/object.hpp"
+#include "objsys/registry.hpp"
+
+// instrumentation
+#include "trace/event.hpp"
+#include "trace/log.hpp"
+
+// the migration runtime (the paper's contribution)
+#include "migration/alliance.hpp"
+#include "migration/attachment.hpp"
+#include "migration/block.hpp"
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "migration/primitives.hpp"
+
+// workloads
+#include "workload/fragmented.hpp"
+#include "workload/observer.hpp"
+#include "workload/one_layer.hpp"
+#include "workload/params.hpp"
+#include "workload/two_layer.hpp"
+
+// experiment driver
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "core/plot.hpp"
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+#include "core/table.hpp"
+
+// live multi-threaded runtime
+#include "runtime/live_object.hpp"
+#include "runtime/live_system.hpp"
+#include "runtime/serde.hpp"

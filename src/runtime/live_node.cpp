@@ -1,0 +1,81 @@
+#include "runtime/live_node.hpp"
+
+#include "util/assert.hpp"
+
+namespace omig::runtime {
+
+LiveNode::LiveNode(
+    std::size_t id,
+    const std::unordered_map<std::string, ObjectFactory>* factories)
+    : id_{id}, factories_{factories} {
+  OMIG_REQUIRE(factories != nullptr, "node needs a factory registry");
+}
+
+LiveNode::~LiveNode() { stop(); }
+
+void LiveNode::start() {
+  OMIG_REQUIRE(!thread_.joinable(), "node already started");
+  thread_ = std::thread{[this] { run(); }};
+}
+
+void LiveNode::stop() {
+  if (!thread_.joinable()) return;
+  mailbox_.push(Message{MsgStop{}});
+  mailbox_.close();
+  thread_.join();
+}
+
+void LiveNode::run() {
+  for (;;) {
+    auto msg = mailbox_.pop();
+    if (!msg) return;
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    bool stop = false;
+    std::visit(
+        [&](auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, MsgStop>) {
+            stop = true;
+          } else {
+            handle(m);
+          }
+        },
+        *msg);
+    if (stop) return;
+  }
+}
+
+void LiveNode::handle(MsgInvoke& msg) {
+  auto it = objects_.find(msg.object);
+  if (it == objects_.end()) {
+    msg.reply.set_value(
+        InvokeResult{false, "object not resident: " + msg.object});
+    return;
+  }
+  msg.reply.set_value(it->second->call(msg.method, msg.argument));
+}
+
+void LiveNode::handle(MsgInstall& msg) {
+  auto fit = factories_->find(msg.state.type);
+  if (fit == factories_->end()) {
+    msg.done.set_value(false);
+    return;
+  }
+  objects_[msg.name] = fit->second(msg.name, std::move(msg.state));
+  hosted_.fetch_add(1, std::memory_order_relaxed);
+  msg.done.set_value(true);
+}
+
+void LiveNode::handle(MsgEvict& msg) {
+  auto it = objects_.find(msg.name);
+  if (it == objects_.end()) {
+    msg.state.set_value(ObjectState{});  // empty type signals failure
+    return;
+  }
+  ObjectState state = it->second->linearize();
+  objects_.erase(it);
+  hosted_.fetch_sub(1, std::memory_order_relaxed);
+  msg.state.set_value(std::move(state));
+}
+
+}  // namespace omig::runtime

@@ -1,0 +1,57 @@
+// A live node: one thread, one mailbox, a set of hosted objects.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/live_object.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/message.hpp"
+
+namespace omig::runtime {
+
+/// Executes messages for the objects it hosts. Owned by LiveSystem; the
+/// factory registry (shared, immutable after startup) rebuilds migrated
+/// objects.
+class LiveNode {
+public:
+  LiveNode(std::size_t id,
+           const std::unordered_map<std::string, ObjectFactory>* factories);
+  ~LiveNode();
+
+  LiveNode(const LiveNode&) = delete;
+  LiveNode& operator=(const LiveNode&) = delete;
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+  [[nodiscard]] Mailbox<Message>& mailbox() { return mailbox_; }
+
+  /// Starts the event-loop thread.
+  void start();
+  /// Sends MsgStop and joins the thread.
+  void stop();
+
+  [[nodiscard]] std::uint64_t processed() const { return processed_.load(); }
+  [[nodiscard]] std::uint64_t hosted_objects() const {
+    return hosted_.load();
+  }
+
+private:
+  void run();
+  void handle(MsgInvoke& msg);
+  void handle(MsgInstall& msg);
+  void handle(MsgEvict& msg);
+
+  std::size_t id_;
+  const std::unordered_map<std::string, ObjectFactory>* factories_;
+  Mailbox<Message> mailbox_;
+  std::thread thread_;
+  std::unordered_map<std::string, std::unique_ptr<LiveObject>> objects_;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> hosted_{0};
+};
+
+}  // namespace omig::runtime

@@ -1,0 +1,21 @@
+#include "runtime/live_object.hpp"
+
+namespace omig::runtime {
+
+LiveObject::LiveObject(std::string name, ObjectState state)
+    : name_{std::move(name)}, state_{std::move(state)} {}
+
+void LiveObject::register_method(const std::string& name, Method method) {
+  methods_[name] = std::move(method);
+}
+
+InvokeResult LiveObject::call(const std::string& method,
+                              const std::string& argument) {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    return InvokeResult{false, "no such method: " + method};
+  }
+  return InvokeResult{true, it->second(state_, argument)};
+}
+
+}  // namespace omig::runtime

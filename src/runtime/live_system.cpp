@@ -1,0 +1,374 @@
+#include "runtime/live_system.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+#include "runtime/serde.hpp"
+#include "util/assert.hpp"
+
+namespace omig::runtime {
+
+LiveSystem::LiveSystem(Options options) : options_{options} {
+  OMIG_REQUIRE(options.nodes >= 1, "need at least one node");
+}
+
+LiveSystem::~LiveSystem() { stop(); }
+
+void LiveSystem::register_type(const std::string& type,
+                               ObjectFactory factory) {
+  OMIG_REQUIRE(!started_, "register types before start()");
+  factories_[type] = std::move(factory);
+}
+
+void LiveSystem::start() {
+  OMIG_REQUIRE(!started_, "system already started");
+  nodes_.reserve(options_.nodes);
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<LiveNode>(i, &factories_));
+    nodes_.back()->start();
+  }
+  started_ = true;
+}
+
+void LiveSystem::stop() {
+  for (auto& node : nodes_) node->stop();
+}
+
+bool LiveSystem::create(const std::string& name, ObjectState state,
+                        std::size_t node) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  if (!factories_.contains(state.type)) return false;
+  {
+    std::lock_guard lock{mutex_};
+    if (directory_.contains(name)) return false;
+    directory_[name] = Meta{node, false, false, 0};
+  }
+  MsgInstall msg;
+  msg.name = name;
+  msg.state = std::move(state);
+  auto done = msg.done.get_future();
+  nodes_[node]->mailbox().push(Message{std::move(msg)});
+  const bool ok = done.get();
+  if (!ok) {
+    std::lock_guard lock{mutex_};
+    directory_.erase(name);
+  }
+  return ok;
+}
+
+std::optional<std::size_t> LiveSystem::location(
+    const std::string& name) const {
+  std::lock_guard lock{mutex_};
+  auto it = directory_.find(name);
+  if (it == directory_.end()) return std::nullopt;
+  return it->second.node;
+}
+
+InvokeResult LiveSystem::invoke(const std::string& object,
+                                const std::string& method,
+                                const std::string& argument) {
+  return invoke_impl(std::nullopt, object, method, argument);
+}
+
+InvokeResult LiveSystem::invoke_from(std::size_t from,
+                                     const std::string& object,
+                                     const std::string& method,
+                                     const std::string& argument) {
+  return invoke_impl(from, object, method, argument);
+}
+
+InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
+                                     const std::string& object,
+                                     const std::string& method,
+                                     const std::string& argument) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  for (;;) {
+    std::size_t node;
+    {
+      std::unique_lock lock{mutex_};
+      auto it = directory_.find(object);
+      if (it == directory_.end()) {
+        return InvokeResult{false, "unknown object: " + object};
+      }
+      // "The call is blocked until the object is operational once again."
+      transit_cv_.wait(lock, [&] {
+        auto cur = directory_.find(object);
+        return cur == directory_.end() || !cur->second.in_transit;
+      });
+      it = directory_.find(object);
+      if (it == directory_.end()) {
+        return InvokeResult{false, "unknown object: " + object};
+      }
+      node = it->second.node;
+    }
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    const bool remote = !from.has_value() || *from != node;
+    if (remote) {
+      remote_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.remote_latency.count() > 0) {
+        std::this_thread::sleep_for(options_.remote_latency);
+      }
+    }
+    MsgInvoke msg;
+    msg.object = object;
+    msg.method = method;
+    msg.argument = argument;
+    auto reply = msg.reply.get_future();
+    nodes_[node]->mailbox().push(Message{std::move(msg)});
+    InvokeResult result = reply.get();
+    if (remote && options_.remote_latency.count() > 0) {
+      std::this_thread::sleep_for(options_.remote_latency);  // result message
+    }
+    // A migration can race the delivery: the directory said `node`, but the
+    // object was evicted before our message arrived. Retry — this mirrors
+    // real systems forwarding calls to the new location.
+    if (!result.ok && result.value.starts_with("object not resident")) {
+      continue;
+    }
+    return result;
+  }
+}
+
+void LiveSystem::fix(const std::string& name) {
+  std::lock_guard lock{mutex_};
+  auto it = directory_.find(name);
+  OMIG_REQUIRE(it != directory_.end(), "fix: unknown object");
+  it->second.fixed = true;
+}
+
+void LiveSystem::unfix(const std::string& name) {
+  std::lock_guard lock{mutex_};
+  auto it = directory_.find(name);
+  OMIG_REQUIRE(it != directory_.end(), "unfix: unknown object");
+  it->second.fixed = false;
+}
+
+bool LiveSystem::is_fixed(const std::string& name) const {
+  std::lock_guard lock{mutex_};
+  auto it = directory_.find(name);
+  OMIG_REQUIRE(it != directory_.end(), "is_fixed: unknown object");
+  return it->second.fixed;
+}
+
+bool LiveSystem::attach(const std::string& a, const std::string& b,
+                        const std::string& alliance) {
+  if (a == b) return false;
+  std::lock_guard lock{mutex_};
+  if (!directory_.contains(a) || !directory_.contains(b)) return false;
+  auto& ea = attachments_[a];
+  if (std::any_of(ea.begin(), ea.end(), [&](const AttachEdge& e) {
+        return e.peer == b && e.alliance == alliance;
+      })) {
+    return false;
+  }
+  ea.push_back(AttachEdge{b, alliance});
+  attachments_[b].push_back(AttachEdge{a, alliance});
+  return true;
+}
+
+bool LiveSystem::detach(const std::string& a, const std::string& b) {
+  std::lock_guard lock{mutex_};
+  auto erase = [&](const std::string& from, const std::string& peer) {
+    auto it = attachments_.find(from);
+    if (it == attachments_.end()) return false;
+    const auto before = it->second.size();
+    std::erase_if(it->second,
+                  [&](const AttachEdge& e) { return e.peer == peer; });
+    return it->second.size() != before;
+  };
+  const bool removed = erase(a, b);
+  erase(b, a);
+  return removed;
+}
+
+std::vector<std::string> LiveSystem::closure_locked(
+    const std::string& object, const std::string& alliance) const {
+  const bool restrict = options_.a_transitive_attachments && !alliance.empty();
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen{object};
+  std::deque<std::string> frontier{object};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    out.push_back(cur);
+    auto it = attachments_.find(cur);
+    if (it == attachments_.end()) continue;
+    for (const AttachEdge& e : it->second) {
+      if (restrict && e.alliance != alliance) continue;
+      if (seen.insert(e.peer).second) frontier.push_back(e.peer);
+    }
+  }
+  return out;
+}
+
+std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
+                                 std::size_t dest) {
+  std::size_t moved = 0;
+  for (const std::string& name : objects) {
+    std::size_t src;
+    {
+      std::lock_guard lock{mutex_};
+      src = directory_.at(name).node;
+    }
+    if (src == dest) {
+      std::lock_guard lock{mutex_};
+      directory_.at(name).in_transit = false;
+      continue;
+    }
+    MsgEvict evict;
+    evict.name = name;
+    auto state_future = evict.state.get_future();
+    nodes_[src]->mailbox().push(Message{std::move(evict)});
+    ObjectState state = state_future.get();
+    OMIG_ASSERT(!state.type.empty());
+
+    // Linearise for the wire (Section 3.1) — the destination rebuilds the
+    // object from bytes, never from shared memory.
+    const std::vector<std::uint8_t> wire = encode(state);
+    if (options_.remote_latency.count() > 0) {
+      std::this_thread::sleep_for(options_.remote_latency);  // transfer
+    }
+    auto decoded = decode(wire);
+    OMIG_ASSERT(decoded.has_value());
+
+    MsgInstall install;
+    install.name = name;
+    install.state = std::move(*decoded);
+    auto done = install.done.get_future();
+    nodes_[dest]->mailbox().push(Message{std::move(install)});
+    const bool ok = done.get();
+    OMIG_ASSERT(ok);
+
+    {
+      std::lock_guard lock{mutex_};
+      Meta& meta = directory_.at(name);
+      meta.node = dest;
+      meta.in_transit = false;
+    }
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    ++moved;
+  }
+  transit_cv_.notify_all();
+  return moved;
+}
+
+bool LiveSystem::migrate(const std::string& object, std::size_t dest,
+                         const std::string& alliance) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  OMIG_REQUIRE(dest < nodes_.size(), "node index out of range");
+  std::vector<std::string> to_move;
+  {
+    std::unique_lock lock{mutex_};
+    if (!directory_.contains(object)) return false;
+    for (const std::string& name : closure_locked(object, alliance)) {
+      Meta& meta = directory_.at(name);
+      // Wait out concurrent transits of this member, then claim it.
+      transit_cv_.wait(lock,
+                       [&] { return !directory_.at(name).in_transit; });
+      if (meta.fixed) continue;
+      meta.in_transit = true;
+      to_move.push_back(name);
+    }
+  }
+  relocate(to_move, dest);
+  return true;
+}
+
+LiveSystem::MoveToken LiveSystem::visit(const std::string& object,
+                                        std::size_t dest,
+                                        const std::string& alliance) {
+  MoveToken token = move(object, dest, alliance);
+  token.visit = true;
+  return token;
+}
+
+LiveSystem::MoveToken LiveSystem::move(const std::string& object,
+                                       std::size_t dest,
+                                       const std::string& alliance) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  OMIG_REQUIRE(dest < nodes_.size(), "node index out of range");
+  MoveToken token;
+  std::vector<std::string> to_move;
+  {
+    std::unique_lock lock{mutex_};
+    auto it = directory_.find(object);
+    if (it == directory_.end()) return token;  // not granted
+    token.id = next_token_++;
+
+    if (options_.placement_policy) {
+      // Transient placement: a conflicting unfinished move refuses us.
+      if (it->second.locked_by != 0 || it->second.fixed) {
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        return token;  // granted = false: caller invokes remotely
+      }
+      for (const std::string& name : closure_locked(object, alliance)) {
+        Meta& meta = directory_.at(name);
+        if (meta.locked_by != 0) continue;  // partial move
+        meta.locked_by = token.id;
+        token.locked.push_back(name);
+        transit_cv_.wait(lock,
+                         [&] { return !directory_.at(name).in_transit; });
+        if (meta.fixed) continue;
+        meta.in_transit = true;
+        to_move.push_back(name);
+      }
+    } else {
+      // Conventional: always migrate, no locks.
+      for (const std::string& name : closure_locked(object, alliance)) {
+        Meta& meta = directory_.at(name);
+        transit_cv_.wait(lock,
+                         [&] { return !directory_.at(name).in_transit; });
+        if (meta.fixed) continue;
+        meta.in_transit = true;
+        to_move.push_back(name);
+      }
+    }
+    token.granted = true;
+    for (const std::string& name : to_move) {
+      token.origins.emplace_back(name, directory_.at(name).node);
+    }
+  }
+  relocate(to_move, dest);
+  return token;
+}
+
+void LiveSystem::end(MoveToken& token) {
+  if (token.id == 0) return;
+  {
+    std::lock_guard lock{mutex_};
+    for (const std::string& name : token.locked) {
+      auto it = directory_.find(name);
+      if (it != directory_.end() && it->second.locked_by == token.id) {
+        it->second.locked_by = 0;
+      }
+    }
+    token.locked.clear();
+  }
+  if (token.visit && token.granted) {
+    // visit(): the objects migrate back to where they came from.
+    for (const auto& [name, origin] : token.origins) {
+      std::vector<std::string> one{name};
+      {
+        std::unique_lock lock{mutex_};
+        auto it = directory_.find(name);
+        if (it == directory_.end()) continue;
+        transit_cv_.wait(lock,
+                         [&] { return !directory_.at(name).in_transit; });
+        if (it->second.fixed || it->second.node == origin) continue;
+        it->second.in_transit = true;
+      }
+      relocate(one, origin);
+    }
+    token.origins.clear();
+  }
+}
+
+std::uint64_t LiveSystem::invocations() const { return invocations_.load(); }
+std::uint64_t LiveSystem::remote_invocations() const { return remote_.load(); }
+std::uint64_t LiveSystem::migrations() const { return migrations_.load(); }
+std::uint64_t LiveSystem::refused_moves() const { return refused_.load(); }
+
+}  // namespace omig::runtime

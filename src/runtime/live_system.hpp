@@ -1,0 +1,165 @@
+// Live distributed-object system: the paper's primitives on real threads.
+//
+// Each node is a thread with a mailbox; objects are property bags with a
+// method table, linearised for transfer exactly as the proxies of Section
+// 3.1 linearise calls. The system layer implements the directory, the
+// fix/attach primitives, raw migration, and move/end blocks under either
+// conventional or transient-placement semantics — so the paper's conflict
+// scenarios can be reproduced outside the simulator.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/live_node.hpp"
+
+namespace omig::runtime {
+
+class LiveSystem {
+public:
+  struct Options {
+    std::size_t nodes = 2;
+    /// Artificial one-way latency added to remote operations, so examples
+    /// show timing effects. Zero = as fast as the threads go.
+    std::chrono::microseconds remote_latency{0};
+    /// Restrict attachment transitiveness to the alliance a move names.
+    bool a_transitive_attachments = false;
+    /// Use transient placement for move(): a conflicting move is refused
+    /// instead of stealing the object (Section 3.2).
+    bool placement_policy = true;
+  };
+
+  /// Token returned by move()/visit(): carries the placement grant, the
+  /// set of objects the block locked, and (for visit) where the moved
+  /// objects came from.
+  struct MoveToken {
+    std::uint64_t id = 0;
+    bool granted = false;
+    bool visit = false;
+    std::vector<std::string> locked;
+    std::vector<std::pair<std::string, std::size_t>> origins;
+  };
+
+  explicit LiveSystem(Options options);
+  ~LiveSystem();
+  LiveSystem(const LiveSystem&) = delete;
+  LiveSystem& operator=(const LiveSystem&) = delete;
+
+  /// Registers the factory that rebuilds objects of `type` after migration.
+  /// Must be called before `start()`.
+  void register_type(const std::string& type, ObjectFactory factory);
+
+  /// Starts all node threads.
+  void start();
+  /// Stops all node threads (also done by the destructor).
+  void stop();
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Creates an object on `node`. Fails (returns false) on duplicate names
+  /// or unknown type.
+  bool create(const std::string& name, ObjectState state, std::size_t node);
+
+  /// Current node of an object, or nullopt if unknown.
+  [[nodiscard]] std::optional<std::size_t> location(
+      const std::string& name) const;
+
+  /// Synchronous invocation from outside any node.
+  InvokeResult invoke(const std::string& object, const std::string& method,
+                      const std::string& argument);
+
+  /// Synchronous invocation on behalf of code running at `from` — counts
+  /// remote statistics and pays the artificial remote latency.
+  InvokeResult invoke_from(std::size_t from, const std::string& object,
+                           const std::string& method,
+                           const std::string& argument);
+
+  // --- the paper's primitives ------------------------------------------------
+  void fix(const std::string& name);
+  void unfix(const std::string& name);
+  [[nodiscard]] bool is_fixed(const std::string& name) const;
+
+  /// attach(a, b) in alliance context `alliance` ("" = no context).
+  bool attach(const std::string& a, const std::string& b,
+              const std::string& alliance = "");
+  bool detach(const std::string& a, const std::string& b);
+
+  /// Raw migrate(): moves `object` and its attachment closure (restricted
+  /// to `alliance` when a_transitive_attachments is on) to `dest`. Fixed
+  /// objects stay. Returns false if the object is unknown.
+  bool migrate(const std::string& object, std::size_t dest,
+               const std::string& alliance = "");
+
+  /// move(): under placement, grants and locks, or refuses if a conflicting
+  /// move holds the object; under the conventional policy it always
+  /// migrates (and the token is always granted, with no locks).
+  MoveToken move(const std::string& object, std::size_t dest,
+                 const std::string& alliance = "");
+
+  /// visit(): like move(), but end() migrates the moved objects back to
+  /// where they came from (paper Section 2.3, call-by-visit).
+  MoveToken visit(const std::string& object, std::size_t dest,
+                  const std::string& alliance = "");
+
+  /// end(): releases the block's placement locks and, for visit tokens,
+  /// migrates the moved objects home.
+  void end(MoveToken& token);
+
+  // --- statistics -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t invocations() const;
+  [[nodiscard]] std::uint64_t remote_invocations() const;
+  [[nodiscard]] std::uint64_t migrations() const;
+  [[nodiscard]] std::uint64_t refused_moves() const;
+
+private:
+  struct Meta {
+    std::size_t node = 0;
+    bool fixed = false;
+    bool in_transit = false;
+    std::uint64_t locked_by = 0;  ///< move-token id, 0 = unlocked
+  };
+
+  struct AttachEdge {
+    std::string peer;
+    std::string alliance;
+  };
+
+  /// Attachment closure of `object` (requires `mutex_`).
+  [[nodiscard]] std::vector<std::string> closure_locked(
+      const std::string& object, const std::string& alliance) const;
+
+  /// Physically relocates `objects` to `dest`; objects must already be
+  /// marked in_transit. Returns the count actually moved.
+  std::size_t relocate(const std::vector<std::string>& objects,
+                       std::size_t dest);
+
+  InvokeResult invoke_impl(std::optional<std::size_t> from,
+                           const std::string& object,
+                           const std::string& method,
+                           const std::string& argument);
+
+  Options options_;
+  std::unordered_map<std::string, ObjectFactory> factories_;
+  std::vector<std::unique_ptr<LiveNode>> nodes_;
+  bool started_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable transit_cv_;
+  std::unordered_map<std::string, Meta> directory_;
+  std::unordered_map<std::string, std::vector<AttachEdge>> attachments_;
+  std::uint64_t next_token_ = 1;
+
+  std::atomic<std::uint64_t> invocations_{0};
+  std::atomic<std::uint64_t> remote_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> refused_{0};
+};
+
+}  // namespace omig::runtime

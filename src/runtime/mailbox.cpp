@@ -1,0 +1,6 @@
+// Mailbox is header-only; this translation unit anchors the library.
+#include "runtime/mailbox.hpp"
+
+namespace omig::runtime {
+// No out-of-line definitions needed.
+}  // namespace omig::runtime

@@ -1,0 +1,60 @@
+// Blocking multi-producer mailbox for live-runtime nodes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace omig::runtime {
+
+/// Unbounded MPSC queue: any thread pushes, the owning node thread pops.
+/// `close()` wakes the consumer and makes further pops return nullopt once
+/// the queue drains.
+template <class T>
+class Mailbox {
+public:
+  /// Enqueues a message. Returns false if the mailbox is closed.
+  bool push(T value) {
+    {
+      std::lock_guard lock{mutex_};
+      if (closed_) return false;
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message is available or the mailbox is closed and
+  /// drained; nullopt signals shutdown.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Closes the mailbox; pending messages are still delivered.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return queue_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace omig::runtime

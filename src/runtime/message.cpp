@@ -1,0 +1,6 @@
+// Message types are header-only; this translation unit anchors the library.
+#include "runtime/message.hpp"
+
+namespace omig::runtime {
+// No out-of-line definitions needed.
+}  // namespace omig::runtime

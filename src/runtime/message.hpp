@@ -1,0 +1,57 @@
+// Messages exchanged between live-runtime nodes.
+//
+// The live runtime (src/runtime/) is the beyond-paper counterpart of the
+// simulator: the same primitives (invoke, migrate, move/end with placement,
+// attachments) running on real threads with real mailboxes. Objects are
+// linearised into an ObjectState for transfer, exactly as Section 3.1
+// describes proxies linearising calls and objects.
+#pragma once
+
+#include <future>
+#include <string>
+#include <unordered_map>
+#include <variant>
+
+namespace omig::runtime {
+
+/// Linearised object: its type tag plus a string property bag. The type tag
+/// selects the factory that rebuilds behaviour at the destination node.
+struct ObjectState {
+  std::string type;
+  std::unordered_map<std::string, std::string> fields;
+};
+
+/// Result of an invocation: either a payload or an error description.
+struct InvokeResult {
+  bool ok = false;
+  std::string value;  ///< payload on success, error text on failure
+};
+
+/// Synchronous method invocation, replied to via the promise.
+struct MsgInvoke {
+  std::string object;
+  std::string method;
+  std::string argument;
+  std::promise<InvokeResult> reply;
+};
+
+/// Installs a (migrated or new) object on the receiving node.
+struct MsgInstall {
+  std::string name;
+  ObjectState state;
+  std::promise<bool> done;
+};
+
+/// Evicts an object: the node linearises it, removes it, and replies with
+/// the state (empty type on failure).
+struct MsgEvict {
+  std::string name;
+  std::promise<ObjectState> state;
+};
+
+/// Stops the node's event loop.
+struct MsgStop {};
+
+using Message = std::variant<MsgInvoke, MsgInstall, MsgEvict, MsgStop>;
+
+}  // namespace omig::runtime

@@ -1,0 +1,82 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::sim {
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  engine->schedule_handle(engine->now() + dt, h);
+}
+
+Task Engine::root_wrapper(Task inner) {
+  // Root processes must not leak exceptions into the event loop; record the
+  // failure and stop the simulation so `run` can rethrow it.
+  try {
+    co_await inner;
+  } catch (...) {
+    record_error(std::current_exception());
+    request_stop();
+  }
+}
+
+void Engine::spawn(Task t) {
+  OMIG_REQUIRE(t.valid(), "cannot spawn an empty task");
+  // Bound the root list: completed background processes (e.g. reinstantiation
+  // migrations) are reclaimed lazily.
+  if (roots_.size() >= 64 && roots_.size() % 64 == 0) prune_finished_roots();
+  Task wrapper = root_wrapper(std::move(t));
+  const std::coroutine_handle<> h = wrapper.handle();
+  roots_.push_back(std::move(wrapper));
+  schedule_handle(now_, h);
+}
+
+DelayAwaiter Engine::delay(SimTime dt) {
+  OMIG_REQUIRE(dt >= 0.0, "cannot delay by negative time");
+  return DelayAwaiter{this, dt};
+}
+
+void Engine::schedule_handle(SimTime at, std::coroutine_handle<> h) {
+  OMIG_REQUIRE(at >= now_, "cannot schedule into the past");
+  OMIG_ASSERT(h);
+  queue_.push(Event{at, seq_++, h});
+}
+
+void Engine::run() { run_until(kTimeInfinity); }
+
+void Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && !stop_requested_) {
+    const Event ev = queue_.top();
+    if (ev.at > deadline) break;
+    queue_.pop();
+    now_ = ev.at;
+    dispatch(ev);
+  }
+  if (error_) {
+    auto e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Engine::dispatch(const Event& ev) {
+  ++events_;
+  ev.handle.resume();
+}
+
+void Engine::record_error(std::exception_ptr e) {
+  if (!error_) error_ = std::move(e);
+}
+
+void Engine::clear() {
+  // Drop queued handles first (they point into frames owned by roots_),
+  // then destroy the frames.
+  while (!queue_.empty()) queue_.pop();
+  roots_.clear();
+}
+
+void Engine::prune_finished_roots() {
+  std::erase_if(roots_, [](const Task& t) { return t.done(); });
+}
+
+}  // namespace omig::sim

@@ -1,0 +1,109 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop: processes are coroutines (`Task`) which
+// suspend on `co_await engine.delay(dt)` (advance simulated time) or on a
+// `Gate` (wait for a condition). The engine owns all root processes and
+// resumes whichever handle is due next.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace omig::sim {
+
+class Engine;
+
+/// Awaiter returned by Engine::delay — suspends the coroutine and schedules
+/// it `dt` simulated time units in the future.
+struct DelayAwaiter {
+  Engine* engine;
+  SimTime dt;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const;
+  void await_resume() const noexcept {}
+};
+
+/// The simulation event loop.
+///
+/// Lifetime rules: the engine must outlive the last `run*` call; root tasks
+/// spawned into it are owned by the engine and are torn down (including all
+/// of their suspended children) when the engine is destroyed or `reset`.
+class Engine {
+public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine() { clear(); }
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Total events (coroutine resumptions) processed so far.
+  [[nodiscard]] std::uint64_t events_processed() const { return events_; }
+
+  /// Transfers ownership of `t` to the engine and schedules it to start at
+  /// the current simulated time. May be called before `run` or from inside
+  /// a running process.
+  void spawn(Task t);
+
+  /// Awaitable that advances simulated time by `dt >= 0`.
+  [[nodiscard]] DelayAwaiter delay(SimTime dt);
+
+  /// Schedules `h` to be resumed at absolute time `at` (>= now). Used by
+  /// awaiter implementations (delay, gates); not part of the workload API.
+  void schedule_handle(SimTime at, std::coroutine_handle<> h);
+
+  /// Runs until the event queue is empty or a stop is requested. Rethrows
+  /// the first exception that escaped any root process.
+  void run();
+
+  /// Runs until simulated time would exceed `deadline`, the queue drains, or
+  /// a stop is requested. Events at exactly `deadline` are processed.
+  void run_until(SimTime deadline);
+
+  /// Asks the loop to stop before processing the next event. Safe to call
+  /// from inside a running process (this is how experiments end: the metric
+  /// recorder requests a stop once the confidence target is met).
+  void request_stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Records a failure from a root process; rethrown by `run`.
+  void record_error(std::exception_ptr e);
+
+  /// Destroys all pending processes and clears the queue; time is preserved.
+  void clear();
+
+private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  ///< FIFO tie-breaker for simultaneous events
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  Task root_wrapper(Task inner);
+  void prune_finished_roots();
+  void dispatch(const Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Task> roots_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_ = 0;
+  bool stop_requested_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace omig::sim

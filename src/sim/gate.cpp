@@ -1,0 +1,13 @@
+#include "sim/gate.hpp"
+
+namespace omig::sim {
+
+void Gate::open() {
+  open_ = true;
+  // Move out first: a resumed waiter may close the gate and wait again.
+  std::vector<std::coroutine_handle<>> woken;
+  woken.swap(waiters_);
+  for (auto h : woken) engine_->schedule_handle(engine_->now(), h);
+}
+
+}  // namespace omig::sim

@@ -1,0 +1,58 @@
+// Condition primitive for simulation processes.
+//
+// A Gate is either open or closed. Processes `co_await gate.wait()`: if the
+// gate is open they continue immediately; if it is closed they suspend until
+// someone calls `open()`. The object system closes an object's gate while
+// the object is in transit — this is how "the call is blocked until the
+// object is operational once again" (paper, Section 4.1) is modelled.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace omig::sim {
+
+class Gate {
+public:
+  /// A gate starts open (the object is operational).
+  explicit Gate(Engine& engine) : engine_{&engine} {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+  Gate(Gate&&) = default;
+  Gate& operator=(Gate&&) = default;
+
+  [[nodiscard]] bool is_open() const { return open_; }
+
+  /// Closes the gate; subsequent waiters suspend.
+  void close() { open_ = false; }
+
+  /// Opens the gate and schedules every waiter to resume at the current
+  /// simulated time. Waiters must re-check their condition after resuming
+  /// (the gate may have been closed again by an earlier-scheduled process).
+  void open();
+
+  struct Awaiter {
+    Gate* gate;
+    bool await_ready() const noexcept { return gate->open_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      gate->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable: continue when the gate is (or becomes) open.
+  [[nodiscard]] Awaiter wait() { return Awaiter{this}; }
+
+  /// Number of processes currently suspended on this gate.
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+private:
+  Engine* engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  bool open_ = true;
+};
+
+}  // namespace omig::sim

@@ -1,0 +1,67 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace omig::sim {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  SplitMix64 sm{seed};
+  for (auto& s : state_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256ss::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng::Rng(std::uint64_t master_seed, std::uint64_t stream)
+    : gen_{SplitMix64{master_seed ^ (0x5851f42d4c957f2dULL * (stream + 1))}
+               .next()} {}
+
+double Rng::uniform() {
+  // 53 random bits → double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  OMIG_REQUIRE(n > 0, "uniform_int requires a non-empty range");
+  // Lemire-style rejection-free bound would be overkill; modulo bias is
+  // negligible for the small ranges the workload uses, but we still reject
+  // to keep the streams unbiased.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t x = gen_.next();
+  while (x >= limit) x = gen_.next();
+  return x % n;
+}
+
+SimTime Rng::exponential(double mean) {
+  OMIG_REQUIRE(mean >= 0.0, "exponential mean must be non-negative");
+  if (mean == 0.0) return 0.0;
+  // Inverse CDF on (0, 1]: avoid log(0).
+  const double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+int Rng::exponential_count(double mean) {
+  OMIG_REQUIRE(mean >= 1.0, "a move-block needs at least one call on average");
+  const double x = exponential(mean);
+  const int n = static_cast<int>(std::lround(x));
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace omig::sim

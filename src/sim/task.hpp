@@ -1,0 +1,121 @@
+// Coroutine task type for simulation processes.
+//
+// Simulation processes (clients, migrations, network messages) are written as
+// straight-line C++20 coroutines that `co_await` delays, gates and sub-tasks.
+// This keeps the protocol logic readable — the paper's move-block pseudo-code
+// (Figure 2) maps 1:1 onto a coroutine body — instead of hand-written event
+// state machines.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace omig::sim {
+
+/// An eagerly-ownable, lazily-started coroutine task.
+///
+/// * `co_await task` from another coroutine chains via symmetric transfer.
+/// * The Task object owns the coroutine frame; destroying a suspended task
+///   destroys the frame (used to tear down endless workload processes when
+///   the engine stops).
+class [[nodiscard]] Task {
+public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) const noexcept {
+      auto& p = h.promise();
+      p.done = true;
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  ///< resumed when this task finishes
+    std::exception_ptr exception;
+    bool done = false;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_{h} {}
+  Task(Task&& other) noexcept : handle_{std::exchange(other.handle_, {})} {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+  [[nodiscard]] bool done() const { return handle_ && handle_.promise().done; }
+
+  /// Starts (or resumes) the task from non-coroutine code.
+  void resume() {
+    OMIG_ASSERT(handle_ && !handle_.promise().done);
+    handle_.resume();
+    rethrow_if_failed();
+  }
+
+  /// Rethrows an exception that escaped the coroutine body, if any.
+  void rethrow_if_failed() {
+    if (handle_ && handle_.promise().done && handle_.promise().exception) {
+      std::rethrow_exception(
+          std::exchange(handle_.promise().exception, nullptr));
+    }
+  }
+
+  /// Awaiter so that a parent coroutine can `co_await` a child task.
+  struct Awaiter {
+    Handle handle;
+    bool await_ready() const noexcept { return handle.promise().done; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+      handle.promise().continuation = parent;
+      return handle;  // start the child via symmetric transfer
+    }
+    void await_resume() const {
+      if (handle.promise().exception) {
+        std::rethrow_exception(handle.promise().exception);
+      }
+    }
+  };
+
+  Awaiter operator co_await() const {
+    OMIG_ASSERT(handle_);
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine frame to the caller.
+  Handle release() { return std::exchange(handle_, {}); }
+
+  /// Non-owning view of the coroutine handle (for scheduling).
+  [[nodiscard]] Handle handle() const { return handle_; }
+
+private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace omig::sim

@@ -1,0 +1,16 @@
+// Simulation time.
+//
+// The paper normalises time so that one remote invocation message has an
+// exponentially distributed duration with mean 1 (Section 4.1). All times in
+// the simulator are therefore dimensionless multiples of that mean.
+#pragma once
+
+namespace omig::sim {
+
+/// Simulated time, in multiples of the mean one-way message duration.
+using SimTime = double;
+
+/// Time value used to mean "never" / "not scheduled".
+inline constexpr SimTime kTimeInfinity = 1e300;
+
+}  // namespace omig::sim

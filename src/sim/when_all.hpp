@@ -1,0 +1,48 @@
+// Fork/join for simulation processes.
+//
+// `co_await when_all(engine, tasks)` runs every task concurrently (each as
+// its own engine process) and resumes the awaiting coroutine once all of
+// them have finished — simulated time advances to the latest completion.
+// Used for parallel sub-operations whose wall time is the max, not the sum
+// (e.g. scanning the fragments of a fragmented service concurrently).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/gate.hpp"
+#include "sim/task.hpp"
+
+namespace omig::sim {
+
+namespace detail {
+
+struct JoinState {
+  explicit JoinState(Engine& engine) : gate{engine} { gate.close(); }
+  Gate gate;
+  std::size_t remaining = 0;
+};
+
+inline Task join_watcher(Task inner, std::shared_ptr<JoinState> state) {
+  co_await inner;
+  if (--state->remaining == 0) state->gate.open();
+}
+
+}  // namespace detail
+
+/// Awaitable barrier over `tasks`. An empty vector completes immediately.
+/// Exceptions escaping a child are reported through the engine's root
+/// error handling (the join itself never rethrows them — children run as
+/// independent processes).
+inline Task when_all(Engine& engine, std::vector<Task> tasks) {
+  auto state = std::make_shared<detail::JoinState>(engine);
+  state->remaining = tasks.size();
+  if (tasks.empty()) co_return;
+  for (Task& t : tasks) {
+    engine.spawn(detail::join_watcher(std::move(t), state));
+  }
+  while (!state->gate.is_open()) co_await state->gate.wait();
+}
+
+}  // namespace omig::sim

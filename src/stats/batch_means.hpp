@@ -1,0 +1,113 @@
+// Batch-means confidence intervals and the paper's sequential stopping rule.
+//
+// The paper runs every simulation "as long as a confidence interval of 1%
+// was reached with probability p = 0.99" (Section 4.1). We implement this
+// with the method of batch means: consecutive observations are grouped into
+// batches whose means are (approximately) independent; a Student-t interval
+// over the batch means yields the half-width. Batch size doubles whenever
+// the batch count exceeds a bound, which keeps the per-batch correlation
+// shrinking as the run grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/welford.hpp"
+
+namespace omig::stats {
+
+/// A symmetric confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  int batches = 0;
+
+  /// Half-width relative to |mean|; infinity when the mean is ~0.
+  [[nodiscard]] double relative() const;
+};
+
+/// Batch means over scalar observations.
+class BatchMeans {
+public:
+  /// `initial_batch_size`: observations per batch before any doubling;
+  /// `max_batches`: when exceeded, adjacent batches are merged pairwise and
+  /// the batch size doubles.
+  explicit BatchMeans(std::uint64_t initial_batch_size = 64,
+                      std::size_t max_batches = 64);
+
+  void add(double x);
+
+  /// Interval at confidence `level` (e.g. 0.99). Needs >= 2 closed batches.
+  [[nodiscard]] ConfidenceInterval interval(double level) const;
+
+  /// Grand mean over all closed batches.
+  [[nodiscard]] double grand_mean() const;
+
+  [[nodiscard]] std::size_t closed_batches() const { return means_.size(); }
+  [[nodiscard]] std::uint64_t observations() const { return total_; }
+
+private:
+  void close_batch();
+  void coalesce();
+
+  std::uint64_t batch_size_;
+  std::size_t max_batches_;
+  Welford current_;
+  std::vector<double> means_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;  ///< exact stream sum (coalescing may drop batches)
+};
+
+/// Batch means for a ratio-of-sums metric: each observation contributes a
+/// numerator (cost) and a denominator (weight, e.g. number of calls). The
+/// point estimate is sum(cost)/sum(weight); the CI is computed over
+/// per-batch ratios. Used for "mean communication time per call", where a
+/// move-block contributes its total cost over its number of calls.
+class RatioBatchMeans {
+public:
+  explicit RatioBatchMeans(std::uint64_t initial_batch_size = 32,
+                           std::size_t max_batches = 64);
+
+  void add(double cost, double weight);
+
+  [[nodiscard]] ConfidenceInterval interval(double level) const;
+
+  /// Ratio of total cost to total weight over the whole run.
+  [[nodiscard]] double overall_ratio() const;
+
+  [[nodiscard]] double total_cost() const { return total_cost_; }
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+  [[nodiscard]] std::uint64_t observations() const { return total_obs_; }
+  [[nodiscard]] std::size_t closed_batches() const { return ratios_.size(); }
+
+private:
+  void close_batch();
+  void coalesce();
+
+  std::uint64_t batch_size_;
+  std::size_t max_batches_;
+  std::uint64_t in_current_ = 0;
+  double cur_cost_ = 0.0;
+  double cur_weight_ = 0.0;
+  std::vector<double> ratios_;
+  std::vector<double> weights_;  ///< per-batch weights, for coalescing
+  double total_cost_ = 0.0;
+  double total_weight_ = 0.0;
+  std::uint64_t total_obs_ = 0;
+};
+
+/// The paper's stopping rule: stop once the relative half-width of the
+/// target metric is below `relative_target` at confidence `level`, with
+/// floors (minimum batches/observations, to avoid premature stops) and
+/// ceilings (maximum observations, to bound runtime).
+struct StoppingRule {
+  double level = 0.99;
+  double relative_target = 0.01;
+  std::size_t min_batches = 8;
+  std::uint64_t min_observations = 512;
+  std::uint64_t max_observations = 2'000'000;
+
+  [[nodiscard]] bool satisfied_by(const RatioBatchMeans& m) const;
+};
+
+}  // namespace omig::stats

@@ -1,0 +1,79 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, bin_width_{(hi - lo) / static_cast<double>(bins)},
+      counts_(bins, 0) {
+  OMIG_REQUIRE(hi > lo, "histogram range must be non-empty");
+  OMIG_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  OMIG_REQUIRE(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  OMIG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return lo_;
+  const double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(width) *
+                                              static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak)));
+    os << '[';
+    os.precision(3);
+    os << bin_lo(i) << ", " << bin_hi(i) << ") ";
+    os << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow: " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace omig::stats

@@ -1,0 +1,42 @@
+// Fixed-bin histogram for distribution diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omig::stats {
+
+/// Equal-width histogram over [lo, hi) with overflow/underflow buckets.
+/// Used by examples and diagnostics to show call-duration distributions.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile by linear interpolation within the bin.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// ASCII rendering, `width` characters for the largest bar.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace omig::stats

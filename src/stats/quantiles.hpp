@@ -1,0 +1,15 @@
+// Quantile functions needed for confidence intervals.
+#pragma once
+
+namespace omig::stats {
+
+/// Inverse CDF of the standard normal distribution (Acklam's algorithm,
+/// relative error < 1.15e-9 over (0, 1)).
+double normal_quantile(double p);
+
+/// Inverse CDF of Student's t distribution with `df` degrees of freedom,
+/// via the Cornish–Fisher expansion around the normal quantile. Accurate to
+/// a few 1e-3 for df >= 3, which is ample for stopping-rule decisions.
+double student_t_quantile(double p, int df);
+
+}  // namespace omig::stats

@@ -1,0 +1,34 @@
+// Streaming mean/variance accumulator (Welford's algorithm).
+#pragma once
+
+#include <cstdint>
+
+namespace omig::stats {
+
+/// Numerically stable streaming accumulator for count, mean, variance,
+/// min and max of a sequence of observations.
+class Welford {
+public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (Chan et al. parallel update).
+  void merge(const Welford& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n − 1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace omig::stats

@@ -1,0 +1,44 @@
+// Typed trace events emitted by the migration runtime.
+//
+// Traces serve two purposes: (1) debugging/diagnosis — an operator can
+// render the timeline of who moved what where and which moves were
+// refused; (2) verification — the property tests assert protocol
+// invariants (locks balance, transits nest, refused blocks never migrate)
+// over recorded histories instead of poking at internals.
+#pragma once
+
+#include <cstdint>
+
+#include "objsys/ids.hpp"
+#include "sim/time.hpp"
+
+namespace omig::trace {
+
+enum class EventKind : std::uint8_t {
+  BlockBegin,      ///< a move()/visit() block opened (object = target)
+  BlockEnd,        ///< its end-request was issued
+  MoveRequest,     ///< request message dispatched towards the object
+  MoveRefused,     ///< placement/dynamic policy refused the move
+  MigrationStart,  ///< object entered transit (node = destination)
+  MigrationEnd,    ///< object reinstalled (node = destination)
+  Lock,            ///< placement lock acquired
+  Unlock,          ///< placement lock released
+  Fix,             ///< object fixed
+  Unfix,           ///< object unfixed
+  ReplicaCreated,  ///< copy of an immutable object installed (node = where)
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// One timeline entry. `block` is invalid for events not tied to a block
+/// (background migrations, fix/unfix); `node` is the event's node operand
+/// (origin of a request, destination of a migration).
+struct Event {
+  sim::SimTime time = 0.0;
+  EventKind kind = EventKind::BlockBegin;
+  objsys::ObjectId object = objsys::ObjectId::invalid();
+  objsys::NodeId node = objsys::NodeId::invalid();
+  objsys::BlockId block = objsys::BlockId::invalid();
+};
+
+}  // namespace omig::trace

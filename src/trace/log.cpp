@@ -1,0 +1,190 @@
+#include "trace/log.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::BlockBegin:
+      return "block-begin";
+    case EventKind::BlockEnd:
+      return "block-end";
+    case EventKind::MoveRequest:
+      return "move-request";
+    case EventKind::MoveRefused:
+      return "move-refused";
+    case EventKind::MigrationStart:
+      return "migration-start";
+    case EventKind::MigrationEnd:
+      return "migration-end";
+    case EventKind::Lock:
+      return "lock";
+    case EventKind::Unlock:
+      return "unlock";
+    case EventKind::Fix:
+      return "fix";
+    case EventKind::Unfix:
+      return "unfix";
+    case EventKind::ReplicaCreated:
+      return "replica-created";
+  }
+  return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_{capacity} {
+  OMIG_REQUIRE(capacity >= 1, "trace needs capacity");
+}
+
+void TraceLog::record(const Event& event) {
+  ++recorded_;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(event);
+}
+
+std::vector<Event> TraceLog::select(
+    const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> TraceLog::of_kind(EventKind kind) const {
+  return select([kind](const Event& e) { return e.kind == kind; });
+}
+
+std::vector<Event> TraceLog::for_object(objsys::ObjectId obj) const {
+  return select([obj](const Event& e) { return e.object == obj; });
+}
+
+std::size_t TraceLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string TraceLog::render(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t skip = 0;
+  if (events_.size() > max_lines) {
+    skip = events_.size() - max_lines;
+    os << "... (" << skip << " earlier events)\n";
+  }
+  std::size_t index = 0;
+  for (const Event& e : events_) {
+    if (index++ < skip) continue;
+    os << "t=" << e.time << "  " << to_string(e.kind);
+    if (e.object.valid()) os << "  obj " << e.object;
+    if (e.node.valid()) os << "  node " << e.node;
+    if (e.block.valid()) os << "  blk " << e.block;
+    os << '\n';
+  }
+  return os.str();
+}
+// (render shows the tail of the window: the most recent events are the
+// ones an operator debugging a live run cares about.)
+
+std::size_t TraceLog::to_jsonl(std::ostream& os) const {
+  for (const Event& e : events_) {
+    os << "{\"t\":" << e.time << ",\"kind\":\"" << to_string(e.kind)
+       << '"';
+    if (e.object.valid()) os << ",\"obj\":" << e.object.value();
+    if (e.node.valid()) os << ",\"node\":" << e.node.value();
+    if (e.block.valid()) os << ",\"blk\":" << e.block.value();
+    os << "}\n";
+  }
+  return events_.size();
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  recorded_ = 0;
+}
+
+namespace check {
+
+std::string locks_balance(const TraceLog& log, bool allow_open) {
+  std::map<std::pair<objsys::ObjectId, objsys::BlockId>, int> held;
+  for (const Event& e : log.events()) {
+    const auto key = std::make_pair(e.object, e.block);
+    if (e.kind == EventKind::Lock) {
+      if (++held[key] > 1) {
+        std::ostringstream os;
+        os << "object " << e.object << " double-locked by block " << e.block
+           << " at t=" << e.time;
+        return os.str();
+      }
+    } else if (e.kind == EventKind::Unlock) {
+      if (--held[key] < 0) {
+        std::ostringstream os;
+        os << "object " << e.object << " unlocked by block " << e.block
+           << " without a lock at t=" << e.time;
+        return os.str();
+      }
+    }
+  }
+  if (!allow_open) {
+    for (const auto& [key, count] : held) {
+      if (count != 0) {
+        std::ostringstream os;
+        os << "object " << key.first << " still locked by block "
+           << key.second << " at end of trace";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string transits_alternate(const TraceLog& log) {
+  std::map<objsys::ObjectId, bool> in_transit;
+  for (const Event& e : log.events()) {
+    if (e.kind == EventKind::MigrationStart) {
+      if (in_transit[e.object]) {
+        std::ostringstream os;
+        os << "object " << e.object << " started a second transit at t="
+           << e.time;
+        return os.str();
+      }
+      in_transit[e.object] = true;
+    } else if (e.kind == EventKind::MigrationEnd) {
+      if (!in_transit[e.object]) {
+        std::ostringstream os;
+        os << "object " << e.object << " ended a transit it never started"
+           << " at t=" << e.time;
+        return os.str();
+      }
+      in_transit[e.object] = false;
+    }
+  }
+  return {};
+}
+
+std::string refused_blocks_never_migrate(const TraceLog& log) {
+  std::map<objsys::BlockId, bool> refused;
+  for (const Event& e : log.events()) {
+    if (e.kind == EventKind::MoveRefused && e.block.valid()) {
+      refused[e.block] = true;
+    } else if (e.kind == EventKind::MigrationStart && e.block.valid()) {
+      if (refused.contains(e.block)) {
+        std::ostringstream os;
+        os << "block " << e.block << " was refused but migrated object "
+           << e.object << " at t=" << e.time;
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace check
+
+}  // namespace omig::trace

@@ -1,0 +1,74 @@
+// Bounded trace log with query helpers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace omig::trace {
+
+/// Records up to `capacity` most-recent events (older ones are dropped —
+/// a trace is a window, not an unbounded archive). Attach one to a
+/// MigrationManager to instrument a run; detached by default, zero cost.
+class TraceLog {
+public:
+  explicit TraceLog(std::size_t capacity = 65'536);
+
+  void record(const Event& event);
+
+  /// Number of events currently retained.
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Total events ever recorded (including dropped ones).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// True if older events have been dropped.
+  [[nodiscard]] bool truncated() const { return recorded_ > events_.size(); }
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+
+  /// Events satisfying a predicate (in time order).
+  [[nodiscard]] std::vector<Event> select(
+      const std::function<bool(const Event&)>& pred) const;
+
+  /// All events of one kind / touching one object.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+  [[nodiscard]] std::vector<Event> for_object(objsys::ObjectId obj) const;
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Human-readable timeline ("t=12.3  migration-end  obj #2 -> node #1").
+  [[nodiscard]] std::string render(std::size_t max_lines = 200) const;
+
+  /// Machine-readable export: one JSON object per line
+  /// ({"t":..,"kind":"..","obj":..,"node":..,"blk":..}; absent operands are
+  /// omitted). Returns the number of events written.
+  std::size_t to_jsonl(std::ostream& os) const;
+
+  void clear();
+
+private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Protocol-invariant checks over a recorded history. Each returns an
+/// empty string on success or a description of the first violation.
+namespace check {
+
+/// Every Lock has a matching later Unlock for the same (object, block),
+/// except locks still held at the end of the trace (reported via
+/// `allow_open`).
+std::string locks_balance(const TraceLog& log, bool allow_open = true);
+
+/// MigrationStart/MigrationEnd strictly alternate per object.
+std::string transits_alternate(const TraceLog& log);
+
+/// A block that was refused never has a MigrationStart attributed to it.
+std::string refused_blocks_never_migrate(const TraceLog& log);
+
+}  // namespace check
+
+}  // namespace omig::trace

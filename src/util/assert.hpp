@@ -1,0 +1,39 @@
+// Assertion and invariant-checking support for the omig library.
+//
+// We throw (rather than abort) so that unit tests can verify that invariant
+// violations are detected, and so that long simulation sweeps fail with a
+// diagnosable message instead of a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace omig {
+
+/// Error thrown when an OMIG_ASSERT / OMIG_REQUIRE condition fails.
+class AssertionError : public std::logic_error {
+public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace omig
+
+/// Internal invariant check. Active in all build types: the simulator is the
+/// evaluation instrument, so silent corruption is worse than the (tiny) cost.
+#define OMIG_ASSERT(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) ::omig::detail::assertion_failed(#expr, __FILE__, __LINE__,  \
+                                                  std::string{});             \
+  } while (false)
+
+/// Precondition check with an explanatory message (public API boundaries).
+#define OMIG_REQUIRE(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) ::omig::detail::assertion_failed(#expr, __FILE__, __LINE__,  \
+                                                  std::string{msg});          \
+  } while (false)

@@ -1,0 +1,53 @@
+// Strongly typed integer identifiers.
+//
+// The object system juggles several id spaces (nodes, objects, alliances,
+// move-blocks). Using a distinct C++ type per space makes it impossible to
+// pass a NodeId where an ObjectId is expected (Core Guidelines Per.10 /
+// I.4: rely on the static type system; make interfaces precisely typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace omig {
+
+/// A strongly typed wrapper around a 32-bit index. `Tag` is a phantom type
+/// that distinguishes the id spaces. Values are totally ordered so ids can
+/// key ordered containers; `invalid()` is an explicit sentinel.
+template <class Tag>
+class StrongId {
+public:
+  using value_type = std::uint32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_{v} {}
+
+  /// Sentinel id used for "no such entity".
+  static constexpr StrongId invalid() {
+    return StrongId{std::numeric_limits<value_type>::max()};
+  }
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return *this != invalid(); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << '#' << id.value_;
+  }
+
+private:
+  value_type value_ = std::numeric_limits<value_type>::max();
+};
+
+}  // namespace omig
+
+template <class Tag>
+struct std::hash<omig::StrongId<Tag>> {
+  std::size_t operator()(omig::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,124 @@
+#include "workload/fragmented.hpp"
+
+#include "sim/when_all.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace omig::workload {
+
+FragmentedWorkload build_fragmented(objsys::ObjectRegistry& registry,
+                                    migration::AttachmentGraph& attachments,
+                                    migration::AllianceRegistry& alliances,
+                                    const WorkloadParams& params) {
+  validate(params);
+  OMIG_REQUIRE(params.fragments > 0, "fragmented workload needs fragments");
+
+  FragmentedWorkload w;
+  if (params.monolithic) {
+    // The un-fragmented baseline: one object carrying all F fragments'
+    // state — its migration costs F·M (size scales the duration).
+    w.fragments.push_back(
+        registry.create("monolith", objsys::NodeId{0},
+                        static_cast<double>(params.fragments)));
+  } else {
+    for (int i = 0; i < params.fragments; ++i) {
+      w.fragments.push_back(registry.create(
+          "frag-" + std::to_string(i),
+          objsys::NodeId{
+              static_cast<std::uint32_t>(i % params.nodes)}));
+    }
+  }
+
+  // Views: client i touches fragments {i, …, i+view−1 mod F} (ring
+  // overlap); under the monolith every view is just the monolith.
+  w.views.resize(static_cast<std::size_t>(params.clients));
+  for (int c = 0; c < params.clients; ++c) {
+    const objsys::AllianceId a =
+        alliances.create("view-" + std::to_string(c));
+    w.alliances.push_back(a);
+    auto& view = w.views[static_cast<std::size_t>(c)];
+    if (params.monolithic) {
+      view.push_back(w.fragments[0]);
+      alliances.add_member(a, w.fragments[0]);
+      continue;
+    }
+    for (int q = 0; q < params.fragment_view; ++q) {
+      const auto idx =
+          static_cast<std::size_t>((c + q) % params.fragments);
+      view.push_back(w.fragments[idx]);
+      alliances.add_member(a, w.fragments[idx]);
+      // Chain the view so a move gathers it: f_c — f_{c+1} — … in the
+      // client's own cooperation context.
+      if (q > 0) {
+        attachments.attach(view[static_cast<std::size_t>(q - 1)],
+                           view[static_cast<std::size_t>(q)], a);
+      }
+    }
+  }
+  return w;
+}
+
+sim::Task fragmented_client(FragmentedClientEnv env, int index) {
+  const objsys::NodeId me = client_node(env.params, index);
+  sim::Rng rng{env.seed, 100 + static_cast<std::uint64_t>(index)};
+  const auto& view = env.workload.views[static_cast<std::size_t>(index)];
+  const objsys::AllianceId alliance =
+      env.workload.alliances[static_cast<std::size_t>(index)];
+
+  for (;;) {
+    co_await env.engine->delay(rng.exponential(env.params.mean_interblock));
+
+    migration::MoveBlock blk = env.manager->new_block(
+        me, view.front(), alliance, env.params.use_visit);
+    co_await env.policy->begin_block(blk);
+
+    const int n = rng.exponential_count(env.params.mean_calls);
+    for (int i = 0; i < n; ++i) {
+      co_await env.engine->delay(rng.exponential(env.params.mean_intercall));
+      const sim::SimTime start = env.engine->now();
+      // One logical call scans the client's whole view — sequentially by
+      // default, or as a fork/join when the fragments are independent.
+      if (env.params.parallel_scan) {
+        std::vector<sim::Task> scans;
+        scans.reserve(view.size());
+        for (const objsys::ObjectId frag : view) {
+          scans.push_back(env.invoker->invoke(me, frag));
+        }
+        co_await sim::when_all(*env.engine, std::move(scans));
+      } else {
+        for (const objsys::ObjectId frag : view) {
+          co_await env.invoker->invoke(me, frag);
+        }
+      }
+      const sim::SimTime duration = env.engine->now() - start;
+      env.observer->on_call(duration);
+      blk.call_time += duration;
+      ++blk.calls;
+    }
+
+    env.policy->end_block(blk);
+    env.observer->on_block(blk);
+  }
+}
+
+FragmentedWorkload spawn_fragmented(sim::Engine& engine,
+                                    objsys::ObjectRegistry& registry,
+                                    migration::MigrationManager& manager,
+                                    migration::MigrationPolicy& policy,
+                                    objsys::Invoker& invoker,
+                                    BlockObserver& observer,
+                                    const WorkloadParams& params,
+                                    std::uint64_t seed) {
+  FragmentedWorkload w = build_fragmented(
+      registry, manager.attachments(), manager.alliances(), params);
+  for (int i = 0; i < params.clients; ++i) {
+    FragmentedClientEnv env{&engine,  &manager, &policy, &invoker,
+                            &observer, params,   w,       seed};
+    engine.spawn(fragmented_client(env, i));
+  }
+  return w;
+}
+
+}  // namespace omig::workload

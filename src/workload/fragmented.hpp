@@ -1,0 +1,72 @@
+// Fragmented-object workload (paper Section 5 outlook; cf. the fragmented
+// objects of [MGL+94] the paper cites in its introduction).
+//
+// One logical service is either a *monolith* (a single object carrying all
+// the state, migration cost F·M) or *fragmented* into F objects of cost M
+// each. Every client's calls touch only its *view* — `view_size`
+// consecutive fragments (views overlap in a ring, like the Figure-7
+// working sets). Move-blocks gather the client's view; under the
+// monolith, everybody fights over one big object instead.
+//
+// The outlook question this answers: does fragmentation show the same
+// non-monolithic degradation as migration? (It reduces the conflict
+// surface — you only steal what you actually use — but overlapping views
+// still collide; see bench_outlook_fragmentation.)
+#pragma once
+
+#include <vector>
+
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "objsys/invocation.hpp"
+#include "workload/observer.hpp"
+#include "workload/params.hpp"
+
+namespace omig::workload {
+
+/// The built population of a fragmented experiment.
+struct FragmentedWorkload {
+  /// The fragments (or the single monolith when params.monolithic).
+  std::vector<objsys::ObjectId> fragments;
+  /// Per client: the fragments its calls touch.
+  std::vector<std::vector<objsys::ObjectId>> views;
+  /// Per client: the alliance scoping its view's attachments.
+  std::vector<objsys::AllianceId> alliances;
+};
+
+/// Creates the fragments (round-robin over nodes; one object of size F in
+/// monolithic mode), the ring-overlapping views, one alliance per client,
+/// and the intra-view attachments (labelled with the client's alliance).
+FragmentedWorkload build_fragmented(objsys::ObjectRegistry& registry,
+                                    migration::AttachmentGraph& attachments,
+                                    migration::AllianceRegistry& alliances,
+                                    const WorkloadParams& params);
+
+struct FragmentedClientEnv {
+  sim::Engine* engine;
+  migration::MigrationManager* manager;
+  migration::MigrationPolicy* policy;
+  objsys::Invoker* invoker;
+  BlockObserver* observer;
+  WorkloadParams params;
+  FragmentedWorkload workload;
+  std::uint64_t seed;
+};
+
+/// Client `index`: move-blocks target the first fragment of its view in
+/// the view's alliance context; each call scans the whole view (one
+/// sequential invocation per fragment — the measured duration covers the
+/// scan).
+sim::Task fragmented_client(FragmentedClientEnv env, int index);
+
+/// Builds the workload and spawns all C client processes.
+FragmentedWorkload spawn_fragmented(sim::Engine& engine,
+                                    objsys::ObjectRegistry& registry,
+                                    migration::MigrationManager& manager,
+                                    migration::MigrationPolicy& policy,
+                                    objsys::Invoker& invoker,
+                                    BlockObserver& observer,
+                                    const WorkloadParams& params,
+                                    std::uint64_t seed);
+
+}  // namespace omig::workload

@@ -1,0 +1,28 @@
+// Observer interface decoupling the workload from metric collection.
+#pragma once
+
+#include "migration/block.hpp"
+
+namespace omig::workload {
+
+/// Receives completed move-blocks and background migration costs. The
+/// experiment driver's Recorder implements this; tests plug in fakes.
+class BlockObserver {
+public:
+  virtual ~BlockObserver() = default;
+
+  /// A move-block finished: `blk.calls` invocations with total duration
+  /// `blk.call_time`, plus `blk.migration_cost` of migration overhead.
+  virtual void on_block(const migration::MoveBlock& blk) = 0;
+
+  /// Migration cost not attributable to any block (e.g. reinstantiation
+  /// migrations triggered by end-requests).
+  virtual void on_background_migration(double cost) = 0;
+
+  /// One completed invocation and its duration (includes blocked-on-transit
+  /// time). Default no-op: only consumers interested in the distribution
+  /// (tail latency) override this.
+  virtual void on_call(double duration) { (void)duration; }
+};
+
+}  // namespace omig::workload

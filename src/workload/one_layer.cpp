@@ -1,0 +1,96 @@
+#include "workload/one_layer.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace omig::workload {
+
+OneLayerWorkload build_one_layer(objsys::ObjectRegistry& registry,
+                                 const WorkloadParams& params) {
+  validate(params);
+  OMIG_REQUIRE(params.servers2 == 0,
+               "one-layer workload must not declare second-layer servers");
+  OneLayerWorkload w;
+  w.servers.reserve(static_cast<std::size_t>(params.servers1));
+  for (int j = 0; j < params.servers1; ++j) {
+    w.servers.push_back(registry.create("S1-" + std::to_string(j),
+                                        server1_node(params, j),
+                                        /*size=*/1.0, /*mobile=*/true,
+                                        params.immutable_servers));
+  }
+  return w;
+}
+
+sim::Task one_layer_client(ClientEnv env, int index) {
+  const objsys::NodeId me = client_node(env.params, index);
+  // Independent stream per client: draws of one client are unaffected by
+  // how many other clients exist.
+  sim::Rng rng{env.seed, 100 + static_cast<std::uint64_t>(index)};
+
+  for (;;) {
+    co_await env.engine->delay(rng.exponential(env.params.mean_interblock));
+
+    // Each block targets a uniformly chosen server (every client can
+    // communicate with every server).
+    const objsys::ObjectId target =
+        env.servers[rng.uniform_int(env.servers.size())];
+    migration::MoveBlock blk =
+        env.manager->new_block(me, target, objsys::AllianceId::invalid(),
+                               env.params.use_visit);
+
+    co_await env.policy->begin_block(blk);
+
+    const int n = rng.exponential_count(env.params.mean_calls);
+    for (int i = 0; i < n; ++i) {
+      co_await env.engine->delay(rng.exponential(env.params.mean_intercall));
+      const auto kind = env.params.read_fraction > 0.0 &&
+                                rng.uniform() < env.params.read_fraction
+                            ? objsys::InvocationKind::Read
+                            : objsys::InvocationKind::Write;
+      const sim::SimTime start = env.engine->now();
+      co_await env.invoker->invoke(me, target, kind);
+      const sim::SimTime duration = env.engine->now() - start;
+      env.observer->on_call(duration);
+      blk.call_time += duration;
+      ++blk.calls;
+    }
+
+    env.policy->end_block(blk);
+    env.observer->on_block(blk);
+  }
+}
+
+OneLayerWorkload spawn_one_layer(sim::Engine& engine,
+                                 objsys::ObjectRegistry& registry,
+                                 migration::MigrationManager& manager,
+                                 migration::MigrationPolicy& policy,
+                                 objsys::Invoker& invoker,
+                                 BlockObserver& observer,
+                                 const WorkloadParams& params,
+                                 std::uint64_t seed) {
+  const std::vector<migration::MigrationPolicy*> policies(
+      static_cast<std::size_t>(params.clients), &policy);
+  return spawn_one_layer_mixed(engine, registry, manager, policies, invoker,
+                               observer, params, seed);
+}
+
+OneLayerWorkload spawn_one_layer_mixed(
+    sim::Engine& engine, objsys::ObjectRegistry& registry,
+    migration::MigrationManager& manager,
+    const std::vector<migration::MigrationPolicy*>& policies,
+    objsys::Invoker& invoker, BlockObserver& observer,
+    const WorkloadParams& params, std::uint64_t seed) {
+  OMIG_REQUIRE(policies.size() == static_cast<std::size_t>(params.clients),
+               "need exactly one policy per client");
+  OneLayerWorkload w = build_one_layer(registry, params);
+  for (int i = 0; i < params.clients; ++i) {
+    ClientEnv env{&engine,   &manager, policies[static_cast<std::size_t>(i)],
+                  &invoker,  &observer, params,
+                  w.servers, seed};
+    engine.spawn(one_layer_client(env, i));
+  }
+  return w;
+}
+
+}  // namespace omig::workload

@@ -1,0 +1,66 @@
+// One-layer client/server workload (paper Figure 6).
+//
+// Sedentary clients repeatedly run move-blocks against a pool of mobile
+// servers: wait t_m, move(server → own node), perform N invocations spaced
+// t_i apart, end. "Because clients are not invoked from other objects,
+// there is no point in migrating them. Hence, they are sedentary. Only
+// servers move during the simulation."
+#pragma once
+
+#include <vector>
+
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "objsys/invocation.hpp"
+#include "workload/observer.hpp"
+#include "workload/params.hpp"
+
+namespace omig::workload {
+
+/// The built population of a one-layer experiment.
+struct OneLayerWorkload {
+  std::vector<objsys::ObjectId> servers;
+};
+
+/// Creates the S1 servers (round-robin over nodes). Clients are pure
+/// processes, not registry objects — they never receive calls.
+OneLayerWorkload build_one_layer(objsys::ObjectRegistry& registry,
+                                 const WorkloadParams& params);
+
+/// Everything a client process needs. Copied by value into the coroutine
+/// frame; the pointed-to services must outlive the simulation run.
+struct ClientEnv {
+  sim::Engine* engine;
+  migration::MigrationManager* manager;
+  migration::MigrationPolicy* policy;
+  objsys::Invoker* invoker;
+  BlockObserver* observer;
+  WorkloadParams params;
+  std::vector<objsys::ObjectId> servers;
+  std::uint64_t seed;
+};
+
+/// The endless move-block loop of client `index` (paper Figure 2 adapted):
+/// runs until the engine stops it.
+sim::Task one_layer_client(ClientEnv env, int index);
+
+/// Builds the workload and spawns all C client processes.
+OneLayerWorkload spawn_one_layer(sim::Engine& engine,
+                                 objsys::ObjectRegistry& registry,
+                                 migration::MigrationManager& manager,
+                                 migration::MigrationPolicy& policy,
+                                 objsys::Invoker& invoker,
+                                 BlockObserver& observer,
+                                 const WorkloadParams& params,
+                                 std::uint64_t seed);
+
+/// Mixed-policy variant (the non-monolithic case proper): client `i` runs
+/// under `policies[i]`. Requires `policies.size() == params.clients`.
+OneLayerWorkload spawn_one_layer_mixed(
+    sim::Engine& engine, objsys::ObjectRegistry& registry,
+    migration::MigrationManager& manager,
+    const std::vector<migration::MigrationPolicy*>& policies,
+    objsys::Invoker& invoker, BlockObserver& observer,
+    const WorkloadParams& params, std::uint64_t seed);
+
+}  // namespace omig::workload

@@ -1,0 +1,56 @@
+#include "workload/params.hpp"
+
+#include "util/assert.hpp"
+
+namespace omig::workload {
+
+void validate(const WorkloadParams& params) {
+  OMIG_REQUIRE(params.nodes >= 1, "need at least one node");
+  OMIG_REQUIRE(params.clients >= 1, "need at least one client");
+  OMIG_REQUIRE(params.servers1 >= 1, "need at least one first-layer server");
+  OMIG_REQUIRE(params.servers2 >= 0, "second-layer server count negative");
+  OMIG_REQUIRE(params.migration_duration >= 0.0, "negative migration time");
+  // "A move block is set up sensibly when N > M" (Section 4.1): warn-level
+  // requirement — the paper assumes programmers obey it, and the presets do.
+  OMIG_REQUIRE(params.mean_calls >= 1.0, "mean calls per block must be >= 1");
+  OMIG_REQUIRE(params.mean_intercall >= 0.0, "negative inter-call time");
+  OMIG_REQUIRE(params.mean_interblock >= 0.0, "negative inter-block time");
+  OMIG_REQUIRE(params.read_fraction >= 0.0 && params.read_fraction <= 1.0,
+               "read fraction must be in [0, 1]");
+  OMIG_REQUIRE(params.fragments >= 0, "fragment count negative");
+  if (params.fragments > 0) {
+    OMIG_REQUIRE(params.servers2 == 0,
+                 "fragmented and two-layer workloads are mutually exclusive");
+    OMIG_REQUIRE(params.fragment_view >= 1 &&
+                     params.fragment_view <= params.fragments,
+                 "fragment view out of range");
+  }
+  if (params.servers2 > 0) {
+    OMIG_REQUIRE(params.working_set_size >= 1 &&
+                     params.working_set_size <= params.servers2,
+                 "working-set size out of range");
+  }
+}
+
+objsys::NodeId client_node(const WorkloadParams& params, int client_index) {
+  OMIG_REQUIRE(client_index >= 0 && client_index < params.clients,
+               "client index out of range");
+  return objsys::NodeId{static_cast<std::uint32_t>(
+      client_index % params.nodes)};
+}
+
+objsys::NodeId server1_node(const WorkloadParams& params, int server_index) {
+  OMIG_REQUIRE(server_index >= 0 && server_index < params.servers1,
+               "server index out of range");
+  return objsys::NodeId{static_cast<std::uint32_t>(
+      server_index % params.nodes)};
+}
+
+objsys::NodeId server2_node(const WorkloadParams& params, int server_index) {
+  OMIG_REQUIRE(server_index >= 0 && server_index < params.servers2,
+               "server index out of range");
+  return objsys::NodeId{static_cast<std::uint32_t>(
+      (params.servers1 + server_index) % params.nodes)};
+}
+
+}  // namespace omig::workload

@@ -1,0 +1,64 @@
+// Simulation workload parameters (paper Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "objsys/ids.hpp"
+
+namespace omig::workload {
+
+/// The parameters of Table 1, plus the concretisations DESIGN.md documents
+/// (working-set size and client/server node placement).
+struct WorkloadParams {
+  int nodes = 3;     ///< D — number of nodes (fixed)
+  int clients = 3;   ///< C — number of clients (fixed)
+  int servers1 = 3;  ///< S1 — first-layer servers (fixed)
+  int servers2 = 0;  ///< S2 — second-layer servers (fixed; 0 = one layer)
+
+  double migration_duration = 6.0;  ///< M — per-server migration duration
+  double mean_calls = 8.0;          ///< N — calls per move-block (exp.)
+  double mean_intercall = 1.0;      ///< t_i — gap between calls (exp.)
+  double mean_interblock = 30.0;    ///< t_m — gap between blocks (exp.)
+
+  /// Working-set size of each first-layer server (two-layer model only).
+  /// Working sets overlap in a ring: WS_i = {S2_i, …, S2_(i+w−1 mod S2)} —
+  /// the worst case of Section 4.4 for w >= 2.
+  int working_set_size = 2;
+
+  /// Use visit() instead of move() blocks (objects migrate back at end).
+  bool use_visit = false;
+
+  /// Create the servers as immutable ("static") objects: moves create
+  /// copies instead of relocating (paper Section 1; beyond-paper bench).
+  bool immutable_servers = false;
+
+  /// Fraction of calls that are reads (0 = the paper's model, where every
+  /// call may mutate; used by the Section-5-outlook replication bench).
+  double read_fraction = 0.0;
+
+  // --- fragmented workload (Section-5 outlook) -----------------------------
+  /// > 0 selects the fragmented workload: the service is split into this
+  /// many fragments (or one monolith of equivalent size, see below).
+  int fragments = 0;
+  /// Fragments per client view (ring overlap, like the Fig.-7 working sets).
+  int fragment_view = 2;
+  /// Baseline: keep the service as ONE object of size `fragments` instead.
+  bool monolithic = false;
+  /// Scan the view fragments concurrently (duration = slowest fragment)
+  /// instead of sequentially (duration = sum). Fragmented workload only.
+  bool parallel_scan = false;
+};
+
+/// Validates parameter ranges; throws AssertionError on violations.
+void validate(const WorkloadParams& params);
+
+/// Node placement: client `i` runs at node `i mod D`. With D = C = S1 this
+/// reproduces the paper's "chance that the callee is local … is 1/C".
+objsys::NodeId client_node(const WorkloadParams& params, int client_index);
+
+/// Node placement: first-layer server `j` starts at node `j mod D`,
+/// second-layer server `k` at node `(S1 + k) mod D`.
+objsys::NodeId server1_node(const WorkloadParams& params, int server_index);
+objsys::NodeId server2_node(const WorkloadParams& params, int server_index);
+
+}  // namespace omig::workload

@@ -1,0 +1,110 @@
+#include "workload/two_layer.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace omig::workload {
+
+TwoLayerWorkload build_two_layer(objsys::ObjectRegistry& registry,
+                                 migration::AttachmentGraph& attachments,
+                                 migration::AllianceRegistry& alliances,
+                                 const WorkloadParams& params) {
+  validate(params);
+  OMIG_REQUIRE(params.servers2 > 0,
+               "two-layer workload needs second-layer servers");
+
+  TwoLayerWorkload w;
+  for (int j = 0; j < params.servers1; ++j) {
+    w.servers1.push_back(registry.create("S1-" + std::to_string(j),
+                                         server1_node(params, j)));
+  }
+  for (int k = 0; k < params.servers2; ++k) {
+    w.servers2.push_back(registry.create("S2-" + std::to_string(k),
+                                         server2_node(params, k)));
+  }
+
+  // Ring-overlapping working sets: WS_i = {S2_i, …, S2_(i+w−1 mod S2)}.
+  // For w >= 2 and S1 = S2 this connects all servers into one attachment
+  // component — the worst case Section 4.4 considers.
+  w.working_sets.resize(static_cast<std::size_t>(params.servers1));
+  w.alliances.reserve(static_cast<std::size_t>(params.servers1));
+  for (int i = 0; i < params.servers1; ++i) {
+    const objsys::AllianceId a =
+        alliances.create("alliance-" + std::to_string(i));
+    w.alliances.push_back(a);
+    alliances.add_member(a, w.servers1[static_cast<std::size_t>(i)]);
+    for (int d = 0; d < params.working_set_size; ++d) {
+      const auto k = static_cast<std::size_t>((i + d) % params.servers2);
+      w.working_sets[static_cast<std::size_t>(i)].push_back(w.servers2[k]);
+      alliances.add_member(a, w.servers2[k]);
+      // Attachment issued in the context of this alliance: the server is
+      // kept together with its working set.
+      attachments.attach(w.servers1[static_cast<std::size_t>(i)],
+                         w.servers2[k], a);
+    }
+  }
+  return w;
+}
+
+sim::Task two_layer_client(TwoLayerClientEnv env, int index) {
+  const objsys::NodeId me = client_node(env.params, index);
+  sim::Rng rng{env.seed, 100 + static_cast<std::uint64_t>(index)};
+  const auto& w = env.workload;
+
+  for (;;) {
+    co_await env.engine->delay(rng.exponential(env.params.mean_interblock));
+
+    const std::size_t s1 = rng.uniform_int(w.servers1.size());
+    const objsys::ObjectId target = w.servers1[s1];
+    // The migration primitive is unambiguously related to one alliance
+    // (Section 3.4) — the working-set context of the chosen server.
+    migration::MoveBlock blk = env.manager->new_block(
+        me, target, w.alliances[s1], env.params.use_visit);
+
+    co_await env.policy->begin_block(blk);
+
+    const int n = rng.exponential_count(env.params.mean_calls);
+    const auto& ws = w.working_sets[s1];
+    for (int i = 0; i < n; ++i) {
+      co_await env.engine->delay(rng.exponential(env.params.mean_intercall));
+      const auto kind = env.params.read_fraction > 0.0 &&
+                                rng.uniform() < env.params.read_fraction
+                            ? objsys::InvocationKind::Read
+                            : objsys::InvocationKind::Write;
+      const sim::SimTime start = env.engine->now();
+      // Client invokes the first-layer server, which in turn uses exactly
+      // one (uniformly chosen) member of its working set.
+      co_await env.invoker->invoke(me, target, kind);
+      co_await env.invoker->invoke_from_object(
+          target, ws[rng.uniform_int(ws.size())], kind);
+      const sim::SimTime duration = env.engine->now() - start;
+      env.observer->on_call(duration);
+      blk.call_time += duration;
+      ++blk.calls;
+    }
+
+    env.policy->end_block(blk);
+    env.observer->on_block(blk);
+  }
+}
+
+TwoLayerWorkload spawn_two_layer(sim::Engine& engine,
+                                 objsys::ObjectRegistry& registry,
+                                 migration::MigrationManager& manager,
+                                 migration::MigrationPolicy& policy,
+                                 objsys::Invoker& invoker,
+                                 BlockObserver& observer,
+                                 const WorkloadParams& params,
+                                 std::uint64_t seed) {
+  TwoLayerWorkload w = build_two_layer(registry, manager.attachments(),
+                                       manager.alliances(), params);
+  TwoLayerClientEnv env{&engine, &manager, &policy, &invoker, &observer,
+                        params,  w,        seed};
+  for (int i = 0; i < params.clients; ++i) {
+    engine.spawn(two_layer_client(env, i));
+  }
+  return w;
+}
+
+}  // namespace omig::workload

@@ -1,0 +1,70 @@
+// Two-layer working-set workload (paper Figure 7, Section 4.4).
+//
+// First-layer servers are used directly by the clients; each first-layer
+// server uses exactly the second-layer servers of its working set. All
+// objects of one working set are attached together. Working sets of
+// different servers partially overlap (ring overlap — the worst case): with
+// unrestricted transitive attachment every migration drags the whole
+// connected component; A-transitive attachment restricts it to the alliance
+// the move was invoked in.
+#pragma once
+
+#include <vector>
+
+#include "migration/alliance.hpp"
+#include "migration/attachment.hpp"
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "objsys/invocation.hpp"
+#include "workload/observer.hpp"
+#include "workload/params.hpp"
+
+namespace omig::workload {
+
+/// The built population of a two-layer experiment.
+struct TwoLayerWorkload {
+  std::vector<objsys::ObjectId> servers1;
+  std::vector<objsys::ObjectId> servers2;
+  /// working_sets[i] = the second-layer servers first-layer server i uses.
+  std::vector<std::vector<objsys::ObjectId>> working_sets;
+  /// alliance of first-layer server i: {S1_i} ∪ WS_i.
+  std::vector<objsys::AllianceId> alliances;
+};
+
+/// Creates both server layers, the ring-overlapping working sets, one
+/// alliance per first-layer server, and the attachments (labelled with the
+/// alliance they were issued in).
+TwoLayerWorkload build_two_layer(objsys::ObjectRegistry& registry,
+                                 migration::AttachmentGraph& attachments,
+                                 migration::AllianceRegistry& alliances,
+                                 const WorkloadParams& params);
+
+/// Client environment for the two-layer model.
+struct TwoLayerClientEnv {
+  sim::Engine* engine;
+  migration::MigrationManager* manager;
+  migration::MigrationPolicy* policy;
+  objsys::Invoker* invoker;
+  BlockObserver* observer;
+  WorkloadParams params;
+  TwoLayerWorkload workload;
+  std::uint64_t seed;
+};
+
+/// Client `index`: each block targets a uniformly chosen first-layer server
+/// in the context of that server's alliance; each call goes client → S1 and
+/// then S1 → a uniformly chosen member of its working set. The measured
+/// call duration spans both hops.
+sim::Task two_layer_client(TwoLayerClientEnv env, int index);
+
+/// Builds the workload and spawns all C client processes.
+TwoLayerWorkload spawn_two_layer(sim::Engine& engine,
+                                 objsys::ObjectRegistry& registry,
+                                 migration::MigrationManager& manager,
+                                 migration::MigrationPolicy& policy,
+                                 objsys::Invoker& invoker,
+                                 BlockObserver& observer,
+                                 const WorkloadParams& params,
+                                 std::uint64_t seed);
+
+}  // namespace omig::workload

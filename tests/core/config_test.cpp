@@ -1,0 +1,133 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::core {
+namespace {
+
+TEST(ConfigTest, ParsesWorkloadKeys) {
+  const auto cfg = parse_config({"nodes=27", "clients=12", "servers1=3",
+                                 "servers2=6", "ws=2", "m=4.5", "n=10",
+                                 "ti=0.5", "tm=20", "visit=1"});
+  EXPECT_EQ(cfg.workload.nodes, 27);
+  EXPECT_EQ(cfg.workload.clients, 12);
+  EXPECT_EQ(cfg.workload.servers1, 3);
+  EXPECT_EQ(cfg.workload.servers2, 6);
+  EXPECT_EQ(cfg.workload.working_set_size, 2);
+  EXPECT_DOUBLE_EQ(cfg.workload.migration_duration, 4.5);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_calls, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_intercall, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_interblock, 20.0);
+  EXPECT_TRUE(cfg.workload.use_visit);
+}
+
+TEST(ConfigTest, ParsesSemanticsKeys) {
+  const auto cfg = parse_config({"policy=compare-nodes", "attach=a-transitive",
+                                 "exclusive=1", "transfer=serial"});
+  EXPECT_EQ(cfg.policy, migration::PolicyKind::CompareNodes);
+  EXPECT_EQ(cfg.transitivity, migration::AttachTransitivity::ATransitive);
+  EXPECT_TRUE(cfg.exclusive_attachments);
+  EXPECT_EQ(cfg.transfer, migration::ClusterTransfer::Serial);
+}
+
+TEST(ConfigTest, ParsesSubstrateKeys) {
+  const auto cfg = parse_config(
+      {"topology=grid", "latency=hop-scaled", "location=forwarding"});
+  EXPECT_EQ(cfg.topology, net::TopologyKind::Grid);
+  EXPECT_EQ(cfg.latency_mode, net::LatencyMode::HopScaled);
+  EXPECT_EQ(cfg.location_scheme, objsys::LocationScheme::Forwarding);
+}
+
+TEST(ConfigTest, ParsesRunControl) {
+  const auto cfg = parse_config({"ci=0.05", "min-blocks=100",
+                                 "max-blocks=5000", "warmup=250",
+                                 "max-time=1e6", "seed=42"});
+  EXPECT_DOUBLE_EQ(cfg.stopping.relative_target, 0.05);
+  EXPECT_EQ(cfg.stopping.min_observations, 100u);
+  EXPECT_EQ(cfg.stopping.max_observations, 5000u);
+  EXPECT_DOUBLE_EQ(cfg.warmup_time, 250.0);
+  EXPECT_DOUBLE_EQ(cfg.max_time, 1e6);
+  EXPECT_EQ(cfg.seed, 42u);
+}
+
+TEST(ConfigTest, ParsesEgoisticKeys) {
+  const auto cfg = parse_config(
+      {"egoistic-clients=3", "egoistic-policy=conventional",
+       "policy=placement"});
+  EXPECT_EQ(cfg.egoistic_clients, 3);
+  EXPECT_EQ(cfg.egoistic_policy, migration::PolicyKind::Conventional);
+  EXPECT_EQ(cfg.policy, migration::PolicyKind::Placement);
+}
+
+TEST(ConfigTest, LoadSharePolicyParses) {
+  EXPECT_EQ(parse_config({"policy=load-share"}).policy,
+            migration::PolicyKind::LoadShare);
+}
+
+TEST(ConfigTest, MigrationAliasForConventional) {
+  EXPECT_EQ(policy_from_string("migration"),
+            migration::PolicyKind::Conventional);
+}
+
+TEST(ConfigTest, RejectsUnknownKey) {
+  EXPECT_THROW(parse_config({"bogus=1"}), ConfigError);
+}
+
+TEST(ConfigTest, RejectsMalformedToken) {
+  EXPECT_THROW(parse_config({"clients"}), ConfigError);
+  EXPECT_THROW(parse_config({"=5"}), ConfigError);
+}
+
+TEST(ConfigTest, RejectsBadValues) {
+  EXPECT_THROW(parse_config({"clients=many"}), ConfigError);
+  EXPECT_THROW(parse_config({"policy=teleport"}), ConfigError);
+  EXPECT_THROW(parse_config({"visit=maybe"}), ConfigError);
+  EXPECT_THROW(parse_config({"m=fast"}), ConfigError);
+}
+
+TEST(ConfigTest, LaterAssignmentsWin) {
+  const auto cfg = parse_config({"clients=3", "clients=9"});
+  EXPECT_EQ(cfg.workload.clients, 9);
+}
+
+TEST(ConfigTest, DescribeRoundTrips) {
+  const auto cfg = parse_config(
+      {"policy=placement", "clients=7", "nodes=12", "topology=ring",
+       "attach=a-transitive", "servers2=4", "ws=2", "egoistic-clients=2"});
+  const std::string text = describe(cfg);
+  // Split the description back into tokens and re-parse.
+  std::vector<std::string> tokens;
+  std::istringstream is{text};
+  for (std::string tok; is >> tok;) tokens.push_back(tok);
+  const auto again = parse_config(tokens);
+  EXPECT_EQ(again.workload.clients, 7);
+  EXPECT_EQ(again.workload.nodes, 12);
+  EXPECT_EQ(again.topology, net::TopologyKind::Ring);
+  EXPECT_EQ(again.transitivity, migration::AttachTransitivity::ATransitive);
+  EXPECT_EQ(again.egoistic_clients, 2);
+  EXPECT_EQ(again.policy, migration::PolicyKind::Placement);
+}
+
+TEST(ConfigTest, HelpMentionsEveryKeyGroup) {
+  const std::string help = config_help();
+  for (const char* key : {"nodes", "policy", "attach", "topology",
+                          "location", "egoistic-clients", "ci", "seed"}) {
+    EXPECT_NE(help.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ConfigTest, EnumToStringRoundTrip) {
+  EXPECT_EQ(topology_from_string(to_string(net::TopologyKind::Star)),
+            net::TopologyKind::Star);
+  EXPECT_EQ(latency_from_string(to_string(net::LatencyMode::Fixed)),
+            net::LatencyMode::Fixed);
+  EXPECT_EQ(transfer_from_string(
+                to_string(migration::ClusterTransfer::Serial)),
+            migration::ClusterTransfer::Serial);
+  EXPECT_EQ(transitivity_from_string(
+                to_string(migration::AttachTransitivity::ATransitive)),
+            migration::AttachTransitivity::ATransitive);
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,148 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+
+namespace omig::core {
+namespace {
+
+stats::StoppingRule quick_rule(std::uint64_t max_blocks = 4'000) {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.05;
+  rule.min_observations = 500;
+  rule.max_observations = max_blocks;
+  return rule;
+}
+
+TEST(ExperimentTest, SedentaryBaselineMatchesAnalyticMean) {
+  // D = C = S1 = 3, one client per node, servers round-robin: a call is
+  // local with probability 1/3, remote calls cost two exp(1) messages —
+  // the paper's "mean duration of a call for sedentary nodes is 4/3".
+  ExperimentConfig cfg = fig8_config(30.0, migration::PolicyKind::Sedentary);
+  cfg.stopping = quick_rule(8'000);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_NEAR(r.total_per_call, 4.0 / 3.0, 0.05);
+  EXPECT_DOUBLE_EQ(r.migration_per_call, 0.0);
+  EXPECT_EQ(r.migrations, 0u);
+  EXPECT_GT(r.calls, 0u);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(ExperimentTest, MigrationBeatsSedentaryAtLowConcurrency) {
+  // With t_m = 100 the blocks rarely overlap; migration amortises M = 6
+  // over ~8 local calls and wins (the right side of Figure 8).
+  ExperimentConfig sed = fig8_config(100.0, migration::PolicyKind::Sedentary);
+  ExperimentConfig mig =
+      fig8_config(100.0, migration::PolicyKind::Conventional);
+  sed.stopping = quick_rule();
+  mig.stopping = quick_rule();
+  const double sed_cost = run_experiment(sed).total_per_call;
+  const double mig_cost = run_experiment(mig).total_per_call;
+  EXPECT_LT(mig_cost, sed_cost);
+}
+
+TEST(ExperimentTest, ResultsAreDeterministicPerSeed) {
+  ExperimentConfig cfg = fig8_config(30.0, migration::PolicyKind::Placement);
+  cfg.stopping = quick_rule(1'500);
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.total_per_call, b.total_per_call);
+  EXPECT_EQ(a.calls, b.calls);
+  cfg.seed ^= 0xdeadbeef;
+  const ExperimentResult c = run_experiment(cfg);
+  EXPECT_NE(a.total_per_call, c.total_per_call);
+}
+
+TEST(ExperimentTest, PlacementLimitsMigrationsUnderContention) {
+  // Hot-spot scenario: many clients, one popular server set. Conventional
+  // migration thrashes; placement migrates far less.
+  ExperimentConfig conv = fig12_config(15, migration::PolicyKind::Conventional);
+  ExperimentConfig plac = fig12_config(15, migration::PolicyKind::Placement);
+  conv.stopping = quick_rule(1'500);
+  plac.stopping = quick_rule(1'500);
+  const ExperimentResult a = run_experiment(conv);
+  const ExperimentResult b = run_experiment(plac);
+  EXPECT_GT(a.migrations, b.migrations);
+  EXPECT_LT(b.total_per_call, a.total_per_call);
+}
+
+TEST(ExperimentTest, TwoLayerWorkloadRuns) {
+  ExperimentConfig cfg =
+      fig16_config(4, migration::PolicyKind::Placement,
+                   migration::AttachTransitivity::ATransitive);
+  cfg.stopping = quick_rule(1'000);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.calls, 0u);
+  EXPECT_GT(r.total_per_call, 0.0);
+}
+
+TEST(ExperimentTest, MaxTimeBoundsTheRun) {
+  ExperimentConfig cfg = fig8_config(30.0, migration::PolicyKind::Sedentary);
+  cfg.stopping.min_observations = 1'000'000;  // the rule never fires
+  cfg.stopping.max_observations = 1'000'000;
+  cfg.max_time = 2'000.0;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_LE(r.sim_time, 2'000.0);
+  EXPECT_GT(r.blocks, 0u);
+}
+
+TEST(ExperimentTest, LocationSchemeAddsOverheadButKeepsOrdering) {
+  ExperimentConfig none = fig8_config(60.0, migration::PolicyKind::Placement);
+  ExperimentConfig ns = none;
+  ns.location_scheme = objsys::LocationScheme::NameServer;
+  none.stopping = quick_rule(1'500);
+  ns.stopping = quick_rule(1'500);
+  const double base = run_experiment(none).total_per_call;
+  const double with_ns = run_experiment(ns).total_per_call;
+  EXPECT_GE(with_ns, base * 0.98);  // lookups can only add cost (noise aside)
+}
+
+TEST(ExperimentTest, ReplicationHelpsReadHeavyHotSpots) {
+  ExperimentConfig base = fig12_config(12, migration::PolicyKind::Sedentary);
+  base.workload.read_fraction = 0.98;
+  base.stopping = quick_rule(2'000);
+  ExperimentConfig repl = base;
+  repl.replication = objsys::ReplicationMode::ReplicateOnRead;
+  const auto without = run_experiment(base);
+  const auto with = run_experiment(repl);
+  EXPECT_LT(with.total_per_call, without.total_per_call);
+  EXPECT_GT(with.replica_hits, 0u);
+  EXPECT_GT(with.replications, 0u);
+}
+
+TEST(ExperimentTest, ReplicationHurtsWriteHeavyHotSpots) {
+  // The Section-5 conjecture: replication shows the same non-monolithic
+  // degradation as migration once writes invalidate aggressively.
+  ExperimentConfig base = fig12_config(12, migration::PolicyKind::Sedentary);
+  base.workload.read_fraction = 0.5;
+  base.stopping = quick_rule(2'000);
+  ExperimentConfig repl = base;
+  repl.replication = objsys::ReplicationMode::ReplicateOnRead;
+  const auto without = run_experiment(base);
+  const auto with = run_experiment(repl);
+  EXPECT_GT(with.total_per_call, without.total_per_call);
+  EXPECT_GT(with.invalidations, 0u);
+}
+
+TEST(ExperimentTest, ImmutableServersDissolveTheHotSpot) {
+  ExperimentConfig cfg = fig12_config(12, migration::PolicyKind::Conventional);
+  cfg.stopping = quick_rule(2'000);
+  ExperimentConfig immutable = cfg;
+  immutable.workload.immutable_servers = true;
+  const auto hot = run_experiment(cfg);
+  const auto cold = run_experiment(immutable);
+  EXPECT_LT(cold.total_per_call, hot.total_per_call * 0.5);
+  EXPECT_EQ(cold.migrations, 0u);
+  EXPECT_GT(cold.replications, 0u);
+}
+
+TEST(ExperimentTest, StoppingRuleFromEnvDefaults) {
+  const auto rule = stopping_rule_from_env();
+  EXPECT_DOUBLE_EQ(rule.level, 0.99);
+  EXPECT_GT(rule.relative_target, 0.0);
+  EXPECT_GT(rule.max_observations, rule.min_observations);
+}
+
+}  // namespace
+}  // namespace omig::core

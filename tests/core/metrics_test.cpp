@@ -1,0 +1,111 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::core {
+namespace {
+
+migration::MoveBlock block_with(int calls, double call_time,
+                                double migration_cost) {
+  migration::MoveBlock blk;
+  blk.calls = calls;
+  blk.call_time = call_time;
+  blk.migration_cost = migration_cost;
+  return blk;
+}
+
+stats::StoppingRule loose_rule() {
+  stats::StoppingRule rule;
+  rule.min_observations = 1'000'000;  // never auto-stop in unit tests
+  return rule;
+}
+
+TEST(RecorderTest, MetricsAreRatioOfSums) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), /*warmup=*/0.0};
+  rec.on_block(block_with(4, 8.0, 4.0));
+  rec.on_block(block_with(6, 6.0, 0.0));
+  EXPECT_DOUBLE_EQ(rec.call_duration_per_call(), 14.0 / 10.0);
+  EXPECT_DOUBLE_EQ(rec.migration_per_call(), 4.0 / 10.0);
+  EXPECT_DOUBLE_EQ(rec.total_per_call(), 18.0 / 10.0);
+  EXPECT_EQ(rec.blocks(), 2u);
+  EXPECT_EQ(rec.calls(), 10u);
+}
+
+TEST(RecorderTest, TotalSplitsIntoComponents) {
+  // Figure 8 = Figure 10 + Figure 11: total = call + migration, exactly.
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), 0.0};
+  for (int i = 0; i < 50; ++i) {
+    rec.on_block(block_with(1 + i % 5, 1.5 * i, 0.3 * (i % 7)));
+  }
+  EXPECT_NEAR(rec.total_per_call(),
+              rec.call_duration_per_call() + rec.migration_per_call(),
+              1e-12);
+}
+
+TEST(RecorderTest, WarmupDiscardsEarlyBlocks) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), /*warmup=*/100.0};
+  rec.on_block(block_with(4, 400.0, 0.0));  // engine.now() == 0 < warmup
+  EXPECT_EQ(rec.blocks(), 0u);
+  EXPECT_EQ(rec.discarded_blocks(), 1u);
+  EXPECT_DOUBLE_EQ(rec.total_per_call(), 0.0);
+}
+
+TEST(RecorderTest, BackgroundMigrationRaisesTotalNotCalls) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), 0.0};
+  rec.on_block(block_with(5, 5.0, 0.0));
+  rec.on_background_migration(10.0);
+  EXPECT_DOUBLE_EQ(rec.call_duration_per_call(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.migration_per_call(), 2.0);
+  EXPECT_DOUBLE_EQ(rec.total_per_call(), 3.0);
+  EXPECT_EQ(rec.calls(), 5u);
+}
+
+TEST(RecorderTest, StoppingRuleRequestsStop) {
+  sim::Engine engine;
+  stats::StoppingRule rule;
+  rule.min_observations = 10;
+  rule.min_batches = 2;
+  Recorder rec{engine, rule, 0.0};
+  // Constant observations converge instantly once the floors are met.
+  for (int i = 0; i < 200 && !engine.stop_requested(); ++i) {
+    rec.on_block(block_with(4, 8.0, 2.0));
+  }
+  EXPECT_TRUE(engine.stop_requested());
+}
+
+TEST(RecorderTest, CallQuantilesTrackTheDistribution) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), 0.0};
+  // 90 fast calls, 10 slow ones (e.g. blocked on a migration).
+  for (int i = 0; i < 90; ++i) rec.on_call(1.0);
+  for (int i = 0; i < 10; ++i) rec.on_call(20.0);
+  EXPECT_NEAR(rec.call_duration_quantile(0.5), 1.0, 0.5);
+  EXPECT_NEAR(rec.call_duration_quantile(0.95), 20.0, 1.0);
+  EXPECT_EQ(rec.call_histogram().count(), 100u);
+}
+
+TEST(RecorderTest, WarmupDiscardsEarlyCalls) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), /*warmup=*/100.0};
+  rec.on_call(5.0);  // engine.now() == 0 < warmup
+  EXPECT_EQ(rec.call_histogram().count(), 0u);
+}
+
+TEST(RecorderTest, IntervalReflectsRuleLevel) {
+  sim::Engine engine;
+  Recorder rec{engine, loose_rule(), 0.0};
+  for (int i = 0; i < 500; ++i) {
+    rec.on_block(block_with(2, 2.0 + (i % 3), 0.0));
+  }
+  const auto ci = rec.total_interval();
+  EXPECT_GT(ci.batches, 2);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.relative(), 1.0);
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,80 @@
+#include "core/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::core {
+namespace {
+
+TEST(PlotTest, EmptyPlot) {
+  AsciiPlot plot;
+  EXPECT_NE(plot.render().find("(empty plot)"), std::string::npos);
+}
+
+TEST(PlotTest, SingleSeriesUsesFirstGlyph) {
+  AsciiPlot plot{32, 8};
+  plot.add_series("line", {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = line"), std::string::npos);
+}
+
+TEST(PlotTest, SeriesGetDistinctGlyphs) {
+  AsciiPlot plot{32, 8};
+  plot.add_series("a", {{0.0, 1.0}});
+  plot.add_series("b", {{1.0, 2.0}});
+  plot.add_series("c", {{2.0, 3.0}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("+ = b"), std::string::npos);
+  EXPECT_NE(out.find("o = c"), std::string::npos);
+}
+
+TEST(PlotTest, AxisLabelsReflectRange) {
+  AsciiPlot plot{32, 8};
+  plot.add_series("s", {{10.0, 5.0}, {20.0, 15.0}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("10.0"), std::string::npos);  // x start
+  EXPECT_NE(out.find("20.0"), std::string::npos);  // x end
+  EXPECT_NE(out.find("15.00"), std::string::npos);  // y max label
+}
+
+TEST(PlotTest, YAxisAnchorsAtZeroForSmallPositiveMinima) {
+  AsciiPlot plot{32, 8};
+  plot.add_series("s", {{0.0, 0.2}, {1.0, 10.0}});
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("0.00"), std::string::npos);
+}
+
+TEST(PlotTest, DistinctValuesLandOnDistinctRows) {
+  AsciiPlot plot{16, 6};
+  plot.add_series("s", {{0.0, 0.0}, {1.0, 10.0}});
+  const std::string out = plot.render();
+  // Count canvas lines (before the x-axis ruler) carrying a marker.
+  int marker_lines = 0;
+  std::istringstream is{out};
+  for (std::string line; std::getline(is, line);) {
+    if (line.find('+') != std::string::npos &&
+        line.find("--") != std::string::npos) {
+      break;  // reached the axis
+    }
+    if (line.find('*') != std::string::npos) ++marker_lines;
+  }
+  EXPECT_EQ(marker_lines, 2);  // y=0 and y=10 on different rows
+}
+
+TEST(PlotTest, RejectsTinyCanvas) {
+  EXPECT_THROW((AsciiPlot{4, 2}), omig::AssertionError);
+}
+
+TEST(PlotTest, ConstantSeriesDoesNotDivideByZero) {
+  AsciiPlot plot{32, 8};
+  plot.add_series("flat", {{0.0, 3.0}, {1.0, 3.0}});
+  EXPECT_FALSE(plot.render().empty());
+}
+
+}  // namespace
+}  // namespace omig::core

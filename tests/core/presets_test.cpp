@@ -1,0 +1,66 @@
+#include "core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::core {
+namespace {
+
+TEST(PresetsTest, Table1Defaults) {
+  const auto p = table1_defaults();
+  EXPECT_EQ(p.nodes, 3);
+  EXPECT_EQ(p.clients, 3);
+  EXPECT_EQ(p.servers1, 3);
+  EXPECT_EQ(p.servers2, 0);
+  EXPECT_DOUBLE_EQ(p.migration_duration, 6.0);
+  EXPECT_DOUBLE_EQ(p.mean_calls, 8.0);
+}
+
+TEST(PresetsTest, Fig8UsesFigure9Parameters) {
+  const auto cfg = fig8_config(50.0, migration::PolicyKind::Placement);
+  EXPECT_EQ(cfg.workload.nodes, 3);
+  EXPECT_EQ(cfg.workload.clients, 3);
+  EXPECT_EQ(cfg.workload.servers1, 3);
+  EXPECT_EQ(cfg.workload.servers2, 0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_interblock, 50.0);
+  EXPECT_EQ(cfg.policy, migration::PolicyKind::Placement);
+}
+
+TEST(PresetsTest, Fig12UsesFigure13Parameters) {
+  const auto cfg = fig12_config(10, migration::PolicyKind::Conventional);
+  EXPECT_EQ(cfg.workload.nodes, 27);
+  EXPECT_EQ(cfg.workload.clients, 10);
+  EXPECT_EQ(cfg.workload.servers1, 3);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_interblock, 30.0);
+}
+
+TEST(PresetsTest, Fig14UsesFigure15Parameters) {
+  const auto cfg = fig14_config(10, migration::PolicyKind::CompareNodes);
+  EXPECT_EQ(cfg.workload.nodes, 3);  // the crowded-nodes setting
+  EXPECT_EQ(cfg.workload.clients, 10);
+}
+
+TEST(PresetsTest, Fig16UsesFigure17Parameters) {
+  const auto cfg = fig16_config(8, migration::PolicyKind::Placement,
+                                migration::AttachTransitivity::ATransitive);
+  EXPECT_EQ(cfg.workload.nodes, 24);
+  EXPECT_EQ(cfg.workload.servers1, 6);
+  EXPECT_EQ(cfg.workload.servers2, 6);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_calls, 6.0);
+  EXPECT_EQ(cfg.transitivity, migration::AttachTransitivity::ATransitive);
+}
+
+TEST(PresetsTest, AllPresetsValidate) {
+  EXPECT_NO_THROW(workload::validate(
+      fig8_config(1.0, migration::PolicyKind::Sedentary).workload));
+  EXPECT_NO_THROW(workload::validate(
+      fig12_config(25, migration::PolicyKind::Sedentary).workload));
+  EXPECT_NO_THROW(workload::validate(
+      fig14_config(25, migration::PolicyKind::Placement).workload));
+  EXPECT_NO_THROW(workload::validate(
+      fig16_config(12, migration::PolicyKind::Conventional,
+                   migration::AttachTransitivity::Unrestricted)
+          .workload));
+}
+
+}  // namespace
+}  // namespace omig::core

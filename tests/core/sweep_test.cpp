@@ -1,0 +1,91 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+
+namespace omig::core {
+namespace {
+
+stats::StoppingRule tiny_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.10;
+  rule.min_observations = 200;
+  rule.max_observations = 600;
+  return rule;
+}
+
+TEST(SweepTest, LinspaceEndpoints) {
+  const auto xs = linspace(0.0, 10.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 10.0);
+  EXPECT_DOUBLE_EQ(xs[1], 2.5);
+}
+
+TEST(SweepTest, LinspaceSinglePoint) {
+  const auto xs = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(SweepTest, RunsEveryVariantAtEveryX) {
+  std::vector<SweepVariant> variants{
+      {"sedentary",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Sedentary);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+      {"placement",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Placement);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+  };
+  const auto points = run_sweep({20.0, 60.0}, variants);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.results.size(), 2u);
+    for (const auto& r : p.results) EXPECT_GT(r.calls, 0u);
+  }
+  const TextTable table = sweep_table("t_m", variants, points,
+                                      Metric::TotalPerCall);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("sedentary"), std::string::npos);
+  EXPECT_NE(text.find("placement"), std::string::npos);
+  EXPECT_NE(text.find("60.0"), std::string::npos);
+}
+
+TEST(SweepTest, MetricSelectorsDiffer) {
+  std::vector<SweepVariant> variants{
+      {"conventional",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Conventional);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+  };
+  const auto points = run_sweep({40.0}, variants);
+  const auto total = sweep_table("x", variants, points,
+                                 Metric::TotalPerCall);
+  const auto call = sweep_table("x", variants, points,
+                                Metric::CallDuration);
+  const auto mig = sweep_table("x", variants, points,
+                               Metric::MigrationPerCall);
+  // total = call + migration, so the three tables cannot all agree.
+  EXPECT_NE(total.to_csv(), call.to_csv());
+  EXPECT_NE(call.to_csv(), mig.to_csv());
+}
+
+TEST(SweepTest, MetricNames) {
+  EXPECT_STREQ(to_string(Metric::TotalPerCall),
+               "mean communication-time per call");
+  EXPECT_STREQ(to_string(Metric::CallDuration), "mean duration of one call");
+  EXPECT_STREQ(to_string(Metric::MigrationPerCall),
+               "mean migration-time per call");
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,55 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::core {
+namespace {
+
+TEST(TableTest, AlignedTextOutput) {
+  TextTable t{{"x", "migration", "placement"}};
+  t.add_numeric_row(10.0, {1.2345, 0.9876}, 2);
+  t.add_numeric_row(100.0, {1.0, 0.5}, 2);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("migration"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("100.00"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, RowWidthChecked) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"1"}), omig::AssertionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), omig::AssertionError);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable{{}}, omig::AssertionError);
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  TextTable t{{"only"}};
+  t.add_row({"cell"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("cell"), std::string::npos);
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(-0.125, 3), "-0.125");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,165 @@
+// Deterministic re-enactments of the paper's worked examples.
+#include <gtest/gtest.h>
+
+#include "../migration/fixture.hpp"
+#include "migration/policy.hpp"
+
+namespace omig::migration {
+namespace {
+
+using testing::MigrationFixture;
+using objsys::NodeId;
+using objsys::ObjectId;
+
+struct MoverResult {
+  MoveBlock blk;
+  double total() const { return blk.call_time + blk.migration_cost; }
+};
+
+sim::Task mover(MigrationFixture& f, MigrationPolicy& policy, MoveBlock& blk,
+                sim::SimTime start_at, int calls, sim::SimTime call_after) {
+  co_await f.engine.delay(start_at);
+  co_await policy.begin_block(blk);
+  if (call_after > f.engine.now()) {
+    co_await f.engine.delay(call_after - f.engine.now());
+  }
+  for (int i = 0; i < calls; ++i) {
+    const sim::SimTime t0 = f.engine.now();
+    co_await f.invoker.invoke(blk.origin, blk.target);
+    blk.call_time += f.engine.now() - t0;
+    ++blk.calls;
+  }
+  policy.end_block(blk);
+}
+
+// Section 3.2, Figure 4 — the concurrency example with deterministic
+// message cost C = 1, M = 6, N = 4 calls per block.
+//
+// Place-policy: one migration happens; the loser pays its request message
+// and invokes remotely:   total = M + (2N+2)·C.
+// (The paper states M + (2N+1)·C — it folds the winner's request message
+// into the move; our accounting itemises it. The comparison is unaffected.)
+//
+// Conventional worst case: the second move steals the object before the
+// first mover performed any call: total = 2M + (2N+2)·C.
+class Section32Scenario : public ::testing::Test {
+protected:
+  static constexpr double kM = 6.0;
+  static constexpr int kN = 4;
+};
+
+TEST_F(Section32Scenario, PlacementCostMatchesAnalyticFormula) {
+  MigrationFixture f{3};
+  auto policy = make_policy(PolicyKind::Placement, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  MoveBlock a = f.manager.new_block(f.node(1), o);
+  MoveBlock b = f.manager.new_block(f.node(2), o);
+  // A moves at t=0 (request lands t=1, migration done t=7). B's request
+  // lands at t=2, mid-transit, and is refused.
+  // B only starts invoking at t=8, once the object is operational again —
+  // otherwise its first call would also include blocked-on-transit time.
+  f.engine.spawn(mover(f, *policy, a, 0.0, kN, 0.0));
+  f.engine.spawn(mover(f, *policy, b, 1.0, kN, 8.0));
+  f.engine.run();
+
+  EXPECT_EQ(a.moved.size(), 1u);  // A won the object
+  EXPECT_DOUBLE_EQ(a.migration_cost, 1.0 + kM);      // request + M
+  EXPECT_DOUBLE_EQ(a.call_time, 0.0);                // local calls
+  EXPECT_DOUBLE_EQ(b.migration_cost, 1.0);           // request message only
+  EXPECT_DOUBLE_EQ(b.call_time, 2.0 * kN);           // N remote round trips
+
+  const double place_total =
+      a.call_time + a.migration_cost + b.call_time + b.migration_cost;
+  EXPECT_DOUBLE_EQ(place_total, kM + (2.0 * kN + 2.0));
+  EXPECT_EQ(f.registry.migrations(), 1u);  // "instead of transferring twice"
+}
+
+TEST_F(Section32Scenario, ConventionalWorstCaseMatchesAnalyticFormula) {
+  MigrationFixture f{3};
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  MoveBlock a = f.manager.new_block(f.node(1), o);
+  MoveBlock b = f.manager.new_block(f.node(2), o);
+  // A's move completes at t=7; B steals at t=7.5 (request t=8.5, done
+  // t=14.5) before A performed any call; A calls only from t=20.
+  f.engine.spawn(mover(f, *policy, a, 0.0, kN, 20.0));
+  f.engine.spawn(mover(f, *policy, b, 7.5, kN, 20.0));
+  f.engine.run();
+
+  EXPECT_DOUBLE_EQ(a.migration_cost, 1.0 + kM);
+  EXPECT_DOUBLE_EQ(b.migration_cost, 1.0 + kM);
+  EXPECT_DOUBLE_EQ(a.call_time, 2.0 * kN);  // stolen: all remote
+  EXPECT_DOUBLE_EQ(b.call_time, 0.0);       // thief calls locally
+
+  const double conv_total =
+      a.call_time + a.migration_cost + b.call_time + b.migration_cost;
+  EXPECT_DOUBLE_EQ(conv_total, 2.0 * kM + (2.0 * kN + 2.0));
+  EXPECT_EQ(f.registry.migrations(), 2u);
+
+  // The paper's conclusion: under conflict, placement is cheaper than the
+  // conventional move as long as M > C.
+  EXPECT_LT(kM + (2.0 * kN + 2.0), conv_total);
+}
+
+// Figure 2's visit() example: a list visits the processing node for the
+// duration of a block and migrates back afterwards.
+TEST(VisitScenario, ListVisitsAndReturns) {
+  MigrationFixture f{3};
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId list = f.registry.create("list", f.node(0));
+  MoveBlock blk = f.manager.new_block(f.node(1), list, AllianceId::invalid(),
+                                      /*visit=*/true);
+  f.engine.spawn(mover(f, *policy, blk, 0.0, 8, 0.0));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(list), f.node(0));  // back home
+  EXPECT_DOUBLE_EQ(blk.call_time, 0.0);             // processed locally
+  EXPECT_EQ(f.registry.migrations(), 2u);
+}
+
+// Section 2.4: an egoistic component's attach() inflates everyone else's
+// working set — the cost of a move is underestimated.
+TEST(UnderestimationScenario, ForeignAttachmentsInflateTheMove) {
+  MigrationFixture f{4};
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId server = f.registry.create("server", f.node(0));
+  // The mover believes it moves one object. A foreign component attached
+  // its own 5-object working set to the shared server.
+  std::vector<ObjectId> foreign;
+  for (int i = 0; i < 5; ++i) {
+    foreign.push_back(
+        f.registry.create("foreign-" + std::to_string(i), f.node(3)));
+    f.attachments.attach(server, foreign.back());
+  }
+  MoveBlock blk = f.manager.new_block(f.node(1), server);
+  f.engine.spawn(mover(f, *policy, blk, 0.0, 4, 0.0));
+  f.engine.run();
+  // All six objects moved — five of them invisibly to the mover.
+  EXPECT_EQ(blk.moved.size(), 6u);
+  for (const ObjectId o : foreign) {
+    EXPECT_EQ(f.registry.location(o), f.node(1));
+  }
+}
+
+// Same scenario under A-transitive attachment: the mover's alliance does
+// not contain the foreign attachments, so only the server moves.
+TEST(UnderestimationScenario, AlliancesRestoreTheEstimate) {
+  ManagerOptions opts;
+  opts.transitivity = AttachTransitivity::ATransitive;
+  MigrationFixture f{4, opts};
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId server = f.registry.create("server", f.node(0));
+  const AllianceId mine = f.alliances.create("mine");
+  f.alliances.add_member(mine, server);
+  for (int i = 0; i < 5; ++i) {
+    const ObjectId o =
+        f.registry.create("foreign-" + std::to_string(i), f.node(3));
+    f.attachments.attach(server, o);  // issued outside my alliance
+  }
+  MoveBlock blk = f.manager.new_block(f.node(1), server, mine);
+  f.engine.spawn(mover(f, *policy, blk, 0.0, 4, 0.0));
+  f.engine.run();
+  EXPECT_EQ(blk.moved.size(), 1u);  // exactly what the mover predicted
+}
+
+}  // namespace
+}  // namespace omig::migration

@@ -1,0 +1,165 @@
+// Property-based sweeps: invariants that must hold for every policy,
+// transitivity mode and seed (parameterised gtest).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/presets.hpp"
+
+namespace omig::core {
+namespace {
+
+using migration::AttachTransitivity;
+using migration::PolicyKind;
+
+stats::StoppingRule prop_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.10;
+  rule.min_observations = 300;
+  rule.max_observations = 900;
+  return rule;
+}
+
+// ---------------------------------------------------------------------------
+// One-layer invariants over (policy × seed).
+// ---------------------------------------------------------------------------
+
+class OneLayerProperty
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, std::uint64_t>> {
+protected:
+  ExperimentResult run() {
+    ExperimentConfig cfg = fig8_config(20.0, std::get<0>(GetParam()));
+    cfg.stopping = prop_rule();
+    cfg.seed = std::get<1>(GetParam());
+    return run_experiment(cfg);
+  }
+};
+
+TEST_P(OneLayerProperty, TotalDecomposesIntoCallPlusMigration) {
+  const ExperimentResult r = run();
+  EXPECT_NEAR(r.total_per_call, r.call_duration + r.migration_per_call,
+              1e-9);
+}
+
+TEST_P(OneLayerProperty, MetricsAreFiniteAndNonNegative) {
+  const ExperimentResult r = run();
+  EXPECT_GE(r.call_duration, 0.0);
+  EXPECT_GE(r.migration_per_call, 0.0);
+  EXPECT_GT(r.total_per_call, 0.0);
+  EXPECT_GT(r.calls, 0u);
+  EXPECT_GT(r.blocks, 0u);
+  EXPECT_GT(r.sim_time, 0.0);
+}
+
+TEST_P(OneLayerProperty, SedentaryNeverMigrates) {
+  const ExperimentResult r = run();
+  if (std::get<0>(GetParam()) == PolicyKind::Sedentary) {
+    EXPECT_EQ(r.migrations, 0u);
+    EXPECT_DOUBLE_EQ(r.migration_per_call, 0.0);
+    EXPECT_EQ(r.control_messages, 0u);
+  } else {
+    // Every non-sedentary policy sends move requests.
+    EXPECT_GT(r.control_messages, 0u);
+  }
+}
+
+TEST_P(OneLayerProperty, DeterministicPerSeed) {
+  const ExperimentResult a = run();
+  const ExperimentResult b = run();
+  EXPECT_DOUBLE_EQ(a.total_per_call, b.total_per_call);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST_P(OneLayerProperty, CallDurationAtLeastLocalShare) {
+  // A call costs at least 0; remote calls dominate, so the mean must stay
+  // below the theoretical remote ceiling plus blocking and above zero.
+  const ExperimentResult r = run();
+  EXPECT_LT(r.call_duration, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, OneLayerProperty,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::Sedentary, PolicyKind::Conventional,
+                          PolicyKind::Placement, PolicyKind::CompareNodes,
+                          PolicyKind::CompareReinstantiate),
+        ::testing::Values(1ull, 99ull, 31337ull)));
+
+// ---------------------------------------------------------------------------
+// Two-layer invariants over (policy × transitivity).
+// ---------------------------------------------------------------------------
+
+class TwoLayerProperty
+    : public ::testing::TestWithParam<
+          std::tuple<PolicyKind, AttachTransitivity>> {
+protected:
+  ExperimentResult run(std::uint64_t seed = 7) {
+    ExperimentConfig cfg =
+        fig16_config(6, std::get<0>(GetParam()), std::get<1>(GetParam()));
+    cfg.stopping = prop_rule();
+    cfg.seed = seed;
+    return run_experiment(cfg);
+  }
+};
+
+TEST_P(TwoLayerProperty, Decomposition) {
+  const ExperimentResult r = run();
+  EXPECT_NEAR(r.total_per_call, r.call_duration + r.migration_per_call,
+              1e-9);
+}
+
+TEST_P(TwoLayerProperty, RunsToCompletion) {
+  const ExperimentResult r = run();
+  EXPECT_GT(r.blocks, 0u);
+  EXPECT_GT(r.calls, r.blocks);  // ~6 calls per block
+}
+
+TEST_P(TwoLayerProperty, TransfersNeverExceedMigrationsByComponent) {
+  const ExperimentResult r = run();
+  if (std::get<0>(GetParam()) == PolicyKind::Sedentary) {
+    EXPECT_EQ(r.migrations, 0u);
+  } else {
+    // Each transfer relocates at most the whole 12-object component.
+    EXPECT_LE(r.migrations, r.transfers * 12u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndTransitivity, TwoLayerProperty,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::Sedentary, PolicyKind::Conventional,
+                          PolicyKind::Placement),
+        ::testing::Values(AttachTransitivity::Unrestricted,
+                          AttachTransitivity::ATransitive)));
+
+// ---------------------------------------------------------------------------
+// Location-scheme invariants: the normalisation ablation must not change
+// which policy wins.
+// ---------------------------------------------------------------------------
+
+class LocationProperty
+    : public ::testing::TestWithParam<objsys::LocationScheme> {};
+
+TEST_P(LocationProperty, PlacementStillBeatsConventionalUnderConflict) {
+  ExperimentConfig conv = fig8_config(5.0, PolicyKind::Conventional);
+  ExperimentConfig plac = fig8_config(5.0, PolicyKind::Placement);
+  conv.location_scheme = GetParam();
+  plac.location_scheme = GetParam();
+  conv.stopping = prop_rule();
+  plac.stopping = prop_rule();
+  conv.stopping.max_observations = 3'000;
+  plac.stopping.max_observations = 3'000;
+  EXPECT_LT(run_experiment(plac).total_per_call,
+            run_experiment(conv).total_per_call);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, LocationProperty,
+    ::testing::Values(objsys::LocationScheme::None,
+                      objsys::LocationScheme::NameServer,
+                      objsys::LocationScheme::Forwarding,
+                      objsys::LocationScheme::Broadcast,
+                      objsys::LocationScheme::ImmediateUpdate));
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,126 @@
+// Statistical "shape" tests: the qualitative claims of the paper's figures
+// must hold on coarse (fast) runs. Absolute values are checked loosely —
+// EXPERIMENTS.md tracks the precise numbers from the full bench runs.
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+
+namespace omig::core {
+namespace {
+
+using migration::AttachTransitivity;
+using migration::PolicyKind;
+
+stats::StoppingRule shape_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.03;
+  rule.min_observations = 1'000;
+  rule.max_observations = 12'000;
+  return rule;
+}
+
+double total(ExperimentConfig cfg) {
+  cfg.stopping = shape_rule();
+  return run_experiment(cfg).total_per_call;
+}
+
+TEST(Fig8Shape, MigrationWinsAtLowConcurrency) {
+  // Right-hand side of Figure 8 (t_m large): both migrating policies beat
+  // the sedentary baseline of 4/3.
+  const double sed = total(fig8_config(90.0, PolicyKind::Sedentary));
+  const double mig = total(fig8_config(90.0, PolicyKind::Conventional));
+  const double pla = total(fig8_config(90.0, PolicyKind::Placement));
+  EXPECT_NEAR(sed, 4.0 / 3.0, 0.07);
+  EXPECT_LT(mig, sed);
+  EXPECT_LT(pla, sed);
+}
+
+TEST(Fig8Shape, PlacementNeverWorseThanMigrationUnderConcurrency) {
+  // Left-hand side (t_m small, heavy conflicts): placement outperforms the
+  // conventional move.
+  const double mig = total(fig8_config(4.0, PolicyKind::Conventional));
+  const double pla = total(fig8_config(4.0, PolicyKind::Placement));
+  EXPECT_LT(pla, mig);
+}
+
+TEST(Fig8Shape, ConcurrencyDegradesMigration) {
+  // Communication time per call rises as t_m shrinks (mid-range).
+  const double relaxed = total(fig8_config(90.0, PolicyKind::Conventional));
+  const double contended = total(fig8_config(15.0, PolicyKind::Conventional));
+  EXPECT_GT(contended, relaxed);
+}
+
+TEST(Fig12Shape, HotSpotBreakEven) {
+  // Figure 12: migration crosses the sedentary line at a small client
+  // count; placement is still ahead at 15 clients.
+  const double sed = total(fig12_config(15, PolicyKind::Sedentary));
+  const double mig = total(fig12_config(15, PolicyKind::Conventional));
+  const double pla = total(fig12_config(15, PolicyKind::Placement));
+  EXPECT_GT(mig, sed);  // past the ~6-client break-even
+  EXPECT_LT(pla, sed);  // placement's break-even is far later (~20)
+}
+
+TEST(Fig12Shape, MigrationGrowsWithClients) {
+  const double few = total(fig12_config(4, PolicyKind::Conventional));
+  const double many = total(fig12_config(20, PolicyKind::Conventional));
+  EXPECT_GT(many, few * 1.5);
+}
+
+TEST(Fig14Shape, DynamicPoliciesAreNoWorseButClose) {
+  // Figure 14: the intelligent policies bring only marginal gains over
+  // conservative placement.
+  const double pla = total(fig14_config(12, PolicyKind::Placement));
+  const double cmp = total(fig14_config(12, PolicyKind::CompareNodes));
+  const double rei = total(fig14_config(12, PolicyKind::CompareReinstantiate));
+  EXPECT_LT(cmp, pla * 1.15);
+  EXPECT_LT(rei, pla * 1.15);
+  EXPECT_GT(cmp, pla * 0.5);  // ...but no miracle either
+  EXPECT_GT(rei, pla * 0.5);
+}
+
+TEST(Fig16Shape, UnrestrictedAttachmentIsDevastating) {
+  // Figure 16's headline: conventional migration + unrestricted attachment
+  // is by far the worst variant.
+  const double sed = total(fig16_config(8, PolicyKind::Sedentary,
+                                        AttachTransitivity::Unrestricted));
+  const double mig_unres = total(fig16_config(
+      8, PolicyKind::Conventional, AttachTransitivity::Unrestricted));
+  EXPECT_GT(mig_unres, sed);
+}
+
+TEST(Fig16Shape, ATransitivityRescuesMigration) {
+  const double mig_unres = total(fig16_config(
+      8, PolicyKind::Conventional, AttachTransitivity::Unrestricted));
+  const double mig_atrans = total(fig16_config(
+      8, PolicyKind::Conventional, AttachTransitivity::ATransitive));
+  EXPECT_LT(mig_atrans, mig_unres);
+}
+
+TEST(Fig16Shape, PlacementPlusATransitiveIsBest) {
+  // "The best performance is achieved when one combines the place-policy
+  // with attachment-reduction" (Section 3.4).
+  const double best = total(fig16_config(8, PolicyKind::Placement,
+                                         AttachTransitivity::ATransitive));
+  const double sed = total(fig16_config(8, PolicyKind::Sedentary,
+                                        AttachTransitivity::Unrestricted));
+  const double mig_unres = total(fig16_config(
+      8, PolicyKind::Conventional, AttachTransitivity::Unrestricted));
+  const double pla_unres = total(fig16_config(
+      8, PolicyKind::Placement, AttachTransitivity::Unrestricted));
+  EXPECT_LT(best, sed);
+  EXPECT_LT(best, mig_unres);
+  EXPECT_LE(best, pla_unres * 1.05);
+}
+
+TEST(TopologyInsensitivity, RingMatchesFullMesh) {
+  // Section 4.1: "we also performed simulations for other structures, but
+  // this had no effects on the results" — under the paper's uniform
+  // latency model the topology cannot matter.
+  ExperimentConfig mesh_cfg = fig8_config(30.0, PolicyKind::Placement);
+  ExperimentConfig ring_cfg = mesh_cfg;
+  ring_cfg.topology = net::TopologyKind::Ring;
+  EXPECT_NEAR(total(mesh_cfg), total(ring_cfg), total(mesh_cfg) * 0.08);
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,64 @@
+#include "migration/alliance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::migration {
+namespace {
+
+ObjectId obj(std::uint32_t v) { return ObjectId{v}; }
+
+TEST(AllianceTest, CreateAndName) {
+  AllianceRegistry reg;
+  const AllianceId a = reg.create("invoice-processing");
+  EXPECT_EQ(reg.count(), 1u);
+  EXPECT_EQ(reg.name(a), "invoice-processing");
+}
+
+TEST(AllianceTest, MembershipLifecycle) {
+  AllianceRegistry reg;
+  const AllianceId a = reg.create("a");
+  EXPECT_FALSE(reg.is_member(a, obj(1)));
+  reg.add_member(a, obj(1));
+  EXPECT_TRUE(reg.is_member(a, obj(1)));
+  reg.remove_member(a, obj(1));
+  EXPECT_FALSE(reg.is_member(a, obj(1)));
+}
+
+TEST(AllianceTest, AddIsIdempotent) {
+  AllianceRegistry reg;
+  const AllianceId a = reg.create("a");
+  reg.add_member(a, obj(1));
+  reg.add_member(a, obj(1));
+  EXPECT_EQ(reg.members(a).size(), 1u);
+}
+
+TEST(AllianceTest, ObjectsCanJoinSeveralAlliances) {
+  // "Objects can be members of different alliances" (Section 3.4).
+  AllianceRegistry reg;
+  const AllianceId a = reg.create("a");
+  const AllianceId b = reg.create("b");
+  reg.add_member(a, obj(5));
+  reg.add_member(b, obj(5));
+  const auto list = reg.alliances_of(obj(5));
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], a);
+  EXPECT_EQ(list[1], b);
+}
+
+TEST(AllianceTest, UnknownIdRejected) {
+  AllianceRegistry reg;
+  EXPECT_THROW(reg.members(AllianceId{3}), omig::AssertionError);
+  EXPECT_THROW(reg.name(AllianceId::invalid()), omig::AssertionError);
+}
+
+TEST(AllianceTest, RemoveAbsentIsNoop) {
+  AllianceRegistry reg;
+  const AllianceId a = reg.create("a");
+  reg.remove_member(a, obj(9));
+  EXPECT_TRUE(reg.members(a).empty());
+}
+
+}  // namespace
+}  // namespace omig::migration

@@ -1,0 +1,140 @@
+#include "migration/attachment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::migration {
+namespace {
+
+ObjectId obj(std::uint32_t v) { return ObjectId{v}; }
+AllianceId ally(std::uint32_t v) { return AllianceId{v}; }
+
+TEST(AttachmentTest, AttachAndQuery) {
+  AttachmentGraph g;
+  EXPECT_TRUE(g.attach(obj(0), obj(1)));
+  EXPECT_TRUE(g.attached(obj(0), obj(1)));
+  EXPECT_TRUE(g.attached(obj(1), obj(0)));
+  EXPECT_FALSE(g.attached(obj(0), obj(2)));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(obj(0)), 1u);
+}
+
+TEST(AttachmentTest, SelfAttachIgnored) {
+  AttachmentGraph g;
+  EXPECT_FALSE(g.attach(obj(0), obj(0)));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(AttachmentTest, DuplicateIgnored) {
+  AttachmentGraph g;
+  EXPECT_TRUE(g.attach(obj(0), obj(1)));
+  EXPECT_FALSE(g.attach(obj(0), obj(1)));
+  EXPECT_FALSE(g.attach(obj(1), obj(0)));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AttachmentTest, SamePairDifferentContextAllowed) {
+  AttachmentGraph g;
+  EXPECT_TRUE(g.attach(obj(0), obj(1), ally(0)));
+  EXPECT_TRUE(g.attach(obj(0), obj(1), ally(1)));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(AttachmentTest, DetachRemovesAllContexts) {
+  AttachmentGraph g;
+  g.attach(obj(0), obj(1), ally(0));
+  g.attach(obj(0), obj(1), ally(1));
+  EXPECT_TRUE(g.detach(obj(0), obj(1)));
+  EXPECT_FALSE(g.attached(obj(0), obj(1)));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.detach(obj(0), obj(1)));
+}
+
+TEST(AttachmentTest, DetachSingleContext) {
+  AttachmentGraph g;
+  g.attach(obj(0), obj(1), ally(0));
+  g.attach(obj(0), obj(1), ally(1));
+  EXPECT_TRUE(g.detach(obj(0), obj(1), ally(0)));
+  EXPECT_TRUE(g.attached(obj(0), obj(1)));  // ally(1) edge remains
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.detach(obj(0), obj(1), ally(0)));
+}
+
+TEST(AttachmentTest, ClosureIsTransitive) {
+  AttachmentGraph g;
+  g.attach(obj(0), obj(1));
+  g.attach(obj(1), obj(2));
+  g.attach(obj(3), obj(4));  // separate component
+  const auto c = g.closure(obj(0));
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], obj(0));
+  EXPECT_EQ(c[1], obj(1));
+  EXPECT_EQ(c[2], obj(2));
+}
+
+TEST(AttachmentTest, ClosureOfIsolatedObjectIsItself) {
+  AttachmentGraph g;
+  const auto c = g.closure(obj(7));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], obj(7));
+}
+
+TEST(AttachmentTest, ATransitiveClosureFollowsOnlyContextEdges) {
+  // The core of Section 3.4: alliance-restricted transitiveness.
+  AttachmentGraph g;
+  g.attach(obj(0), obj(1), ally(0));
+  g.attach(obj(1), obj(2), ally(1));  // different context: not followed
+  g.attach(obj(0), obj(3), ally(0));
+  const auto restricted = g.closure_in(obj(0), ally(0));
+  ASSERT_EQ(restricted.size(), 3u);
+  EXPECT_EQ(restricted[0], obj(0));
+  EXPECT_EQ(restricted[1], obj(1));
+  EXPECT_EQ(restricted[2], obj(3));
+  // Unrestricted closure still sees everything.
+  EXPECT_EQ(g.closure(obj(0)).size(), 4u);
+}
+
+TEST(AttachmentTest, RingOverlapConnectsEverything) {
+  // The Figure-7 worst case: working sets overlapping in a ring make the
+  // unrestricted closure the whole population.
+  AttachmentGraph g;
+  const int s = 6;
+  for (int i = 0; i < s; ++i) {
+    // S1_i (ids 0..5) attached to S2_i and S2_{i+1} (ids 6..11).
+    g.attach(obj(static_cast<std::uint32_t>(i)),
+             obj(static_cast<std::uint32_t>(6 + i)),
+             ally(static_cast<std::uint32_t>(i)));
+    g.attach(obj(static_cast<std::uint32_t>(i)),
+             obj(static_cast<std::uint32_t>(6 + (i + 1) % s)),
+             ally(static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(g.closure(obj(0)).size(), 12u);
+  EXPECT_EQ(g.closure_in(obj(0), ally(0)).size(), 3u);
+}
+
+TEST(ExclusiveAttachmentTest, FirstComeFirstServed) {
+  AttachmentGraph g{AttachmentGraph::Mode::Exclusive};
+  EXPECT_TRUE(g.attach(obj(0), obj(1)));
+  // Both endpoints are now taken: every further attachment involving them
+  // is ignored (Section 3.4).
+  EXPECT_FALSE(g.attach(obj(0), obj(2)));
+  EXPECT_FALSE(g.attach(obj(2), obj(1)));
+  EXPECT_TRUE(g.attach(obj(2), obj(3)));
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(ExclusiveAttachmentTest, DetachFreesTheSlot) {
+  AttachmentGraph g{AttachmentGraph::Mode::Exclusive};
+  g.attach(obj(0), obj(1));
+  g.detach(obj(0), obj(1));
+  EXPECT_TRUE(g.attach(obj(0), obj(2)));
+}
+
+TEST(AttachmentTest, InvalidIdsRejected) {
+  AttachmentGraph g;
+  EXPECT_THROW(g.attach(ObjectId::invalid(), obj(1)), omig::AssertionError);
+}
+
+}  // namespace
+}  // namespace omig::migration

@@ -1,0 +1,37 @@
+// Shared fixture wiring a small object system for migration tests.
+#pragma once
+
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "net/latency.hpp"
+#include "objsys/invocation.hpp"
+
+namespace omig::migration::testing {
+
+/// A D-node system with deterministic (Fixed, mean 1) message latency so
+/// tests can assert exact costs: one remote message = 1, migration = M.
+struct MigrationFixture {
+  explicit MigrationFixture(std::size_t nodes = 4, ManagerOptions opts = {},
+                            net::LatencyMode mode = net::LatencyMode::Fixed)
+      : mesh{nodes},
+        latency{mesh, mode, 1.0},
+        registry{engine, nodes},
+        invoker{engine, registry, latency, net_rng},
+        manager{engine,      registry,  latency, mgr_rng,
+                attachments, alliances, opts} {}
+
+  sim::Engine engine;
+  net::FullMesh mesh;
+  net::LatencyModel latency;
+  objsys::ObjectRegistry registry;
+  sim::Rng net_rng{11, 0};
+  sim::Rng mgr_rng{11, 1};
+  objsys::Invoker invoker;
+  AttachmentGraph attachments;
+  AllianceRegistry alliances;
+  MigrationManager manager;
+
+  objsys::NodeId node(std::uint32_t i) const { return objsys::NodeId{i}; }
+};
+
+}  // namespace omig::migration::testing

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "fixture.hpp"
+#include "migration/policy.hpp"
+
+namespace omig::migration {
+namespace {
+
+using testing::MigrationFixture;
+using objsys::NodeId;
+
+sim::Task run_block(MigrationPolicy& policy, MoveBlock& blk) {
+  co_await policy.begin_block(blk);
+}
+
+TEST(ConventionalPolicyTest, MoveAlwaysMigrates) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  MoveBlock blk = f.manager.new_block(f.node(2), o);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(o), f.node(2));
+  // Request message (1) + migration (6).
+  EXPECT_DOUBLE_EQ(blk.migration_cost, 7.0);
+  EXPECT_DOUBLE_EQ(f.engine.now(), 7.0);
+}
+
+TEST(ConventionalPolicyTest, MoveOfLocalObjectOnlyPaysNothing) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(2));
+  MoveBlock blk = f.manager.new_block(f.node(2), o);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  // Request is local (free), object already there: no cost at all.
+  EXPECT_DOUBLE_EQ(blk.migration_cost, 0.0);
+}
+
+TEST(ConventionalPolicyTest, FixedObjectStays) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  f.registry.fix(o);
+  MoveBlock blk = f.manager.new_block(f.node(2), o);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(o), f.node(0));
+  EXPECT_DOUBLE_EQ(blk.migration_cost, 1.0);  // just the request message
+}
+
+TEST(ConventionalPolicyTest, MoveDragsAttachmentCluster) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId a = f.registry.create("a", f.node(0));
+  const ObjectId b = f.registry.create("b", f.node(1));
+  f.attachments.attach(a, b);
+  MoveBlock blk = f.manager.new_block(f.node(3), a);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(a), f.node(3));
+  EXPECT_EQ(f.registry.location(b), f.node(3));
+  EXPECT_EQ(blk.moved.size(), 2u);
+}
+
+sim::Task run_steal(MigrationFixture& f, MigrationPolicy& policy,
+                    sim::SimTime at, MoveBlock& blk) {
+  co_await f.engine.delay(at);
+  co_await policy.begin_block(blk);
+}
+
+TEST(ConventionalPolicyTest, ConcurrentMoveStealsTheObject) {
+  // The degradation scenario of Section 2.4/3.2: the second mover takes the
+  // object away while the first block is still open.
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  MoveBlock first = f.manager.new_block(f.node(1), o);
+  MoveBlock second = f.manager.new_block(f.node(2), o);
+  f.engine.spawn(run_block(*policy, first));
+  f.engine.spawn(run_steal(f, *policy, 8.0, second));
+  f.engine.run();
+  // First block completed its move at t = 7; the second stole the object.
+  EXPECT_EQ(f.registry.location(o), f.node(2));
+  EXPECT_EQ(f.registry.migrations(), 2u);
+}
+
+TEST(ConventionalPolicyTest, VisitMigratesBack) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  const ObjectId o = f.registry.create("o", f.node(0));
+  double background = 0.0;
+  f.manager.set_background_cost_sink([&](double c) { background += c; });
+  MoveBlock blk = f.manager.new_block(f.node(2), o, AllianceId::invalid(),
+                                      /*visit=*/true);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(o), f.node(2));
+  policy->end_block(blk);
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(o), f.node(0));  // migrated home
+  EXPECT_DOUBLE_EQ(background, 6.0);
+}
+
+TEST(ConventionalPolicyTest, KindAndName) {
+  MigrationFixture f;
+  auto policy = make_policy(PolicyKind::Conventional, f.manager);
+  EXPECT_EQ(policy->kind(), PolicyKind::Conventional);
+  EXPECT_EQ(to_string(policy->kind()), "conventional");
+}
+
+}  // namespace
+}  // namespace omig::migration

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "fixture.hpp"
+#include "migration/policy.hpp"
+
+namespace omig::migration {
+namespace {
+
+using testing::MigrationFixture;
+using objsys::NodeId;
+
+sim::Task run_block(MigrationPolicy& policy, MoveBlock& blk) {
+  co_await policy.begin_block(blk);
+}
+
+TEST(LoadShareTest, MovesToLeastLoadedNode) {
+  MigrationFixture f{4};
+  auto policy = make_policy(PolicyKind::LoadShare, f.manager);
+  // Pile objects onto nodes 0..2; node 3 is empty.
+  const ObjectId o = f.registry.create("o", f.node(0));
+  f.registry.create("x1", f.node(0));
+  f.registry.create("x2", f.node(1));
+  f.registry.create("x3", f.node(2));
+  MoveBlock blk = f.manager.new_block(f.node(1), o);  // caller on node 1
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  // The object went to the lightly used node, NOT to the caller.
+  EXPECT_EQ(f.registry.location(o), f.node(3));
+}
+
+TEST(LoadShareTest, DragsAttachmentsLikeAnyMove) {
+  MigrationFixture f{4};
+  auto policy = make_policy(PolicyKind::LoadShare, f.manager);
+  const ObjectId a = f.registry.create("a", f.node(0));
+  const ObjectId b = f.registry.create("b", f.node(0));
+  f.attachments.attach(a, b);
+  MoveBlock blk = f.manager.new_block(f.node(1), a);
+  f.engine.spawn(run_block(*policy, blk));
+  f.engine.run();
+  EXPECT_EQ(f.registry.location(a), f.registry.location(b));
+}
+
+TEST(RegistryLoadTest, CountersTrackCreationAndMigration) {
+  MigrationFixture f{3};
+  EXPECT_EQ(f.registry.objects_at(f.node(0)), 0u);
+  const ObjectId a = f.registry.create("a", f.node(0));
+  f.registry.create("b", f.node(0));
+  f.registry.create("c", f.node(2));
+  EXPECT_EQ(f.registry.objects_at(f.node(0)), 2u);
+  EXPECT_EQ(f.registry.objects_at(f.node(1)), 0u);
+  EXPECT_EQ(f.registry.objects_at(f.node(2)), 1u);
+  EXPECT_EQ(f.registry.least_loaded_node(), f.node(1));
+  EXPECT_EQ(f.registry.most_loaded_node(), f.node(0));
+  f.registry.begin_transit(a);
+  f.registry.finish_transit(a, f.node(1));
+  EXPECT_EQ(f.registry.objects_at(f.node(0)), 1u);
+  EXPECT_EQ(f.registry.objects_at(f.node(1)), 1u);
+}
+
+TEST(RegistryLoadTest, TiesResolveToLowestIndex) {
+  MigrationFixture f{3};
+  EXPECT_EQ(f.registry.least_loaded_node(), f.node(0));
+  EXPECT_EQ(f.registry.most_loaded_node(), f.node(0));
+}
+
+TEST(GoalConflictTest, LoadSharersDegradeTheCommunicationMetric) {
+  // Section 2.2: the goals are incompatible — a component pursuing
+  // load-sharing scatters objects away from their callers.
+  auto cfg = core::fig8_config(10.0, PolicyKind::Placement);
+  cfg.workload.nodes = 6;
+  cfg.workload.clients = 6;
+  cfg.stopping.relative_target = 0.05;
+  cfg.stopping.min_observations = 600;
+  cfg.stopping.max_observations = 4'000;
+  const double pure = core::run_experiment(cfg).total_per_call;
+  cfg.egoistic_clients = 3;
+  cfg.egoistic_policy = PolicyKind::LoadShare;
+  const double mixed = core::run_experiment(cfg).total_per_call;
+  EXPECT_GT(mixed, pure);
+}
+
+TEST(LoadShareTest, FactoryAndName) {
+  MigrationFixture f{3};
+  auto policy = make_policy(PolicyKind::LoadShare, f.manager);
+  EXPECT_EQ(policy->kind(), PolicyKind::LoadShare);
+  EXPECT_EQ(to_string(PolicyKind::LoadShare), "load-share");
+}
+
+}  // namespace
+}  // namespace omig::migration

@@ -1,0 +1,61 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::net {
+namespace {
+
+TEST(LatencyTest, LocalIsFree) {
+  FullMesh mesh{3};
+  LatencyModel model{mesh, LatencyMode::Uniform, 1.0};
+  sim::Rng rng{1, 0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample(rng, 2, 2), 0.0);
+  }
+}
+
+TEST(LatencyTest, UniformModeMeanIsOne) {
+  FullMesh mesh{3};
+  LatencyModel model{mesh, LatencyMode::Uniform, 1.0};
+  sim::Rng rng{2, 0};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng, 0, 1);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(LatencyTest, UniformModeIgnoresHopCount) {
+  // The paper's normalisation: remote is remote, distance does not matter.
+  Ring ring{8};
+  LatencyModel model{ring, LatencyMode::Uniform, 1.0};
+  sim::Rng rng{3, 0};
+  double near = 0.0, far = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) near += model.sample(rng, 0, 1);   // 1 hop
+  for (int i = 0; i < n; ++i) far += model.sample(rng, 0, 4);    // 4 hops
+  EXPECT_NEAR(near / n, far / n, 0.03);
+}
+
+TEST(LatencyTest, HopScaledModeScalesWithDistance) {
+  Ring ring{8};
+  LatencyModel model{ring, LatencyMode::HopScaled, 1.0};
+  sim::Rng rng{4, 0};
+  double near = 0.0, far = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) near += model.sample(rng, 0, 1);
+  for (int i = 0; i < n; ++i) far += model.sample(rng, 0, 4);
+  EXPECT_NEAR(far / near, 4.0, 0.15);
+}
+
+TEST(LatencyTest, CustomMean) {
+  FullMesh mesh{2};
+  LatencyModel model{mesh, LatencyMode::Uniform, 2.5};
+  sim::Rng rng{5, 0};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng, 0, 1);
+  EXPECT_NEAR(sum / n, 2.5, 0.03);
+}
+
+}  // namespace
+}  // namespace omig::net

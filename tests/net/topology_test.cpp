@@ -1,0 +1,91 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::net {
+namespace {
+
+TEST(FullMeshTest, OneHopEverywhere) {
+  FullMesh mesh{5};
+  EXPECT_EQ(mesh.node_count(), 5u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(mesh.hops(a, b), a == b ? 0 : 1);
+    }
+  }
+  EXPECT_EQ(mesh.diameter(), 1);
+}
+
+TEST(RingTest, ShortestWayAround) {
+  Ring ring{6};
+  EXPECT_EQ(ring.hops(0, 1), 1);
+  EXPECT_EQ(ring.hops(0, 3), 3);
+  EXPECT_EQ(ring.hops(0, 5), 1);  // wraps
+  EXPECT_EQ(ring.hops(1, 5), 2);
+  EXPECT_EQ(ring.hops(2, 2), 0);
+  EXPECT_EQ(ring.diameter(), 3);
+}
+
+TEST(StarTest, HubAndLeaves) {
+  Star star{5};
+  EXPECT_EQ(star.hops(0, 3), 1);
+  EXPECT_EQ(star.hops(3, 0), 1);
+  EXPECT_EQ(star.hops(1, 4), 2);
+  EXPECT_EQ(star.hops(2, 2), 0);
+  EXPECT_EQ(star.diameter(), 2);
+}
+
+TEST(GridTest, ManhattanDistance) {
+  Grid grid{3, 4};
+  EXPECT_EQ(grid.node_count(), 12u);
+  EXPECT_EQ(grid.hops(0, 0), 0);
+  EXPECT_EQ(grid.hops(0, 3), 3);   // same row
+  EXPECT_EQ(grid.hops(0, 8), 2);   // same column (rows 0 → 2)
+  EXPECT_EQ(grid.hops(0, 11), 5);  // corner to corner
+  EXPECT_EQ(grid.diameter(), 5);
+}
+
+TEST(GraphTest, BfsDistances) {
+  // 0 - 1 - 2
+  //     |
+  //     3
+  Graph g{4, {{0, 1}, {1, 2}, {1, 3}}};
+  EXPECT_EQ(g.hops(0, 2), 2);
+  EXPECT_EQ(g.hops(0, 3), 2);
+  EXPECT_EQ(g.hops(2, 3), 2);
+  EXPECT_EQ(g.hops(1, 1), 0);
+  EXPECT_EQ(g.diameter(), 2);
+}
+
+TEST(GraphTest, DisconnectedRejected) {
+  EXPECT_THROW((Graph{3, {{0, 1}}}), omig::AssertionError);
+}
+
+TEST(TopologyTest, OutOfRangeRejected) {
+  FullMesh mesh{3};
+  EXPECT_THROW((void)mesh.hops(0, 3), omig::AssertionError);
+}
+
+TEST(TopologyFactoryTest, MakesEveryKind) {
+  for (auto kind : {TopologyKind::FullMesh, TopologyKind::Ring,
+                    TopologyKind::Star, TopologyKind::Grid}) {
+    auto topo = make_topology(kind, 9);
+    ASSERT_NE(topo, nullptr);
+    EXPECT_GE(topo->node_count(), 9u);
+    EXPECT_EQ(topo->hops(0, 0), 0);
+  }
+}
+
+TEST(TopologyFactoryTest, GridCoversRequestedNodes) {
+  auto topo = make_topology(TopologyKind::Grid, 7);
+  EXPECT_GE(topo->node_count(), 7u);
+  // All requested indices must be addressable.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_GE(topo->hops(0, i), 0);
+  }
+}
+
+}  // namespace
+}  // namespace omig::net

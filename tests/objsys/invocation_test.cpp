@@ -1,0 +1,126 @@
+#include "objsys/invocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::objsys {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  net::FullMesh mesh{4};
+  net::LatencyModel latency{mesh, net::LatencyMode::Uniform, 1.0};
+  ObjectRegistry registry{engine, 4};
+  sim::Rng rng{42, 0};
+  Invoker invoker{engine, registry, latency, rng};
+};
+
+sim::Task call_once(Fixture& f, NodeId from, ObjectId obj, double& duration) {
+  const sim::SimTime start = f.engine.now();
+  co_await f.invoker.invoke(from, obj);
+  duration = f.engine.now() - start;
+}
+
+TEST(InvocationTest, LocalCallIsFree) {
+  Fixture f;
+  const ObjectId obj = f.registry.create("o", NodeId{1});
+  double duration = -1.0;
+  f.engine.spawn(call_once(f, NodeId{1}, obj, duration));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(duration, 0.0);
+  EXPECT_EQ(f.invoker.invocations(), 1u);
+  EXPECT_EQ(f.invoker.remote_invocations(), 0u);
+}
+
+TEST(InvocationTest, RemoteCallTakesTwoMessages) {
+  Fixture f;
+  const ObjectId obj = f.registry.create("o", NodeId{1});
+  double duration = -1.0;
+  f.engine.spawn(call_once(f, NodeId{0}, obj, duration));
+  f.engine.run();
+  EXPECT_GT(duration, 0.0);
+  EXPECT_EQ(f.invoker.remote_invocations(), 1u);
+}
+
+sim::Task call_many(Fixture& f, NodeId from, ObjectId obj, int n,
+                    double& total) {
+  for (int i = 0; i < n; ++i) {
+    const sim::SimTime start = f.engine.now();
+    co_await f.invoker.invoke(from, obj);
+    total += f.engine.now() - start;
+  }
+}
+
+TEST(InvocationTest, RemoteCallMeanIsTwo) {
+  Fixture f;
+  const ObjectId obj = f.registry.create("o", NodeId{1});
+  double total = 0.0;
+  const int n = 100'000;
+  f.engine.spawn(call_many(f, NodeId{0}, obj, n, total));
+  f.engine.run();
+  EXPECT_NEAR(total / n, 2.0, 0.03);
+}
+
+sim::Task release_later(Fixture& f, ObjectId obj, NodeId dest,
+                        sim::SimTime at) {
+  co_await f.engine.delay(at);
+  f.registry.finish_transit(obj, dest);
+}
+
+TEST(InvocationTest, CallBlocksDuringTransit) {
+  Fixture f;
+  const ObjectId obj = f.registry.create("o", NodeId{1});
+  f.registry.begin_transit(obj);
+  double duration = -1.0;
+  // The call starts at t=0 but the object only lands (at the caller's own
+  // node) at t=9 — so the measured duration is the blocked wait.
+  f.engine.spawn(call_once(f, NodeId{0}, obj, duration));
+  f.engine.spawn(release_later(f, obj, NodeId{0}, 9.0));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(duration, 9.0);
+  EXPECT_EQ(f.invoker.blocked_invocations(), 1u);
+}
+
+TEST(InvocationTest, BlockedCallSeesNewLocation) {
+  Fixture f;
+  const ObjectId obj = f.registry.create("o", NodeId{1});
+  f.registry.begin_transit(obj);
+  double duration = -1.0;
+  f.engine.spawn(call_once(f, NodeId{0}, obj, duration));
+  f.engine.spawn(release_later(f, obj, NodeId{2}, 4.0));
+  f.engine.run();
+  // 4.0 of blocking plus a remote round trip to node 2.
+  EXPECT_GT(duration, 4.0);
+}
+
+sim::Task nested_call(Fixture& f, ObjectId from, ObjectId to,
+                      double& duration) {
+  const sim::SimTime start = f.engine.now();
+  co_await f.invoker.invoke_from_object(from, to);
+  duration = f.engine.now() - start;
+}
+
+TEST(InvocationTest, ObjectToObjectUsesCallerLocation) {
+  Fixture f;
+  const ObjectId a = f.registry.create("a", NodeId{2});
+  const ObjectId b = f.registry.create("b", NodeId{2});
+  double duration = -1.0;
+  f.engine.spawn(nested_call(f, a, b, duration));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(duration, 0.0);  // collocated: free
+}
+
+TEST(InvocationTest, ObjectCallerWaitsForOwnTransit) {
+  Fixture f;
+  const ObjectId a = f.registry.create("a", NodeId{2});
+  const ObjectId b = f.registry.create("b", NodeId{0});
+  f.registry.begin_transit(a);
+  double duration = -1.0;
+  f.engine.spawn(nested_call(f, a, b, duration));
+  f.engine.spawn(release_later(f, a, NodeId{0}, 5.0));
+  f.engine.run();
+  // a lands next to b at t=5; the call is then local.
+  EXPECT_DOUBLE_EQ(duration, 5.0);
+}
+
+}  // namespace
+}  // namespace omig::objsys

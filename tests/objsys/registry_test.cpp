@@ -1,0 +1,115 @@
+#include "objsys/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+protected:
+  sim::Engine engine;
+  ObjectRegistry registry{engine, 4};
+};
+
+TEST_F(RegistryTest, CreatePlacesAtHome) {
+  const ObjectId id = registry.create("a", NodeId{2});
+  EXPECT_EQ(registry.location(id), NodeId{2});
+  EXPECT_TRUE(registry.is_resident(id, NodeId{2}));
+  EXPECT_FALSE(registry.is_resident(id, NodeId{0}));
+  EXPECT_EQ(registry.descriptor(id).name, "a");
+  EXPECT_EQ(registry.object_count(), 1u);
+}
+
+TEST_F(RegistryTest, IdsAreSequential) {
+  const ObjectId a = registry.create("a", NodeId{0});
+  const ObjectId b = registry.create("b", NodeId{1});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.value(), a.value() + 1);
+}
+
+TEST_F(RegistryTest, HomeOutOfRangeRejected) {
+  EXPECT_THROW(registry.create("x", NodeId{4}), AssertionError);
+  EXPECT_THROW(registry.create("x", NodeId::invalid()), AssertionError);
+}
+
+TEST_F(RegistryTest, FixUnfixRefix) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  EXPECT_FALSE(registry.is_fixed(id));
+  EXPECT_TRUE(registry.is_movable(id));
+  registry.fix(id);
+  EXPECT_TRUE(registry.is_fixed(id));
+  EXPECT_FALSE(registry.is_movable(id));
+  registry.unfix(id);
+  EXPECT_TRUE(registry.is_movable(id));
+  registry.refix(id);
+  EXPECT_TRUE(registry.is_fixed(id));
+}
+
+TEST_F(RegistryTest, SedentaryTypeNeverMovable) {
+  const ObjectId id = registry.create("pinned", NodeId{0}, 1.0,
+                                      /*mobile=*/false);
+  EXPECT_FALSE(registry.is_movable(id));
+  EXPECT_THROW(registry.begin_transit(id), AssertionError);
+}
+
+TEST_F(RegistryTest, TransitLifecycle) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  EXPECT_FALSE(registry.in_transit(id));
+  registry.begin_transit(id);
+  EXPECT_TRUE(registry.in_transit(id));
+  EXPECT_FALSE(registry.is_movable(id));
+  EXPECT_FALSE(registry.transit_gate(id).is_open());
+  registry.finish_transit(id, NodeId{3});
+  EXPECT_FALSE(registry.in_transit(id));
+  EXPECT_EQ(registry.location(id), NodeId{3});
+  EXPECT_TRUE(registry.transit_gate(id).is_open());
+  EXPECT_EQ(registry.migrations(), 1u);
+}
+
+TEST_F(RegistryTest, DoubleTransitRejected) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  registry.begin_transit(id);
+  EXPECT_THROW(registry.begin_transit(id), AssertionError);
+}
+
+TEST_F(RegistryTest, FinishWithoutBeginRejected) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  EXPECT_THROW(registry.finish_transit(id, NodeId{1}), AssertionError);
+}
+
+TEST_F(RegistryTest, TransitToSameNodeCountsNoMigration) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  registry.begin_transit(id);
+  registry.finish_transit(id, NodeId{0});
+  EXPECT_EQ(registry.migrations(), 0u);
+  EXPECT_EQ(registry.history(id).size(), 1u);
+}
+
+TEST_F(RegistryTest, HistoryRecordsPath) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  registry.begin_transit(id);
+  registry.finish_transit(id, NodeId{1});
+  registry.begin_transit(id);
+  registry.finish_transit(id, NodeId{2});
+  const auto& hist = registry.history(id);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], NodeId{0});
+  EXPECT_EQ(hist[1], NodeId{1});
+  EXPECT_EQ(hist[2], NodeId{2});
+}
+
+TEST_F(RegistryTest, RefixInTransitRejected) {
+  const ObjectId id = registry.create("a", NodeId{0});
+  registry.begin_transit(id);
+  EXPECT_THROW(registry.refix(id), AssertionError);
+}
+
+TEST_F(RegistryTest, UnknownIdRejected) {
+  EXPECT_THROW((void)registry.location(ObjectId{9}), AssertionError);
+  EXPECT_THROW((void)registry.location(ObjectId::invalid()), AssertionError);
+}
+
+}  // namespace
+}  // namespace omig::objsys

@@ -1,0 +1,142 @@
+// Immutable ("static") objects: "moving a static object simply creates a
+// copy" (paper Section 1).
+#include <gtest/gtest.h>
+
+#include "objsys/invocation.hpp"
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  net::FullMesh mesh{4};
+  net::LatencyModel latency{mesh, net::LatencyMode::Fixed, 1.0};
+  ObjectRegistry registry{engine, 4};
+  sim::Rng rng{31, 0};
+  Invoker invoker{engine, registry, latency, rng};
+};
+
+TEST(ReplicationTest, PrimaryCountsAsReplica) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1}, 1.0, true, true);
+  EXPECT_TRUE(f.registry.has_replica(o, NodeId{1}));
+  EXPECT_FALSE(f.registry.has_replica(o, NodeId{0}));
+  EXPECT_TRUE(f.registry.replicas(o).empty());
+}
+
+TEST(ReplicationTest, AddReplicaIsIdempotent) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1}, 1.0, true, true);
+  f.registry.add_replica(o, NodeId{2});
+  f.registry.add_replica(o, NodeId{2});
+  f.registry.add_replica(o, NodeId{1});  // primary: no-op
+  EXPECT_EQ(f.registry.replicas(o).size(), 1u);
+  EXPECT_EQ(f.registry.replications(), 1u);
+  EXPECT_TRUE(f.registry.has_replica(o, NodeId{2}));
+}
+
+TEST(ReplicationTest, MutableReplicasAreDroppedOnDemand) {
+  // Mutable objects may carry read replicas (Section-5 outlook); they are
+  // invalidated wholesale.
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  f.registry.add_replica(o, NodeId{2});
+  f.registry.add_replica(o, NodeId{3});
+  EXPECT_EQ(f.registry.replicas(o).size(), 2u);
+  EXPECT_EQ(f.registry.drop_replicas(o), 2u);
+  EXPECT_TRUE(f.registry.replicas(o).empty());
+  EXPECT_EQ(f.registry.invalidations(), 2u);
+}
+
+TEST(ReplicationTest, MigrationInvalidatesMutableReplicas) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  f.registry.add_replica(o, NodeId{2});
+  f.registry.begin_transit(o);
+  f.registry.finish_transit(o, NodeId{3});
+  EXPECT_TRUE(f.registry.replicas(o).empty());
+  EXPECT_EQ(f.registry.invalidations(), 1u);
+}
+
+TEST(ReplicationTest, ImmutableObjectsNeverTransit) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1}, 1.0, true, true);
+  EXPECT_THROW(f.registry.begin_transit(o), AssertionError);
+}
+
+sim::Task call_once(Fixture& f, NodeId from, ObjectId obj, double& dur,
+                    InvocationKind kind = InvocationKind::Write) {
+  const sim::SimTime t0 = f.engine.now();
+  co_await f.invoker.invoke(from, obj, kind);
+  dur = f.engine.now() - t0;
+}
+
+TEST(ReplicationTest, LocalCopyServesCallsForFree) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1}, 1.0, true, true);
+  double remote = -1.0, local = -1.0;
+  f.engine.spawn(call_once(f, NodeId{3}, o, remote));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(remote, 2.0);  // no copy yet: remote round trip
+  f.registry.add_replica(o, NodeId{3});
+  f.engine.spawn(call_once(f, NodeId{3}, o, local));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(local, 0.0);  // copy serves the call
+}
+
+TEST(ReplicationTest, ReplicateOnReadInstallsACopy) {
+  Fixture f;
+  f.invoker.set_replication(ReplicationMode::ReplicateOnRead, 6.0);
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  double first = -1.0, second = -1.0;
+  f.engine.spawn(call_once(f, NodeId{3}, o, first, InvocationKind::Read));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(first, 8.0);  // round trip 2 + state transfer 6
+  EXPECT_TRUE(f.registry.has_replica(o, NodeId{3}));
+  f.engine.spawn(call_once(f, NodeId{3}, o, second, InvocationKind::Read));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(second, 0.0);  // served by the copy
+  EXPECT_EQ(f.invoker.replica_hits(), 1u);
+}
+
+TEST(ReplicationTest, WriteInvalidatesReadReplicas) {
+  Fixture f;
+  f.invoker.set_replication(ReplicationMode::ReplicateOnRead, 6.0);
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  double d = -1.0;
+  f.engine.spawn(call_once(f, NodeId{3}, o, d, InvocationKind::Read));
+  f.engine.run();
+  ASSERT_TRUE(f.registry.has_replica(o, NodeId{3}));
+  f.engine.spawn(call_once(f, NodeId{2}, o, d, InvocationKind::Write));
+  f.engine.run();
+  EXPECT_FALSE(f.registry.has_replica(o, NodeId{3}));
+  EXPECT_EQ(f.invoker.invalidation_messages(), 1u);
+  // The next read pays the full price again.
+  f.engine.spawn(call_once(f, NodeId{3}, o, d, InvocationKind::Read));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(d, 8.0);
+}
+
+TEST(ReplicationTest, WritesNeverUseReplicas) {
+  Fixture f;
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  f.registry.add_replica(o, NodeId{3});
+  double d = -1.0;
+  f.engine.spawn(call_once(f, NodeId{3}, o, d, InvocationKind::Write));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(d, 2.0);  // write goes to the primary, remote
+}
+
+TEST(ReplicationTest, NoReplicationModeNeverCopiesMutables) {
+  Fixture f;  // default: ReplicationMode::None
+  const ObjectId o = f.registry.create("o", NodeId{1});
+  double d = -1.0;
+  f.engine.spawn(call_once(f, NodeId{3}, o, d, InvocationKind::Read));
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(d, 2.0);
+  EXPECT_FALSE(f.registry.has_replica(o, NodeId{3}));
+}
+
+}  // namespace
+}  // namespace omig::objsys

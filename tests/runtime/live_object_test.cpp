@@ -1,0 +1,73 @@
+#include "runtime/live_object.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::runtime {
+namespace {
+
+LiveObject make_counter(const std::string& name) {
+  ObjectState state;
+  state.type = "counter";
+  state.fields["value"] = "0";
+  LiveObject obj{name, std::move(state)};
+  obj.register_method("inc", [](ObjectState& self, const std::string&) {
+    self.fields["value"] = std::to_string(std::stoi(self.fields["value"]) + 1);
+    return self.fields["value"];
+  });
+  obj.register_method("get", [](ObjectState& self, const std::string&) {
+    return self.fields["value"];
+  });
+  return obj;
+}
+
+TEST(LiveObjectTest, MethodDispatch) {
+  LiveObject obj = make_counter("c");
+  EXPECT_EQ(obj.name(), "c");
+  EXPECT_EQ(obj.type(), "counter");
+  auto r = obj.call("inc", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "1");
+  r = obj.call("inc", "");
+  EXPECT_EQ(r.value, "2");
+  EXPECT_EQ(obj.call("get", "").value, "2");
+}
+
+TEST(LiveObjectTest, UnknownMethodFails) {
+  LiveObject obj = make_counter("c");
+  const auto r = obj.call("frobnicate", "");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.value.find("frobnicate"), std::string::npos);
+}
+
+TEST(LiveObjectTest, LinearizeCapturesState) {
+  LiveObject obj = make_counter("c");
+  obj.call("inc", "");
+  obj.call("inc", "");
+  obj.call("inc", "");
+  const ObjectState snap = obj.linearize();
+  EXPECT_EQ(snap.type, "counter");
+  EXPECT_EQ(snap.fields.at("value"), "3");
+}
+
+TEST(LiveObjectTest, RebuiltObjectContinuesWhereItLeftOff) {
+  // The migration contract: factory(linearize()) behaves identically.
+  LiveObject original = make_counter("c");
+  original.call("inc", "");
+  LiveObject rebuilt{"c", original.linearize()};
+  rebuilt.register_method("inc", [](ObjectState& self, const std::string&) {
+    self.fields["value"] = std::to_string(std::stoi(self.fields["value"]) + 1);
+    return self.fields["value"];
+  });
+  EXPECT_EQ(rebuilt.call("inc", "").value, "2");
+}
+
+TEST(LiveObjectTest, MethodReplacement) {
+  LiveObject obj = make_counter("c");
+  obj.register_method("get", [](ObjectState&, const std::string&) {
+    return std::string{"overridden"};
+  });
+  EXPECT_EQ(obj.call("get", "").value, "overridden");
+}
+
+}  // namespace
+}  // namespace omig::runtime

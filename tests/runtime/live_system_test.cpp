@@ -1,0 +1,228 @@
+#include "runtime/live_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace omig::runtime {
+namespace {
+
+ObjectFactory counter_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("inc", [](ObjectState& self, const std::string&) {
+      self.fields["value"] =
+          std::to_string(std::stoi(self.fields["value"]) + 1);
+      return self.fields["value"];
+    });
+    obj->register_method("get", [](ObjectState& self, const std::string&) {
+      return self.fields["value"];
+    });
+    return obj;
+  };
+}
+
+ObjectState counter_state() {
+  ObjectState s;
+  s.type = "counter";
+  s.fields["value"] = "0";
+  return s;
+}
+
+std::unique_ptr<LiveSystem> make_system(std::size_t nodes,
+                                        bool placement = true,
+                                        bool a_transitive = false) {
+  LiveSystem::Options opts;
+  opts.nodes = nodes;
+  opts.placement_policy = placement;
+  opts.a_transitive_attachments = a_transitive;
+  auto sys = std::make_unique<LiveSystem>(opts);
+  sys->register_type("counter", counter_factory());
+  sys->start();
+  return sys;
+}
+
+TEST(LiveSystemTest, CreateAndInvoke) {
+  auto sys = make_system(2);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  EXPECT_EQ(sys->location("c"), 0u);
+  auto r = sys->invoke("c", "inc", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "1");
+  EXPECT_EQ(sys->invoke("c", "get", "").value, "1");
+  EXPECT_EQ(sys->invocations(), 2u);
+}
+
+TEST(LiveSystemTest, DuplicateCreateFails) {
+  auto sys = make_system(2);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  EXPECT_FALSE(sys->create("c", counter_state(), 1));
+}
+
+TEST(LiveSystemTest, UnknownTypeFails) {
+  auto sys = make_system(2);
+  ObjectState s;
+  s.type = "nonsense";
+  EXPECT_FALSE(sys->create("x", s, 0));
+}
+
+TEST(LiveSystemTest, UnknownObjectInvokeFails) {
+  auto sys = make_system(2);
+  const auto r = sys->invoke("ghost", "get", "");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(LiveSystemTest, MigrationPreservesState) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  sys->invoke("c", "inc", "");
+  sys->invoke("c", "inc", "");
+  ASSERT_TRUE(sys->migrate("c", 2));
+  EXPECT_EQ(sys->location("c"), 2u);
+  EXPECT_EQ(sys->invoke("c", "get", "").value, "2");
+  EXPECT_EQ(sys->migrations(), 1u);
+}
+
+TEST(LiveSystemTest, FixPreventsMigration) {
+  auto sys = make_system(2);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  sys->fix("c");
+  EXPECT_TRUE(sys->is_fixed("c"));
+  sys->migrate("c", 1);
+  EXPECT_EQ(sys->location("c"), 0u);  // stayed
+  sys->unfix("c");
+  sys->migrate("c", 1);
+  EXPECT_EQ(sys->location("c"), 1u);
+}
+
+TEST(LiveSystemTest, AttachmentsMigrateTogether) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("a", counter_state(), 0));
+  ASSERT_TRUE(sys->create("b", counter_state(), 1));
+  EXPECT_TRUE(sys->attach("a", "b"));
+  EXPECT_FALSE(sys->attach("a", "b"));  // duplicate ignored
+  sys->migrate("a", 2);
+  EXPECT_EQ(sys->location("a"), 2u);
+  EXPECT_EQ(sys->location("b"), 2u);
+  EXPECT_TRUE(sys->detach("a", "b"));
+  sys->migrate("a", 0);
+  EXPECT_EQ(sys->location("b"), 2u);  // no longer dragged
+}
+
+TEST(LiveSystemTest, ATransitiveAttachmentRestriction) {
+  auto sys = make_system(3, /*placement=*/true, /*a_transitive=*/true);
+  ASSERT_TRUE(sys->create("s", counter_state(), 0));
+  ASSERT_TRUE(sys->create("mine", counter_state(), 0));
+  ASSERT_TRUE(sys->create("foreign", counter_state(), 0));
+  sys->attach("s", "mine", "my-alliance");
+  sys->attach("s", "foreign", "their-alliance");
+  sys->migrate("s", 2, "my-alliance");
+  EXPECT_EQ(sys->location("s"), 2u);
+  EXPECT_EQ(sys->location("mine"), 2u);
+  EXPECT_EQ(sys->location("foreign"), 0u);  // other context: not dragged
+}
+
+TEST(LiveSystemTest, PlacementRefusesConflictingMove) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto first = sys->move("c", 1);
+  EXPECT_TRUE(first.granted);
+  EXPECT_EQ(sys->location("c"), 1u);
+  auto second = sys->move("c", 2);
+  EXPECT_FALSE(second.granted);  // transient placement: refused
+  EXPECT_EQ(sys->location("c"), 1u);
+  EXPECT_EQ(sys->refused_moves(), 1u);
+  sys->end(first);
+  auto third = sys->move("c", 2);
+  EXPECT_TRUE(third.granted);
+  EXPECT_EQ(sys->location("c"), 2u);
+  sys->end(third);
+}
+
+TEST(LiveSystemTest, ConventionalMoveAlwaysSteals) {
+  auto sys = make_system(3, /*placement=*/false);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto first = sys->move("c", 1);
+  auto second = sys->move("c", 2);
+  EXPECT_TRUE(first.granted);
+  EXPECT_TRUE(second.granted);
+  EXPECT_EQ(sys->location("c"), 2u);  // stolen
+  EXPECT_EQ(sys->refused_moves(), 0u);
+}
+
+TEST(LiveSystemTest, VisitMigratesBack) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto token = sys->visit("c", 2);
+  ASSERT_TRUE(token.granted);
+  EXPECT_EQ(sys->location("c"), 2u);
+  sys->invoke_from(2, "c", "inc", "");
+  sys->end(token);
+  EXPECT_EQ(sys->location("c"), 0u);  // back home
+  EXPECT_EQ(sys->invoke("c", "get", "").value, "1");  // state survived both trips
+  EXPECT_EQ(sys->migrations(), 2u);
+}
+
+TEST(LiveSystemTest, VisitOfClusterReturnsEveryMember) {
+  auto sys = make_system(4);
+  ASSERT_TRUE(sys->create("a", counter_state(), 0));
+  ASSERT_TRUE(sys->create("b", counter_state(), 1));
+  sys->attach("a", "b");
+  auto token = sys->visit("a", 3);
+  EXPECT_EQ(sys->location("a"), 3u);
+  EXPECT_EQ(sys->location("b"), 3u);
+  sys->end(token);
+  EXPECT_EQ(sys->location("a"), 0u);
+  EXPECT_EQ(sys->location("b"), 1u);  // each member returns to ITS origin
+}
+
+TEST(LiveSystemTest, RefusedVisitDoesNothingOnEnd) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto holder = sys->move("c", 1);
+  auto refused = sys->visit("c", 2);
+  EXPECT_FALSE(refused.granted);
+  sys->end(refused);
+  EXPECT_EQ(sys->location("c"), 1u);  // untouched
+  sys->end(holder);
+}
+
+TEST(LiveSystemTest, ConcurrentInvokersSeeConsistentCounter) {
+  auto sys = make_system(4);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sys] {
+      for (int i = 0; i < kPerThread; ++i) sys->invoke("c", "inc", "");
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(sys->invoke("c", "get", "").value,
+            std::to_string(kThreads * kPerThread));
+}
+
+TEST(LiveSystemTest, InvokeDuringMigrationNeverFails) {
+  auto sys = make_system(4);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread invoker{[&] {
+    while (!stop.load()) {
+      if (!sys->invoke("c", "inc", "").ok) failures.fetch_add(1);
+    }
+  }};
+  // Bounce the object around while it is being invoked.
+  for (int i = 0; i < 50; ++i) sys->migrate("c", i % 4);
+  stop.store(true);
+  invoker.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Only the very first migrate (0 → 0) is a no-op; the rest all relocate.
+  EXPECT_EQ(sys->migrations(), 49u);
+}
+
+}  // namespace
+}  // namespace omig::runtime

@@ -1,0 +1,77 @@
+#include "runtime/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace omig::runtime {
+namespace {
+
+TEST(MailboxTest, PushPopSingleThread) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.push(1));
+  EXPECT_TRUE(box.push(2));
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.pop(), 1);
+  EXPECT_EQ(box.pop(), 2);
+}
+
+TEST(MailboxTest, CloseDrainsThenSignalsShutdown) {
+  Mailbox<int> box;
+  box.push(42);
+  box.close();
+  EXPECT_FALSE(box.push(43));  // closed
+  EXPECT_EQ(box.pop(), 42);    // pending message still delivered
+  EXPECT_EQ(box.pop(), std::nullopt);
+}
+
+TEST(MailboxTest, PopBlocksUntilPush) {
+  Mailbox<int> box;
+  std::thread producer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(7);
+  }};
+  EXPECT_EQ(box.pop(), 7);
+  producer.join();
+}
+
+TEST(MailboxTest, CloseWakesBlockedConsumer) {
+  Mailbox<int> box;
+  std::thread closer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+  }};
+  EXPECT_EQ(box.pop(), std::nullopt);
+  closer.join();
+}
+
+TEST(MailboxTest, ManyProducersOneConsumer) {
+  Mailbox<int> box;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1'000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box] {
+      for (int i = 0; i < kPerProducer; ++i) box.push(1);
+    });
+  }
+  long long sum = 0;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    sum += box.pop().value();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum, kProducers * kPerProducer);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(MailboxTest, MoveOnlyPayloads) {
+  Mailbox<std::unique_ptr<int>> box;
+  box.push(std::make_unique<int>(5));
+  auto out = box.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+}  // namespace
+}  // namespace omig::runtime

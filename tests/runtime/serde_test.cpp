@@ -1,0 +1,81 @@
+#include "runtime/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::runtime {
+namespace {
+
+ObjectState sample_state() {
+  ObjectState s;
+  s.type = "cart";
+  s.fields["items"] = "a,b,c";
+  s.fields["owner"] = "alice";
+  s.fields["empty"] = "";
+  return s;
+}
+
+TEST(SerdeTest, RoundTrip) {
+  const ObjectState original = sample_state();
+  const auto bytes = encode(original);
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, original.type);
+  EXPECT_EQ(decoded->fields, original.fields);
+}
+
+TEST(SerdeTest, EmptyStateRoundTrips) {
+  ObjectState s;
+  s.type = "x";
+  const auto decoded = decode(encode(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, "x");
+  EXPECT_TRUE(decoded->fields.empty());
+}
+
+TEST(SerdeTest, BinarySafeValues) {
+  ObjectState s;
+  s.type = "blob";
+  s.fields["data"] = std::string{"\0\x01\xff zero", 8};
+  const auto decoded = decode(encode(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->fields.at("data"), s.fields.at("data"));
+}
+
+TEST(SerdeTest, TruncatedBufferRejected) {
+  auto bytes = encode(sample_state());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix{bytes.data(), cut};
+    EXPECT_FALSE(decode(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(SerdeTest, TrailingGarbageRejected) {
+  auto bytes = encode(sample_state());
+  bytes.push_back(0x42);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(SerdeTest, OverlongLengthRejected) {
+  // Claim a 2^31-byte type on a 16-byte buffer.
+  std::vector<std::uint8_t> bytes{0x00, 0x00, 0x00, 0x80};
+  bytes.resize(16, 0);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(SerdeTest, EmptyBufferRejected) {
+  EXPECT_FALSE(decode({}).has_value());
+}
+
+TEST(SerdeTest, EncodingIsLengthPrefixed) {
+  ObjectState s;
+  s.type = "ab";
+  const auto bytes = encode(s);
+  // u32(2) + "ab" + u32(0 fields) = 10 bytes.
+  ASSERT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[0], 2u);
+  EXPECT_EQ(bytes[4], 'a');
+  EXPECT_EQ(bytes[5], 'b');
+}
+
+}  // namespace
+}  // namespace omig::runtime

@@ -1,0 +1,183 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace omig::sim {
+namespace {
+
+Task record_at(Engine& eng, SimTime dt, std::vector<double>& log,
+               double value) {
+  co_await eng.delay(dt);
+  log.push_back(value);
+}
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(EngineTest, ProcessesEventsInTimeOrder) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 5.0, log, 5.0));
+  eng.spawn(record_at(eng, 1.0, log, 1.0));
+  eng.spawn(record_at(eng, 3.0, log, 3.0));
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 3.0);
+  EXPECT_DOUBLE_EQ(log[2], 5.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+TEST(EngineTest, SimultaneousEventsRunInSpawnOrder) {
+  Engine eng;
+  std::vector<double> log;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn(record_at(eng, 2.0, log, static_cast<double>(i)));
+  }
+  eng.run();
+  ASSERT_EQ(log.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(log[static_cast<std::size_t>(i)], i);
+  }
+}
+
+Task chain(Engine& eng, std::vector<double>& log) {
+  co_await eng.delay(1.0);
+  log.push_back(eng.now());
+  co_await eng.delay(2.0);
+  log.push_back(eng.now());
+  co_await eng.delay(0.0);
+  log.push_back(eng.now());
+}
+
+TEST(EngineTest, DelaysAccumulate) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(chain(eng, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 3.0);
+  EXPECT_DOUBLE_EQ(log[2], 3.0);  // zero delay is allowed
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 1.0, log, 1.0));
+  eng.spawn(record_at(eng, 10.0, log, 10.0));
+  eng.run_until(5.0);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  // The 10.0 event stays queued; a later run picks it up.
+  eng.run();
+  EXPECT_EQ(log.size(), 2u);
+}
+
+Task spawner(Engine& eng, std::vector<double>& log) {
+  co_await eng.delay(1.0);
+  eng.spawn(record_at(eng, 2.0, log, 42.0));
+}
+
+TEST(EngineTest, ProcessCanSpawnProcesses) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(spawner(eng, log));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0], 42.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+Task stopper(Engine& eng) {
+  co_await eng.delay(2.0);
+  eng.request_stop();
+}
+
+TEST(EngineTest, RequestStopHaltsTheLoop) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 10.0, log, 10.0));
+  eng.spawn(stopper(eng));
+  eng.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_TRUE(eng.stop_requested());
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+Task thrower(Engine& eng) {
+  co_await eng.delay(1.0);
+  throw std::runtime_error{"boom"};
+}
+
+TEST(EngineTest, RootExceptionIsRethrownFromRun) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+Task awaits_thrower(Engine& eng, bool& caught) {
+  try {
+    co_await thrower(eng);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(EngineTest, ChildExceptionPropagatesToAwaitingParent) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(awaits_thrower(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EngineTest, NegativeDelayIsRejected) {
+  Engine eng;
+  EXPECT_THROW((void)eng.delay(-1.0), AssertionError);
+}
+
+Task endless(Engine& eng) {
+  for (;;) co_await eng.delay(1.0);
+}
+
+TEST(EngineTest, ClearTearsDownSuspendedProcesses) {
+  Engine eng;
+  eng.spawn(endless(eng));
+  eng.run_until(100.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 100.0);
+  eng.clear();  // must not leak or crash (ASAN would flag it)
+  eng.run();    // queue is empty now
+  EXPECT_DOUBLE_EQ(eng.now(), 100.0);
+}
+
+TEST(EngineTest, EventsProcessedCounts) {
+  Engine eng;
+  std::vector<double> log;
+  eng.spawn(record_at(eng, 1.0, log, 1.0));
+  eng.run();
+  // Spawn wakeup + delay resume.
+  EXPECT_GE(eng.events_processed(), 2u);
+}
+
+TEST(EngineTest, ManyProcessesRootPruning) {
+  Engine eng;
+  std::vector<double> log;
+  // More than the lazy-prune threshold of roots, spawned over time.
+  for (int i = 0; i < 500; ++i) {
+    eng.spawn(record_at(eng, static_cast<double>(i), log, 1.0));
+  }
+  eng.run();
+  EXPECT_EQ(log.size(), 500u);
+}
+
+}  // namespace
+}  // namespace omig::sim

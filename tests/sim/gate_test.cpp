@@ -1,0 +1,99 @@
+#include "sim/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omig::sim {
+namespace {
+
+Task wait_then_log(Engine& eng, Gate& gate, std::vector<double>& log,
+                   double id) {
+  co_await gate.wait();
+  log.push_back(id);
+  (void)eng;
+}
+
+TEST(GateTest, OpenGateDoesNotSuspend) {
+  Engine eng;
+  Gate gate{eng};
+  std::vector<double> log;
+  eng.spawn(wait_then_log(eng, gate, log, 1.0));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+}
+
+Task opener(Engine& eng, Gate& gate, SimTime at) {
+  co_await eng.delay(at);
+  gate.open();
+}
+
+TEST(GateTest, ClosedGateSuspendsUntilOpened) {
+  Engine eng;
+  Gate gate{eng};
+  gate.close();
+  std::vector<double> log;
+  eng.spawn(wait_then_log(eng, gate, log, 1.0));
+  eng.spawn(opener(eng, gate, 7.0));
+  eng.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(eng.now(), 7.0);
+}
+
+TEST(GateTest, OpenWakesAllWaiters) {
+  Engine eng;
+  Gate gate{eng};
+  gate.close();
+  std::vector<double> log;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn(wait_then_log(eng, gate, log, static_cast<double>(i)));
+  }
+  eng.run_until(1.0);
+  EXPECT_EQ(gate.waiter_count(), 4u);
+  eng.spawn(opener(eng, gate, 2.0));
+  eng.run();
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(gate.waiter_count(), 0u);
+}
+
+Task wait_recheck(Engine& eng, Gate& gate, int& wakeups) {
+  while (!gate.is_open()) {
+    co_await gate.wait();
+    ++wakeups;
+  }
+  (void)eng;
+}
+
+Task open_close_open(Engine& eng, Gate& gate) {
+  co_await eng.delay(1.0);
+  gate.open();
+  gate.close();  // close again before the waiter's re-check loop exits
+  co_await eng.delay(1.0);
+  gate.open();
+}
+
+TEST(GateTest, WaitersMustRecheckAfterWakeup) {
+  Engine eng;
+  Gate gate{eng};
+  gate.close();
+  int wakeups = 0;
+  eng.spawn(wait_recheck(eng, gate, wakeups));
+  eng.spawn(open_close_open(eng, gate));
+  eng.run();
+  EXPECT_EQ(wakeups, 2);
+  EXPECT_TRUE(gate.is_open());
+}
+
+TEST(GateTest, StateQueries) {
+  Engine eng;
+  Gate gate{eng};
+  EXPECT_TRUE(gate.is_open());
+  gate.close();
+  EXPECT_FALSE(gate.is_open());
+  gate.open();
+  EXPECT_TRUE(gate.is_open());
+}
+
+}  // namespace
+}  // namespace omig::sim

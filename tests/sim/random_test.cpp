@@ -1,0 +1,134 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace omig::sim {
+namespace {
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Rng rng{42, 0};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformMeanNearHalf) {
+  Rng rng{42, 0};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RandomTest, SameSeedSameStream) {
+  Rng a{7, 3};
+  Rng b{7, 3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RandomTest, DifferentStreamsDiffer) {
+  Rng a{7, 0};
+  Rng b{7, 1};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, ExponentialMeanMatches) {
+  Rng rng{123, 0};
+  const double mean = 6.0;
+  double sum = 0.0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, 0.05);
+}
+
+TEST(RandomTest, ExponentialIsNonNegative) {
+  Rng rng{5, 0};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RandomTest, ExponentialZeroMeanYieldsZero) {
+  Rng rng{5, 0};
+  EXPECT_DOUBLE_EQ(rng.exponential(0.0), 0.0);
+}
+
+TEST(RandomTest, ExponentialVarianceMatches) {
+  // Var of exp(mean m) is m^2.
+  Rng rng{99, 0};
+  const double mean = 2.0;
+  const int n = 400'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(mean);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(var, mean * mean, 0.1);
+}
+
+TEST(RandomTest, UniformIntInRange) {
+  Rng rng{11, 0};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_int(7), 7u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversAllValues) {
+  Rng rng{11, 0};
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 50'000; ++i) ++counts[rng.uniform_int(5)];
+  for (int c : counts) EXPECT_GT(c, 9'000);
+}
+
+TEST(RandomTest, UniformIntRejectsEmptyRange) {
+  Rng rng{11, 0};
+  EXPECT_THROW(rng.uniform_int(0), AssertionError);
+}
+
+TEST(RandomTest, ExponentialCountAtLeastOne) {
+  Rng rng{13, 0};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.exponential_count(8.0), 1);
+  }
+}
+
+TEST(RandomTest, ExponentialCountMeanApproximatelyPreserved) {
+  Rng rng{13, 0};
+  const double mean = 8.0;
+  long long sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential_count(mean);
+  // Rounding + clamping to >= 1 shifts the mean slightly upward.
+  EXPECT_NEAR(static_cast<double>(sum) / n, mean, 0.35);
+}
+
+TEST(RandomTest, SplitMixIsDeterministic) {
+  SplitMix64 a{1}, b{1};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, XoshiroKnownDistinctOutputs) {
+  Xoshiro256ss gen{0};
+  const auto x = gen.next();
+  const auto y = gen.next();
+  EXPECT_NE(x, y);
+}
+
+}  // namespace
+}  // namespace omig::sim

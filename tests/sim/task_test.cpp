@@ -1,0 +1,102 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace omig::sim {
+namespace {
+
+Task immediate(int& out, int value) {
+  out = value;
+  co_return;
+}
+
+TEST(TaskTest, LazyStart) {
+  int out = 0;
+  Task t = immediate(out, 7);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.done());
+  EXPECT_EQ(out, 0);  // not started yet
+  t.resume();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  int out = 0;
+  Task a = immediate(out, 1);
+  Task b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.valid());
+  b.resume();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(TaskTest, DestroyingUnstartedTaskIsSafe) {
+  int out = 0;
+  { Task t = immediate(out, 3); }
+  EXPECT_EQ(out, 0);  // never ran, frame destroyed cleanly
+}
+
+Task parent(Engine& eng, int& out) {
+  int inner = 0;
+  co_await immediate(inner, 5);
+  out = inner + 1;
+  (void)eng;
+}
+
+TEST(TaskTest, AwaitChildTaskRunsSynchronously) {
+  Engine eng;
+  int out = 0;
+  eng.spawn(parent(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 6);
+}
+
+Task thrower() {
+  throw std::logic_error{"child failed"};
+  co_return;  // unreachable but makes this a coroutine
+}
+
+Task catcher(bool& caught) {
+  try {
+    co_await thrower();
+  } catch (const std::logic_error&) {
+    caught = true;
+  }
+}
+
+TEST(TaskTest, AwaitPropagatesException) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(catcher(caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskTest, RethrowIfFailedOnDirectResume) {
+  Task t = thrower();
+  EXPECT_THROW(t.resume(), std::logic_error);
+}
+
+Task deep(Engine& eng, int levels, int& depth_reached) {
+  if (levels > 0) {
+    co_await deep(eng, levels - 1, depth_reached);
+  } else {
+    co_await eng.delay(1.0);
+  }
+  ++depth_reached;
+}
+
+TEST(TaskTest, DeeplyNestedAwaitChains) {
+  Engine eng;
+  int depth = 0;
+  eng.spawn(deep(eng, 200, depth));
+  eng.run();
+  EXPECT_EQ(depth, 201);
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+}  // namespace
+}  // namespace omig::sim

@@ -1,0 +1,88 @@
+#include "sim/when_all.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omig::sim {
+namespace {
+
+Task sleeper(Engine& eng, SimTime dt, int& done) {
+  co_await eng.delay(dt);
+  ++done;
+}
+
+Task join_and_stamp(Engine& eng, std::vector<Task> tasks, double& stamp) {
+  co_await when_all(eng, std::move(tasks));
+  stamp = eng.now();
+}
+
+TEST(WhenAllTest, CompletesAtTheLatestChild) {
+  Engine eng;
+  int done = 0;
+  double stamp = -1.0;
+  std::vector<Task> tasks;
+  tasks.push_back(sleeper(eng, 3.0, done));
+  tasks.push_back(sleeper(eng, 7.0, done));
+  tasks.push_back(sleeper(eng, 1.0, done));
+  eng.spawn(join_and_stamp(eng, std::move(tasks), stamp));
+  eng.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_DOUBLE_EQ(stamp, 7.0);  // max, not sum (11.0)
+}
+
+TEST(WhenAllTest, EmptySetCompletesImmediately) {
+  Engine eng;
+  double stamp = -1.0;
+  eng.spawn(join_and_stamp(eng, {}, stamp));
+  eng.run();
+  EXPECT_DOUBLE_EQ(stamp, 0.0);
+}
+
+TEST(WhenAllTest, SingleChild) {
+  Engine eng;
+  int done = 0;
+  double stamp = -1.0;
+  std::vector<Task> tasks;
+  tasks.push_back(sleeper(eng, 5.0, done));
+  eng.spawn(join_and_stamp(eng, std::move(tasks), stamp));
+  eng.run();
+  EXPECT_DOUBLE_EQ(stamp, 5.0);
+}
+
+Task nested_join(Engine& eng, double& stamp) {
+  std::vector<Task> inner;
+  int done = 0;
+  inner.push_back(sleeper(eng, 2.0, done));
+  inner.push_back(sleeper(eng, 4.0, done));
+  co_await when_all(eng, std::move(inner));
+  std::vector<Task> more;
+  more.push_back(sleeper(eng, 3.0, done));
+  co_await when_all(eng, std::move(more));
+  stamp = eng.now();
+}
+
+TEST(WhenAllTest, SequentialJoinsCompose) {
+  Engine eng;
+  double stamp = -1.0;
+  eng.spawn(nested_join(eng, stamp));
+  eng.run();
+  EXPECT_DOUBLE_EQ(stamp, 7.0);  // max(2,4) + 3
+}
+
+TEST(WhenAllTest, ManyChildren) {
+  Engine eng;
+  int done = 0;
+  double stamp = -1.0;
+  std::vector<Task> tasks;
+  for (int i = 1; i <= 100; ++i) {
+    tasks.push_back(sleeper(eng, static_cast<double>(i), done));
+  }
+  eng.spawn(join_and_stamp(eng, std::move(tasks), stamp));
+  eng.run();
+  EXPECT_EQ(done, 100);
+  EXPECT_DOUBLE_EQ(stamp, 100.0);
+}
+
+}  // namespace
+}  // namespace omig::sim

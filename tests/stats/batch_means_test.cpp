@@ -1,0 +1,134 @@
+#include "stats/batch_means.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace omig::stats {
+namespace {
+
+TEST(BatchMeansTest, GrandMeanMatchesStream) {
+  BatchMeans bm{8, 16};
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(i % 10);
+    bm.add(x);
+    sum += x;
+  }
+  EXPECT_NEAR(bm.grand_mean(), sum / 1000.0, 1e-9);
+}
+
+TEST(BatchMeansTest, IntervalNeedsTwoBatches) {
+  BatchMeans bm{100, 16};
+  bm.add(1.0);
+  const auto ci = bm.interval(0.99);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+}
+
+TEST(BatchMeansTest, IntervalShrinksWithData) {
+  sim::Rng rng{1, 0};
+  BatchMeans bm{32, 32};
+  for (int i = 0; i < 2'000; ++i) bm.add(rng.exponential(1.0));
+  const double early = bm.interval(0.99).half_width;
+  for (int i = 0; i < 60'000; ++i) bm.add(rng.exponential(1.0));
+  const double late = bm.interval(0.99).half_width;
+  EXPECT_LT(late, early);
+}
+
+TEST(BatchMeansTest, CoalescingKeepsBatchCountBounded) {
+  BatchMeans bm{1, 8};
+  for (int i = 0; i < 10'000; ++i) bm.add(1.0);
+  EXPECT_LE(bm.closed_batches(), 9u);
+  EXPECT_EQ(bm.observations(), 10'000u);
+}
+
+TEST(BatchMeansTest, IntervalCoversTrueMean) {
+  // 99% CI over exp(3) data should contain 3 (statistical, generous seed).
+  sim::Rng rng{77, 0};
+  BatchMeans bm{64, 32};
+  for (int i = 0; i < 100'000; ++i) bm.add(rng.exponential(3.0));
+  const auto ci = bm.interval(0.99);
+  EXPECT_NEAR(ci.mean, 3.0, ci.half_width * 2.0);
+}
+
+TEST(RatioBatchMeansTest, OverallRatioIsSumOverSum) {
+  RatioBatchMeans rbm{4, 16};
+  rbm.add(10.0, 5.0);
+  rbm.add(20.0, 5.0);
+  rbm.add(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(rbm.overall_ratio(), 30.0 / 20.0);
+  EXPECT_DOUBLE_EQ(rbm.total_cost(), 30.0);
+  EXPECT_DOUBLE_EQ(rbm.total_weight(), 20.0);
+}
+
+TEST(RatioBatchMeansTest, ZeroWeightObservationsCountTowardCost) {
+  // Background migrations: cost with no calls attached.
+  RatioBatchMeans rbm{4, 16};
+  rbm.add(8.0, 4.0);
+  rbm.add(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(rbm.overall_ratio(), 10.0 / 4.0);
+}
+
+TEST(RatioBatchMeansTest, ConstantRatioHasTinyInterval) {
+  RatioBatchMeans rbm{4, 64};
+  for (int i = 0; i < 1'000; ++i) rbm.add(2.0, 1.0);
+  const auto ci = rbm.interval(0.99);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+TEST(RatioBatchMeansTest, CoalescingPreservesOverallRatio) {
+  sim::Rng rng{5, 0};
+  RatioBatchMeans rbm{2, 8};
+  double cost = 0.0, weight = 0.0;
+  for (int i = 0; i < 5'000; ++i) {
+    const double c = rng.exponential(4.0);
+    const double w = 1.0 + rng.uniform_int(9);
+    rbm.add(c, w);
+    cost += c;
+    weight += w;
+  }
+  EXPECT_NEAR(rbm.overall_ratio(), cost / weight, 1e-9);
+  EXPECT_LE(rbm.closed_batches(), 9u);
+}
+
+TEST(StoppingRuleTest, NotSatisfiedBeforeFloors) {
+  StoppingRule rule;
+  rule.min_observations = 100;
+  RatioBatchMeans rbm{4, 16};
+  for (int i = 0; i < 50; ++i) rbm.add(2.0, 1.0);
+  EXPECT_FALSE(rule.satisfied_by(rbm));
+}
+
+TEST(StoppingRuleTest, SatisfiedByTightData) {
+  StoppingRule rule;
+  rule.min_observations = 100;
+  rule.min_batches = 4;
+  RatioBatchMeans rbm{4, 64};
+  for (int i = 0; i < 200; ++i) rbm.add(2.0, 1.0);
+  EXPECT_TRUE(rule.satisfied_by(rbm));
+}
+
+TEST(StoppingRuleTest, CeilingForcesStop) {
+  StoppingRule rule;
+  rule.max_observations = 100;
+  sim::Rng rng{3, 0};
+  RatioBatchMeans rbm{4, 16};
+  for (int i = 0; i < 100; ++i) rbm.add(rng.exponential(10.0), 1.0);
+  EXPECT_TRUE(rule.satisfied_by(rbm));
+}
+
+TEST(StoppingRuleTest, NoisyDataNotSatisfiedEarly) {
+  StoppingRule rule;  // 1% at 99%
+  rule.min_observations = 16;
+  rule.min_batches = 4;
+  sim::Rng rng{9, 0};
+  RatioBatchMeans rbm{4, 16};
+  for (int i = 0; i < 64; ++i) rbm.add(rng.exponential(10.0), 1.0);
+  EXPECT_FALSE(rule.satisfied_by(rbm));
+}
+
+}  // namespace
+}  // namespace omig::stats

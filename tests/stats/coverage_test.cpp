@@ -1,0 +1,66 @@
+// Statistical validation of the confidence machinery itself: across many
+// independent replications, the nominal-99% batch-means interval must
+// cover the true mean in (at least roughly) the advertised fraction of
+// runs. Deterministic seeds keep this reproducible.
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "stats/batch_means.hpp"
+
+namespace omig::stats {
+namespace {
+
+TEST(CoverageTest, BatchMeansIntervalCoversTrueMean) {
+  const double true_mean = 2.0;
+  int covered = 0;
+  const int replications = 60;
+  for (int r = 0; r < replications; ++r) {
+    sim::Rng rng{1000 + static_cast<std::uint64_t>(r), 0};
+    BatchMeans bm{64, 32};
+    for (int i = 0; i < 20'000; ++i) bm.add(rng.exponential(true_mean));
+    const auto ci = bm.interval(0.99);
+    if (std::abs(ci.mean - true_mean) <= ci.half_width) ++covered;
+  }
+  // Nominal coverage 99%; batch-means on i.i.d. data is close to nominal.
+  // Allow generous slack for the finite replication count.
+  EXPECT_GE(covered, replications * 90 / 100);
+}
+
+TEST(CoverageTest, RatioIntervalCoversTrueRatio) {
+  // cost ~ exp(3) per call, weight = calls ~ 1..4 uniform: true per-call
+  // ratio is E[sum cost]/E[weight] with cost drawn per call => ratio 3.
+  int covered = 0;
+  const int replications = 60;
+  for (int r = 0; r < replications; ++r) {
+    sim::Rng rng{5000 + static_cast<std::uint64_t>(r), 0};
+    RatioBatchMeans rbm{32, 32};
+    for (int i = 0; i < 8'000; ++i) {
+      const auto calls = 1 + rng.uniform_int(4);
+      double cost = 0.0;
+      for (std::uint64_t c = 0; c < calls; ++c) cost += rng.exponential(3.0);
+      rbm.add(cost, static_cast<double>(calls));
+    }
+    const auto ci = rbm.interval(0.99);
+    if (std::abs(ci.mean - 3.0) <= ci.half_width) ++covered;
+  }
+  EXPECT_GE(covered, replications * 90 / 100);
+}
+
+TEST(CoverageTest, StoppingRuleDeliversRequestedPrecision) {
+  // Feed observations until the rule fires, then check the achieved CI.
+  StoppingRule rule;
+  rule.relative_target = 0.02;
+  rule.min_observations = 256;
+  rule.max_observations = 2'000'000;
+  sim::Rng rng{77, 0};
+  RatioBatchMeans rbm{32, 64};
+  while (!rule.satisfied_by(rbm)) {
+    rbm.add(rng.exponential(5.0), 1.0);
+  }
+  const auto ci = rbm.interval(rule.level);
+  EXPECT_LE(ci.relative(), rule.relative_target * 1.0001);
+  EXPECT_NEAR(ci.mean, 5.0, 5.0 * 0.05);
+}
+
+}  // namespace
+}  // namespace omig::stats

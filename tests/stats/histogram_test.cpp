@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::stats {
+namespace {
+
+TEST(HistogramTest, BinningBoundaries) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.0);   // first bin
+  h.add(0.99);  // first bin
+  h.add(1.0);   // second bin
+  h.add(9.99);  // last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h{2.0, 4.0, 4};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(HistogramTest, QuantileOfUniformData) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 4}), omig::AssertionError);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), omig::AssertionError);
+}
+
+TEST(HistogramTest, QuantileRangeChecked) {
+  Histogram h{0.0, 1.0, 2};
+  EXPECT_THROW((void)h.quantile(-0.1), omig::AssertionError);
+  EXPECT_THROW((void)h.quantile(1.1), omig::AssertionError);
+}
+
+}  // namespace
+}  // namespace omig::stats

@@ -1,0 +1,60 @@
+#include "stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::stats {
+namespace {
+
+TEST(QuantilesTest, NormalMedianIsZero) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(QuantilesTest, NormalKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.84134), 0.9999, 2e-3);
+}
+
+TEST(QuantilesTest, NormalSymmetry) {
+  for (double p : {0.6, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-8);
+  }
+}
+
+TEST(QuantilesTest, NormalTails) {
+  EXPECT_NEAR(normal_quantile(1e-6), -4.753424, 1e-4);
+  EXPECT_NEAR(normal_quantile(1.0 - 1e-6), 4.753424, 1e-4);
+}
+
+TEST(QuantilesTest, NormalRejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), omig::AssertionError);
+  EXPECT_THROW(normal_quantile(1.0), omig::AssertionError);
+}
+
+TEST(QuantilesTest, StudentTKnownValues) {
+  // Reference values from standard t tables (two-sided 99% → p = 0.995).
+  EXPECT_NEAR(student_t_quantile(0.995, 10), 3.169, 0.02);
+  EXPECT_NEAR(student_t_quantile(0.995, 30), 2.750, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 20), 2.086, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.975, 60), 2.000, 0.005);
+}
+
+TEST(QuantilesTest, StudentTApproachesNormal) {
+  EXPECT_NEAR(student_t_quantile(0.995, 100000), normal_quantile(0.995),
+              1e-6);
+}
+
+TEST(QuantilesTest, StudentTIsWiderThanNormal) {
+  for (int df : {3, 5, 10, 30}) {
+    EXPECT_GT(student_t_quantile(0.995, df), normal_quantile(0.995));
+  }
+}
+
+TEST(QuantilesTest, StudentTRejectsBadDf) {
+  EXPECT_THROW(student_t_quantile(0.995, 0), omig::AssertionError);
+}
+
+}  // namespace
+}  // namespace omig::stats

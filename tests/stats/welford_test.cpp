@@ -1,0 +1,75 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omig::stats {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford w;
+  w.add(3.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.5);
+  EXPECT_DOUBLE_EQ(w.max(), 3.5);
+}
+
+TEST(WelfordTest, KnownMeanAndVariance) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance with n−1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 40.0);
+}
+
+TEST(WelfordTest, MergeMatchesSequential) {
+  Welford all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  Welford a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  Welford b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  Welford w;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) w.add(x);
+  EXPECT_NEAR(w.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(w.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace omig::stats

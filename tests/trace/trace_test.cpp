@@ -1,0 +1,137 @@
+#include "trace/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::trace {
+namespace {
+
+using objsys::BlockId;
+using objsys::NodeId;
+using objsys::ObjectId;
+
+Event ev(double t, EventKind kind, std::uint32_t obj = 0,
+         std::uint32_t blk = 0) {
+  return Event{t, kind, ObjectId{obj}, NodeId{0}, BlockId{blk}};
+}
+
+TEST(TraceLogTest, RecordsInOrder) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::BlockBegin));
+  log.record(ev(2.0, EventKind::MoveRequest));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events().front().kind, EventKind::BlockBegin);
+  EXPECT_EQ(log.events().back().kind, EventKind::MoveRequest);
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_FALSE(log.truncated());
+}
+
+TEST(TraceLogTest, RingBufferDropsOldest) {
+  TraceLog log{3};
+  for (int i = 0; i < 5; ++i) {
+    log.record(ev(static_cast<double>(i), EventKind::MoveRequest));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.recorded(), 5u);
+  EXPECT_TRUE(log.truncated());
+  EXPECT_DOUBLE_EQ(log.events().front().time, 2.0);
+}
+
+TEST(TraceLogTest, QueriesFilter) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::Lock, 7, 1));
+  log.record(ev(2.0, EventKind::Lock, 8, 1));
+  log.record(ev(3.0, EventKind::Unlock, 7, 1));
+  EXPECT_EQ(log.count(EventKind::Lock), 2u);
+  EXPECT_EQ(log.of_kind(EventKind::Unlock).size(), 1u);
+  EXPECT_EQ(log.for_object(ObjectId{7}).size(), 2u);
+}
+
+TEST(TraceLogTest, RenderMentionsKinds) {
+  TraceLog log;
+  log.record(ev(1.5, EventKind::MigrationStart, 3, 2));
+  const std::string text = log.render();
+  EXPECT_NE(text.find("migration-start"), std::string::npos);
+  EXPECT_NE(text.find("t=1.5"), std::string::npos);
+}
+
+TEST(TraceLogTest, RenderTruncatesLongLogs) {
+  TraceLog log;
+  for (int i = 0; i < 300; ++i) log.record(ev(i, EventKind::MoveRequest));
+  const std::string text = log.render(10);
+  EXPECT_NE(text.find("earlier events)"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::Fix));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.recorded(), 0u);
+}
+
+TEST(TraceChecksTest, LocksBalanceDetectsDoubleLock) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::Lock, 1, 1));
+  log.record(ev(2.0, EventKind::Lock, 1, 1));
+  EXPECT_FALSE(check::locks_balance(log).empty());
+}
+
+TEST(TraceChecksTest, LocksBalanceDetectsSpuriousUnlock) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::Unlock, 1, 1));
+  EXPECT_FALSE(check::locks_balance(log).empty());
+}
+
+TEST(TraceChecksTest, LocksBalanceAllowsOpenLocksByDefault) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::Lock, 1, 1));
+  EXPECT_TRUE(check::locks_balance(log).empty());
+  EXPECT_FALSE(check::locks_balance(log, /*allow_open=*/false).empty());
+}
+
+TEST(TraceChecksTest, TransitsAlternate) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::MigrationStart, 1));
+  log.record(ev(2.0, EventKind::MigrationEnd, 1));
+  log.record(ev(3.0, EventKind::MigrationStart, 1));
+  EXPECT_TRUE(check::transits_alternate(log).empty());
+  log.record(ev(4.0, EventKind::MigrationStart, 1));  // nested: violation
+  EXPECT_FALSE(check::transits_alternate(log).empty());
+}
+
+TEST(TraceChecksTest, RefusedBlocksNeverMigrate) {
+  TraceLog log;
+  log.record(ev(1.0, EventKind::MoveRefused, 1, 5));
+  log.record(ev(2.0, EventKind::MigrationStart, 1, 6));  // different block
+  EXPECT_TRUE(check::refused_blocks_never_migrate(log).empty());
+  log.record(ev(3.0, EventKind::MigrationStart, 1, 5));  // violation
+  EXPECT_FALSE(check::refused_blocks_never_migrate(log).empty());
+}
+
+TEST(TraceLogTest, JsonlExport) {
+  TraceLog log;
+  log.record(ev(1.5, EventKind::MigrationStart, 3, 2));
+  log.record(Event{2.0, EventKind::Fix, ObjectId{4}, NodeId::invalid(),
+                   BlockId::invalid()});
+  std::ostringstream os;
+  EXPECT_EQ(log.to_jsonl(os), 2u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("{\"t\":1.5,\"kind\":\"migration-start\",\"obj\":3"),
+            std::string::npos);
+  // Invalid operands are omitted entirely.
+  EXPECT_NE(out.find("{\"t\":2,\"kind\":\"fix\",\"obj\":4}"),
+            std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(TraceLogTest, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceLog{0}, omig::AssertionError);
+}
+
+}  // namespace
+}  // namespace omig::trace

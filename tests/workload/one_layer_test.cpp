@@ -1,0 +1,169 @@
+#include "workload/one_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omig::workload {
+namespace {
+
+using migration::MoveBlock;
+
+/// Captures completed blocks and stops the engine after a quota.
+class CapturingObserver final : public BlockObserver {
+public:
+  CapturingObserver(sim::Engine& engine, std::size_t quota)
+      : engine_{&engine}, quota_{quota} {}
+
+  void on_block(const MoveBlock& blk) override {
+    blocks.push_back(blk);
+    if (blocks.size() >= quota_) engine_->request_stop();
+  }
+  void on_background_migration(double cost) override {
+    background += cost;
+  }
+
+  std::vector<MoveBlock> blocks;
+  double background = 0.0;
+
+private:
+  sim::Engine* engine_;
+  std::size_t quota_;
+};
+
+struct Fixture {
+  explicit Fixture(migration::PolicyKind kind, WorkloadParams p = {})
+      : params{p},
+        mesh{static_cast<std::size_t>(p.nodes)},
+        latency{mesh, net::LatencyMode::Uniform, 1.0},
+        registry{engine, static_cast<std::size_t>(p.nodes)},
+        invoker{engine, registry, latency, net_rng},
+        manager{engine, registry, latency, mgr_rng, attachments, alliances,
+                migration::ManagerOptions{p.migration_duration,
+                                          migration::AttachTransitivity::
+                                              Unrestricted,
+                                          migration::ClusterTransfer::
+                                              Parallel}},
+        policy{migration::make_policy(kind, manager)},
+        observer{engine, 200} {}
+
+  WorkloadParams params;
+  sim::Engine engine;
+  net::FullMesh mesh;
+  net::LatencyModel latency;
+  objsys::ObjectRegistry registry;
+  sim::Rng net_rng{17, 0};
+  sim::Rng mgr_rng{17, 1};
+  objsys::Invoker invoker;
+  migration::AttachmentGraph attachments;
+  migration::AllianceRegistry alliances;
+  migration::MigrationManager manager;
+  std::unique_ptr<migration::MigrationPolicy> policy;
+  CapturingObserver observer;
+};
+
+TEST(OneLayerTest, BuildCreatesServersRoundRobin) {
+  Fixture f{migration::PolicyKind::Sedentary};
+  const OneLayerWorkload w = build_one_layer(f.registry, f.params);
+  ASSERT_EQ(w.servers.size(), 3u);
+  EXPECT_EQ(f.registry.location(w.servers[0]).value(), 0u);
+  EXPECT_EQ(f.registry.location(w.servers[1]).value(), 1u);
+  EXPECT_EQ(f.registry.location(w.servers[2]).value(), 2u);
+}
+
+TEST(OneLayerTest, BuildRejectsTwoLayerParams) {
+  Fixture f{migration::PolicyKind::Sedentary};
+  WorkloadParams p = f.params;
+  p.servers2 = 2;
+  EXPECT_THROW(build_one_layer(f.registry, p), omig::AssertionError);
+}
+
+TEST(OneLayerTest, ClientsProduceBlocks) {
+  Fixture f{migration::PolicyKind::Sedentary};
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  ASSERT_GE(f.observer.blocks.size(), 200u);
+  for (const auto& blk : f.observer.blocks) {
+    EXPECT_GE(blk.calls, 1);
+    EXPECT_GE(blk.call_time, 0.0);
+    EXPECT_DOUBLE_EQ(blk.migration_cost, 0.0);  // sedentary: never
+  }
+}
+
+TEST(OneLayerTest, SedentaryServersNeverMove) {
+  Fixture f{migration::PolicyKind::Sedentary};
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  EXPECT_EQ(f.registry.migrations(), 0u);
+}
+
+TEST(OneLayerTest, ConventionalPolicyMigrates) {
+  Fixture f{migration::PolicyKind::Conventional};
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  EXPECT_GT(f.registry.migrations(), 0u);
+  // Every block's migration cost must be bounded by request + M + waits.
+  for (const auto& blk : f.observer.blocks) {
+    EXPECT_GE(blk.migration_cost, 0.0);
+  }
+}
+
+TEST(OneLayerTest, MeanCallsApproximatelyEight) {
+  Fixture f{migration::PolicyKind::Sedentary};
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  double calls = 0.0;
+  for (const auto& blk : f.observer.blocks) calls += blk.calls;
+  EXPECT_NEAR(calls / static_cast<double>(f.observer.blocks.size()), 8.0,
+              1.5);
+}
+
+TEST(OneLayerTest, VisitBlocksReturnObjects) {
+  WorkloadParams p;
+  p.use_visit = true;
+  Fixture f{migration::PolicyKind::Conventional, p};
+  f.manager.set_background_cost_sink(
+      [&f](double c) { f.observer.on_background_migration(c); });
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  // Visits migrate back: completed round trips leave every server at its
+  // home node once the engine drains the return transfers.
+  f.engine.run_until(1e7 + 100.0);
+  EXPECT_GT(f.registry.migrations(), 0u);
+  // Roughly two migrations per block that moved something.
+  EXPECT_GT(f.observer.background, 0.0);  // return trips are background cost
+}
+
+TEST(OneLayerTest, ReadFractionProducesReads) {
+  WorkloadParams p;
+  p.read_fraction = 1.0;  // all calls are reads
+  Fixture f{migration::PolicyKind::Sedentary, p};
+  spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                  f.observer, f.params, 99);
+  f.engine.run_until(1e7);
+  // With replication off, reads behave like the paper's opaque calls.
+  EXPECT_GT(f.invoker.invocations(), 0u);
+  EXPECT_EQ(f.registry.replications(), 0u);
+}
+
+TEST(OneLayerTest, DeterministicForFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    Fixture f{migration::PolicyKind::Placement};
+    spawn_one_layer(f.engine, f.registry, f.manager, *f.policy, f.invoker,
+                    f.observer, f.params, seed);
+    f.engine.run_until(1e7);
+    double total = 0.0;
+    for (const auto& blk : f.observer.blocks) total += blk.total_cost();
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace omig::workload

@@ -1,0 +1,69 @@
+#include "workload/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace omig::workload {
+namespace {
+
+TEST(ParamsTest, DefaultsAreTable1) {
+  const WorkloadParams p;
+  EXPECT_EQ(p.nodes, 3);
+  EXPECT_EQ(p.clients, 3);
+  EXPECT_EQ(p.servers1, 3);
+  EXPECT_EQ(p.servers2, 0);
+  EXPECT_DOUBLE_EQ(p.migration_duration, 6.0);
+  EXPECT_DOUBLE_EQ(p.mean_calls, 8.0);
+  EXPECT_DOUBLE_EQ(p.mean_intercall, 1.0);
+  EXPECT_DOUBLE_EQ(p.mean_interblock, 30.0);
+  EXPECT_NO_THROW(validate(p));
+}
+
+TEST(ParamsTest, ValidationCatchesBadValues) {
+  WorkloadParams p;
+  p.clients = 0;
+  EXPECT_THROW(validate(p), omig::AssertionError);
+  p = WorkloadParams{};
+  p.mean_calls = 0.5;
+  EXPECT_THROW(validate(p), omig::AssertionError);
+  p = WorkloadParams{};
+  p.servers2 = 4;
+  p.working_set_size = 5;
+  EXPECT_THROW(validate(p), omig::AssertionError);
+}
+
+TEST(ParamsTest, ClientPlacementRoundRobin) {
+  WorkloadParams p;
+  p.nodes = 3;
+  p.clients = 7;
+  EXPECT_EQ(client_node(p, 0).value(), 0u);
+  EXPECT_EQ(client_node(p, 2).value(), 2u);
+  EXPECT_EQ(client_node(p, 3).value(), 0u);
+  EXPECT_EQ(client_node(p, 6).value(), 0u);
+  EXPECT_THROW(client_node(p, 7), omig::AssertionError);
+}
+
+TEST(ParamsTest, ServerPlacement) {
+  WorkloadParams p;
+  p.nodes = 24;
+  p.servers1 = 6;
+  p.servers2 = 6;
+  EXPECT_EQ(server1_node(p, 0).value(), 0u);
+  EXPECT_EQ(server1_node(p, 5).value(), 5u);
+  // Second layer starts after the first layer's nodes.
+  EXPECT_EQ(server2_node(p, 0).value(), 6u);
+  EXPECT_EQ(server2_node(p, 5).value(), 11u);
+}
+
+TEST(ParamsTest, ServerPlacementWrapsAroundSmallSystems) {
+  WorkloadParams p;
+  p.nodes = 3;
+  p.servers1 = 3;
+  p.servers2 = 3;
+  EXPECT_EQ(server2_node(p, 0).value(), 0u);  // (3 + 0) mod 3
+  EXPECT_EQ(server2_node(p, 2).value(), 2u);
+}
+
+}  // namespace
+}  // namespace omig::workload

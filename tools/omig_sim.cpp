@@ -1,0 +1,205 @@
+// omig_sim — command-line front-end for the simulator.
+//
+//   omig_sim policy=placement clients=12 tm=10
+//   omig_sim --sweep clients=1:25:13 policy=conventional
+//   omig_sim --sweep tm=1:100:12 policy=placement --metric migration
+//   omig_sim --trace 40 policy=placement clients=6
+//
+// Prints the measured per-call metrics (and optionally a sweep table, CSV,
+// or the protocol-event trace).
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/sweep.hpp"
+#include "core/table.hpp"
+#include "trace/log.hpp"
+
+using namespace omig;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> assignments;
+  std::string sweep;        // "key=lo:hi:steps"
+  core::Metric metric = core::Metric::TotalPerCall;
+  bool csv = false;
+  std::size_t trace_lines = 0;
+  std::string trace_file;
+  bool help = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw core::ConfigError{std::string{flag} + " needs an argument"};
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--sweep") {
+      opts.sweep = next("--sweep");
+    } else if (arg == "--metric") {
+      const std::string m = next("--metric");
+      if (m == "total") {
+        opts.metric = core::Metric::TotalPerCall;
+      } else if (m == "call") {
+        opts.metric = core::Metric::CallDuration;
+      } else if (m == "migration") {
+        opts.metric = core::Metric::MigrationPerCall;
+      } else {
+        throw core::ConfigError{"--metric expects total|call|migration"};
+      }
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--trace") {
+      opts.trace_lines = std::stoul(next("--trace"));
+    } else if (arg == "--trace-file") {
+      opts.trace_file = next("--trace-file");
+    } else if (arg.rfind("--", 0) == 0) {
+      throw core::ConfigError{"unknown flag '" + arg + "'"};
+    } else {
+      opts.assignments.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+void print_help() {
+  std::cout <<
+      R"(omig_sim — object-migration simulator (Ciupke/Kottmann/Walter '96)
+
+usage: omig_sim [flags] key=value...
+
+flags:
+  --sweep key=lo:hi:steps   run a sweep over a numeric key; prints a table
+  --metric total|call|migration   which per-call metric the table reports
+  --csv                     print CSV instead of the aligned table
+  --trace N                 print the last N protocol events of the run
+  --trace-file PATH         dump the full protocol trace as JSONL
+  --help                    this text
+
+)" << core::config_help()
+            << R"(
+examples:
+  omig_sim policy=placement clients=12 tm=10
+  omig_sim --sweep clients=1:25:13 policy=conventional nodes=27
+  omig_sim --sweep tm=1:100:12 policy=placement --metric migration
+)";
+}
+
+int run_single(const CliOptions& opts) {
+  const core::ExperimentConfig cfg = core::parse_config(opts.assignments);
+  std::cerr << "running: " << core::describe(cfg) << "\n";
+  const bool want_trace = opts.trace_lines > 0 || !opts.trace_file.empty();
+  trace::TraceLog trace_log{1 << 20};
+  const core::ExperimentResult r =
+      core::run_experiment(cfg, want_trace ? &trace_log : nullptr);
+
+  core::TextTable table{{"metric", "value"}};
+  table.add_row({"mean communication-time per call",
+                 core::format_double(r.total_per_call, 4)});
+  table.add_row({"mean duration of one call",
+                 core::format_double(r.call_duration, 4)});
+  table.add_row({"mean migration-time per call",
+                 core::format_double(r.migration_per_call, 4)});
+  table.add_row({"99% CI half-width (relative)",
+                 core::format_double(r.ci_relative * 100.0, 2) + "%"});
+  table.add_row({"blocks", std::to_string(r.blocks)});
+  table.add_row({"calls", std::to_string(r.calls)});
+  table.add_row({"migrations", std::to_string(r.migrations)});
+  table.add_row({"transfers", std::to_string(r.transfers)});
+  table.add_row({"control messages", std::to_string(r.control_messages)});
+  table.add_row({"remote calls", std::to_string(r.remote_calls)});
+  table.add_row({"calls blocked on transit",
+                 std::to_string(r.blocked_calls)});
+  table.add_row({"call duration p50/p95/p99",
+                 core::format_double(r.call_p50, 2) + " / " +
+                     core::format_double(r.call_p95, 2) + " / " +
+                     core::format_double(r.call_p99, 2)});
+  table.add_row({"simulated time", core::format_double(r.sim_time, 1)});
+  table.add_row({"engine events", std::to_string(r.events)});
+  std::cout << (opts.csv ? table.to_csv() : table.to_text());
+
+  if (opts.trace_lines > 0) {
+    std::cout << "\nlast protocol events:\n"
+              << trace_log.render(opts.trace_lines);
+  }
+  if (!opts.trace_file.empty()) {
+    std::ofstream out{opts.trace_file};
+    if (!out) {
+      throw core::ConfigError{"cannot open trace file '" + opts.trace_file +
+                              "'"};
+    }
+    const std::size_t n = trace_log.to_jsonl(out);
+    std::cerr << "wrote " << n << " events to " << opts.trace_file << "\n";
+  }
+  return 0;
+}
+
+int run_sweep(const CliOptions& opts) {
+  const auto eq = opts.sweep.find('=');
+  if (eq == std::string::npos) {
+    throw core::ConfigError{"--sweep expects key=lo:hi:steps"};
+  }
+  const std::string key = opts.sweep.substr(0, eq);
+  const std::string range = opts.sweep.substr(eq + 1);
+  const auto c1 = range.find(':');
+  const auto c2 = range.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    throw core::ConfigError{"--sweep expects key=lo:hi:steps"};
+  }
+  const double lo = std::stod(range.substr(0, c1));
+  const double hi = std::stod(range.substr(c1 + 1, c2 - c1 - 1));
+  const int steps = std::stoi(range.substr(c2 + 1));
+
+  std::vector<core::SweepVariant> variants{{
+      "value",
+      [&](double x) {
+        core::ExperimentConfig cfg = core::parse_config(opts.assignments);
+        static const std::set<std::string> int_keys{
+            "nodes",      "clients",   "servers1",        "servers2", "ws",
+            "min-blocks", "max-blocks", "egoistic-clients", "seed"};
+        std::ostringstream v;
+        if (int_keys.contains(key)) {
+          v << static_cast<long long>(std::llround(x));
+        } else {
+          v << x;
+        }
+        core::apply_assignment(cfg, key, v.str());
+        return cfg;
+      },
+  }};
+  const auto points = core::run_sweep(core::linspace(lo, hi, steps),
+                                      variants, &std::cerr);
+  const auto table = core::sweep_table(key, variants, points, opts.metric);
+  std::cout << core::to_string(opts.metric) << "\n"
+            << (opts.csv ? table.to_csv() : table.to_text());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opts = parse_cli(argc, argv);
+    if (opts.help) {
+      print_help();
+      return 0;
+    }
+    return opts.sweep.empty() ? run_single(opts) : run_sweep(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "omig_sim: " << e.what() << "\n";
+    return 1;
+  }
+}
