@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_egoistic.dir/bench_ablation_egoistic.cpp.o"
+  "CMakeFiles/bench_ablation_egoistic.dir/bench_ablation_egoistic.cpp.o.d"
+  "bench_ablation_egoistic"
+  "bench_ablation_egoistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_egoistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

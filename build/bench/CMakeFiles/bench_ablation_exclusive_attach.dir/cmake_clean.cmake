@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exclusive_attach.dir/bench_ablation_exclusive_attach.cpp.o"
+  "CMakeFiles/bench_ablation_exclusive_attach.dir/bench_ablation_exclusive_attach.cpp.o.d"
+  "bench_ablation_exclusive_attach"
+  "bench_ablation_exclusive_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exclusive_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_goal_conflict.dir/bench_ablation_goal_conflict.cpp.o"
+  "CMakeFiles/bench_ablation_goal_conflict.dir/bench_ablation_goal_conflict.cpp.o.d"
+  "bench_ablation_goal_conflict"
+  "bench_ablation_goal_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_goal_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

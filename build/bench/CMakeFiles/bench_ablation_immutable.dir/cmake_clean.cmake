@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_immutable.dir/bench_ablation_immutable.cpp.o"
+  "CMakeFiles/bench_ablation_immutable.dir/bench_ablation_immutable.cpp.o.d"
+  "bench_ablation_immutable"
+  "bench_ablation_immutable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_immutable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

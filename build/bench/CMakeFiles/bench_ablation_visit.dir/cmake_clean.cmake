@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_visit.dir/bench_ablation_visit.cpp.o"
+  "CMakeFiles/bench_ablation_visit.dir/bench_ablation_visit.cpp.o.d"
+  "bench_ablation_visit"
+  "bench_ablation_visit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_visit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_attachments.dir/bench_fig16_attachments.cpp.o"
+  "CMakeFiles/bench_fig16_attachments.dir/bench_fig16_attachments.cpp.o.d"
+  "bench_fig16_attachments"
+  "bench_fig16_attachments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_attachments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

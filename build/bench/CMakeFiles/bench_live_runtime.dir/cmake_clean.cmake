@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_live_runtime.dir/bench_live_runtime.cpp.o"
+  "CMakeFiles/bench_live_runtime.dir/bench_live_runtime.cpp.o.d"
+  "bench_live_runtime"
+  "bench_live_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_live_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

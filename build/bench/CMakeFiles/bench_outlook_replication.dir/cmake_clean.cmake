@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outlook_replication.dir/bench_outlook_replication.cpp.o"
+  "CMakeFiles/bench_outlook_replication.dir/bench_outlook_replication.cpp.o.d"
+  "bench_outlook_replication"
+  "bench_outlook_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outlook_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

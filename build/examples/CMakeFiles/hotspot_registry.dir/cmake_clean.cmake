@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_registry.dir/hotspot_registry.cpp.o"
+  "CMakeFiles/hotspot_registry.dir/hotspot_registry.cpp.o.d"
+  "hotspot_registry"
+  "hotspot_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

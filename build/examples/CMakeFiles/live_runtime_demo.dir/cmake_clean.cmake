@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_runtime_demo.dir/live_runtime_demo.cpp.o"
+  "CMakeFiles/live_runtime_demo.dir/live_runtime_demo.cpp.o.d"
+  "live_runtime_demo"
+  "live_runtime_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_runtime_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

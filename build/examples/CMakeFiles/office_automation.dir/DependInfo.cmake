@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/office_automation.cpp" "examples/CMakeFiles/office_automation.dir/office_automation.cpp.o" "gcc" "examples/CMakeFiles/office_automation.dir/office_automation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_objsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_automation.dir/office_automation.cpp.o"
+  "CMakeFiles/office_automation.dir/office_automation.cpp.o.d"
+  "office_automation"
+  "office_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_catalogue.dir/static_catalogue.cpp.o"
+  "CMakeFiles/static_catalogue.dir/static_catalogue.cpp.o.d"
+  "static_catalogue"
+  "static_catalogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_catalogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

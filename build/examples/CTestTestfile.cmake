@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "OMIG_CI_TARGET=0.08;OMIG_MAX_BLOCKS=1500" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_office_automation "/root/repo/build/examples/office_automation")
+set_tests_properties(example_office_automation PROPERTIES  ENVIRONMENT "OMIG_CI_TARGET=0.08;OMIG_MAX_BLOCKS=1500" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hotspot_registry "/root/repo/build/examples/hotspot_registry")
+set_tests_properties(example_hotspot_registry PROPERTIES  ENVIRONMENT "OMIG_CI_TARGET=0.08;OMIG_MAX_BLOCKS=1500" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_runtime_demo "/root/repo/build/examples/live_runtime_demo")
+set_tests_properties(example_live_runtime_demo PROPERTIES  ENVIRONMENT "OMIG_CI_TARGET=0.08;OMIG_MAX_BLOCKS=1500" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_static_catalogue "/root/repo/build/examples/static_catalogue")
+set_tests_properties(example_static_catalogue PROPERTIES  ENVIRONMENT "OMIG_CI_TARGET=0.08;OMIG_MAX_BLOCKS=1500" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")

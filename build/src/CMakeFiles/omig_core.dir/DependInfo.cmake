@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/omig_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/omig_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/omig_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/plot.cpp" "src/CMakeFiles/omig_core.dir/core/plot.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/plot.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/CMakeFiles/omig_core.dir/core/presets.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/presets.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/omig_core.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/CMakeFiles/omig_core.dir/core/table.cpp.o" "gcc" "src/CMakeFiles/omig_core.dir/core/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_objsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_core.dir/core/config.cpp.o"
+  "CMakeFiles/omig_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/omig_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/omig_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/plot.cpp.o"
+  "CMakeFiles/omig_core.dir/core/plot.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/presets.cpp.o"
+  "CMakeFiles/omig_core.dir/core/presets.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/omig_core.dir/core/sweep.cpp.o.d"
+  "CMakeFiles/omig_core.dir/core/table.cpp.o"
+  "CMakeFiles/omig_core.dir/core/table.cpp.o.d"
+  "libomig_core.a"
+  "libomig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/alliance.cpp" "src/CMakeFiles/omig_migration.dir/migration/alliance.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/alliance.cpp.o.d"
+  "/root/repo/src/migration/attachment.cpp" "src/CMakeFiles/omig_migration.dir/migration/attachment.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/attachment.cpp.o.d"
+  "/root/repo/src/migration/manager.cpp" "src/CMakeFiles/omig_migration.dir/migration/manager.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/manager.cpp.o.d"
+  "/root/repo/src/migration/policy.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy.cpp.o.d"
+  "/root/repo/src/migration/policy_compare_nodes.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_compare_nodes.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_compare_nodes.cpp.o.d"
+  "/root/repo/src/migration/policy_compare_reinstantiate.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_compare_reinstantiate.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_compare_reinstantiate.cpp.o.d"
+  "/root/repo/src/migration/policy_conventional.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_conventional.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_conventional.cpp.o.d"
+  "/root/repo/src/migration/policy_load_share.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_load_share.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_load_share.cpp.o.d"
+  "/root/repo/src/migration/policy_placement.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_placement.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_placement.cpp.o.d"
+  "/root/repo/src/migration/policy_sedentary.cpp" "src/CMakeFiles/omig_migration.dir/migration/policy_sedentary.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/policy_sedentary.cpp.o.d"
+  "/root/repo/src/migration/primitives.cpp" "src/CMakeFiles/omig_migration.dir/migration/primitives.cpp.o" "gcc" "src/CMakeFiles/omig_migration.dir/migration/primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_objsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

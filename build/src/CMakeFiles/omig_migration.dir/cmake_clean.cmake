@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_migration.dir/migration/alliance.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/alliance.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/attachment.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/attachment.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/manager.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/manager.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_compare_nodes.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_compare_nodes.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_compare_reinstantiate.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_compare_reinstantiate.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_conventional.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_conventional.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_load_share.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_load_share.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_placement.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_placement.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/policy_sedentary.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/policy_sedentary.cpp.o.d"
+  "CMakeFiles/omig_migration.dir/migration/primitives.cpp.o"
+  "CMakeFiles/omig_migration.dir/migration/primitives.cpp.o.d"
+  "libomig_migration.a"
+  "libomig_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

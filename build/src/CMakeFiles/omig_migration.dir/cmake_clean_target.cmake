@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomig_migration.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_net.dir/net/latency.cpp.o"
+  "CMakeFiles/omig_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/omig_net.dir/net/topology.cpp.o"
+  "CMakeFiles/omig_net.dir/net/topology.cpp.o.d"
+  "libomig_net.a"
+  "libomig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objsys/invocation.cpp" "src/CMakeFiles/omig_objsys.dir/objsys/invocation.cpp.o" "gcc" "src/CMakeFiles/omig_objsys.dir/objsys/invocation.cpp.o.d"
+  "/root/repo/src/objsys/location_service.cpp" "src/CMakeFiles/omig_objsys.dir/objsys/location_service.cpp.o" "gcc" "src/CMakeFiles/omig_objsys.dir/objsys/location_service.cpp.o.d"
+  "/root/repo/src/objsys/object.cpp" "src/CMakeFiles/omig_objsys.dir/objsys/object.cpp.o" "gcc" "src/CMakeFiles/omig_objsys.dir/objsys/object.cpp.o.d"
+  "/root/repo/src/objsys/registry.cpp" "src/CMakeFiles/omig_objsys.dir/objsys/registry.cpp.o" "gcc" "src/CMakeFiles/omig_objsys.dir/objsys/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_objsys.dir/objsys/invocation.cpp.o"
+  "CMakeFiles/omig_objsys.dir/objsys/invocation.cpp.o.d"
+  "CMakeFiles/omig_objsys.dir/objsys/location_service.cpp.o"
+  "CMakeFiles/omig_objsys.dir/objsys/location_service.cpp.o.d"
+  "CMakeFiles/omig_objsys.dir/objsys/object.cpp.o"
+  "CMakeFiles/omig_objsys.dir/objsys/object.cpp.o.d"
+  "CMakeFiles/omig_objsys.dir/objsys/registry.cpp.o"
+  "CMakeFiles/omig_objsys.dir/objsys/registry.cpp.o.d"
+  "libomig_objsys.a"
+  "libomig_objsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_objsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omig_objsys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/live_node.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/live_node.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/live_node.cpp.o.d"
+  "/root/repo/src/runtime/live_object.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/live_object.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/live_object.cpp.o.d"
+  "/root/repo/src/runtime/live_system.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/live_system.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/live_system.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/mailbox.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/serde.cpp" "src/CMakeFiles/omig_runtime.dir/runtime/serde.cpp.o" "gcc" "src/CMakeFiles/omig_runtime.dir/runtime/serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_runtime.dir/runtime/live_node.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/live_node.cpp.o.d"
+  "CMakeFiles/omig_runtime.dir/runtime/live_object.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/live_object.cpp.o.d"
+  "CMakeFiles/omig_runtime.dir/runtime/live_system.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/live_system.cpp.o.d"
+  "CMakeFiles/omig_runtime.dir/runtime/mailbox.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/mailbox.cpp.o.d"
+  "CMakeFiles/omig_runtime.dir/runtime/message.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/message.cpp.o.d"
+  "CMakeFiles/omig_runtime.dir/runtime/serde.cpp.o"
+  "CMakeFiles/omig_runtime.dir/runtime/serde.cpp.o.d"
+  "libomig_runtime.a"
+  "libomig_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/omig_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/omig_sim.dir/sim/gate.cpp.o"
+  "CMakeFiles/omig_sim.dir/sim/gate.cpp.o.d"
+  "CMakeFiles/omig_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/omig_sim.dir/sim/random.cpp.o.d"
+  "libomig_sim.a"
+  "libomig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

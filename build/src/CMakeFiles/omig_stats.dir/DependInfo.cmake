@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/batch_means.cpp" "src/CMakeFiles/omig_stats.dir/stats/batch_means.cpp.o" "gcc" "src/CMakeFiles/omig_stats.dir/stats/batch_means.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/omig_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/omig_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/CMakeFiles/omig_stats.dir/stats/quantiles.cpp.o" "gcc" "src/CMakeFiles/omig_stats.dir/stats/quantiles.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/CMakeFiles/omig_stats.dir/stats/welford.cpp.o" "gcc" "src/CMakeFiles/omig_stats.dir/stats/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_stats.dir/stats/batch_means.cpp.o"
+  "CMakeFiles/omig_stats.dir/stats/batch_means.cpp.o.d"
+  "CMakeFiles/omig_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/omig_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/omig_stats.dir/stats/quantiles.cpp.o"
+  "CMakeFiles/omig_stats.dir/stats/quantiles.cpp.o.d"
+  "CMakeFiles/omig_stats.dir/stats/welford.cpp.o"
+  "CMakeFiles/omig_stats.dir/stats/welford.cpp.o.d"
+  "libomig_stats.a"
+  "libomig_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

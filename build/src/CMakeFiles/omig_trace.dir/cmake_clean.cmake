@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_trace.dir/trace/log.cpp.o"
+  "CMakeFiles/omig_trace.dir/trace/log.cpp.o.d"
+  "libomig_trace.a"
+  "libomig_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

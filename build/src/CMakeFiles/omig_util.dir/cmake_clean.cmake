@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_util.dir/util/assert.cpp.o"
+  "CMakeFiles/omig_util.dir/util/assert.cpp.o.d"
+  "libomig_util.a"
+  "libomig_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

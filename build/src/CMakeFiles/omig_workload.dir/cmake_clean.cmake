@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_workload.dir/workload/fragmented.cpp.o"
+  "CMakeFiles/omig_workload.dir/workload/fragmented.cpp.o.d"
+  "CMakeFiles/omig_workload.dir/workload/one_layer.cpp.o"
+  "CMakeFiles/omig_workload.dir/workload/one_layer.cpp.o.d"
+  "CMakeFiles/omig_workload.dir/workload/params.cpp.o"
+  "CMakeFiles/omig_workload.dir/workload/params.cpp.o.d"
+  "CMakeFiles/omig_workload.dir/workload/two_layer.cpp.o"
+  "CMakeFiles/omig_workload.dir/workload/two_layer.cpp.o.d"
+  "libomig_workload.a"
+  "libomig_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

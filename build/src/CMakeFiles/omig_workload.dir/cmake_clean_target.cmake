@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomig_workload.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/test_core.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/plot_test.cpp" "tests/CMakeFiles/test_core.dir/core/plot_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/plot_test.cpp.o.d"
+  "/root/repo/tests/core/presets_test.cpp" "tests/CMakeFiles/test_core.dir/core/presets_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/presets_test.cpp.o.d"
+  "/root/repo/tests/core/sweep_test.cpp" "tests/CMakeFiles/test_core.dir/core/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sweep_test.cpp.o.d"
+  "/root/repo/tests/core/table_test.cpp" "tests/CMakeFiles/test_core.dir/core/table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_objsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

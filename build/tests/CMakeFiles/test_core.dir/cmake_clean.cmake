@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/plot_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/plot_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/presets_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/presets_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/table_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

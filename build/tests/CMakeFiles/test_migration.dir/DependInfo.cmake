@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/migration/alliance_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/alliance_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/alliance_test.cpp.o.d"
+  "/root/repo/tests/migration/attachment_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/attachment_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/attachment_test.cpp.o.d"
+  "/root/repo/tests/migration/immutable_policy_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/immutable_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/immutable_policy_test.cpp.o.d"
+  "/root/repo/tests/migration/interaction_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/interaction_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/interaction_test.cpp.o.d"
+  "/root/repo/tests/migration/manager_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/manager_test.cpp.o.d"
+  "/root/repo/tests/migration/policy_conventional_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/policy_conventional_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/policy_conventional_test.cpp.o.d"
+  "/root/repo/tests/migration/policy_dynamic_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/policy_dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/policy_dynamic_test.cpp.o.d"
+  "/root/repo/tests/migration/policy_load_share_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/policy_load_share_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/policy_load_share_test.cpp.o.d"
+  "/root/repo/tests/migration/policy_placement_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/policy_placement_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/policy_placement_test.cpp.o.d"
+  "/root/repo/tests/migration/primitives_test.cpp" "tests/CMakeFiles/test_migration.dir/migration/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/test_migration.dir/migration/primitives_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_objsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration.dir/migration/alliance_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/alliance_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/attachment_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/attachment_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/immutable_policy_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/immutable_policy_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/interaction_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/interaction_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/manager_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/manager_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/policy_conventional_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/policy_conventional_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/policy_dynamic_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/policy_dynamic_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/policy_load_share_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/policy_load_share_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/policy_placement_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/policy_placement_test.cpp.o.d"
+  "CMakeFiles/test_migration.dir/migration/primitives_test.cpp.o"
+  "CMakeFiles/test_migration.dir/migration/primitives_test.cpp.o.d"
+  "test_migration"
+  "test_migration.pdb"
+  "test_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objsys.dir/objsys/invocation_test.cpp.o"
+  "CMakeFiles/test_objsys.dir/objsys/invocation_test.cpp.o.d"
+  "CMakeFiles/test_objsys.dir/objsys/location_service_test.cpp.o"
+  "CMakeFiles/test_objsys.dir/objsys/location_service_test.cpp.o.d"
+  "CMakeFiles/test_objsys.dir/objsys/registry_test.cpp.o"
+  "CMakeFiles/test_objsys.dir/objsys/registry_test.cpp.o.d"
+  "CMakeFiles/test_objsys.dir/objsys/replication_test.cpp.o"
+  "CMakeFiles/test_objsys.dir/objsys/replication_test.cpp.o.d"
+  "test_objsys"
+  "test_objsys.pdb"
+  "test_objsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omig_sim_tool.dir/omig_sim.cpp.o"
+  "CMakeFiles/omig_sim_tool.dir/omig_sim.cpp.o.d"
+  "omig_sim"
+  "omig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omig_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

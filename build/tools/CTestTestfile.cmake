@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/omig_sim" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_single "/root/repo/build/tools/omig_sim" "policy=placement" "clients=4" "tm=15" "max-blocks=1500" "ci=0.08" "--trace" "5")
+set_tests_properties(cli_single PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/omig_sim" "--sweep" "clients=2:6:2" "policy=conventional" "max-blocks=800" "ci=0.1" "--csv")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_key "/root/repo/build/tools/omig_sim" "bogus=1")
+set_tests_properties(cli_rejects_bad_key PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_immutable "/root/repo/build/tools/omig_sim" "policy=placement" "immutable=1" "clients=4" "max-blocks=800" "ci=0.1")
+set_tests_properties(cli_immutable PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fragments "/root/repo/build/tools/omig_sim" "fragments=6" "view=2" "policy=placement" "attach=a-transitive" "max-blocks=600" "ci=0.1" "nodes=8" "clients=4" "n=6")
+set_tests_properties(cli_fragments PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_goal_conflict "/root/repo/build/tools/omig_sim" "policy=placement" "egoistic-clients=2" "egoistic-policy=load-share" "clients=4" "nodes=4" "max-blocks=600" "ci=0.1")
+set_tests_properties(cli_goal_conflict PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_file "/root/repo/build/tools/omig_sim" "policy=placement" "clients=4" "max-blocks=400" "ci=0.1" "--trace-file" "/root/repo/build/tools/trace.jsonl")
+set_tests_properties(cli_trace_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
