@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "fault/fault_plan.hpp"
+
 namespace omig::core {
 
 namespace {
@@ -245,6 +247,17 @@ void apply_assignment(ExperimentConfig& config, std::string_view key,
     config.max_time = parse_double(key, value);
   } else if (key == "seed") {
     config.seed = static_cast<std::uint64_t>(parse_int(key, value));
+  } else if (key == "lease") {
+    config.lock_lease = parse_double(key, value);
+    if (config.lock_lease < 0.0) {
+      throw ConfigError{"'lease' must be >= 0 (0 = locks never expire)"};
+    }
+  } else if (key == "fault-plan") {
+    try {
+      config.fault_plan = fault::load_plan(std::string{value});
+    } catch (const fault::FaultPlanError& e) {
+      throw ConfigError{e.what()};
+    }
   } else {
     throw ConfigError{"unknown key '" + std::string{key} + "' (see --help)"};
   }
@@ -291,6 +304,10 @@ std::string describe(const ExperimentConfig& config) {
     os << " egoistic-clients=" << config.egoistic_clients
        << " egoistic-policy=" << migration::to_string(config.egoistic_policy);
   }
+  if (config.lock_lease > 0.0) os << " lease=" << config.lock_lease;
+  if (!config.fault_plan.empty()) {
+    os << " faults={" << config.fault_plan.describe() << "}";
+  }
   os << " ci=" << config.stopping.relative_target << " seed=" << config.seed;
   return os.str();
 }
@@ -315,6 +332,9 @@ std::string config_help() {
   mixed policy:  egoistic-clients egoistic-policy
   run control:   ci min-blocks max-blocks warmup max-time seed
                  majority (clear-majority threshold for reinstantiation)
+  robustness:    fault-plan=FILE (drop/delay/dup/crash schedule,
+                   docs/fault_model.md) lease=T (placement-lock lease,
+                   0 = never expires)
 )";
 }
 

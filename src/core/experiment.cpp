@@ -1,9 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <cstdlib>
+#include <memory>
 #include <optional>
 
 #include "core/metrics.hpp"
+#include "fault/injector.hpp"
 #include "migration/alliance.hpp"
 #include "migration/attachment.hpp"
 #include "objsys/invocation.hpp"
@@ -51,8 +53,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   opts.transitivity = config.transitivity;
   opts.transfer = config.transfer;
   opts.clear_majority_minimum = config.clear_majority_minimum;
+  opts.lock_lease = config.lock_lease;
   migration::MigrationManager manager{engine, registry,  latency, mgr_rng,
                                       attachments, alliances, opts};
+
+  // Fault machinery only exists when the plan asks for it — an empty plan
+  // leaves every code path and RNG stream exactly as in a fault-free build.
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::optional<fault::NodeHealth> health;
+  if (!config.fault_plan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(config.fault_plan);
+    health.emplace(engine, static_cast<std::size_t>(config.workload.nodes));
+    fault::spawn_crash_driver(engine, injector->plan(), *health);
+    invoker.set_fault(injector.get(), &*health);
+    manager.set_fault(injector.get(), &*health);
+  }
 
   std::optional<objsys::LocationService> service;
   if (config.location_scheme != objsys::LocationScheme::None) {
@@ -113,6 +128,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.call_p50 = recorder.call_duration_quantile(0.50);
   r.call_p95 = recorder.call_duration_quantile(0.95);
   r.call_p99 = recorder.call_duration_quantile(0.99);
+  r.lease_expiries = manager.lease_expiries();
+  if (injector != nullptr) {
+    const fault::FaultCounters& fc = injector->counters();
+    r.dropped_messages = fc.dropped.load();
+    r.duplicated_messages = fc.duplicated.load();
+    r.delayed_messages = fc.delayed.load();
+    r.fault_retries = fc.retries.load();
+    r.recoveries = fc.recoveries.load();
+  }
+  if (health.has_value()) {
+    r.node_crashes = health->crashes();
+    r.node_restarts = health->restarts();
+  }
 
   // Tear the processes down while every service they reference is alive.
   engine.clear();

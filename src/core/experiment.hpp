@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "migration/manager.hpp"
 #include "migration/policy.hpp"
 #include "net/latency.hpp"
@@ -44,6 +45,15 @@ struct ExperimentConfig {
   migration::PolicyKind egoistic_policy =
       migration::PolicyKind::Conventional;
 
+  /// Fault injection (docs/fault_model.md): message drops / delays /
+  /// duplicates per link plus a node crash schedule, all in sim time.
+  /// Empty = no fault machinery is instantiated and the run is identical
+  /// to a pre-fault build.
+  fault::FaultPlan fault_plan;
+  /// Placement-lock lease in sim time; 0 = locks never expire (see
+  /// ManagerOptions::lock_lease).
+  double lock_lease = 0.0;
+
   stats::StoppingRule stopping;
   sim::SimTime warmup_time = 500.0;
   sim::SimTime max_time = 1e9;
@@ -72,6 +82,16 @@ struct ExperimentResult {
   double call_p50 = 0.0;  ///< median call duration
   double call_p95 = 0.0;  ///< 95th-percentile call duration
   double call_p99 = 0.0;  ///< 99th-percentile call duration
+
+  // Robustness counters — all zero unless the run had a fault plan.
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t duplicated_messages = 0;
+  std::uint64_t delayed_messages = 0;
+  std::uint64_t fault_retries = 0;    ///< retransmissions / down-node polls
+  std::uint64_t lease_expiries = 0;   ///< placement locks expired
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t recoveries = 0;       ///< objects pulled from a checkpoint
 };
 
 /// Runs one experiment to completion (stopping rule or max_time).

@@ -1,0 +1,157 @@
+#include "fault/fault_plan.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::fault {
+
+LinkFault FaultPlan::effective(std::size_t from, std::size_t to) const {
+  LinkFault out;
+  out.from = from;
+  out.to = to;
+  // Independent loss/duplication processes compose multiplicatively:
+  // P(survives all) = prod(1 - p_i). Delays simply add.
+  double survive = 1.0;
+  double single = 1.0;
+  for (const LinkFault& f : links) {
+    if (!f.matches(from, to)) continue;
+    survive *= 1.0 - f.drop;
+    single *= 1.0 - f.duplicate;
+    out.delay += f.delay;
+  }
+  out.drop = 1.0 - survive;
+  out.duplicate = 1.0 - single;
+  return out;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << links.size() << " link fault" << (links.size() == 1 ? "" : "s")
+     << ", " << crashes.size() << " crash"
+     << (crashes.size() == 1 ? "" : "es") << ", seed " << seed;
+  return os.str();
+}
+
+namespace {
+
+std::size_t parse_node(const std::string& tok, int line) {
+  if (tok == "*") return kAnyNode;
+  try {
+    return static_cast<std::size_t>(std::stoull(tok));
+  } catch (const std::exception&) {
+    throw FaultPlanError{"line " + std::to_string(line) +
+                         ": expected node index or '*', got '" + tok + "'"};
+  }
+}
+
+double parse_number(const std::string& tok, int line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument{tok};
+    return v;
+  } catch (const std::exception&) {
+    throw FaultPlanError{"line " + std::to_string(line) +
+                         ": expected a number, got '" + tok + "'"};
+  }
+}
+
+double parse_probability(const std::string& tok, int line) {
+  const double p = parse_number(tok, line);
+  if (p < 0.0 || p > 1.0) {
+    throw FaultPlanError{"line " + std::to_string(line) +
+                         ": probability out of [0,1]: '" + tok + "'"};
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultPlan parse_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls{raw};
+    std::string op;
+    if (!(ls >> op)) continue;  // blank / comment-only line
+
+    std::vector<std::string> args;
+    for (std::string tok; ls >> tok;) args.push_back(tok);
+    auto want = [&](std::size_t lo, std::size_t hi) {
+      if (args.size() < lo || args.size() > hi) {
+        throw FaultPlanError{"line " + std::to_string(line) + ": '" + op +
+                             "' takes " + std::to_string(lo) +
+                             (hi != lo ? ".." + std::to_string(hi) : "") +
+                             " arguments"};
+      }
+    };
+
+    if (op == "seed") {
+      want(1, 1);
+      plan.seed = static_cast<std::uint64_t>(
+          parse_number(args[0], line));
+    } else if (op == "retry-timeout") {
+      want(1, 1);
+      plan.retry_timeout = parse_number(args[0], line);
+      if (plan.retry_timeout < 0.0) {
+        throw FaultPlanError{"line " + std::to_string(line) +
+                             ": retry-timeout must be >= 0"};
+      }
+    } else if (op == "drop" || op == "dup" || op == "delay") {
+      want(3, 3);
+      LinkFault f;
+      f.from = parse_node(args[0], line);
+      f.to = parse_node(args[1], line);
+      if (op == "drop") {
+        f.drop = parse_probability(args[2], line);
+      } else if (op == "dup") {
+        f.duplicate = parse_probability(args[2], line);
+      } else {
+        f.delay = parse_number(args[2], line);
+        if (f.delay < 0.0) {
+          throw FaultPlanError{"line " + std::to_string(line) +
+                               ": delay must be >= 0"};
+        }
+      }
+      plan.links.push_back(f);
+    } else if (op == "crash") {
+      want(2, 3);
+      CrashEvent c;
+      c.node = parse_node(args[0], line);
+      if (c.node == kAnyNode) {
+        throw FaultPlanError{"line " + std::to_string(line) +
+                             ": crash needs a concrete node"};
+      }
+      c.at = parse_number(args[1], line);
+      if (args.size() == 3) c.restart_after = parse_number(args[2], line);
+      if (c.at < 0.0) {
+        throw FaultPlanError{"line " + std::to_string(line) +
+                             ": crash time must be >= 0"};
+      }
+      plan.crashes.push_back(c);
+    } else {
+      throw FaultPlanError{"line " + std::to_string(line) +
+                           ": unknown directive '" + op + "'"};
+    }
+  }
+  return plan;
+}
+
+FaultPlan parse_plan_text(const std::string& text) {
+  std::istringstream in{text};
+  return parse_plan(in);
+}
+
+FaultPlan load_plan(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw FaultPlanError{"cannot open fault plan '" + path + "'"};
+  return parse_plan(in);
+}
+
+}  // namespace omig::fault

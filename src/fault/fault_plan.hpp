@@ -1,0 +1,95 @@
+// Declarative fault plans for chaos testing.
+//
+// A FaultPlan describes, ahead of a run, every misbehaviour the environment
+// will exhibit: per-link message faults (drop / delay / duplicate with
+// fixed probabilities) and a schedule of node crashes with optional
+// restarts. The same plan drives both execution backends — the threaded
+// live runtime perturbs real mailbox deliveries, the discrete-event
+// simulator schedules the equivalent events on simulated time — so one
+// chaos schedule exercises both implementations of the paper's protocol.
+//
+// Plans are deterministic: all probabilistic decisions are drawn from a
+// seed-carried RNG stream (see FaultInjector), never from global state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace omig::fault {
+
+/// Wildcard node index: matches any node on that side of a link.
+inline constexpr std::size_t kAnyNode = static_cast<std::size_t>(-1);
+
+/// Message fault on a (from, to) link; either side may be kAnyNode.
+/// Probabilities are per message; `delay` is additive (simulated time units
+/// in the simulator, milliseconds in the live runtime).
+struct LinkFault {
+  std::size_t from = kAnyNode;
+  std::size_t to = kAnyNode;
+  double drop = 0.0;       ///< P(message is lost)
+  double duplicate = 0.0;  ///< P(message is delivered twice)
+  double delay = 0.0;      ///< extra delivery delay, always applied
+
+  [[nodiscard]] bool matches(std::size_t f, std::size_t t) const {
+    return (from == kAnyNode || from == f) && (to == kAnyNode || to == t);
+  }
+};
+
+/// One scheduled node failure. `at` is time since the start of the run;
+/// `restart_after < 0` means the node never comes back.
+struct CrashEvent {
+  std::size_t node = 0;
+  double at = 0.0;
+  double restart_after = -1.0;
+
+  [[nodiscard]] bool restarts() const { return restart_after >= 0.0; }
+};
+
+/// The full declarative schedule. An empty (default) plan perturbs nothing:
+/// both backends behave bit-identically to a run without fault injection.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Timeout charged per retransmission in the simulator's cost model
+  /// (one lost message costs one timeout before the retry is sent).
+  double retry_timeout = 4.0;
+  std::vector<LinkFault> links;
+  std::vector<CrashEvent> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return links.empty() && crashes.empty();
+  }
+
+  /// Combined fault for a link: probabilities of all matching rules compose
+  /// (independent loss processes); delays add.
+  [[nodiscard]] LinkFault effective(std::size_t from, std::size_t to) const;
+
+  /// One-line summary for logs ("2 link faults, 1 crash, seed 42").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parses the textual plan format, one directive per line:
+///
+///     # comment; blank lines ignored
+///     seed 42
+///     retry-timeout 4
+///     drop <from> <to> <prob>       # '*' = any node
+///     delay <from> <to> <time>
+///     dup <from> <to> <prob>
+///     crash <node> <at> [<restart-after>]
+///
+/// Throws FaultPlanError (with line number) on malformed input.
+FaultPlan parse_plan(std::istream& in);
+FaultPlan parse_plan_text(const std::string& text);
+FaultPlan load_plan(const std::string& path);
+
+class FaultPlanError : public std::runtime_error {
+ public:
+  explicit FaultPlanError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace omig::fault

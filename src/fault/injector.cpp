@@ -1,0 +1,95 @@
+#include "fault/injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace omig::fault {
+
+namespace {
+/// Dedicated RNG stream index so injector draws never collide with the
+/// workload/network streams derived from the same master seed.
+constexpr std::uint64_t kInjectorStream = 0xFA17;
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_{std::move(plan)}, rng_{plan_.seed, kInjectorStream} {}
+
+Decision FaultInjector::on_message(std::size_t from, std::size_t to) {
+  Decision d;
+  const LinkFault f = plan_.effective(from, to);
+  if (f.drop <= 0.0 && f.duplicate <= 0.0 && f.delay <= 0.0) return d;
+  {
+    std::lock_guard lock{mutex_};
+    if (f.drop > 0.0) d.drop = rng_.uniform() < f.drop;
+    if (f.duplicate > 0.0) d.duplicate = rng_.uniform() < f.duplicate;
+  }
+  d.delay = f.delay;
+  if (d.drop) {
+    counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+  } else if (d.duplicate) {
+    counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!d.drop && d.delay > 0.0) {
+    counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+NodeHealth::NodeHealth(sim::Engine& engine, std::size_t nodes) {
+  gates_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    gates_.push_back(std::make_unique<sim::Gate>(engine));
+  }
+}
+
+bool NodeHealth::up(std::size_t node) const {
+  OMIG_REQUIRE(node < gates_.size(), "node index out of range");
+  return gates_[node]->is_open();
+}
+
+void NodeHealth::mark_down(std::size_t node) {
+  OMIG_REQUIRE(node < gates_.size(), "node index out of range");
+  if (!gates_[node]->is_open()) return;
+  gates_[node]->close();
+  ++crashes_;
+}
+
+void NodeHealth::mark_up(std::size_t node) {
+  OMIG_REQUIRE(node < gates_.size(), "node index out of range");
+  if (gates_[node]->is_open()) return;
+  ++restarts_;
+  gates_[node]->open();
+}
+
+sim::Task NodeHealth::wait_up(std::size_t node) {
+  OMIG_REQUIRE(node < gates_.size(), "node index out of range");
+  // Re-check after resuming: an earlier-scheduled process may have crashed
+  // the node again between the open() and our resumption.
+  while (!gates_[node]->is_open()) {
+    co_await gates_[node]->wait();
+  }
+}
+
+namespace {
+
+sim::Task replay_crash(sim::Engine& engine, CrashEvent crash,
+                       NodeHealth& health) {
+  co_await engine.delay(crash.at);
+  health.mark_down(crash.node);
+  if (crash.restarts()) {
+    co_await engine.delay(crash.restart_after);
+    health.mark_up(crash.node);
+  }
+}
+
+}  // namespace
+
+void spawn_crash_driver(sim::Engine& engine, const FaultPlan& plan,
+                        NodeHealth& health) {
+  for (const CrashEvent& crash : plan.crashes) {
+    OMIG_REQUIRE(crash.node < health.size(),
+                 "crash schedule names a node outside the system");
+    engine.spawn(replay_crash(engine, crash, health));
+  }
+}
+
+}  // namespace omig::fault

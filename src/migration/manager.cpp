@@ -6,6 +6,12 @@
 
 namespace omig::migration {
 
+namespace {
+/// Bound on retransmissions per control-message leg, so a plan with drop
+/// probability 1.0 cannot hang the simulation.
+constexpr int kMaxLegRetries = 64;
+}  // namespace
+
 MigrationManager::MigrationManager(sim::Engine& engine,
                                    ObjectRegistry& registry,
                                    const net::LatencyModel& latency,
@@ -46,13 +52,28 @@ void MigrationManager::trace_event(trace::EventKind kind, ObjectId object,
   trace_->record(trace::Event{engine_->now(), kind, object, node, block});
 }
 
+sim::SimTime MigrationManager::message_cost(std::size_t from,
+                                            std::size_t to) {
+  sim::SimTime cost = latency_->sample(*rng_, from, to);
+  if (fault_ == nullptr) return cost;
+  for (int attempt = 0; attempt < kMaxLegRetries; ++attempt) {
+    const fault::Decision dec = fault_->on_message(from, to);
+    if (!dec.drop) return cost + dec.delay;
+    // Lost: the sender waits out its timeout, then retransmits.
+    cost += fault_->plan().retry_timeout;
+    fault_->counters().retries.fetch_add(1, std::memory_order_relaxed);
+    cost += latency_->sample(*rng_, from, to);
+  }
+  return cost;
+}
+
 sim::Task MigrationManager::control_message(objsys::NodeId from,
                                             ObjectId about, MoveBlock* blk) {
   ++control_;
   trace_event(trace::EventKind::MoveRequest, about, from,
               blk ? blk->id : objsys::BlockId::invalid());
   const objsys::NodeId to = registry_->location(about);
-  const sim::SimTime d = latency_->sample(*rng_, from.value(), to.value());
+  const sim::SimTime d = message_cost(from.value(), to.value());
   charge(blk, d);
   co_await engine_->delay(d);
 }
@@ -61,7 +82,7 @@ sim::Task MigrationManager::control_reply(ObjectId about, objsys::NodeId to,
                                           MoveBlock* blk) {
   ++control_;
   const objsys::NodeId from = registry_->location(about);
-  const sim::SimTime d = latency_->sample(*rng_, from.value(), to.value());
+  const sim::SimTime d = message_cost(from.value(), to.value());
   charge(blk, d);
   co_await engine_->delay(d);
 }
@@ -100,6 +121,27 @@ sim::Task MigrationManager::transfer(std::vector<ObjectId> objs,
   }
   if (moving.empty() && copying.empty()) co_return;
 
+  if (health_ != nullptr) {
+    // A crashed destination cannot receive objects: the transfer stalls
+    // until it restarts, and the stall is the block's problem. A crashed
+    // *source* does not stall anything — the member's state is pulled from
+    // its directory checkpoint instead (degraded-mode recovery, see
+    // docs/fault_model.md), which costs the same transfer time.
+    const sim::SimTime wait_start = engine_->now();
+    while (!health_->up(dest.value())) {
+      co_await health_->wait_up(dest.value());
+    }
+    charge(blk, engine_->now() - wait_start);
+    if (fault_ != nullptr) {
+      for (ObjectId o : moving) {
+        if (!health_->up(registry_->location(o).value())) {
+          fault_->counters().recoveries.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
   sim::SimTime duration = 0.0;
   auto accumulate = [&](ObjectId o) {
     sim::SimTime d =
@@ -136,26 +178,45 @@ sim::Task MigrationManager::transfer(std::vector<ObjectId> objs,
   }
 }
 
+bool MigrationManager::lease_expired(const Lock& lock) const {
+  return options_.lock_lease > 0.0 && engine_->now() >= lock.expiry;
+}
+
 bool MigrationManager::is_locked(ObjectId obj) const {
-  return locks_.contains(obj);
+  auto it = locks_.find(obj);
+  return it != locks_.end() && !lease_expired(it->second);
 }
 
 objsys::BlockId MigrationManager::lock_owner(ObjectId obj) const {
   auto it = locks_.find(obj);
-  return it == locks_.end() ? objsys::BlockId::invalid() : it->second;
+  if (it == locks_.end() || lease_expired(it->second)) {
+    return objsys::BlockId::invalid();
+  }
+  return it->second.owner;
 }
 
 bool MigrationManager::try_lock(ObjectId obj, objsys::BlockId blk) {
-  auto [it, inserted] = locks_.try_emplace(obj, blk);
-  if (inserted) {
-    trace_event(trace::EventKind::Lock, obj, objsys::NodeId::invalid(), blk);
+  auto it = locks_.find(obj);
+  if (it != locks_.end() && lease_expired(it->second)) {
+    // The holding block outlived its lease — presumed dead with a crashed
+    // node. Release the object in place so this move can take over.
+    trace_event(trace::EventKind::Unlock, obj, objsys::NodeId::invalid(),
+                it->second.owner);
+    ++lease_expiries_;
+    locks_.erase(it);
+    it = locks_.end();
   }
-  return inserted || it->second == blk;
+  if (it == locks_.end()) {
+    locks_.emplace(obj, Lock{blk, engine_->now() + options_.lock_lease});
+    trace_event(trace::EventKind::Lock, obj, objsys::NodeId::invalid(), blk);
+    return true;
+  }
+  return it->second.owner == blk;
 }
 
 void MigrationManager::unlock(ObjectId obj, objsys::BlockId blk) {
   auto it = locks_.find(obj);
-  if (it != locks_.end() && it->second == blk) {
+  if (it != locks_.end() && it->second.owner == blk) {
     locks_.erase(it);
     trace_event(trace::EventKind::Unlock, obj, objsys::NodeId::invalid(),
                 blk);

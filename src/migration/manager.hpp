@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "migration/alliance.hpp"
 #include "migration/attachment.hpp"
 #include "migration/block.hpp"
@@ -50,6 +51,11 @@ struct ManagerOptions {
   /// "clear"; 2 avoids ping-ponging the object after every end-request
   /// towards whichever single block happens to be open.
   int clear_majority_minimum = 2;
+  /// Placement-lock lease in sim time. A lock older than this is presumed
+  /// orphaned (its block died with a crashed node or stalled) and expires:
+  /// the object is released in place and a competing move may take over.
+  /// Zero = locks never expire (the paper's semantics).
+  double lock_lease = 0.0;
 };
 
 class MigrationManager {
@@ -94,13 +100,20 @@ public:
                      MoveBlock* blk);
 
   // --- placement locks ----------------------------------------------------
+  /// Expired leases read as unlocked everywhere; the actual release (and
+  /// its Unlock trace event) happens when the next try_lock touches them.
   [[nodiscard]] bool is_locked(ObjectId obj) const;
   [[nodiscard]] objsys::BlockId lock_owner(ObjectId obj) const;
-  /// Acquires the lock for `blk` if free (or already held by `blk`).
+  /// Acquires the lock for `blk` if free (or already held by `blk`),
+  /// expiring a dead holder's lease first.
   bool try_lock(ObjectId obj, objsys::BlockId blk);
   /// Releases the lock if held by `blk`.
   void unlock(ObjectId obj, objsys::BlockId blk);
   [[nodiscard]] std::size_t locked_count() const { return locks_.size(); }
+  /// Locks released because their lease ran out.
+  [[nodiscard]] std::uint64_t lease_expiries() const {
+    return lease_expiries_;
+  }
 
   // --- open-move bookkeeping (dynamic policies, Section 3.3) --------------
   void note_move(ObjectId obj, objsys::NodeId node);
@@ -126,6 +139,16 @@ public:
   /// transits, locks) are recorded into `log`. Not owned; null disables.
   void set_trace(trace::TraceLog* log) { trace_ = log; }
 
+  /// Optional fault model (docs/fault_model.md). Control messages may be
+  /// dropped (charged one retry timeout per retransmission) or delayed; a
+  /// transfer waits for a crashed destination to restart (the stall is
+  /// charged to the block) and pulls members off a dead source from their
+  /// checkpoint (counted as recoveries). Neither is owned; null disables.
+  void set_fault(fault::FaultInjector* injector, fault::NodeHealth* health) {
+    fault_ = injector;
+    health_ = health;
+  }
+
   /// Emits a trace event if a trace log is attached (used by policies for
   /// block-begin/end and refusal events).
   void trace_event(trace::EventKind kind,
@@ -137,7 +160,16 @@ public:
   [[nodiscard]] std::uint64_t control_messages() const { return control_; }
 
 private:
+  struct Lock {
+    objsys::BlockId owner;
+    sim::SimTime expiry;  ///< meaningful only when options_.lock_lease > 0
+  };
+
   void charge(MoveBlock* blk, double cost);
+  [[nodiscard]] bool lease_expired(const Lock& lock) const;
+  /// Cost of one control-message leg including injected faults (mirrors
+  /// Invoker::message_leg).
+  [[nodiscard]] sim::SimTime message_cost(std::size_t from, std::size_t to);
 
   sim::Engine* engine_;
   ObjectRegistry* registry_;
@@ -147,12 +179,15 @@ private:
   AllianceRegistry* alliances_;
   ManagerOptions options_;
 
-  std::unordered_map<ObjectId, objsys::BlockId> locks_;
+  std::unordered_map<ObjectId, Lock> locks_;
+  std::uint64_t lease_expiries_ = 0;
   std::unordered_map<ObjectId, std::unordered_map<objsys::NodeId, int>>
       open_moves_;
   std::function<void(double)> background_sink_;
   objsys::LocationService* service_ = nullptr;
   trace::TraceLog* trace_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
+  fault::NodeHealth* health_ = nullptr;
   objsys::BlockId::value_type next_block_ = 0;
   std::uint64_t transfers_ = 0;
   std::uint64_t control_ = 0;

@@ -5,9 +5,31 @@
 
 namespace omig::objsys {
 
+namespace {
+/// Bound on retransmissions per message leg and on down-node polls, so a
+/// plan with drop probability 1.0 (or a node that never restarts while
+/// nothing relocates its objects) cannot hang the simulation.
+constexpr int kMaxLegRetries = 64;
+constexpr int kMaxDownPolls = 100000;
+}  // namespace
+
 Invoker::Invoker(sim::Engine& engine, ObjectRegistry& registry,
                  const net::LatencyModel& latency, sim::Rng& rng)
     : engine_{&engine}, registry_{&registry}, latency_{&latency}, rng_{&rng} {}
+
+sim::SimTime Invoker::message_leg(std::size_t from, std::size_t to) {
+  sim::SimTime cost = latency_->sample(*rng_, from, to);
+  if (fault_ == nullptr) return cost;
+  for (int attempt = 0; attempt < kMaxLegRetries; ++attempt) {
+    const fault::Decision dec = fault_->on_message(from, to);
+    if (!dec.drop) return cost + dec.delay;
+    // Lost: the sender waits out its timeout, then retransmits.
+    cost += fault_->plan().retry_timeout;
+    fault_->counters().retries.fetch_add(1, std::memory_order_relaxed);
+    cost += latency_->sample(*rng_, from, to);
+  }
+  return cost;
+}
 
 void Invoker::set_replication(ReplicationMode mode, double copy_duration) {
   OMIG_REQUIRE(copy_duration >= 0.0, "copy duration must be non-negative");
@@ -23,6 +45,28 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
     ++blocked_;
     while (registry_->in_transit(callee)) {
       co_await registry_->transit_gate(callee).wait();
+    }
+  }
+  // Callee hosted by a crashed node: the caller's messages go unanswered,
+  // so it retries on its timeout until the node recovers or a migration
+  // pulls the object elsewhere (checkpoint recovery makes it reachable
+  // again). Caller processes themselves ride out crashes — the fault
+  // model perturbs object availability, not client code.
+  if (health_ != nullptr) {
+    NodeId where = registry_->location(callee);
+    if (where.valid() && !health_->up(where.value())) {
+      ++blocked_;
+      const double timeout = fault_ ? fault_->plan().retry_timeout : 1.0;
+      for (int polls = 0;
+           where.valid() && !health_->up(where.value()) &&
+           polls < kMaxDownPolls;
+           ++polls) {
+        if (fault_ != nullptr) {
+          fault_->counters().retries.fetch_add(1, std::memory_order_relaxed);
+        }
+        co_await engine_->delay(timeout);
+        where = registry_->location(callee);
+      }
     }
   }
   ++invocations_;
@@ -53,10 +97,8 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
     co_await service_->resolve(caller, callee);
   }
   // Call message to the callee, result message back.
-  co_await engine_->delay(
-      latency_->sample(*rng_, caller.value(), loc.value()));
-  co_await engine_->delay(
-      latency_->sample(*rng_, loc.value(), caller.value()));
+  co_await engine_->delay(message_leg(caller.value(), loc.value()));
+  co_await engine_->delay(message_leg(loc.value(), caller.value()));
 
   // Replicate-on-read: the reply ships the object's state; installing the
   // local copy costs one state transfer, experienced by the caller.

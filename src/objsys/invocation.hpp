@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "fault/injector.hpp"
 #include "net/latency.hpp"
 #include "objsys/registry.hpp"
 #include "sim/engine.hpp"
@@ -44,6 +45,17 @@ public:
   /// see `LocationService` and the ablation benches). Not owned.
   void set_location_service(LocationService* service) { service_ = service; }
 
+  /// Optional fault model (docs/fault_model.md). With an injector, each
+  /// message leg may be dropped (the caller waits out its retry timeout and
+  /// retransmits) or delayed; with node health, a call on an object hosted
+  /// by a crashed node polls on the retry timeout until the node recovers
+  /// or a migration pulls the object elsewhere. Neither is owned; null
+  /// disables.
+  void set_fault(fault::FaultInjector* injector, fault::NodeHealth* health) {
+    fault_ = injector;
+    health_ = health;
+  }
+
   /// Configures mutable-object replication (default: None) and the state
   /// transfer duration a replicate-on-read pays (default: the migration
   /// duration M — it ships the same state).
@@ -71,11 +83,18 @@ public:
   }
 
 private:
+  /// Cost of one message leg including injected faults: a dropped leg adds
+  /// the retry timeout plus the retransmission's latency; a delayed leg
+  /// adds its extra delay. Faultless legs are a single latency sample.
+  sim::SimTime message_leg(std::size_t from, std::size_t to);
+
   sim::Engine* engine_;
   ObjectRegistry* registry_;
   const net::LatencyModel* latency_;
   sim::Rng* rng_;
   LocationService* service_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
+  fault::NodeHealth* health_ = nullptr;
   ReplicationMode replication_ = ReplicationMode::None;
   double copy_duration_ = 6.0;
   std::uint64_t invocations_ = 0;

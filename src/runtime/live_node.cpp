@@ -4,6 +4,13 @@
 
 namespace omig::runtime {
 
+namespace {
+/// Bound on the seq-keyed reply caches. Retransmissions arrive within a
+/// few retry rounds of the original, so a few thousand entries is a
+/// comfortable at-most-once window without unbounded growth.
+constexpr std::size_t kReplyCacheSize = 4096;
+}  // namespace
+
 LiveNode::LiveNode(
     std::size_t id,
     const std::unordered_map<std::string, ObjectFactory>* factories)
@@ -14,15 +21,48 @@ LiveNode::LiveNode(
 LiveNode::~LiveNode() { stop(); }
 
 void LiveNode::start() {
-  OMIG_REQUIRE(!thread_.joinable(), "node already started");
+  std::lock_guard lock{lifecycle_mutex_};
+  if (thread_.joinable()) return;  // already running: idempotent
+  if (mailbox_.closed()) mailbox_.reopen();
   thread_ = std::thread{[this] { run(); }};
 }
 
 void LiveNode::stop() {
-  if (!thread_.joinable()) return;
-  mailbox_.push(Message{MsgStop{}});
+  std::lock_guard lock{lifecycle_mutex_};
+  if (!thread_.joinable()) return;  // already stopped: idempotent
+  // Close first so no message can slip in behind the shutdown: the loop
+  // drains what is already queued, then pop() signals exhaustion.
   mailbox_.close();
   thread_.join();
+}
+
+void LiveNode::crash() {
+  std::lock_guard lock{lifecycle_mutex_};
+  if (!thread_.joinable()) return;
+  // Queued messages die undelivered; their promises break, which is how
+  // senders observe the failure.
+  mailbox_.close_and_discard();
+  thread_.join();
+  // Volatile node state is lost with the process.
+  objects_.clear();
+  installed_seq_.clear();
+  invoke_replies_.clear();
+  invoke_order_.clear();
+  evicted_states_.clear();
+  evict_order_.clear();
+  hosted_.store(0);
+}
+
+void LiveNode::restart() {
+  std::lock_guard lock{lifecycle_mutex_};
+  if (thread_.joinable()) return;  // still running: nothing to do
+  mailbox_.reopen();
+  thread_ = std::thread{[this] { run(); }};
+}
+
+bool LiveNode::running() const {
+  std::lock_guard lock{lifecycle_mutex_};
+  return thread_.joinable() && !mailbox_.closed();
 }
 
 void LiveNode::run() {
@@ -45,28 +85,75 @@ void LiveNode::run() {
   }
 }
 
+template <class V>
+void LiveNode::remember(std::unordered_map<std::uint64_t, V>& cache,
+                        std::deque<std::uint64_t>& order, std::uint64_t seq,
+                        V value) {
+  if (cache.emplace(seq, std::move(value)).second) {
+    order.push_back(seq);
+    if (order.size() > kReplyCacheSize) {
+      cache.erase(order.front());
+      order.pop_front();
+    }
+  }
+}
+
 void LiveNode::handle(MsgInvoke& msg) {
+  if (msg.seq != 0) {
+    auto cached = invoke_replies_.find(msg.seq);
+    if (cached != invoke_replies_.end()) {
+      // Retransmission of a request we already executed: answer from the
+      // cache, never run the method twice.
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      msg.reply.set_value(cached->second);
+      return;
+    }
+  }
+  InvokeResult result;
   auto it = objects_.find(msg.object);
   if (it == objects_.end()) {
-    msg.reply.set_value(
-        InvokeResult{false, "object not resident: " + msg.object});
-    return;
+    result = InvokeResult{false, "object not resident: " + msg.object};
+  } else {
+    result = it->second->call(msg.method, msg.argument);
   }
-  msg.reply.set_value(it->second->call(msg.method, msg.argument));
+  if (msg.seq != 0) {
+    remember(invoke_replies_, invoke_order_, msg.seq, result);
+  }
+  msg.reply.set_value(std::move(result));
 }
 
 void LiveNode::handle(MsgInstall& msg) {
+  if (msg.seq != 0) {
+    auto seen = installed_seq_.find(msg.name);
+    if (seen != installed_seq_.end() && seen->second == msg.seq) {
+      // Duplicate of an install we already applied: just acknowledge.
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      msg.done.set_value(true);
+      return;
+    }
+  }
   auto fit = factories_->find(msg.state.type);
   if (fit == factories_->end()) {
     msg.done.set_value(false);
     return;
   }
   objects_[msg.name] = fit->second(msg.name, std::move(msg.state));
+  if (msg.seq != 0) installed_seq_[msg.name] = msg.seq;
   hosted_.fetch_add(1, std::memory_order_relaxed);
   msg.done.set_value(true);
 }
 
 void LiveNode::handle(MsgEvict& msg) {
+  if (msg.seq != 0) {
+    auto cached = evicted_states_.find(msg.seq);
+    if (cached != evicted_states_.end()) {
+      // Duplicate evict: the object is already gone — hand out the state
+      // captured by the first delivery.
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      msg.state.set_value(cached->second);
+      return;
+    }
+  }
   auto it = objects_.find(msg.name);
   if (it == objects_.end()) {
     msg.state.set_value(ObjectState{});  // empty type signals failure
@@ -75,6 +162,9 @@ void LiveNode::handle(MsgEvict& msg) {
   ObjectState state = it->second->linearize();
   objects_.erase(it);
   hosted_.fetch_sub(1, std::memory_order_relaxed);
+  if (msg.seq != 0) {
+    remember(evicted_states_, evict_order_, msg.seq, state);
+  }
   msg.state.set_value(std::move(state));
 }
 

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +19,13 @@ namespace omig::runtime {
 /// Executes messages for the objects it hosts. Owned by LiveSystem; the
 /// factory registry (shared, immutable after startup) rebuilds migrated
 /// objects.
+///
+/// Lifecycle: start() → [crash() → restart()]* → stop(). start() and
+/// stop() are idempotent and safe to call from multiple threads. crash()
+/// models a node failure: the event loop dies, queued messages are
+/// destroyed undelivered (their promises break) and all hosted objects are
+/// lost; restart() brings the node back empty — the system layer
+/// reconciles the directory and reinstalls objects from checkpoints.
 class LiveNode {
 public:
   LiveNode(std::size_t id,
@@ -29,29 +38,57 @@ public:
   [[nodiscard]] std::size_t id() const { return id_; }
   [[nodiscard]] Mailbox<Message>& mailbox() { return mailbox_; }
 
-  /// Starts the event-loop thread.
+  /// Starts the event-loop thread. No-op if already running.
   void start();
-  /// Sends MsgStop and joins the thread.
+  /// Closes the mailbox (pending messages drain) and joins the thread.
+  /// Idempotent; safe to call concurrently with the destructor.
   void stop();
+
+  /// Abrupt failure: discards queued messages, joins the thread, drops all
+  /// hosted objects and dedup state. No-op if the node is not running.
+  void crash();
+  /// Restarts a crashed (or stopped) node with an empty object table.
+  void restart();
+
+  [[nodiscard]] bool running() const;
 
   [[nodiscard]] std::uint64_t processed() const { return processed_.load(); }
   [[nodiscard]] std::uint64_t hosted_objects() const {
     return hosted_.load();
   }
+  /// Messages answered from the dedup caches instead of being re-executed.
+  [[nodiscard]] std::uint64_t deduplicated() const { return deduped_.load(); }
 
 private:
   void run();
   void handle(MsgInvoke& msg);
   void handle(MsgInstall& msg);
   void handle(MsgEvict& msg);
+  /// Inserts into a seq-keyed cache, evicting the oldest entry beyond the
+  /// retention bound (enough to cover any plausible retransmission window).
+  template <class V>
+  void remember(std::unordered_map<std::uint64_t, V>& cache,
+                std::deque<std::uint64_t>& order, std::uint64_t seq, V value);
 
   std::size_t id_;
   const std::unordered_map<std::string, ObjectFactory>* factories_;
   Mailbox<Message> mailbox_;
+
+  mutable std::mutex lifecycle_mutex_;  ///< guards thread_ start/join
   std::thread thread_;
+
+  // Node-thread-only state (no locking: touched by run() while the thread
+  // lives, and by crash()/restart() only after joining it).
   std::unordered_map<std::string, std::unique_ptr<LiveObject>> objects_;
+  std::unordered_map<std::string, std::uint64_t> installed_seq_;
+  std::unordered_map<std::uint64_t, InvokeResult> invoke_replies_;
+  std::deque<std::uint64_t> invoke_order_;
+  std::unordered_map<std::uint64_t, ObjectState> evicted_states_;
+  std::deque<std::uint64_t> evict_order_;
+
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> hosted_{0};
+  std::atomic<std::uint64_t> deduped_{0};
 };
 
 }  // namespace omig::runtime

@@ -10,8 +10,9 @@
 
 namespace omig::runtime {
 
-LiveSystem::LiveSystem(Options options) : options_{options} {
-  OMIG_REQUIRE(options.nodes >= 1, "need at least one node");
+LiveSystem::LiveSystem(Options options) : options_{std::move(options)} {
+  OMIG_REQUIRE(options_.nodes >= 1, "need at least one node");
+  OMIG_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
 }
 
 LiveSystem::~LiveSystem() { stop(); }
@@ -24,16 +25,147 @@ void LiveSystem::register_type(const std::string& type,
 
 void LiveSystem::start() {
   OMIG_REQUIRE(!started_, "system already started");
+  for (const fault::CrashEvent& crash : options_.fault_plan.crashes) {
+    OMIG_REQUIRE(crash.node < options_.nodes,
+                 "crash schedule names a node outside the system");
+  }
   nodes_.reserve(options_.nodes);
   for (std::size_t i = 0; i < options_.nodes; ++i) {
     nodes_.push_back(std::make_unique<LiveNode>(i, &factories_));
     nodes_.back()->start();
   }
+  node_down_.assign(options_.nodes, 0);
+  if (!options_.fault_plan.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(options_.fault_plan);
+  }
   started_ = true;
+  if (!options_.fault_plan.crashes.empty()) {
+    fault_thread_ = std::thread{[this] { run_fault_schedule(); }};
+  }
 }
 
 void LiveSystem::stop() {
+  std::lock_guard stop_lock{stop_mutex_};
+  {
+    std::lock_guard lock{fault_mutex_};
+    shutting_down_ = true;
+  }
+  fault_cv_.notify_all();
+  if (fault_thread_.joinable()) fault_thread_.join();
   for (auto& node : nodes_) node->stop();
+}
+
+void LiveSystem::run_fault_schedule() {
+  using Clock = std::chrono::steady_clock;
+  struct Event {
+    Clock::time_point at;
+    std::size_t node;
+    bool up;
+  };
+  const Clock::time_point t0 = Clock::now();
+  auto after = [&](double millis) {
+    return t0 + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>{millis});
+  };
+  std::vector<Event> schedule;
+  for (const fault::CrashEvent& crash : options_.fault_plan.crashes) {
+    schedule.push_back({after(crash.at), crash.node, false});
+    if (crash.restarts()) {
+      schedule.push_back({after(crash.at + crash.restart_after), crash.node,
+                          true});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const Event& a, const Event& b) { return a.at < b.at; });
+  std::unique_lock lock{fault_mutex_};
+  for (const Event& event : schedule) {
+    if (fault_cv_.wait_until(lock, event.at, [&] { return shutting_down_; })) {
+      return;  // system is stopping: abandon the rest of the schedule
+    }
+    lock.unlock();
+    if (event.up) {
+      restart_node(event.node);
+    } else {
+      crash_node(event.node);
+    }
+    lock.lock();
+  }
+}
+
+bool LiveSystem::deliver(std::size_t from, std::size_t to, Message msg,
+                         const std::function<Message()>& clone) {
+  if (injector_) {
+    const fault::Decision d = injector_->on_message(from, to);
+    if (d.delay > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>{d.delay});
+    }
+    if (d.drop) {
+      // Lost in flight: destroying the message here breaks its reply
+      // promise, which is how the sender observes the loss.
+      return true;
+    }
+    if (d.duplicate && clone) nodes_[to]->mailbox().push(clone());
+  }
+  return nodes_[to]->mailbox().push(std::move(msg));
+}
+
+template <class T>
+std::optional<T> LiveSystem::await_reply(std::future<T>& reply) {
+  try {
+    if (options_.reply_timeout.count() > 0) {
+      if (reply.wait_for(options_.reply_timeout) !=
+          std::future_status::ready) {
+        return std::nullopt;
+      }
+    }
+    return reply.get();
+  } catch (const std::future_error&) {
+    // The message died unprocessed — dropped by the injector, discarded by
+    // a crash, or rejected by a closed mailbox.
+    return std::nullopt;
+  }
+}
+
+void LiveSystem::backoff(int attempt) {
+  if (options_.retry_backoff.count() <= 0) return;
+  const int shift = std::min(attempt - 1, 6);
+  std::this_thread::sleep_for(options_.retry_backoff * (1 << shift));
+}
+
+bool LiveSystem::faults_active() const {
+  return injector_ != nullptr ||
+         crashes_.load(std::memory_order_relaxed) > 0;
+}
+
+bool LiveSystem::install_with_retry(std::size_t node, const std::string& name,
+                                    const ObjectState& state,
+                                    std::size_t from) {
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff(attempt);
+    }
+    MsgInstall msg;
+    msg.name = name;
+    msg.state = state;
+    msg.seq = seq;
+    auto done = msg.done.get_future();
+    auto clone = [&] {
+      MsgInstall dup;
+      dup.name = name;
+      dup.state = state;
+      dup.seq = seq;
+      return Message{std::move(dup)};
+    };
+    if (!deliver(from, node, Message{std::move(msg)}, clone)) {
+      continue;  // node is down; it may restart within the retry budget
+    }
+    auto ok = await_reply(done);
+    if (ok.has_value()) return *ok;
+  }
+  return false;
 }
 
 bool LiveSystem::create(const std::string& name, ObjectState state,
@@ -44,14 +176,12 @@ bool LiveSystem::create(const std::string& name, ObjectState state,
   {
     std::lock_guard lock{mutex_};
     if (directory_.contains(name)) return false;
-    directory_[name] = Meta{node, false, false, 0};
+    Meta meta;
+    meta.node = node;
+    meta.checkpoint = state;  // creation-time recovery checkpoint
+    directory_[name] = std::move(meta);
   }
-  MsgInstall msg;
-  msg.name = name;
-  msg.state = std::move(state);
-  auto done = msg.done.get_future();
-  nodes_[node]->mailbox().push(Message{std::move(msg)});
-  const bool ok = done.get();
+  const bool ok = install_with_retry(node, name, state, kExternalSender);
   if (!ok) {
     std::lock_guard lock{mutex_};
     directory_.erase(name);
@@ -85,6 +215,11 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
                                      const std::string& method,
                                      const std::string& argument) {
   OMIG_REQUIRE(started_, "start() the system first");
+  // Rounds spent on "object not resident". Fault-free this loops only while
+  // a migration races the delivery; under faults a recovering object may
+  // stay non-resident for a while, so the loop is bounded then.
+  int stale_rounds = 0;
+  constexpr int kMaxStaleRounds = 64;
   for (;;) {
     std::size_t node;
     {
@@ -112,23 +247,58 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
         std::this_thread::sleep_for(options_.remote_latency);
       }
     }
-    MsgInvoke msg;
-    msg.object = object;
-    msg.method = method;
-    msg.argument = argument;
-    auto reply = msg.reply.get_future();
-    nodes_[node]->mailbox().push(Message{std::move(msg)});
-    InvokeResult result = reply.get();
+    // One logical request: every retransmission reuses this seq, so the
+    // hosting node executes the method at most once.
+    const std::uint64_t seq =
+        next_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::optional<InvokeResult> result;
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+      }
+      MsgInvoke msg;
+      msg.object = object;
+      msg.method = method;
+      msg.argument = argument;
+      msg.seq = seq;
+      auto reply = msg.reply.get_future();
+      auto clone = [&] {
+        MsgInvoke dup;
+        dup.object = object;
+        dup.method = method;
+        dup.argument = argument;
+        dup.seq = seq;
+        return Message{std::move(dup)};  // nobody awaits the clone's reply
+      };
+      if (!deliver(from.value_or(kExternalSender), node,
+                   Message{std::move(msg)}, clone)) {
+        continue;  // node is down; it may restart within the retry budget
+      }
+      result = await_reply(reply);
+      if (result.has_value()) break;
+    }
+    if (!result.has_value()) {
+      return InvokeResult{
+          false, "node unreachable: " + std::to_string(node) + " (" + object +
+                     ")"};
+    }
     if (remote && options_.remote_latency.count() > 0) {
       std::this_thread::sleep_for(options_.remote_latency);  // result message
     }
     // A migration can race the delivery: the directory said `node`, but the
     // object was evicted before our message arrived. Retry — this mirrors
-    // real systems forwarding calls to the new location.
-    if (!result.ok && result.value.starts_with("object not resident")) {
+    // real systems forwarding calls to the new location. After a crash the
+    // object may be awaiting reinstallation, so give recovery time and
+    // give up eventually instead of spinning forever.
+    if (!result->ok && result->value.starts_with("object not resident")) {
+      if (faults_active()) {
+        if (++stale_rounds > kMaxStaleRounds) return *result;
+        backoff(1);
+      }
       continue;
     }
-    return result;
+    return *result;
   }
 }
 
@@ -218,38 +388,79 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
       directory_.at(name).in_transit = false;
       continue;
     }
-    MsgEvict evict;
-    evict.name = name;
-    auto state_future = evict.state.get_future();
-    nodes_[src]->mailbox().push(Message{std::move(evict)});
-    ObjectState state = state_future.get();
-    OMIG_ASSERT(!state.type.empty());
+
+    // Pull the state off the source; the request travels dest -> src. A
+    // dead source ends the attempts early — recovery takes over below.
+    std::optional<ObjectState> state;
+    const std::uint64_t seq =
+        next_seq_.fetch_add(1, std::memory_order_relaxed);
+    for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+      }
+      MsgEvict evict;
+      evict.name = name;
+      evict.seq = seq;
+      auto state_future = evict.state.get_future();
+      auto clone = [&] {
+        MsgEvict dup;
+        dup.name = name;
+        dup.seq = seq;
+        return Message{std::move(dup)};
+      };
+      if (!deliver(dest, src, Message{std::move(evict)}, clone)) break;
+      auto got = await_reply(state_future);
+      if (got.has_value()) {
+        state = std::move(*got);
+        break;
+      }
+    }
+
+    if (!state.has_value() || state->type.empty()) {
+      // The source is unreachable or lost the object with a crash: recover
+      // the last checkpoint. Degraded mode — updates since the checkpoint
+      // are gone, but the object itself survives (docs/fault_model.md).
+      std::lock_guard lock{mutex_};
+      state = directory_.at(name).checkpoint;
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    OMIG_ASSERT(!state->type.empty());
 
     // Linearise for the wire (Section 3.1) — the destination rebuilds the
     // object from bytes, never from shared memory.
-    const std::vector<std::uint8_t> wire = encode(state);
+    const std::vector<std::uint8_t> wire = encode(*state);
     if (options_.remote_latency.count() > 0) {
       std::this_thread::sleep_for(options_.remote_latency);  // transfer
     }
     auto decoded = decode(wire);
     OMIG_ASSERT(decoded.has_value());
 
-    MsgInstall install;
-    install.name = name;
-    install.state = std::move(*decoded);
-    auto done = install.done.get_future();
-    nodes_[dest]->mailbox().push(Message{std::move(install)});
-    const bool ok = done.get();
-    OMIG_ASSERT(ok);
+    {
+      // The state now in flight becomes the object's recovery checkpoint.
+      std::lock_guard lock{mutex_};
+      directory_.at(name).checkpoint = *decoded;
+    }
+
+    std::size_t target = dest;
+    if (!install_with_retry(dest, name, *decoded, src)) {
+      // Destination died mid-move: put the object back on the source. If
+      // that is down too, the directory entry plus checkpoint let restart
+      // reconciliation revive it there — the object is never lost.
+      install_with_retry(src, name, *decoded, dest);
+      target = src;
+    }
 
     {
       std::lock_guard lock{mutex_};
       Meta& meta = directory_.at(name);
-      meta.node = dest;
+      meta.node = target;
       meta.in_transit = false;
     }
-    migrations_.fetch_add(1, std::memory_order_relaxed);
-    ++moved;
+    if (target == dest) {
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      ++moved;
+    }
   }
   transit_cv_.notify_all();
   return moved;
@@ -299,15 +510,23 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
     token.id = next_token_++;
 
     if (options_.placement_policy) {
+      // A lock whose lease ran out belongs to a block that died (node
+      // crash) or stalled past its budget: release everything it holds —
+      // the objects stay in place — and let this move proceed.
+      if (lease_expired(it->second)) expire_lease(it->second.locked_by);
       // Transient placement: a conflicting unfinished move refuses us.
       if (it->second.locked_by != 0 || it->second.fixed) {
         refused_.fetch_add(1, std::memory_order_relaxed);
         return token;  // granted = false: caller invokes remotely
       }
+      const auto lease_deadline =
+          std::chrono::steady_clock::now() + options_.lock_lease;
       for (const std::string& name : closure_locked(object, alliance)) {
         Meta& meta = directory_.at(name);
+        if (lease_expired(meta)) expire_lease(meta.locked_by);
         if (meta.locked_by != 0) continue;  // partial move
         meta.locked_by = token.id;
+        meta.lease_expiry = lease_deadline;
         token.locked.push_back(name);
         transit_cv_.wait(lock,
                          [&] { return !directory_.at(name).in_transit; });
@@ -341,6 +560,8 @@ void LiveSystem::end(MoveToken& token) {
     std::lock_guard lock{mutex_};
     for (const std::string& name : token.locked) {
       auto it = directory_.find(name);
+      // locked_by may no longer be ours: the lease may have expired and
+      // another block taken over — only release what we still hold.
       if (it != directory_.end() && it->second.locked_by == token.id) {
         it->second.locked_by = 0;
       }
@@ -366,9 +587,86 @@ void LiveSystem::end(MoveToken& token) {
   }
 }
 
+bool LiveSystem::lease_expired(const Meta& meta) const {
+  return options_.lock_lease.count() > 0 && meta.locked_by != 0 &&
+         std::chrono::steady_clock::now() >= meta.lease_expiry;
+}
+
+void LiveSystem::expire_lease(std::uint64_t token) {
+  // The whole block's lease expires at once: every lock it holds is
+  // released and the objects stay where they are ("released in place").
+  for (auto& [name, meta] : directory_) {
+    if (meta.locked_by == token) meta.locked_by = 0;
+  }
+  lease_expiries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveSystem::crash_node(std::size_t node) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  {
+    std::lock_guard lock{mutex_};
+    node_down_[node] = 1;
+  }
+  nodes_[node]->crash();
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveSystem::restart_node(std::size_t node) {
+  OMIG_REQUIRE(started_, "start() the system first");
+  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  nodes_[node]->restart();
+  // Reconcile the directory with the freshly-empty node: reinstall every
+  // object placed there from its checkpoint. In-transit objects are
+  // skipped — their migration is in progress and settles them itself.
+  std::vector<std::pair<std::string, ObjectState>> to_restore;
+  {
+    std::lock_guard lock{mutex_};
+    node_down_[node] = 0;
+    for (const auto& [name, meta] : directory_) {
+      if (meta.node == node && !meta.in_transit) {
+        to_restore.emplace_back(name, meta.checkpoint);
+      }
+    }
+  }
+  for (const auto& [name, state] : to_restore) {
+    if (install_with_retry(node, name, state, kExternalSender)) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool LiveSystem::node_up(std::size_t node) const {
+  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  std::lock_guard lock{mutex_};
+  return node_down_[node] == 0;
+}
+
 std::uint64_t LiveSystem::invocations() const { return invocations_.load(); }
 std::uint64_t LiveSystem::remote_invocations() const { return remote_.load(); }
 std::uint64_t LiveSystem::migrations() const { return migrations_.load(); }
 std::uint64_t LiveSystem::refused_moves() const { return refused_.load(); }
+std::uint64_t LiveSystem::retries() const { return retries_.load(); }
+std::uint64_t LiveSystem::lease_expiries() const {
+  return lease_expiries_.load();
+}
+std::uint64_t LiveSystem::crashes() const { return crashes_.load(); }
+std::uint64_t LiveSystem::restarts() const { return restarts_.load(); }
+std::uint64_t LiveSystem::recoveries() const { return recoveries_.load(); }
+
+std::uint64_t LiveSystem::dropped_messages() const {
+  return injector_ ? injector_->counters().dropped.load() : 0;
+}
+
+std::uint64_t LiveSystem::duplicated_messages() const {
+  return injector_ ? injector_->counters().duplicated.load() : 0;
+}
+
+std::uint64_t LiveSystem::deduplicated_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->deduplicated();
+  return total;
+}
 
 }  // namespace omig::runtime

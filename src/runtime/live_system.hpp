@@ -6,18 +6,35 @@
 // fix/attach primitives, raw migration, and move/end blocks under either
 // conventional or transient-placement semantics — so the paper's conflict
 // scenarios can be reproduced outside the simulator.
+//
+// Failure model (all off by default; see docs/fault_model.md): a
+// FaultPlan perturbs message delivery (drop / delay / duplicate) and
+// schedules node crashes. The protocol tolerates this with sequence-
+// numbered at-most-once delivery, bounded retries with exponential
+// backoff, placement-lock leases (a lock held by a dead move-block
+// expires; the object is released in place and callers fall back to
+// remote invocation — the paper's conflict fallback generalised to
+// failures), and crash-consistent recovery: the directory checkpoints
+// each object's linearised state at creation and every migration, and
+// reinstalls from the checkpoint when a node restarts or a migration
+// pulls an object off a dead node.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "runtime/live_node.hpp"
 
 namespace omig::runtime {
@@ -34,6 +51,23 @@ public:
     /// Use transient placement for move(): a conflicting move is refused
     /// instead of stealing the object (Section 3.2).
     bool placement_policy = true;
+
+    // --- fault tolerance (defaults preserve pre-fault behaviour) ----------
+    /// Message faults and crash schedule; empty = nothing is perturbed.
+    /// Times in the plan are milliseconds after start().
+    fault::FaultPlan fault_plan;
+    /// Placement-lock lease: a lock older than this expires and the object
+    /// is released in place. Zero = locks never expire (paper semantics).
+    std::chrono::milliseconds lock_lease{0};
+    /// Retransmission budget per message (a lost message or crashed node
+    /// breaks the reply promise; each retry re-sends under the same
+    /// sequence number, so delivery stays at-most-once).
+    int max_retries = 8;
+    /// Base backoff between retries; doubled per attempt (capped).
+    std::chrono::milliseconds retry_backoff{1};
+    /// Optional reply timeout per delivery attempt; zero = wait forever
+    /// (losses are observed through broken promises, not timeouts).
+    std::chrono::milliseconds reply_timeout{0};
   };
 
   /// Token returned by move()/visit(): carries the placement grant, the
@@ -56,9 +90,10 @@ public:
   /// Must be called before `start()`.
   void register_type(const std::string& type, ObjectFactory factory);
 
-  /// Starts all node threads.
+  /// Starts all node threads (and the fault schedule, if any).
   void start();
-  /// Stops all node threads (also done by the destructor).
+  /// Stops all node threads (also done by the destructor). Idempotent and
+  /// safe to call from several threads concurrently.
   void stop();
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -112,11 +147,34 @@ public:
   /// migrates the moved objects home.
   void end(MoveToken& token);
 
+  // --- failure injection -----------------------------------------------------
+  /// Abruptly kills node `node`: queued messages are destroyed, hosted
+  /// object state is lost. Locks held by move-blocks that originated there
+  /// stay held until their lease expires. Also driven automatically by the
+  /// fault plan's crash schedule.
+  void crash_node(std::size_t node);
+  /// Restarts a crashed node and reconciles the directory: every object
+  /// the directory places there is reinstalled from its last checkpoint.
+  void restart_node(std::size_t node);
+  [[nodiscard]] bool node_up(std::size_t node) const;
+
   // --- statistics -------------------------------------------------------------
   [[nodiscard]] std::uint64_t invocations() const;
   [[nodiscard]] std::uint64_t remote_invocations() const;
   [[nodiscard]] std::uint64_t migrations() const;
   [[nodiscard]] std::uint64_t refused_moves() const;
+  // Robustness counters (all zero in a fault-free run).
+  [[nodiscard]] std::uint64_t retries() const;
+  [[nodiscard]] std::uint64_t lease_expiries() const;
+  [[nodiscard]] std::uint64_t crashes() const;
+  [[nodiscard]] std::uint64_t restarts() const;
+  /// Objects reinstalled from a checkpoint (restart reconciliation or a
+  /// migration that pulled an object off a dead node).
+  [[nodiscard]] std::uint64_t recoveries() const;
+  [[nodiscard]] std::uint64_t dropped_messages() const;
+  [[nodiscard]] std::uint64_t duplicated_messages() const;
+  /// Messages answered from the nodes' dedup caches.
+  [[nodiscard]] std::uint64_t deduplicated_messages() const;
 
 private:
   struct Meta {
@@ -124,12 +182,23 @@ private:
     bool fixed = false;
     bool in_transit = false;
     std::uint64_t locked_by = 0;  ///< move-token id, 0 = unlocked
+    /// Lease deadline for the lock (meaningful while locked_by != 0 and
+    /// Options::lock_lease is non-zero).
+    std::chrono::steady_clock::time_point lease_expiry{};
+    /// Last linearised state the directory has seen (creation or most
+    /// recent migration) — the crash-recovery checkpoint.
+    ObjectState checkpoint;
   };
 
   struct AttachEdge {
     std::string peer;
     std::string alliance;
   };
+
+  /// Sender id for messages not originating at any node (external clients,
+  /// directory operations). Matches only wildcard fault rules.
+  static constexpr std::size_t kExternalSender =
+      static_cast<std::size_t>(-2);
 
   /// Attachment closure of `object` (requires `mutex_`).
   [[nodiscard]] std::vector<std::string> closure_locked(
@@ -145,6 +214,39 @@ private:
                            const std::string& method,
                            const std::string& argument);
 
+  /// Hands `msg` to node `to`, consulting the fault injector: the message
+  /// may be delayed, silently dropped (the sender observes the broken
+  /// reply promise) or duplicated (`clone` builds the same-seq copy whose
+  /// reply nobody awaits). Returns false if the mailbox rejected the
+  /// message — the node is down.
+  bool deliver(std::size_t from, std::size_t to, Message msg,
+               const std::function<Message()>& clone);
+
+  /// Waits for a reply future, honouring Options::reply_timeout. nullopt =
+  /// the message (or its processing node) died — retry.
+  template <class T>
+  std::optional<T> await_reply(std::future<T>& reply);
+
+  /// Sleeps the exponential-backoff delay for retry `attempt` (>= 1).
+  void backoff(int attempt);
+
+  /// Installs `state` as `name` on `node` with bounded retries under one
+  /// sequence number. Returns false if the node stayed unreachable.
+  bool install_with_retry(std::size_t node, const std::string& name,
+                          const ObjectState& state, std::size_t from);
+
+  /// True once any fault machinery is active (injector, crash calls);
+  /// gates the bounded-retry deviations from pre-fault behaviour.
+  [[nodiscard]] bool faults_active() const;
+
+  /// Releases every placement lock held by `token` (requires `mutex_`).
+  void expire_lease(std::uint64_t token);
+  /// True if `meta`'s lock lease has expired (requires `mutex_`).
+  [[nodiscard]] bool lease_expired(const Meta& meta) const;
+
+  /// Replays the fault plan's crash schedule on wall-clock time.
+  void run_fault_schedule();
+
   Options options_;
   std::unordered_map<std::string, ObjectFactory> factories_;
   std::vector<std::unique_ptr<LiveNode>> nodes_;
@@ -154,12 +256,26 @@ private:
   std::condition_variable transit_cv_;
   std::unordered_map<std::string, Meta> directory_;
   std::unordered_map<std::string, std::vector<AttachEdge>> attachments_;
+  std::vector<char> node_down_;  ///< guarded by mutex_
   std::uint64_t next_token_ = 1;
 
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::mutex stop_mutex_;
+  std::thread fault_thread_;
+  std::mutex fault_mutex_;
+  std::condition_variable fault_cv_;
+  bool shutting_down_ = false;
+
+  std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> invocations_{0};
   std::atomic<std::uint64_t> remote_{0};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> lease_expiries_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
 };
 
 }  // namespace omig::runtime

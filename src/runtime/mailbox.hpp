@@ -9,12 +9,20 @@
 namespace omig::runtime {
 
 /// Unbounded MPSC queue: any thread pushes, the owning node thread pops.
-/// `close()` wakes the consumer and makes further pops return nullopt once
-/// the queue drains.
+///
+/// Shutdown semantics: `close()` transitions the mailbox to closed exactly
+/// once — the first call wakes every blocked receiver, later calls are
+/// no-ops. A closed mailbox rejects every `push()` (returns false; the
+/// message is destroyed, which breaks any promise it carries — senders
+/// observe the rejection either way) while pending messages are still
+/// delivered, so a graceful stop drains the queue. `close_and_discard()`
+/// models a crash: pending messages are destroyed undelivered. `reopen()`
+/// rearms a closed, consumer-less mailbox for a node restart.
 template <class T>
 class Mailbox {
 public:
-  /// Enqueues a message. Returns false if the mailbox is closed.
+  /// Enqueues a message. Returns false if the mailbox is closed (the
+  /// message is dropped).
   bool push(T value) {
     {
       std::lock_guard lock{mutex_};
@@ -36,13 +44,42 @@ public:
     return value;
   }
 
-  /// Closes the mailbox; pending messages are still delivered.
+  /// Closes the mailbox; pending messages are still delivered. Idempotent:
+  /// only the first call notifies the receivers.
   void close() {
     {
       std::lock_guard lock{mutex_};
+      if (closed_) return;
       closed_ = true;
     }
     cv_.notify_all();
+  }
+
+  /// Closes the mailbox and destroys all pending messages (their promises
+  /// break, so blocked senders observe the failure). Returns how many
+  /// messages were discarded.
+  std::size_t close_and_discard() {
+    std::deque<T> discarded;
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+      discarded.swap(queue_);
+    }
+    cv_.notify_all();
+    return discarded.size();  // contents destroyed here, outside the lock
+  }
+
+  /// Rearms a closed mailbox (node restart). The caller must guarantee no
+  /// consumer is blocked in pop() — i.e. the owning thread has exited.
+  void reopen() {
+    std::lock_guard lock{mutex_};
+    closed_ = false;
+    queue_.clear();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {

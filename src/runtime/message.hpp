@@ -7,6 +7,7 @@
 // describes proxies linearising calls and objects.
 #pragma once
 
+#include <cstdint>
 #include <future>
 #include <string>
 #include <unordered_map>
@@ -28,24 +29,36 @@ struct InvokeResult {
 };
 
 /// Synchronous method invocation, replied to via the promise.
+///
+/// `seq` identifies the logical request: a retransmission (after a lost
+/// message or a crashed node) reuses the seq of the original, and the
+/// receiving node deduplicates — the method body runs at most once, the
+/// duplicate is answered from a bounded reply cache. seq 0 disables
+/// deduplication (single-delivery fast path).
 struct MsgInvoke {
   std::string object;
   std::string method;
   std::string argument;
+  std::uint64_t seq = 0;
   std::promise<InvokeResult> reply;
 };
 
-/// Installs a (migrated or new) object on the receiving node.
+/// Installs a (migrated or new) object on the receiving node. Idempotent
+/// per seq: a duplicate install of the same (name, seq) is acknowledged
+/// without rebuilding the object.
 struct MsgInstall {
   std::string name;
   ObjectState state;
+  std::uint64_t seq = 0;
   std::promise<bool> done;
 };
 
 /// Evicts an object: the node linearises it, removes it, and replies with
-/// the state (empty type on failure).
+/// the state (empty type on failure). Idempotent per seq: a duplicate
+/// evict replies with the state captured by the first delivery.
 struct MsgEvict {
   std::string name;
+  std::uint64_t seq = 0;
   std::promise<ObjectState> state;
 };
 

@@ -1,0 +1,105 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace omig::fault {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 1u);
+  EXPECT_DOUBLE_EQ(plan.retry_timeout, 4.0);
+}
+
+TEST(FaultPlanTest, ParsesFullGrammar) {
+  const FaultPlan plan = parse_plan_text(R"(
+# chaos schedule
+seed 42
+retry-timeout 2.5
+
+drop 0 1 0.25    # trailing comment
+delay * 2 1.5
+dup 3 * 0.1
+crash 1 100
+crash 2 50 25
+)");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.retry_timeout, 2.5);
+  ASSERT_EQ(plan.links.size(), 3u);
+  EXPECT_EQ(plan.links[0].from, 0u);
+  EXPECT_EQ(plan.links[0].to, 1u);
+  EXPECT_DOUBLE_EQ(plan.links[0].drop, 0.25);
+  EXPECT_EQ(plan.links[1].from, kAnyNode);
+  EXPECT_DOUBLE_EQ(plan.links[1].delay, 1.5);
+  EXPECT_EQ(plan.links[2].to, kAnyNode);
+  EXPECT_DOUBLE_EQ(plan.links[2].duplicate, 0.1);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_FALSE(plan.crashes[0].restarts());
+  EXPECT_TRUE(plan.crashes[1].restarts());
+  EXPECT_DOUBLE_EQ(plan.crashes[1].restart_after, 25.0);
+}
+
+TEST(FaultPlanTest, LinkMatching) {
+  LinkFault any;  // defaults: * -> *
+  EXPECT_TRUE(any.matches(0, 5));
+  LinkFault pinned;
+  pinned.from = 1;
+  pinned.to = 2;
+  EXPECT_TRUE(pinned.matches(1, 2));
+  EXPECT_FALSE(pinned.matches(2, 1));
+  LinkFault half;
+  half.from = 1;  // to stays *
+  EXPECT_TRUE(half.matches(1, 7));
+  EXPECT_FALSE(half.matches(2, 7));
+}
+
+TEST(FaultPlanTest, EffectiveComposesMultiplicatively) {
+  const FaultPlan plan = parse_plan_text(R"(
+drop * * 0.5
+drop 0 1 0.5
+delay * 1 2
+delay 0 * 3
+)");
+  const LinkFault both = plan.effective(0, 1);
+  // Two independent 50% loss processes: P(dropped) = 1 - 0.5 * 0.5.
+  EXPECT_DOUBLE_EQ(both.drop, 0.75);
+  EXPECT_DOUBLE_EQ(both.delay, 5.0);
+  const LinkFault one = plan.effective(2, 3);
+  EXPECT_DOUBLE_EQ(one.drop, 0.5);
+  EXPECT_DOUBLE_EQ(one.delay, 0.0);
+}
+
+TEST(FaultPlanTest, DescribeSummarises) {
+  const FaultPlan plan = parse_plan_text("seed 9\ndrop * * 0.1\ncrash 0 5\n");
+  EXPECT_EQ(plan.describe(), "1 link fault, 1 crash, seed 9");
+}
+
+TEST(FaultPlanTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_plan_text("drop 0 1 1.5\n"), FaultPlanError);   // p > 1
+  EXPECT_THROW(parse_plan_text("drop 0 1 -0.1\n"), FaultPlanError);  // p < 0
+  EXPECT_THROW(parse_plan_text("delay 0 1 -2\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("drop 0 1\n"), FaultPlanError);  // missing arg
+  EXPECT_THROW(parse_plan_text("drop x 1 0.5\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("crash * 10\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("crash 0 -1\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("retry-timeout -1\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("jitter 0 1 0.5\n"), FaultPlanError);
+}
+
+TEST(FaultPlanTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_plan_text("seed 1\n\ndrop 0 1 2.0\n");
+    FAIL() << "expected FaultPlanError";
+  } catch (const FaultPlanError& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(FaultPlanTest, LoadPlanRejectsMissingFile) {
+  EXPECT_THROW(load_plan("/nonexistent/fault.plan"), FaultPlanError);
+}
+
+}  // namespace
+}  // namespace omig::fault

@@ -1,0 +1,144 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace omig::fault {
+namespace {
+
+FaultPlan lossy_plan(std::uint64_t seed) {
+  FaultPlan plan = parse_plan_text(R"(
+drop * * 0.3
+dup * * 0.2
+delay 0 1 1.5
+)");
+  plan.seed = seed;
+  return plan;
+}
+
+TEST(FaultInjectorTest, DeterministicPerSeed) {
+  FaultInjector a{lossy_plan(7)};
+  FaultInjector b{lossy_plan(7)};
+  for (int i = 0; i < 500; ++i) {
+    const Decision da = a.on_message(0, 1);
+    const Decision db = b.on_message(0, 1);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicate, db.duplicate);
+    EXPECT_DOUBLE_EQ(da.delay, db.delay);
+  }
+}
+
+TEST(FaultInjectorTest, SeedsDiverge) {
+  FaultInjector a{lossy_plan(7)};
+  FaultInjector b{lossy_plan(8)};
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (a.on_message(0, 1).drop != b.on_message(0, 1).drop) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, UnmatchedLinkIsUntouchedAndDrawsNothing) {
+  // Rules pinned to link 0->1 must not consume randomness for other links:
+  // the decision stream on 0->1 is identical whether or not unrelated
+  // traffic is interleaved.
+  FaultPlan plan = parse_plan_text("drop 0 1 0.5\n");
+  plan.seed = 3;
+  FaultInjector quiet{plan};
+  FaultInjector busy{plan};
+  std::vector<bool> quiet_drops;
+  std::vector<bool> busy_drops;
+  for (int i = 0; i < 200; ++i) {
+    quiet_drops.push_back(quiet.on_message(0, 1).drop);
+    const Decision other = busy.on_message(2, 3);  // unmatched
+    EXPECT_FALSE(other.drop);
+    EXPECT_FALSE(other.duplicate);
+    EXPECT_DOUBLE_EQ(other.delay, 0.0);
+    busy_drops.push_back(busy.on_message(0, 1).drop);
+  }
+  EXPECT_EQ(quiet_drops, busy_drops);
+  EXPECT_EQ(busy.counters().dropped.load() , quiet.counters().dropped.load());
+}
+
+TEST(FaultInjectorTest, CountsDecisions) {
+  FaultPlan plan = parse_plan_text("drop * * 1.0\n");
+  plan.seed = 1;
+  FaultInjector injector{plan};
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(injector.on_message(0, 1).drop);
+  EXPECT_EQ(injector.counters().dropped.load(), 10u);
+
+  FaultPlan delayed = parse_plan_text("delay * * 2.0\n");
+  FaultInjector slow{delayed};
+  EXPECT_DOUBLE_EQ(slow.on_message(1, 0).delay, 2.0);
+  EXPECT_EQ(slow.counters().delayed.load(), 1u);
+  EXPECT_EQ(slow.counters().dropped.load(), 0u);
+}
+
+TEST(NodeHealthTest, TracksUpDownTransitions) {
+  sim::Engine engine;
+  NodeHealth health{engine, 3};
+  EXPECT_TRUE(health.up(0));
+  EXPECT_TRUE(health.up(2));
+  health.mark_down(1);
+  EXPECT_FALSE(health.up(1));
+  EXPECT_TRUE(health.up(0));
+  health.mark_down(1);  // idempotent: still one crash
+  EXPECT_EQ(health.crashes(), 1u);
+  health.mark_up(1);
+  EXPECT_TRUE(health.up(1));
+  EXPECT_EQ(health.restarts(), 1u);
+  health.mark_up(1);  // idempotent
+  EXPECT_EQ(health.restarts(), 1u);
+}
+
+sim::Task note_when_up(NodeHealth& health, std::size_t node, sim::Engine& eng,
+                       std::vector<double>& wake_times) {
+  co_await health.wait_up(node);
+  wake_times.push_back(eng.now());
+}
+
+TEST(NodeHealthTest, WaitUpResumesOnRestart) {
+  sim::Engine engine;
+  NodeHealth health{engine, 2};
+  health.mark_down(1);
+  std::vector<double> wake_times;
+  engine.spawn(note_when_up(health, 1, engine, wake_times));
+  engine.spawn([](sim::Engine& eng, NodeHealth& h) -> sim::Task {
+    co_await eng.delay(10.0);
+    h.mark_up(1);
+  }(engine, health));
+  engine.run();
+  ASSERT_EQ(wake_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(wake_times[0], 10.0);
+}
+
+TEST(CrashDriverTest, ReplaysScheduleOnSimTime) {
+  sim::Engine engine;
+  NodeHealth health{engine, 3};
+  const FaultPlan plan = parse_plan_text("crash 1 5\ncrash 2 8 4\n");
+  spawn_crash_driver(engine, plan, health);
+
+  engine.run_until(6.0);
+  EXPECT_FALSE(health.up(1));
+  EXPECT_TRUE(health.up(2));
+  engine.run_until(9.0);
+  EXPECT_FALSE(health.up(2));
+  engine.run_until(13.0);
+  EXPECT_TRUE(health.up(2));   // restarted at t = 12
+  EXPECT_FALSE(health.up(1));  // never restarts
+  EXPECT_EQ(health.crashes(), 2u);
+  EXPECT_EQ(health.restarts(), 1u);
+}
+
+TEST(CrashDriverTest, RejectsOutOfRangeNode) {
+  sim::Engine engine;
+  NodeHealth health{engine, 2};
+  const FaultPlan plan = parse_plan_text("crash 5 1\n");
+  EXPECT_THROW(spawn_crash_driver(engine, plan, health), std::exception);
+}
+
+}  // namespace
+}  // namespace omig::fault

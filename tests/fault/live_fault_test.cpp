@@ -1,0 +1,247 @@
+// Fault tolerance of the live threaded runtime: lossy links, duplicate
+// suppression, crash/restart checkpoint recovery, and lock leases.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "fault/fault_plan.hpp"
+#include "runtime/live_system.hpp"
+
+namespace omig::runtime {
+namespace {
+
+ObjectFactory counter_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("inc", [](ObjectState& self, const std::string&) {
+      self.fields["value"] =
+          std::to_string(std::stoi(self.fields["value"]) + 1);
+      return self.fields["value"];
+    });
+    obj->register_method("get", [](ObjectState& self, const std::string&) {
+      return self.fields["value"];
+    });
+    return obj;
+  };
+}
+
+ObjectState counter_state() {
+  ObjectState s;
+  s.type = "counter";
+  s.fields["value"] = "0";
+  return s;
+}
+
+std::unique_ptr<LiveSystem> make_system(LiveSystem::Options opts) {
+  auto sys = std::make_unique<LiveSystem>(std::move(opts));
+  sys->register_type("counter", counter_factory());
+  sys->start();
+  return sys;
+}
+
+/// Polls `pred` until it holds or `limit` passes.
+bool eventually(const std::function<bool()>& pred,
+                std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  return pred();
+}
+
+TEST(LiveFaultTest, LossyLinksEveryInvokeStillSucceeds) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  opts.fault_plan = fault::parse_plan_text("seed 7\ndrop * * 0.25\n");
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  constexpr int kCalls = 60;
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_TRUE(sys->invoke("c", "inc", "").ok);
+  }
+  // At-most-once delivery: despite retransmissions the method ran exactly
+  // once per logical request.
+  EXPECT_EQ(sys->invoke("c", "get", "").value, std::to_string(kCalls));
+  EXPECT_GT(sys->dropped_messages(), 0u);
+  EXPECT_GT(sys->retries(), 0u);
+}
+
+TEST(LiveFaultTest, DuplicatesAreDeduplicated) {
+  LiveSystem::Options opts;
+  opts.nodes = 2;
+  opts.fault_plan = fault::parse_plan_text("seed 3\ndup * * 1.0\n");
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  constexpr int kCalls = 20;
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_TRUE(sys->invoke("c", "inc", "").ok);
+  }
+  // Every message was delivered twice, yet each increment applied once.
+  EXPECT_EQ(sys->invoke("c", "get", "").value, std::to_string(kCalls));
+  EXPECT_GT(sys->duplicated_messages(),
+            static_cast<std::uint64_t>(kCalls) - 1);
+  EXPECT_GT(sys->deduplicated_messages(), 0u);
+}
+
+TEST(LiveFaultTest, DelaysSlowDeliveryWithoutBreakingIt) {
+  LiveSystem::Options opts;
+  opts.nodes = 2;
+  opts.fault_plan = fault::parse_plan_text("delay * * 5\n");
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(sys->invoke("c", "inc", "").ok);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Five deliveries at >= 5 ms of injected latency each.
+  EXPECT_GE(elapsed, std::chrono::milliseconds{25});
+  EXPECT_EQ(sys->invoke("c", "get", "").value, "5");
+}
+
+TEST(LiveFaultTest, CrashLosesUpdatesRestartRecoversCheckpoint) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  for (int i = 0; i < 3; ++i) sys->invoke("c", "inc", "");
+  sys->crash_node(1);
+  EXPECT_FALSE(sys->node_up(1));
+  sys->restart_node(1);
+  EXPECT_TRUE(sys->node_up(1));
+  // Degraded mode: the creation-time checkpoint comes back — updates since
+  // are lost, but the object itself survives the crash.
+  const auto r = sys->invoke("c", "get", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "0");
+  EXPECT_EQ(sys->crashes(), 1u);
+  EXPECT_EQ(sys->restarts(), 1u);
+  EXPECT_EQ(sys->recoveries(), 1u);
+}
+
+TEST(LiveFaultTest, MigrationRefreshesTheCheckpoint) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  sys->invoke("c", "inc", "");
+  sys->invoke("c", "inc", "");
+  ASSERT_TRUE(sys->migrate("c", 1));  // checkpoint now carries value = 2
+  sys->invoke("c", "inc", "");        // post-checkpoint update, will be lost
+  sys->crash_node(1);
+  sys->restart_node(1);
+  EXPECT_EQ(sys->invoke("c", "get", "").value, "2");
+}
+
+TEST(LiveFaultTest, MigrationPullsCheckpointOffDeadNode) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  opts.max_retries = 2;
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  sys->invoke("c", "inc", "");
+  sys->crash_node(1);
+  // The source is dead: eviction fails, the move falls back to the last
+  // checkpoint and the object lands at the destination anyway.
+  ASSERT_TRUE(sys->migrate("c", 0));
+  EXPECT_EQ(sys->location("c"), 0u);
+  const auto r = sys->invoke("c", "get", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "0");  // checkpoint state; the inc was lost
+  EXPECT_GE(sys->recoveries(), 1u);
+}
+
+TEST(LiveFaultTest, CrashedNodeWithoutRestartFailsBounded) {
+  LiveSystem::Options opts;
+  opts.nodes = 2;
+  opts.max_retries = 2;
+  opts.retry_backoff = std::chrono::milliseconds{1};
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 1));
+  sys->crash_node(1);
+  // No hang: the retry budget runs out and the failure is reported.
+  const auto r = sys->invoke("c", "inc", "");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.value.find("unreachable"), std::string::npos);
+  // After a restart the object is reachable again.
+  sys->restart_node(1);
+  EXPECT_TRUE(sys->invoke("c", "get", "").ok);
+}
+
+TEST(LiveFaultTest, LeaseExpiryReleasesLocksOfADeadBlock) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  opts.lock_lease = std::chrono::milliseconds{60};
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto holder = sys->move("c", 1);
+  ASSERT_TRUE(holder.granted);
+  // While the lease is fresh the lock refuses a conflicting move.
+  auto early = sys->move("c", 2);
+  EXPECT_FALSE(early.granted);
+  EXPECT_EQ(sys->refused_moves(), 1u);
+  // The holding block never ends (it "died"); once the lease runs out the
+  // lock expires and the object is movable again.
+  std::this_thread::sleep_for(std::chrono::milliseconds{150});
+  auto late = sys->move("c", 2);
+  EXPECT_TRUE(late.granted);
+  EXPECT_EQ(sys->location("c"), 2u);
+  EXPECT_EQ(sys->lease_expiries(), 1u);
+  sys->end(late);
+  sys->end(holder);  // stale token: releases nothing, must not throw
+}
+
+TEST(LiveFaultTest, InfiniteLeaseKeepsPaperSemantics) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;  // lock_lease stays 0: locks never expire
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  auto holder = sys->move("c", 1);
+  ASSERT_TRUE(holder.granted);
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  auto second = sys->move("c", 2);
+  EXPECT_FALSE(second.granted);  // still refused, no matter how long ago
+  EXPECT_EQ(sys->lease_expiries(), 0u);
+  sys->end(holder);
+}
+
+TEST(LiveFaultTest, PlanDrivenCrashScheduleRuns) {
+  LiveSystem::Options opts;
+  opts.nodes = 3;
+  opts.fault_plan = fault::parse_plan_text("crash 1 20 60\n");  // millis
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  EXPECT_TRUE(eventually([&] { return !sys->node_up(1); },
+                         std::chrono::seconds{5}));
+  EXPECT_TRUE(eventually([&] { return sys->node_up(1); },
+                         std::chrono::seconds{5}));
+  EXPECT_EQ(sys->crashes(), 1u);
+  EXPECT_EQ(sys->restarts(), 1u);
+  // The untouched node kept serving throughout.
+  EXPECT_TRUE(sys->invoke("c", "get", "").ok);
+}
+
+TEST(LiveFaultTest, StopMidScheduleDoesNotHang) {
+  LiveSystem::Options opts;
+  opts.nodes = 2;
+  // A crash scheduled far in the future: stop() must not wait for it.
+  opts.fault_plan = fault::parse_plan_text("crash 1 600000\n");
+  auto sys = make_system(std::move(opts));
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  sys->stop();  // returns promptly; destructor's second stop() is a no-op
+}
+
+TEST(LiveFaultTest, CrashScheduleOutsideNodeRangeIsRejected) {
+  LiveSystem::Options opts;
+  opts.nodes = 2;
+  opts.fault_plan = fault::parse_plan_text("crash 7 10\n");
+  LiveSystem sys{opts};
+  sys.register_type("counter", counter_factory());
+  EXPECT_THROW(sys.start(), std::exception);
+}
+
+}  // namespace
+}  // namespace omig::runtime

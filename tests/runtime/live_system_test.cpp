@@ -224,5 +224,64 @@ TEST(LiveSystemTest, InvokeDuringMigrationNeverFails) {
   EXPECT_EQ(sys->migrations(), 49u);
 }
 
+TEST(LiveNodeTest, DoubleStartAndDoubleStopAreIdempotent) {
+  const std::unordered_map<std::string, ObjectFactory> factories;
+  LiveNode node{0, &factories};
+  EXPECT_FALSE(node.running());
+  node.start();
+  node.start();  // no-op
+  EXPECT_TRUE(node.running());
+  node.stop();
+  node.stop();  // no-op
+  EXPECT_FALSE(node.running());
+  node.start();  // restartable after a graceful stop
+  EXPECT_TRUE(node.running());
+}
+
+TEST(LiveNodeTest, ConcurrentStartStopCyclesAreSafe) {
+  const std::unordered_map<std::string, ObjectFactory> factories;
+  LiveNode node{0, &factories};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&node] {
+      for (int i = 0; i < 25; ++i) {
+        node.start();
+        node.stop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  node.stop();
+  EXPECT_FALSE(node.running());
+}
+
+TEST(LiveNodeTest, CrashAndRestartOnStoppedNodeAreNoops) {
+  const std::unordered_map<std::string, ObjectFactory> factories;
+  LiveNode node{0, &factories};
+  node.crash();  // not running: nothing to kill
+  EXPECT_FALSE(node.running());
+  node.start();
+  node.restart();  // still running: nothing to do
+  EXPECT_TRUE(node.running());
+  node.crash();
+  EXPECT_FALSE(node.running());
+  node.restart();
+  EXPECT_TRUE(node.running());
+  EXPECT_EQ(node.hosted_objects(), 0u);  // crash dropped all state
+}
+
+TEST(LiveSystemTest, StopIsIdempotentAndConcurrent) {
+  auto sys = make_system(3);
+  ASSERT_TRUE(sys->create("c", counter_state(), 0));
+  EXPECT_TRUE(sys->invoke("c", "inc", "").ok);
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&sys] { sys->stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  sys->stop();  // and once more for good measure
+  sys.reset();  // destructor's stop() is also a no-op
+}
+
 }  // namespace
 }  // namespace omig::runtime

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -71,6 +74,85 @@ TEST(MailboxTest, MoveOnlyPayloads) {
   auto out = box.pop();
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(**out, 5);
+}
+
+TEST(MailboxTest, CloseIsIdempotent) {
+  Mailbox<int> box;
+  box.push(1);
+  box.close();
+  box.close();  // second close must be a harmless no-op
+  EXPECT_TRUE(box.closed());
+  EXPECT_FALSE(box.push(2));
+  EXPECT_EQ(box.pop(), 1);
+  EXPECT_EQ(box.pop(), std::nullopt);
+}
+
+TEST(MailboxTest, CloseAndDiscardDropsPendingMessages) {
+  Mailbox<int> box;
+  box.push(1);
+  box.push(2);
+  EXPECT_EQ(box.close_and_discard(), 2u);
+  EXPECT_EQ(box.size(), 0u);
+  EXPECT_EQ(box.pop(), std::nullopt);  // nothing delivered
+}
+
+TEST(MailboxTest, CloseAndDiscardBreaksCarriedPromises) {
+  // A crash destroys queued messages; any promise they carried breaks, so
+  // a sender blocked on the reply future observes the failure.
+  Mailbox<std::promise<int>> box;
+  std::promise<int> p;
+  std::future<int> reply = p.get_future();
+  box.push(std::move(p));
+  box.close_and_discard();
+  EXPECT_THROW(reply.get(), std::future_error);
+}
+
+TEST(MailboxTest, ReopenRearmsAClosedMailbox) {
+  Mailbox<int> box;
+  box.push(1);
+  box.close_and_discard();
+  EXPECT_FALSE(box.push(2));
+  box.reopen();
+  EXPECT_FALSE(box.closed());
+  EXPECT_TRUE(box.push(3));
+  EXPECT_EQ(box.pop(), 3);  // nothing from before the restart survives
+}
+
+TEST(MailboxTest, ConcurrentClosersAndProducersAreSafe) {
+  // close() racing push() from many threads: every push either lands before
+  // the close (accepted) or after (rejected) — never crashes or deadlocks.
+  for (int round = 0; round < 20; ++round) {
+    Mailbox<int> box;
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 4; ++p) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          if (box.push(i)) accepted.fetch_add(1);
+        }
+      });
+    }
+    threads.emplace_back([&] { box.close(); });
+    threads.emplace_back([&] { box.close(); });
+    for (auto& t : threads) t.join();
+    int drained = 0;
+    while (box.pop().has_value()) ++drained;
+    EXPECT_EQ(drained, accepted.load());  // accepted messages all deliver
+    EXPECT_TRUE(box.closed());
+  }
+}
+
+TEST(MailboxTest, CloseRacingBlockedConsumerAlwaysWakes) {
+  for (int round = 0; round < 50; ++round) {
+    Mailbox<int> box;
+    std::thread consumer{[&] {
+      while (box.pop().has_value()) {
+      }
+    }};
+    box.push(round);
+    box.close();
+    consumer.join();  // must terminate: close wakes the blocked pop
+  }
 }
 
 }  // namespace

@@ -30,6 +30,7 @@ struct CliOptions {
   std::string sweep;        // "key=lo:hi:steps"
   core::Metric metric = core::Metric::TotalPerCall;
   bool csv = false;
+  bool json = false;
   std::size_t trace_lines = 0;
   std::string trace_file;
   bool help = false;
@@ -62,6 +63,10 @@ CliOptions parse_cli(int argc, char** argv) {
       }
     } else if (arg == "--csv") {
       opts.csv = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--fault-plan") {
+      opts.assignments.push_back("fault-plan=" + next("--fault-plan"));
     } else if (arg == "--trace") {
       opts.trace_lines = std::stoul(next("--trace"));
     } else if (arg == "--trace-file") {
@@ -85,6 +90,8 @@ flags:
   --sweep key=lo:hi:steps   run a sweep over a numeric key; prints a table
   --metric total|call|migration   which per-call metric the table reports
   --csv                     print CSV instead of the aligned table
+  --json                    print the single-run result as one JSON object
+  --fault-plan PATH         load a fault plan (same as fault-plan=PATH)
   --trace N                 print the last N protocol events of the run
   --trace-file PATH         dump the full protocol trace as JSONL
   --help                    this text
@@ -98,6 +105,49 @@ examples:
 )";
 }
 
+void print_json(const core::ExperimentConfig& cfg,
+                const core::ExperimentResult& r) {
+  std::ostringstream os;
+  os.precision(10);
+  const char* sep = "";
+  auto num = [&](const char* key, double value) {
+    os << sep << "\n  \"" << key << "\": " << value;
+    sep = ",";
+  };
+  auto count = [&](const char* key, std::uint64_t value) {
+    os << sep << "\n  \"" << key << "\": " << value;
+    sep = ",";
+  };
+  os << "{";
+  num("total_per_call", r.total_per_call);
+  num("call_duration", r.call_duration);
+  num("migration_per_call", r.migration_per_call);
+  num("ci_relative", r.ci_relative);
+  count("blocks", r.blocks);
+  count("calls", r.calls);
+  count("migrations", r.migrations);
+  count("transfers", r.transfers);
+  count("control_messages", r.control_messages);
+  count("remote_calls", r.remote_calls);
+  count("blocked_calls", r.blocked_calls);
+  num("call_p50", r.call_p50);
+  num("call_p95", r.call_p95);
+  num("call_p99", r.call_p99);
+  num("sim_time", r.sim_time);
+  count("events", r.events);
+  count("dropped_messages", r.dropped_messages);
+  count("duplicated_messages", r.duplicated_messages);
+  count("delayed_messages", r.delayed_messages);
+  count("fault_retries", r.fault_retries);
+  count("lease_expiries", r.lease_expiries);
+  count("node_crashes", r.node_crashes);
+  count("node_restarts", r.node_restarts);
+  count("recoveries", r.recoveries);
+  count("seed", cfg.seed);
+  os << "\n}\n";
+  std::cout << os.str();
+}
+
 int run_single(const CliOptions& opts) {
   const core::ExperimentConfig cfg = core::parse_config(opts.assignments);
   std::cerr << "running: " << core::describe(cfg) << "\n";
@@ -105,6 +155,11 @@ int run_single(const CliOptions& opts) {
   trace::TraceLog trace_log{1 << 20};
   const core::ExperimentResult r =
       core::run_experiment(cfg, want_trace ? &trace_log : nullptr);
+
+  if (opts.json) {
+    print_json(cfg, r);
+    return 0;
+  }
 
   core::TextTable table{{"metric", "value"}};
   table.add_row({"mean communication-time per call",
@@ -129,6 +184,18 @@ int run_single(const CliOptions& opts) {
                      core::format_double(r.call_p99, 2)});
   table.add_row({"simulated time", core::format_double(r.sim_time, 1)});
   table.add_row({"engine events", std::to_string(r.events)});
+  if (!cfg.fault_plan.empty() || cfg.lock_lease > 0.0) {
+    table.add_row({"messages dropped/duplicated/delayed",
+                   std::to_string(r.dropped_messages) + " / " +
+                       std::to_string(r.duplicated_messages) + " / " +
+                       std::to_string(r.delayed_messages)});
+    table.add_row({"fault retries", std::to_string(r.fault_retries)});
+    table.add_row({"lease expiries", std::to_string(r.lease_expiries)});
+    table.add_row({"node crashes/restarts",
+                   std::to_string(r.node_crashes) + " / " +
+                       std::to_string(r.node_restarts)});
+    table.add_row({"checkpoint recoveries", std::to_string(r.recoveries)});
+  }
   std::cout << (opts.csv ? table.to_csv() : table.to_text());
 
   if (opts.trace_lines > 0) {
