@@ -44,8 +44,7 @@ int main() {
   };
 
   const auto xs = bench::client_axis(25, bench::env_int("OMIG_POINTS", 7));
-  const auto points = core::run_sweep(xs, variants,
-                                      bench::progress_stream());
+  const auto points = core::run_sweep(xs, variants, bench::sweep_options());
   auto table = core::sweep_table("clients", variants, points,
                                  core::Metric::TotalPerCall);
   std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"

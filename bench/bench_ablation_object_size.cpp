@@ -32,8 +32,7 @@ int main() {
   };
 
   const std::vector<double> xs{1, 2, 4, 6, 8, 10, 12, 16, 20, 24};
-  const auto points = core::run_sweep(xs, variants,
-                                      bench::progress_stream());
+  const auto points = core::run_sweep(xs, variants, bench::sweep_options());
   auto table = core::sweep_table("M", variants, points,
                                  core::Metric::TotalPerCall);
   std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"

@@ -34,8 +34,7 @@ int main() {
   };
 
   const std::vector<double> xs{2, 5, 10, 20, 40, 70, 100};
-  const auto points = core::run_sweep(xs, variants,
-                                      bench::progress_stream());
+  const auto points = core::run_sweep(xs, variants, bench::sweep_options());
   auto table = core::sweep_table("mean-distance-t_m", variants, points,
                                  core::Metric::TotalPerCall);
   std::cout << core::to_string(core::Metric::TotalPerCall) << "\n\n"

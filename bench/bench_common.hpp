@@ -26,6 +26,17 @@ inline std::ostream* progress_stream() {
   return on ? &std::cerr : nullptr;
 }
 
+/// Sweep execution options shared by every figure/ablation bench: all cores
+/// unless OMIG_THREADS says otherwise (OMIG_THREADS=1 forces the sequential
+/// path), progress per OMIG_PROGRESS. Results are bit-identical for every
+/// thread count, so the tables in bench_output.txt never depend on this.
+inline core::SweepOptions sweep_options() {
+  core::SweepOptions opts;
+  opts.threads = env_int("OMIG_THREADS", 0);
+  opts.progress = progress_stream();
+  return opts;
+}
+
 /// Prints the standard bench header: what the paper shows and with which
 /// parameters, so the output is self-describing in bench_output.txt.
 inline void print_header(const std::string& title,
@@ -36,7 +47,7 @@ inline void print_header(const std::string& title,
             << "stopping: " << core::stopping_rule_from_env().relative_target *
                                    100.0
             << "% half-width at p=0.99 (override: OMIG_CI_TARGET, "
-               "OMIG_MAX_BLOCKS)\n"
+               "OMIG_MAX_BLOCKS; threads: OMIG_THREADS, default all cores)\n"
             << "==============================================================\n";
 }
 

@@ -25,8 +25,7 @@ int main() {
 
   const std::vector<double> xs{1,  2,  4,  6,  8,  10, 15, 20,
                                30, 40, 50, 60, 70, 80, 90, 100};
-  const auto points = core::run_sweep(xs, variants,
-                                      bench::progress_stream());
+  const auto points = core::run_sweep(xs, variants, bench::sweep_options());
   auto table = core::sweep_table("mean-distance-t_m", variants, points,
                                  core::Metric::MigrationPerCall);
   std::cout << core::to_string(core::Metric::MigrationPerCall) << "\n\n"

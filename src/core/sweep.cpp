@@ -1,8 +1,14 @@
 #include "core/sweep.hpp"
 
+#include <atomic>
+#include <cmath>
+#include <mutex>
 #include <ostream>
+#include <sstream>
 
+#include "sim/random.hpp"
 #include "util/assert.hpp"
+#include "util/executor.hpp"
 
 namespace omig::core {
 
@@ -16,6 +22,22 @@ const char* to_string(Metric metric) {
       return "mean migration-time per call";
   }
   return "unknown";
+}
+
+std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t variant_index,
+                        std::size_t x_index, std::size_t replication) {
+  // Chain the splitmix64 finalizer over the indices. Every argument goes
+  // through a full avalanche step, so (0,1) and (1,0) land far apart and
+  // neighbouring cells get statistically independent streams.
+  std::uint64_t h = base_seed;
+  for (const std::uint64_t v :
+       {static_cast<std::uint64_t>(variant_index),
+        static_cast<std::uint64_t>(x_index),
+        static_cast<std::uint64_t>(replication)}) {
+    sim::SplitMix64 mix{h ^ (v + 0x9e3779b97f4a7c15ULL)};
+    h = mix.next();
+  }
+  return h;
 }
 
 namespace {
@@ -32,31 +54,207 @@ double pick(const ExperimentResult& r, Metric metric) {
   return 0.0;
 }
 
+/// Collects per-cell progress lines and emits them strictly in cell order,
+/// whole lines at a time, no matter which thread finishes first. Lines are
+/// flushed as soon as the ordered prefix grows, so a long run shows output
+/// continuously instead of all at the end.
+class OrderedProgress {
+public:
+  OrderedProgress(std::ostream* out, std::size_t cells)
+      : out_{out},
+        lines_(out == nullptr ? 0 : cells),
+        ready_(out == nullptr ? 0 : cells, false) {}
+
+  void report(std::size_t cell, std::string line) {
+    if (out_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock{m_};
+    lines_[cell] = std::move(line);
+    ready_[cell] = true;
+    bool wrote = false;
+    while (cursor_ < ready_.size() && ready_[cursor_]) {
+      *out_ << lines_[cursor_];
+      lines_[cursor_].clear();  // free early; long sweeps, long lines
+      ++cursor_;
+      wrote = true;
+    }
+    if (wrote) out_->flush();
+  }
+
+private:
+  std::ostream* out_;
+  std::mutex m_;
+  std::vector<std::string> lines_;
+  std::vector<bool> ready_;
+  std::size_t cursor_ = 0;
+};
+
+std::string progress_line(double x, const std::string& label,
+                          const ExperimentResult& r, int replication,
+                          int replications) {
+  std::ostringstream os;
+  os << "  x=" << x << "  " << label;
+  if (replications > 1) os << " [rep " << replication << "]";
+  os << ": total/call=" << r.total_per_call << "  (blocks=" << r.blocks
+     << ", ci=" << r.ci_relative * 100.0 << "%)\n";
+  return os.str();
+}
+
+/// Merges independent replications of one cell into a single result:
+/// per-call metrics are averaged weighted by call count (ratio-of-sums),
+/// counters are summed, and the CI half-widths combine as independent
+/// estimates of the same mean (sqrt of the sum of squares over R).
+ExperimentResult merge_replicates(const std::vector<ExperimentResult>& reps) {
+  OMIG_REQUIRE(!reps.empty(), "merge needs at least one replication");
+  if (reps.size() == 1) return reps.front();
+
+  ExperimentResult m;
+  double calls = 0.0;
+  double hw_sq = 0.0;
+  for (const auto& r : reps) {
+    const auto w = static_cast<double>(r.calls);
+    calls += w;
+    m.total_per_call += r.total_per_call * w;
+    m.call_duration += r.call_duration * w;
+    m.migration_per_call += r.migration_per_call * w;
+    m.call_p50 += r.call_p50 * w;
+    m.call_p95 += r.call_p95 * w;
+    m.call_p99 += r.call_p99 * w;
+    hw_sq += r.ci_half_width * r.ci_half_width;
+    m.blocks += r.blocks;
+    m.calls += r.calls;
+    m.migrations += r.migrations;
+    m.transfers += r.transfers;
+    m.control_messages += r.control_messages;
+    m.remote_calls += r.remote_calls;
+    m.blocked_calls += r.blocked_calls;
+    m.replications += r.replications;
+    m.replica_hits += r.replica_hits;
+    m.invalidations += r.invalidations;
+    m.events += r.events;
+    m.sim_time += r.sim_time;
+    m.dropped_messages += r.dropped_messages;
+    m.duplicated_messages += r.duplicated_messages;
+    m.delayed_messages += r.delayed_messages;
+    m.fault_retries += r.fault_retries;
+    m.lease_expiries += r.lease_expiries;
+    m.node_crashes += r.node_crashes;
+    m.node_restarts += r.node_restarts;
+    m.recoveries += r.recoveries;
+  }
+  if (calls > 0.0) {
+    m.total_per_call /= calls;
+    m.call_duration /= calls;
+    m.migration_per_call /= calls;
+    m.call_p50 /= calls;
+    m.call_p95 /= calls;
+    m.call_p99 /= calls;
+  }
+  m.ci_half_width = std::sqrt(hw_sq) / static_cast<double>(reps.size());
+  m.ci_relative =
+      m.total_per_call > 0.0 ? m.ci_half_width / m.total_per_call : 0.0;
+  return m;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
                                   const std::vector<SweepVariant>& variants,
-                                  std::ostream* progress) {
+                                  const SweepOptions& options) {
   OMIG_REQUIRE(!variants.empty(), "sweep needs at least one variant");
-  std::vector<SweepPoint> points;
-  points.reserve(xs.size());
-  for (double x : xs) {
-    SweepPoint point;
-    point.x = x;
-    for (const auto& variant : variants) {
-      const ExperimentConfig cfg = variant.make_config(x);
-      const ExperimentResult r = run_experiment(cfg);
-      if (progress != nullptr) {
-        *progress << "  x=" << x << "  " << variant.label << ": total/call="
-                  << r.total_per_call << "  (blocks=" << r.blocks
-                  << ", ci=" << r.ci_relative * 100.0 << "%)\n";
-        progress->flush();
+  OMIG_REQUIRE(options.threads >= 0, "thread count cannot be negative");
+  OMIG_REQUIRE(options.replications >= 1,
+               "sweep needs at least one replication");
+
+  const std::size_t n_x = xs.size();
+  const std::size_t n_v = variants.size();
+  const auto n_r = static_cast<std::size_t>(options.replications);
+  const std::size_t n_cells = n_x * n_v * n_r;
+
+  std::vector<ExperimentResult> results(n_cells);
+  std::vector<std::string> errors(n_cells);  // non-empty = cell failed
+  std::atomic<bool> any_error{false};
+  OrderedProgress progress{options.progress, n_cells};
+
+  // Cell order is x-major, then variant, then replication — exactly the
+  // order the historical sequential loop used, so the progress stream and
+  // the error reported first are independent of thread count.
+  const auto run_cell = [&](std::size_t cell) {
+    const std::size_t xi = cell / (n_v * n_r);
+    const std::size_t vi = (cell / n_r) % n_v;
+    const std::size_t rep = cell % n_r;
+    try {
+      ExperimentConfig cfg = variants[vi].make_config(xs[xi]);
+      if (options.base_seed.has_value()) {
+        cfg.seed = cell_seed(*options.base_seed, vi, xi, rep);
+      } else if (rep > 0) {
+        cfg.seed = cell_seed(cfg.seed, vi, xi, rep);
       }
-      point.results.push_back(r);
+      results[cell] = run_experiment(cfg);
+      progress.report(cell,
+                      progress_line(xs[xi], variants[vi].label, results[cell],
+                                    static_cast<int>(rep),
+                                    options.replications));
+    } catch (const std::exception& e) {
+      errors[cell] = e.what();
+      any_error.store(true, std::memory_order_relaxed);
+      progress.report(cell, "  x=" + std::to_string(xs[xi]) + "  " +
+                                variants[vi].label + ": FAILED: " + e.what() +
+                                "\n");
     }
-    points.push_back(std::move(point));
+  };
+
+  if (options.threads == 1) {
+    for (std::size_t cell = 0; cell < n_cells; ++cell) run_cell(cell);
+  } else {
+    util::Executor executor{static_cast<std::size_t>(options.threads)};
+    executor.parallel_for(n_cells, run_cell);
+  }
+
+  // Assemble points from the flat grid; a point is only usable when every
+  // one of its cells succeeded.
+  std::vector<SweepPoint> points;
+  points.reserve(n_x);
+  std::size_t failed_cells = 0;
+  std::string first_error;
+  for (std::size_t xi = 0; xi < n_x; ++xi) {
+    SweepPoint point;
+    point.x = xs[xi];
+    bool ok = true;
+    for (std::size_t vi = 0; vi < n_v; ++vi) {
+      std::vector<ExperimentResult> reps;
+      reps.reserve(n_r);
+      for (std::size_t rep = 0; rep < n_r; ++rep) {
+        const std::size_t cell = (xi * n_v + vi) * n_r + rep;
+        if (!errors[cell].empty()) {
+          ++failed_cells;
+          if (first_error.empty()) first_error = errors[cell];
+          ok = false;
+        } else {
+          reps.push_back(results[cell]);
+        }
+      }
+      if (ok) point.results.push_back(merge_replicates(reps));
+    }
+    if (ok) points.push_back(std::move(point));
+  }
+
+  if (any_error.load()) {
+    std::ostringstream what;
+    what << "sweep failed: " << failed_cells << " of " << n_cells
+         << " cells raised (first: " << first_error << "); "
+         << points.size() << " of " << n_x << " points completed";
+    throw SweepError{what.str(), std::move(points), failed_cells};
   }
   return points;
+}
+
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const std::vector<SweepVariant>& variants,
+                                  std::ostream* progress) {
+  SweepOptions options;
+  options.threads = 1;
+  options.progress = progress;
+  return run_sweep(xs, variants, options);
 }
 
 TextTable sweep_table(const std::string& x_label,

@@ -1,8 +1,17 @@
 // Parameter sweeps: run a family of experiments over an x-axis and emit the
 // paper-style series (one column per policy/variant).
+//
+// The execution mechanism is separate from the sweep policy (cf. Walker et
+// al.): the same (variant × x × replication) grid can run sequentially or on
+// a work-stealing pool, and the results are bit-identical either way because
+// every cell's RNG seed derives from the cell's *indices* (see cell_seed),
+// never from thread identity or completion order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -12,6 +21,8 @@
 namespace omig::core {
 
 /// One curve of a figure: a label plus a config generator over the x-axis.
+/// `make_config` may be called concurrently from several threads when the
+/// sweep runs parallel — it must be a pure function of `x`.
 struct SweepVariant {
   std::string label;
   std::function<ExperimentConfig(double x)> make_config;
@@ -32,8 +43,70 @@ enum class Metric {
 
 [[nodiscard]] const char* to_string(Metric metric);
 
-/// Runs every variant at every x. If `progress` is non-null, one line per
-/// point is written to it (x, label, value, blocks — useful on long runs).
+/// How a sweep executes. The defaults reproduce the historical behaviour
+/// except that the grid fans out over every core.
+struct SweepOptions {
+  /// Worker threads for the cell grid. 0 = hardware_concurrency;
+  /// 1 = today's exact sequential code path (no pool is created).
+  int threads = 0;
+  /// If non-null, one line per finished cell is written to it — always in
+  /// sequential cell order (x-major, then variant, then replication) and
+  /// always whole lines, regardless of thread count.
+  std::ostream* progress = nullptr;
+  /// Independent replications per (variant, x) cell; their results are
+  /// merged into one ExperimentResult (per-call metrics averaged weighted
+  /// by calls, event counters summed, CI half-widths combined as
+  /// independent estimates).
+  int replications = 1;
+  /// When set, every cell's seed is derived from
+  /// cell_seed(*base_seed, variant, x index, replication), overriding the
+  /// seed in the generated config. When unset, replication 0 keeps the
+  /// config's own seed (so replications=1 reproduces historical results
+  /// bit-for-bit) and further replications derive from it.
+  std::optional<std::uint64_t> base_seed;
+};
+
+/// Splitmix-style hash of (base_seed, variant index, x index, replication):
+/// deterministic, order-free, and independent of thread count. This is the
+/// only sanctioned way to seed a sweep cell.
+[[nodiscard]] std::uint64_t cell_seed(std::uint64_t base_seed,
+                                      std::size_t variant_index,
+                                      std::size_t x_index,
+                                      std::size_t replication);
+
+/// Thrown when one or more cells of a sweep fail. The points whose cells
+/// *all* completed are carried along so a partial sweep is not lost.
+class SweepError : public std::runtime_error {
+public:
+  SweepError(const std::string& what, std::vector<SweepPoint> completed,
+             std::size_t failed_cells)
+      : std::runtime_error{what},
+        completed_{std::move(completed)},
+        failed_cells_{failed_cells} {}
+
+  [[nodiscard]] const std::vector<SweepPoint>& completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::size_t failed_cells() const noexcept {
+    return failed_cells_;
+  }
+
+private:
+  std::vector<SweepPoint> completed_;
+  std::size_t failed_cells_;
+};
+
+/// Runs every variant at every x (times `options.replications`), fanning the
+/// independent cells out over `options.threads` threads. Results are
+/// bit-identical for every thread count. If any cell throws, every other
+/// cell still runs and a SweepError carrying the completed points and the
+/// first (in cell order) failure is raised.
+std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
+                                  const std::vector<SweepVariant>& variants,
+                                  const SweepOptions& options);
+
+/// Historical entry point: sequential, no reseeding — byte-for-byte the
+/// pre-parallel behaviour.
 std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
                                   const std::vector<SweepVariant>& variants,
                                   std::ostream* progress = nullptr);

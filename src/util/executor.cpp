@@ -1,0 +1,183 @@
+#include "util/executor.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omig::util {
+
+namespace {
+
+// Which deque the current thread owns: workers get 1..N-1, every external
+// thread shares deque 0. Lets nested parallel_for push to the local deque.
+thread_local std::size_t tls_deque = 0;
+
+}  // namespace
+
+struct Executor::Impl {
+  struct Deque {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  // One shared batch per parallel_for call; tasks hold a reference.
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;  ///< slot per index, no races
+
+    explicit Batch(std::size_t n) : remaining{n}, errors(n) {}
+  };
+
+  explicit Impl(std::size_t threads) : deques(threads) {
+    for (auto& d : deques) d = std::make_unique<Deque>();
+    workers.reserve(threads - 1);
+    for (std::size_t id = 1; id < threads; ++id) {
+      workers.emplace_back([this, id] { worker_loop(id); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk{wake_m};
+      stop = true;
+    }
+    wake_cv.notify_all();
+    for (auto& w : workers) w.join();
+  }
+
+  void push(std::size_t deque_index, std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk{deques[deque_index]->m};
+      deques[deque_index]->q.push_back(std::move(task));
+    }
+    {
+      std::lock_guard<std::mutex> lk{wake_m};
+      ++pending;
+    }
+    wake_cv.notify_one();
+  }
+
+  /// Own deque from the back (LIFO, cache-warm), other deques from the
+  /// front (FIFO steal). Returns false when every deque is empty.
+  bool try_pop(std::size_t self, std::function<void()>& out) {
+    const std::size_t n = deques.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (self + k) % n;
+      Deque& d = *deques[i];
+      std::lock_guard<std::mutex> lk{d.m};
+      if (d.q.empty()) continue;
+      if (i == self) {
+        out = std::move(d.q.back());
+        d.q.pop_back();
+      } else {
+        out = std::move(d.q.front());
+        d.q.pop_front();
+      }
+      std::lock_guard<std::mutex> wl{wake_m};
+      --pending;
+      return true;
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t id) {
+    tls_deque = id;
+    std::function<void()> task;
+    while (true) {
+      if (try_pop(id, task)) {
+        task();
+        task = nullptr;
+        continue;
+      }
+      std::unique_lock<std::mutex> lk{wake_m};
+      wake_cv.wait(lk, [this] { return stop || pending > 0; });
+      if (stop && pending == 0) return;
+    }
+  }
+
+  std::vector<std::unique_ptr<Deque>> deques;
+  std::vector<std::thread> workers;
+  std::mutex wake_m;
+  std::condition_variable wake_cv;
+  std::size_t pending = 0;  ///< queued-but-unclaimed tasks, guarded by wake_m
+  bool stop = false;        ///< guarded by wake_m
+};
+
+Executor::Executor(std::size_t threads)
+    : threads_{threads == 0 ? default_thread_count() : threads} {
+  if (threads_ > 1) impl_ = std::make_unique<Impl>(threads_);
+}
+
+Executor::~Executor() = default;
+
+std::size_t Executor::thread_count() const noexcept { return threads_; }
+
+std::size_t Executor::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void Executor::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_ == nullptr) {
+    // Single-threaded: run inline, in index order. Exceptions behave as in
+    // the pooled path — every task runs, the lowest failing index wins.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (first == nullptr) first = std::current_exception();
+      }
+    }
+    if (first != nullptr) std::rethrow_exception(first);
+    return;
+  }
+
+  auto batch = std::make_shared<Impl::Batch>(n);
+  const std::size_t self = tls_deque;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Round-robin starting at the caller's own deque so sleeping workers
+    // wake up with local work and the caller keeps some for itself.
+    const std::size_t target = (self + i) % impl_->deques.size();
+    impl_->push(target, [batch, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        batch->errors[i] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk{batch->m};
+      if (--batch->remaining == 0) batch->done.notify_all();
+    });
+  }
+
+  // The caller works too: drain our own deque / steal until the batch is
+  // complete. Tasks of *other* batches may be executed here as well — that
+  // only helps global progress and is what makes nesting deadlock-free.
+  std::function<void()> task;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk{batch->m};
+      if (batch->remaining == 0) break;
+    }
+    if (impl_->try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk{batch->m};
+    batch->done.wait(lk, [&] { return batch->remaining == 0; });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch->errors[i] != nullptr) std::rethrow_exception(batch->errors[i]);
+  }
+}
+
+}  // namespace omig::util

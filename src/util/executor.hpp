@@ -1,0 +1,53 @@
+// Work-stealing thread pool for embarrassingly parallel experiment grids.
+//
+// The pool is deliberately small and policy-free (cf. Walker et al.'s
+// separation of transmission policy from mechanism): callers describe *what*
+// to run — an index space and a function — and the executor decides *where*.
+// Determinism must therefore never come from the executor; anything seeded
+// per task has to derive its seed from the task index, not from thread
+// identity or completion order (see core::cell_seed).
+//
+// Scheduling: each worker owns a deque; owners push/pop at the back, idle
+// threads steal from the front of other deques. The thread that calls
+// parallel_for participates in the work loop, so nested parallel_for calls
+// from inside a task execute inline-or-stolen and cannot deadlock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace omig::util {
+
+class Executor {
+public:
+  /// `threads == 0` means hardware_concurrency; `threads == 1` spawns no
+  /// worker threads at all — parallel_for then runs inline, in index order,
+  /// on the calling thread (the exact sequential code path).
+  explicit Executor(std::size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Number of threads that execute tasks (including the caller).
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// `max(1, std::thread::hardware_concurrency())`.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+  /// Runs fn(0) ... fn(n-1) across the pool and blocks until every task has
+  /// finished. Every task runs even if some throw; once all are done the
+  /// exception of the *lowest* failing index is rethrown, so the error
+  /// surfaced is independent of scheduling order. Safe to call from inside
+  /// a task (the nested call helps execute queued work instead of blocking
+  /// a worker). With n == 0 this is a no-op.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+  struct Impl;
+  std::size_t threads_;
+  std::unique_ptr<Impl> impl_;  ///< null when threads_ == 1
+};
+
+}  // namespace omig::util

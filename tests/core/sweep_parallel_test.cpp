@@ -1,0 +1,188 @@
+// Determinism golden tests for the parallel sweep engine: a sweep executed
+// on 8 threads must be *bit-identical* to the same sweep on 1 thread — every
+// field of every SweepPoint, the rendered TextTable, and the ordered
+// progress stream — across several base seeds. This is the contract that
+// makes parallel figure reproduction trustworthy.
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/presets.hpp"
+
+namespace omig::core {
+namespace {
+
+stats::StoppingRule tiny_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.10;
+  rule.min_observations = 200;
+  rule.max_observations = 500;
+  return rule;
+}
+
+/// A representative grid: two policies of Figure 8 over three x values.
+std::vector<SweepVariant> golden_variants() {
+  return {
+      {"conventional",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Conventional);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+      {"placement",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Placement);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+  };
+}
+
+const std::vector<double> kXs{10.0, 30.0, 60.0};
+
+/// Field-by-field bitwise comparison (EXPECT_EQ on double is exact).
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.total_per_call, b.total_per_call);
+  EXPECT_EQ(a.call_duration, b.call_duration);
+  EXPECT_EQ(a.migration_per_call, b.migration_per_call);
+  EXPECT_EQ(a.ci_half_width, b.ci_half_width);
+  EXPECT_EQ(a.ci_relative, b.ci_relative);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.calls, b.calls);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.remote_calls, b.remote_calls);
+  EXPECT_EQ(a.blocked_calls, b.blocked_calls);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.call_p50, b.call_p50);
+  EXPECT_EQ(a.call_p95, b.call_p95);
+  EXPECT_EQ(a.call_p99, b.call_p99);
+}
+
+void expect_identical(const std::vector<SweepPoint>& a,
+                      const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].x, b[p].x);
+    ASSERT_EQ(a[p].results.size(), b[p].results.size());
+    for (std::size_t v = 0; v < a[p].results.size(); ++v) {
+      expect_identical(a[p].results[v], b[p].results[v]);
+    }
+  }
+}
+
+TEST(SweepParallelTest, EightThreadsBitIdenticalToOneAcrossSeeds) {
+  const auto variants = golden_variants();
+  for (const std::uint64_t base_seed :
+       {0xdecafbadULL, 0x0123456789abcdefULL, 42ULL}) {
+    SweepOptions seq;
+    seq.threads = 1;
+    seq.base_seed = base_seed;
+    SweepOptions par;
+    par.threads = 8;
+    par.base_seed = base_seed;
+
+    const auto a = run_sweep(kXs, variants, seq);
+    const auto b = run_sweep(kXs, variants, par);
+    expect_identical(a, b);
+
+    const std::string ta =
+        sweep_table("t_m", variants, a, Metric::TotalPerCall).to_text();
+    const std::string tb =
+        sweep_table("t_m", variants, b, Metric::TotalPerCall).to_text();
+    EXPECT_EQ(ta, tb) << "rendered tables differ for seed " << base_seed;
+  }
+}
+
+TEST(SweepParallelTest, ProgressStreamIsOrderedAndIdentical) {
+  const auto variants = golden_variants();
+  std::ostringstream seq_progress, par_progress;
+  SweepOptions seq;
+  seq.threads = 1;
+  seq.progress = &seq_progress;
+  SweepOptions par;
+  par.threads = 8;
+  par.progress = &par_progress;
+  expect_identical(run_sweep(kXs, variants, seq),
+                   run_sweep(kXs, variants, par));
+  EXPECT_FALSE(seq_progress.str().empty());
+  EXPECT_EQ(seq_progress.str(), par_progress.str());
+}
+
+TEST(SweepParallelTest, ReplicationsMergeIdenticallyOnAnyThreadCount) {
+  const auto variants = golden_variants();
+  SweepOptions seq;
+  seq.threads = 1;
+  seq.replications = 3;
+  seq.base_seed = 7ULL;
+  SweepOptions par = seq;
+  par.threads = 8;
+  const auto a = run_sweep({20.0, 50.0}, variants, seq);
+  const auto b = run_sweep({20.0, 50.0}, variants, par);
+  expect_identical(a, b);
+  // Three replications of ~200+ observations each must be merged in.
+  for (const auto& point : a) {
+    for (const auto& r : point.results) EXPECT_GE(r.blocks, 600u);
+  }
+}
+
+TEST(SweepParallelTest, LegacyOverloadUnchangedByDefaultOptions) {
+  // The historical entry point and SweepOptions{threads=1} must agree with
+  // a multi-threaded run when no reseeding is requested: the config's own
+  // seed is the cell seed either way.
+  const auto variants = golden_variants();
+  const auto legacy = run_sweep(kXs, variants);
+  SweepOptions par;
+  par.threads = 8;
+  expect_identical(legacy, run_sweep(kXs, variants, par));
+}
+
+TEST(SweepParallelTest, CellSeedIsIndexSensitiveAndStable) {
+  // Stable across calls, distinct across every coordinate, and unequal to
+  // the base (the hash must avalanche, not echo).
+  const std::uint64_t s = cell_seed(99, 1, 2, 3);
+  EXPECT_EQ(s, cell_seed(99, 1, 2, 3));
+  EXPECT_NE(s, 99u);
+  EXPECT_NE(cell_seed(99, 0, 2, 3), s);
+  EXPECT_NE(cell_seed(99, 1, 0, 3), s);
+  EXPECT_NE(cell_seed(99, 1, 2, 0), s);
+  EXPECT_NE(cell_seed(98, 1, 2, 3), s);
+  // Transposed coordinates must not collide.
+  EXPECT_NE(cell_seed(99, 2, 1, 3), s);
+}
+
+TEST(SweepParallelTest, PartialFailureKeepsCompletedPoints) {
+  std::vector<SweepVariant> variants{
+      {"maybe-broken",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Conventional);
+         cfg.stopping = tiny_rule();
+         if (x > 25.0) cfg.workload.clients = -1;  // validation will throw
+         return cfg;
+       }},
+  };
+  for (const int threads : {1, 8}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    try {
+      run_sweep({10.0, 20.0, 30.0}, variants, opts);
+      FAIL() << "sweep with a broken cell must throw";
+    } catch (const SweepError& e) {
+      EXPECT_EQ(e.failed_cells(), 1u);
+      ASSERT_EQ(e.completed().size(), 2u);
+      EXPECT_EQ(e.completed()[0].x, 10.0);
+      EXPECT_EQ(e.completed()[1].x, 20.0);
+      for (const auto& p : e.completed()) {
+        ASSERT_EQ(p.results.size(), 1u);
+        EXPECT_GT(p.results[0].calls, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omig::core

@@ -1,0 +1,135 @@
+// Executor contract tests: results must never depend on scheduling, the
+// single-thread path runs inline and in order, exceptions surface
+// deterministically, and nested/empty submissions cannot deadlock. This
+// suite runs under the TSan gate (scripts/check.sh).
+#include "util/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace omig::util {
+namespace {
+
+TEST(ExecutorTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(Executor::default_thread_count(), 1u);
+  Executor auto_sized{0};
+  EXPECT_EQ(auto_sized.thread_count(), Executor::default_thread_count());
+}
+
+TEST(ExecutorTest, SingleThreadRunsInlineInIndexOrder) {
+  Executor ex{1};
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ex.parallel_for(64, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no synchronisation: must be the calling thread
+  });
+  std::vector<std::size_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ExecutorTest, EveryIndexRunsExactlyOnce) {
+  Executor ex{8};
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  ex.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, ResultIndependentOfCompletionOrder) {
+  // Write through disjoint slots: the gathered result must match the
+  // sequential computation no matter how tasks interleave.
+  constexpr std::size_t kN = 2'000;
+  std::vector<std::uint64_t> parallel_out(kN), serial_out(kN);
+  const auto f = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 2654435761u + 17u;
+  };
+  Executor pool{6};
+  pool.parallel_for(kN, [&](std::size_t i) { parallel_out[i] = f(i); });
+  Executor inline_ex{1};
+  inline_ex.parallel_for(kN, [&](std::size_t i) { serial_out[i] = f(i); });
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ExecutorTest, EmptySubmissionIsANoOp) {
+  Executor ex{4};
+  bool ran = false;
+  ex.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ExecutorTest, IdleDestructionDoesNotHang) {
+  { Executor ex{8}; }  // construct + destruct without any work
+  SUCCEED();
+}
+
+TEST(ExecutorTest, PoolIsReusableAcrossBatches) {
+  Executor ex{4};
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    ex.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1'000);
+}
+
+TEST(ExecutorTest, ExceptionPropagatesLowestIndexAndAllTasksRun) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Executor ex{threads};
+    std::atomic<int> ran{0};
+    try {
+      ex.parallel_for(256, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 31 || i == 7 || i == 200) {
+          throw std::runtime_error{"task " + std::to_string(i)};
+        }
+      });
+      FAIL() << "parallel_for should rethrow";
+    } catch (const std::runtime_error& e) {
+      // Deterministic: the lowest failing index wins, on any thread count.
+      EXPECT_STREQ(e.what(), "task 7");
+    }
+    // Failure of one task never cancels the others.
+    EXPECT_EQ(ran.load(), 256);
+  }
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  Executor ex{2};  // worst case: one worker + the caller
+  std::atomic<int> inner_runs{0};
+  ex.parallel_for(4, [&](std::size_t) {
+    ex.parallel_for(8, [&](std::size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(ExecutorTest, NestedExceptionPropagatesThroughOuterTask) {
+  Executor ex{4};
+  EXPECT_THROW(ex.parallel_for(2,
+                               [&](std::size_t) {
+                                 ex.parallel_for(2, [](std::size_t j) {
+                                   if (j == 1) throw std::logic_error{"inner"};
+                                 });
+                               }),
+               std::logic_error);
+}
+
+TEST(ExecutorTest, ManyMoreTasksThanThreads) {
+  Executor ex{3};
+  std::atomic<std::uint64_t> sum{0};
+  constexpr std::size_t kN = 5'000;
+  ex.parallel_for(kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<std::uint64_t>(i));
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace omig::util

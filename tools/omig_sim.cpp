@@ -20,6 +20,7 @@
 #include "core/sweep.hpp"
 #include "core/table.hpp"
 #include "trace/log.hpp"
+#include "util/executor.hpp"
 
 using namespace omig;
 
@@ -29,12 +30,20 @@ struct CliOptions {
   std::vector<std::string> assignments;
   std::string sweep;        // "key=lo:hi:steps"
   core::Metric metric = core::Metric::TotalPerCall;
+  int threads = 0;          // 0 = all cores (sweeps only; single runs use 1)
   bool csv = false;
   bool json = false;
   std::size_t trace_lines = 0;
   std::string trace_file;
   bool help = false;
 };
+
+/// The thread count a sweep will actually use (what --json reports).
+int resolved_threads(const CliOptions& opts) {
+  return opts.threads > 0
+             ? opts.threads
+             : static_cast<int>(util::Executor::default_thread_count());
+}
 
 CliOptions parse_cli(int argc, char** argv) {
   CliOptions opts;
@@ -60,6 +69,11 @@ CliOptions parse_cli(int argc, char** argv) {
         opts.metric = core::Metric::MigrationPerCall;
       } else {
         throw core::ConfigError{"--metric expects total|call|migration"};
+      }
+    } else if (arg == "--threads") {
+      opts.threads = std::stoi(next("--threads"));
+      if (opts.threads < 0) {
+        throw core::ConfigError{"--threads expects a count >= 0"};
       }
     } else if (arg == "--csv") {
       opts.csv = true;
@@ -89,6 +103,8 @@ usage: omig_sim [flags] key=value...
 flags:
   --sweep key=lo:hi:steps   run a sweep over a numeric key; prints a table
   --metric total|call|migration   which per-call metric the table reports
+  --threads N               sweep worker threads (0 = all cores, 1 = serial;
+                            results are bit-identical for every N)
   --csv                     print CSV instead of the aligned table
   --json                    print the single-run result as one JSON object
   --fault-plan PATH         load a fault plan (same as fault-plan=PATH)
@@ -106,7 +122,7 @@ examples:
 }
 
 void print_json(const core::ExperimentConfig& cfg,
-                const core::ExperimentResult& r) {
+                const core::ExperimentResult& r, int threads) {
   std::ostringstream os;
   os.precision(10);
   const char* sep = "";
@@ -144,6 +160,7 @@ void print_json(const core::ExperimentConfig& cfg,
   count("node_restarts", r.node_restarts);
   count("recoveries", r.recoveries);
   count("seed", cfg.seed);
+  count("threads", static_cast<std::uint64_t>(threads));
   os << "\n}\n";
   std::cout << os.str();
 }
@@ -157,7 +174,8 @@ int run_single(const CliOptions& opts) {
       core::run_experiment(cfg, want_trace ? &trace_log : nullptr);
 
   if (opts.json) {
-    print_json(cfg, r);
+    // A single run is one simulation: it always executes on one thread.
+    print_json(cfg, r, opts.threads == 0 ? 1 : opts.threads);
     return 0;
   }
 
@@ -247,12 +265,28 @@ int run_sweep(const CliOptions& opts) {
         return cfg;
       },
   }};
-  const auto points = core::run_sweep(core::linspace(lo, hi, steps),
-                                      variants, &std::cerr);
+  core::SweepOptions sweep_opts;
+  sweep_opts.threads = opts.threads;
+  sweep_opts.progress = &std::cerr;
+  std::cerr << "sweep: " << key << " over [" << lo << ", " << hi << "] in "
+            << steps << " steps on " << resolved_threads(opts)
+            << " thread(s)\n";
+
+  std::vector<core::SweepPoint> points;
+  int exit_code = 0;
+  try {
+    points = core::run_sweep(core::linspace(lo, hi, steps), variants,
+                             sweep_opts);
+  } catch (const core::SweepError& e) {
+    // Partial failure: print what completed, report the failure, exit 1.
+    std::cerr << "omig_sim: " << e.what() << "\n";
+    points = e.completed();
+    exit_code = 1;
+  }
   const auto table = core::sweep_table(key, variants, points, opts.metric);
   std::cout << core::to_string(opts.metric) << "\n"
             << (opts.csv ? table.to_csv() : table.to_text());
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
