@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrent code paths: builds a Debug tree with
 # ThreadSanitizer + UBSan and runs the suites that exercise real threads —
-# the live runtime, the fault-injection / chaos tests, and the
+# the live runtime, the transport layer (wire codec, TCP sockets,
+# multi-process cluster), the fault-injection / chaos tests, and the
 # work-stealing executor + parallel sweep engine.
 #
 # Usage: scripts/check.sh [extra ctest args]
@@ -28,7 +29,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1} su
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
-  -R 'Mailbox|LiveNode|LiveSystem|OfficeWorkflow|LiveFault|FaultPlan|FaultInjector|NodeHealth|CrashDriver|Chaos|Executor|SweepParallel' \
+  -R 'Mailbox|LiveNode|LiveSystem|OfficeWorkflow|LiveFault|FaultPlan|FaultInjector|NodeHealth|CrashDriver|Chaos|Executor|SweepParallel|Transport|Wire|MultiProcess|TcpLink|InProcTransport' \
   "$@"
 
 echo "check.sh: sanitized runtime + fault suites passed"

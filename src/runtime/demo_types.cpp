@@ -1,0 +1,82 @@
+#include "runtime/demo_types.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/live_system.hpp"
+
+namespace omig::runtime {
+
+ObjectFactory counter_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("add", [](ObjectState& self,
+                                   const std::string& arg) {
+      self.fields["count"] = std::to_string(std::stoll(self.fields["count"]) +
+                                            std::stoll(arg));
+      return self.fields["count"];
+    });
+    obj->register_method("get", [](ObjectState& self, const std::string&) {
+      return self.fields["count"];
+    });
+    return obj;
+  };
+}
+
+ObjectFactory case_file_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("append", [](ObjectState& self,
+                                      const std::string& entry) {
+      auto& log = self.fields["log"];
+      log += log.empty() ? entry : ";" + entry;
+      return log;
+    });
+    obj->register_method("entries", [](ObjectState& self, const std::string&) {
+      const auto& log = self.fields["log"];
+      return std::to_string(
+          log.empty() ? 0 : 1 + std::count(log.begin(), log.end(), ';'));
+    });
+    return obj;
+  };
+}
+
+ObjectFactory ledger_factory() {
+  return [](std::string name, ObjectState state) {
+    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
+    obj->register_method("bill", [](ObjectState& self, const std::string&) {
+      self.fields["total"] =
+          std::to_string(std::stoi(self.fields["total"]) + 10);
+      return self.fields["total"];
+    });
+    obj->register_method("total", [](ObjectState& self, const std::string&) {
+      return self.fields["total"];
+    });
+    return obj;
+  };
+}
+
+std::unordered_map<std::string, ObjectFactory> demo_factories() {
+  std::unordered_map<std::string, ObjectFactory> factories;
+  factories["counter"] = counter_factory();
+  factories["case-file"] = case_file_factory();
+  factories["ledger"] = ledger_factory();
+  return factories;
+}
+
+void register_demo_types(LiveSystem& system) {
+  for (auto& [type, factory] : demo_factories()) {
+    system.register_type(type, std::move(factory));
+  }
+}
+
+ObjectState make_state(
+    std::string type,
+    std::initializer_list<std::pair<const char*, const char*>> fields) {
+  ObjectState state;
+  state.type = std::move(type);
+  for (const auto& [key, value] : fields) state.fields[key] = value;
+  return state;
+}
+
+}  // namespace omig::runtime

@@ -1,0 +1,44 @@
+// Demo object types shared by the live-runtime examples, the office
+// workflow tests and the omig_node processes.
+//
+// A multi-process cluster only works if every node process can rebuild
+// every migrated object from its linearised state — the factories must be
+// compiled into the node binary, not registered ad hoc per test. This is
+// the one registry they all use.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/live_object.hpp"
+
+namespace omig::runtime {
+
+class LiveSystem;
+
+/// "counter": add(n) -> new total, get() -> total. Field: "count".
+[[nodiscard]] ObjectFactory counter_factory();
+
+/// "case-file": append(entry) -> log, entries() -> count. Field: "log"
+/// (";"-separated entries).
+[[nodiscard]] ObjectFactory case_file_factory();
+
+/// "ledger": bill() -> total (+10 per call), total() -> total.
+/// Field: "total".
+[[nodiscard]] ObjectFactory ledger_factory();
+
+/// Every demo factory keyed by type name — what an omig_node process
+/// serves.
+[[nodiscard]] std::unordered_map<std::string, ObjectFactory> demo_factories();
+
+/// Registers every demo type on `system`; call before start().
+void register_demo_types(LiveSystem& system);
+
+/// State-literal builder for examples and tests.
+[[nodiscard]] ObjectState make_state(
+    std::string type,
+    std::initializer_list<std::pair<const char*, const char*>> fields);
+
+}  // namespace omig::runtime

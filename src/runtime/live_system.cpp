@@ -6,12 +6,16 @@
 #include <unordered_set>
 
 #include "runtime/serde.hpp"
+#include "trace/log.hpp"
+#include "transport/bridge.hpp"
+#include "transport/node_server.hpp"
+#include "transport/tcp_transport.hpp"
 #include "util/assert.hpp"
 
 namespace omig::runtime {
 
 LiveSystem::LiveSystem(Options options) : options_{std::move(options)} {
-  OMIG_REQUIRE(options_.nodes >= 1, "need at least one node");
+  OMIG_REQUIRE(options_.nodes >= 1 || remote(), "need at least one node");
   OMIG_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
 }
 
@@ -25,19 +29,59 @@ void LiveSystem::register_type(const std::string& type,
 
 void LiveSystem::start() {
   OMIG_REQUIRE(!started_, "system already started");
+  const std::size_t count =
+      remote() ? options_.remote_nodes.size() : options_.nodes;
   for (const fault::CrashEvent& crash : options_.fault_plan.crashes) {
-    OMIG_REQUIRE(crash.node < options_.nodes,
+    OMIG_REQUIRE(crash.node < count,
                  "crash schedule names a node outside the system");
   }
-  nodes_.reserve(options_.nodes);
-  for (std::size_t i = 0; i < options_.nodes; ++i) {
-    nodes_.push_back(std::make_unique<LiveNode>(i, &factories_));
-    nodes_.back()->start();
+  if (!remote()) {
+    nodes_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes_.push_back(std::make_unique<LiveNode>(i, &factories_));
+      nodes_.back()->start();
+    }
   }
-  node_down_.assign(options_.nodes, 0);
+  node_down_.assign(count, 0);
   if (!options_.fault_plan.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(options_.fault_plan);
   }
+
+  // All inter-node traffic goes through one transport; faults inject at
+  // this seam, so the same FaultPlan drives every backend identically.
+  if (remote() || options_.transport == TransportKind::Tcp) {
+    transport::TcpTransport::Options topts;
+    topts.max_connect_attempts = options_.tcp_connect_attempts;
+    topts.connect_backoff = options_.tcp_connect_backoff;
+    if (remote()) {
+      topts.peers = options_.remote_nodes;
+    } else {
+      // Local TCP: every node gets a loopback frame server bridging onto
+      // its mailbox, and traffic takes the full marshalling round trip.
+      servers_.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        Mailbox<Message>& box = nodes_[i]->mailbox();
+        servers_.push_back(std::make_unique<transport::NodeServer>(
+            [&box](transport::Frame frame) {
+              return transport::serve_on_mailbox(box, std::move(frame));
+            }));
+        const std::uint16_t port = servers_.back()->start();
+        OMIG_REQUIRE(port != 0, "could not bind a loopback listener");
+        topts.peers.push_back(transport::Peer{"127.0.0.1", port});
+      }
+    }
+    auto tcp = std::make_unique<transport::TcpTransport>(std::move(topts),
+                                                         injector_.get());
+    tcp_ = tcp.get();
+    transport_ = std::move(tcp);
+  } else {
+    transport_ = std::make_unique<transport::InProcTransport>(
+        [this](std::size_t to) {
+          return to < nodes_.size() ? &nodes_[to]->mailbox() : nullptr;
+        },
+        injector_.get());
+  }
+
   started_ = true;
   if (!options_.fault_plan.crashes.empty()) {
     fault_thread_ = std::thread{[this] { run_fault_schedule(); }};
@@ -53,6 +97,9 @@ void LiveSystem::stop() {
   fault_cv_.notify_all();
   if (fault_thread_.joinable()) fault_thread_.join();
   for (auto& node : nodes_) node->stop();
+  // Servers after nodes: any handler still awaiting a reply gets its
+  // promise broken by the node teardown and unblocks immediately.
+  for (auto& server : servers_) server->stop();
 }
 
 void LiveSystem::run_fault_schedule() {
@@ -92,22 +139,14 @@ void LiveSystem::run_fault_schedule() {
   }
 }
 
-bool LiveSystem::deliver(std::size_t from, std::size_t to, Message msg,
-                         const std::function<Message()>& clone) {
-  if (injector_) {
-    const fault::Decision d = injector_->on_message(from, to);
-    if (d.delay > 0.0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>{d.delay});
-    }
-    if (d.drop) {
-      // Lost in flight: destroying the message here breaks its reply
-      // promise, which is how the sender observes the loss.
-      return true;
-    }
-    if (d.duplicate && clone) nodes_[to]->mailbox().push(clone());
-  }
-  return nodes_[to]->mailbox().push(std::move(msg));
+bool LiveSystem::sent_ok(transport::SendStatus status) {
+  if (status == transport::SendStatus::Ok) return true;
+  // The endpoint rejected the message outright (closed mailbox, connection
+  // reset, unreachable peer): no delivery was attempted, so the retry
+  // layer can count the rejection instead of inferring it from a broken
+  // promise.
+  send_rejections_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 template <class T>
@@ -122,7 +161,7 @@ std::optional<T> LiveSystem::await_reply(std::future<T>& reply) {
     return reply.get();
   } catch (const std::future_error&) {
     // The message died unprocessed — dropped by the injector, discarded by
-    // a crash, or rejected by a closed mailbox.
+    // a crash, or lost with a connection reset.
     return std::nullopt;
   }
 }
@@ -142,24 +181,17 @@ bool LiveSystem::install_with_retry(std::size_t node, const std::string& name,
                                     const ObjectState& state,
                                     std::size_t from) {
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  transport::WireInstall msg;
+  msg.seq = seq;
+  msg.name = name;
+  msg.state = state;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
       backoff(attempt);
     }
-    MsgInstall msg;
-    msg.name = name;
-    msg.state = state;
-    msg.seq = seq;
-    auto done = msg.done.get_future();
-    auto clone = [&] {
-      MsgInstall dup;
-      dup.name = name;
-      dup.state = state;
-      dup.seq = seq;
-      return Message{std::move(dup)};
-    };
-    if (!deliver(from, node, Message{std::move(msg)}, clone)) {
+    std::future<bool> done;
+    if (!sent_ok(transport_->send_install(from, node, msg, done))) {
       continue;  // node is down; it may restart within the retry budget
     }
     auto ok = await_reply(done);
@@ -171,7 +203,7 @@ bool LiveSystem::install_with_retry(std::size_t node, const std::string& name,
 bool LiveSystem::create(const std::string& name, ObjectState state,
                         std::size_t node) {
   OMIG_REQUIRE(started_, "start() the system first");
-  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  OMIG_REQUIRE(node < node_count(), "node index out of range");
   if (!factories_.contains(state.type)) return false;
   {
     std::lock_guard lock{mutex_};
@@ -180,6 +212,7 @@ bool LiveSystem::create(const std::string& name, ObjectState state,
     meta.node = node;
     meta.checkpoint = state;  // creation-time recovery checkpoint
     directory_[name] = std::move(meta);
+    trace_locked(trace::EventKind::ReplicaCreated, name, node);
   }
   const bool ok = install_with_retry(node, name, state, kExternalSender);
   if (!ok) {
@@ -240,8 +273,8 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
       node = it->second.node;
     }
     invocations_.fetch_add(1, std::memory_order_relaxed);
-    const bool remote = !from.has_value() || *from != node;
-    if (remote) {
+    const bool remote_call = !from.has_value() || *from != node;
+    if (remote_call) {
       remote_.fetch_add(1, std::memory_order_relaxed);
       if (options_.remote_latency.count() > 0) {
         std::this_thread::sleep_for(options_.remote_latency);
@@ -249,30 +282,20 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
     }
     // One logical request: every retransmission reuses this seq, so the
     // hosting node executes the method at most once.
-    const std::uint64_t seq =
-        next_seq_.fetch_add(1, std::memory_order_relaxed);
+    transport::WireInvoke msg;
+    msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    msg.object = object;
+    msg.method = method;
+    msg.argument = argument;
     std::optional<InvokeResult> result;
     for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
       if (attempt > 0) {
         retries_.fetch_add(1, std::memory_order_relaxed);
         backoff(attempt);
       }
-      MsgInvoke msg;
-      msg.object = object;
-      msg.method = method;
-      msg.argument = argument;
-      msg.seq = seq;
-      auto reply = msg.reply.get_future();
-      auto clone = [&] {
-        MsgInvoke dup;
-        dup.object = object;
-        dup.method = method;
-        dup.argument = argument;
-        dup.seq = seq;
-        return Message{std::move(dup)};  // nobody awaits the clone's reply
-      };
-      if (!deliver(from.value_or(kExternalSender), node,
-                   Message{std::move(msg)}, clone)) {
+      std::future<InvokeResult> reply;
+      if (!sent_ok(transport_->send_invoke(from.value_or(kExternalSender),
+                                           node, msg, reply))) {
         continue;  // node is down; it may restart within the retry budget
       }
       result = await_reply(reply);
@@ -283,7 +306,7 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
           false, "node unreachable: " + std::to_string(node) + " (" + object +
                      ")"};
     }
-    if (remote && options_.remote_latency.count() > 0) {
+    if (remote_call && options_.remote_latency.count() > 0) {
       std::this_thread::sleep_for(options_.remote_latency);  // result message
     }
     // A migration can race the delivery: the directory said `node`, but the
@@ -307,6 +330,7 @@ void LiveSystem::fix(const std::string& name) {
   auto it = directory_.find(name);
   OMIG_REQUIRE(it != directory_.end(), "fix: unknown object");
   it->second.fixed = true;
+  trace_locked(trace::EventKind::Fix, name, kExternalSender);
 }
 
 void LiveSystem::unfix(const std::string& name) {
@@ -314,6 +338,7 @@ void LiveSystem::unfix(const std::string& name) {
   auto it = directory_.find(name);
   OMIG_REQUIRE(it != directory_.end(), "unfix: unknown object");
   it->second.fixed = false;
+  trace_locked(trace::EventKind::Unfix, name, kExternalSender);
 }
 
 bool LiveSystem::is_fixed(const std::string& name) const {
@@ -386,30 +411,25 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
     if (src == dest) {
       std::lock_guard lock{mutex_};
       directory_.at(name).in_transit = false;
+      trace_locked(trace::EventKind::MigrationEnd, name, dest);
       continue;
     }
 
     // Pull the state off the source; the request travels dest -> src. A
     // dead source ends the attempts early — recovery takes over below.
     std::optional<ObjectState> state;
-    const std::uint64_t seq =
-        next_seq_.fetch_add(1, std::memory_order_relaxed);
+    transport::WireEvict evict;
+    evict.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    evict.name = name;
     for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
       if (attempt > 0) {
         retries_.fetch_add(1, std::memory_order_relaxed);
         backoff(attempt);
       }
-      MsgEvict evict;
-      evict.name = name;
-      evict.seq = seq;
-      auto state_future = evict.state.get_future();
-      auto clone = [&] {
-        MsgEvict dup;
-        dup.name = name;
-        dup.seq = seq;
-        return Message{std::move(dup)};
-      };
-      if (!deliver(dest, src, Message{std::move(evict)}, clone)) break;
+      std::future<ObjectState> state_future;
+      if (!sent_ok(transport_->send_evict(dest, src, evict, state_future))) {
+        break;
+      }
       auto got = await_reply(state_future);
       if (got.has_value()) {
         state = std::move(*got);
@@ -456,6 +476,7 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
       Meta& meta = directory_.at(name);
       meta.node = target;
       meta.in_transit = false;
+      trace_locked(trace::EventKind::MigrationEnd, name, target);
     }
     if (target == dest) {
       migrations_.fetch_add(1, std::memory_order_relaxed);
@@ -469,7 +490,7 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
 bool LiveSystem::migrate(const std::string& object, std::size_t dest,
                          const std::string& alliance) {
   OMIG_REQUIRE(started_, "start() the system first");
-  OMIG_REQUIRE(dest < nodes_.size(), "node index out of range");
+  OMIG_REQUIRE(dest < node_count(), "node index out of range");
   std::vector<std::string> to_move;
   {
     std::unique_lock lock{mutex_};
@@ -481,6 +502,7 @@ bool LiveSystem::migrate(const std::string& object, std::size_t dest,
                        [&] { return !directory_.at(name).in_transit; });
       if (meta.fixed) continue;
       meta.in_transit = true;
+      trace_locked(trace::EventKind::MigrationStart, name, dest);
       to_move.push_back(name);
     }
   }
@@ -500,7 +522,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
                                        std::size_t dest,
                                        const std::string& alliance) {
   OMIG_REQUIRE(started_, "start() the system first");
-  OMIG_REQUIRE(dest < nodes_.size(), "node index out of range");
+  OMIG_REQUIRE(dest < node_count(), "node index out of range");
   MoveToken token;
   std::vector<std::string> to_move;
   {
@@ -508,6 +530,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
     auto it = directory_.find(object);
     if (it == directory_.end()) return token;  // not granted
     token.id = next_token_++;
+    trace_locked(trace::EventKind::BlockBegin, object, dest, token.id);
 
     if (options_.placement_policy) {
       // A lock whose lease ran out belongs to a block that died (node
@@ -517,6 +540,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
       // Transient placement: a conflicting unfinished move refuses us.
       if (it->second.locked_by != 0 || it->second.fixed) {
         refused_.fetch_add(1, std::memory_order_relaxed);
+        trace_locked(trace::EventKind::MoveRefused, object, dest, token.id);
         return token;  // granted = false: caller invokes remotely
       }
       const auto lease_deadline =
@@ -528,10 +552,12 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
         meta.locked_by = token.id;
         meta.lease_expiry = lease_deadline;
         token.locked.push_back(name);
+        trace_locked(trace::EventKind::Lock, name, dest, token.id);
         transit_cv_.wait(lock,
                          [&] { return !directory_.at(name).in_transit; });
         if (meta.fixed) continue;
         meta.in_transit = true;
+        trace_locked(trace::EventKind::MigrationStart, name, dest, token.id);
         to_move.push_back(name);
       }
     } else {
@@ -542,6 +568,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
                          [&] { return !directory_.at(name).in_transit; });
         if (meta.fixed) continue;
         meta.in_transit = true;
+        trace_locked(trace::EventKind::MigrationStart, name, dest, token.id);
         to_move.push_back(name);
       }
     }
@@ -564,9 +591,12 @@ void LiveSystem::end(MoveToken& token) {
       // another block taken over — only release what we still hold.
       if (it != directory_.end() && it->second.locked_by == token.id) {
         it->second.locked_by = 0;
+        trace_locked(trace::EventKind::Unlock, name, kExternalSender,
+                     token.id);
       }
     }
     token.locked.clear();
+    trace_locked(trace::EventKind::BlockEnd, "", kExternalSender, token.id);
   }
   if (token.visit && token.granted) {
     // visit(): the objects migrate back to where they came from.
@@ -580,6 +610,8 @@ void LiveSystem::end(MoveToken& token) {
                          [&] { return !directory_.at(name).in_transit; });
         if (it->second.fixed || it->second.node == origin) continue;
         it->second.in_transit = true;
+        trace_locked(trace::EventKind::MigrationStart, name, origin,
+                     token.id);
       }
       relocate(one, origin);
     }
@@ -596,26 +628,75 @@ void LiveSystem::expire_lease(std::uint64_t token) {
   // The whole block's lease expires at once: every lock it holds is
   // released and the objects stay where they are ("released in place").
   for (auto& [name, meta] : directory_) {
-    if (meta.locked_by == token) meta.locked_by = 0;
+    if (meta.locked_by == token) {
+      meta.locked_by = 0;
+      trace_locked(trace::EventKind::Unlock, name, kExternalSender, token);
+    }
   }
   lease_expiries_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void LiveSystem::trace_locked(trace::EventKind kind,
+                              const std::string& object, std::size_t node,
+                              std::uint64_t block) {
+  if (options_.trace == nullptr) return;
+  trace::Event event;
+  // Logical time: transport backends interleave wall-clock time
+  // differently, but the directory orders protocol events identically.
+  event.time = static_cast<double>(trace_clock_++);
+  event.kind = kind;
+  if (!object.empty()) {
+    event.object = objsys::ObjectId{
+        static_cast<std::uint32_t>(object_trace_id_locked(object))};
+  }
+  if (node < node_count()) {
+    event.node = objsys::NodeId{static_cast<std::uint32_t>(node)};
+  }
+  if (block != 0) {
+    event.block = objsys::BlockId{static_cast<std::uint32_t>(block)};
+  }
+  options_.trace->record(event);
+}
+
+std::uint64_t LiveSystem::object_trace_id_locked(const std::string& name) {
+  const auto [it, inserted] = object_ids_.try_emplace(name, next_object_id_);
+  if (inserted) ++next_object_id_;
+  return it->second;
+}
+
 void LiveSystem::crash_node(std::size_t node) {
   OMIG_REQUIRE(started_, "start() the system first");
-  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  OMIG_REQUIRE(node < node_count(), "node index out of range");
   {
     std::lock_guard lock{mutex_};
     node_down_[node] = 1;
   }
-  nodes_[node]->crash();
+  if (!remote()) {
+    nodes_[node]->crash();
+    // Under TCP the node's listener dies with it: peers observe connection
+    // resets, and their pending replies break immediately.
+    if (node < servers_.size()) servers_[node]->stop();
+  }
+  transport_->on_node_crash(node);
   crashes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void LiveSystem::restart_node(std::size_t node) {
   OMIG_REQUIRE(started_, "start() the system first");
-  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
-  nodes_[node]->restart();
+  OMIG_REQUIRE(node < node_count(), "node index out of range");
+  if (!remote()) {
+    nodes_[node]->restart();
+    if (node < servers_.size()) {
+      // A restarted process would come up on a fresh port; the in-process
+      // stand-in does the same, and the transport is re-pointed at it.
+      const std::uint16_t port = servers_[node]->start();
+      OMIG_REQUIRE(port != 0, "could not rebind the node's listener");
+      if (tcp_ != nullptr) {
+        tcp_->set_peer(node, transport::Peer{"127.0.0.1", port});
+      }
+    }
+  }
+  transport_->on_node_restart(node);
   // Reconcile the directory with the freshly-empty node: reinstall every
   // object placed there from its checkpoint. In-transit objects are
   // skipped — their migration is in progress and settles them itself.
@@ -638,9 +719,22 @@ void LiveSystem::restart_node(std::size_t node) {
 }
 
 bool LiveSystem::node_up(std::size_t node) const {
-  OMIG_REQUIRE(node < nodes_.size(), "node index out of range");
+  OMIG_REQUIRE(node < node_count(), "node index out of range");
   std::lock_guard lock{mutex_};
   return node_down_[node] == 0;
+}
+
+void LiveSystem::set_remote_peer(std::size_t node, transport::Peer peer) {
+  OMIG_REQUIRE(remote(), "set_remote_peer is for remote clusters");
+  OMIG_REQUIRE(node < node_count(), "node index out of range");
+  if (tcp_ != nullptr) tcp_->set_peer(node, std::move(peer));
+}
+
+void LiveSystem::shutdown_remote_nodes() {
+  if (!remote() || transport_ == nullptr) return;
+  for (std::size_t node = 0; node < node_count(); ++node) {
+    (void)transport_->send_shutdown(node);
+  }
 }
 
 std::uint64_t LiveSystem::invocations() const { return invocations_.load(); }
@@ -667,6 +761,14 @@ std::uint64_t LiveSystem::deduplicated_messages() const {
   std::uint64_t total = 0;
   for (const auto& node : nodes_) total += node->deduplicated();
   return total;
+}
+
+std::uint64_t LiveSystem::send_rejections() const {
+  return send_rejections_.load();
+}
+
+std::uint64_t LiveSystem::transport_reconnects() const {
+  return tcp_ != nullptr ? tcp_->reconnects() : 0;
 }
 
 }  // namespace omig::runtime

@@ -7,6 +7,13 @@
 // conventional or transient-placement semantics — so the paper's conflict
 // scenarios can be reproduced outside the simulator.
 //
+// All inter-node traffic goes through a transport::Transport
+// (docs/transport.md). The default InProc backend delivers straight into
+// the node mailboxes; the Tcp backend marshals every request into a wire
+// frame and sends it over a localhost socket — either to NodeServers
+// bridging back into this process's own nodes, or (remote mode) to
+// omig_node processes, which makes the system a cluster coordinator.
+//
 // Failure model (all off by default; see docs/fault_model.md): a
 // FaultPlan perturbs message delivery (drop / delay / duplicate) and
 // schedules node crashes. The protocol tolerates this with sequence-
@@ -36,8 +43,26 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "runtime/live_node.hpp"
+#include "trace/event.hpp"
+#include "transport/transport.hpp"
+
+namespace omig::trace {
+class TraceLog;
+}
+
+namespace omig::transport {
+class NodeServer;
+class TcpTransport;
+}
 
 namespace omig::runtime {
+
+/// Which backend carries inter-node traffic (ignored when
+/// Options::remote_nodes is set — remote mode is always TCP).
+enum class TransportKind : std::uint8_t {
+  InProc,  ///< promise-carrying messages straight into the mailboxes
+  Tcp,     ///< wire frames over localhost sockets (NodeServer per node)
+};
 
 class LiveSystem {
 public:
@@ -51,6 +76,23 @@ public:
     /// Use transient placement for move(): a conflicting move is refused
     /// instead of stealing the object (Section 3.2).
     bool placement_policy = true;
+
+    // --- transport --------------------------------------------------------
+    /// Backend for inter-node traffic (docs/transport.md).
+    TransportKind transport = TransportKind::InProc;
+    /// Remote cluster mode: endpoints of already-running omig_node
+    /// processes, indexed by node id. Non-empty means this system hosts no
+    /// local node threads (`nodes` is ignored) and coordinates the cluster
+    /// over TCP.
+    std::vector<transport::Peer> remote_nodes;
+    /// TCP backend: connect attempts per send and their base backoff
+    /// (doubled per attempt, capped) — the reconnect budget after a reset.
+    int tcp_connect_attempts = 4;
+    std::chrono::milliseconds tcp_connect_backoff{1};
+    /// Optional protocol-event trace, recorded at the directory layer on a
+    /// logical clock so the same workload yields the same trace under
+    /// every transport backend. Non-owning; must outlive the system.
+    trace::TraceLog* trace = nullptr;
 
     // --- fault tolerance (defaults preserve pre-fault behaviour) ----------
     /// Message faults and crash schedule; empty = nothing is perturbed.
@@ -90,13 +132,21 @@ public:
   /// Must be called before `start()`.
   void register_type(const std::string& type, ObjectFactory factory);
 
-  /// Starts all node threads (and the fault schedule, if any).
+  /// Starts all node threads and the transport (and the fault schedule, if
+  /// any). In remote mode no node threads start — the configured omig_node
+  /// processes must already be listening.
   void start();
   /// Stops all node threads (also done by the destructor). Idempotent and
-  /// safe to call from several threads concurrently.
+  /// safe to call from several threads concurrently. Remote node processes
+  /// are left running — see shutdown_remote_nodes().
   void stop();
 
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const {
+    return remote() ? options_.remote_nodes.size() : nodes_.size();
+  }
+  /// True when this system coordinates omig_node processes over TCP
+  /// instead of hosting its own node threads.
+  [[nodiscard]] bool remote() const { return !options_.remote_nodes.empty(); }
 
   /// Creates an object on `node`. Fails (returns false) on duplicate names
   /// or unknown type.
@@ -149,14 +199,24 @@ public:
 
   // --- failure injection -----------------------------------------------------
   /// Abruptly kills node `node`: queued messages are destroyed, hosted
-  /// object state is lost. Locks held by move-blocks that originated there
-  /// stay held until their lease expires. Also driven automatically by the
-  /// fault plan's crash schedule.
+  /// object state is lost; under TCP its listener goes down too, so peers
+  /// observe connection resets. Locks held by move-blocks that originated
+  /// there stay held until their lease expires. In remote mode this only
+  /// records the death (kill the process yourself) and resets the
+  /// connection. Also driven automatically by the fault plan's crashes.
   void crash_node(std::size_t node);
   /// Restarts a crashed node and reconciles the directory: every object
   /// the directory places there is reinstalled from its last checkpoint.
+  /// In remote mode the node process must already be back up (relaunch it
+  /// and call set_remote_peer first).
   void restart_node(std::size_t node);
   [[nodiscard]] bool node_up(std::size_t node) const;
+
+  /// Remote mode: re-points `node` at a restarted omig_node process (the
+  /// relaunched process owns a fresh port).
+  void set_remote_peer(std::size_t node, transport::Peer peer);
+  /// Remote mode: asks every remote node process to exit (fire-and-forget).
+  void shutdown_remote_nodes();
 
   // --- statistics -------------------------------------------------------------
   [[nodiscard]] std::uint64_t invocations() const;
@@ -175,6 +235,11 @@ public:
   [[nodiscard]] std::uint64_t duplicated_messages() const;
   /// Messages answered from the nodes' dedup caches.
   [[nodiscard]] std::uint64_t deduplicated_messages() const;
+  /// Sends the transport rejected with a typed status (closed mailbox,
+  /// connection reset, unreachable peer) — each one fed a retry decision.
+  [[nodiscard]] std::uint64_t send_rejections() const;
+  /// TCP connections re-established after a reset (0 for in-proc).
+  [[nodiscard]] std::uint64_t transport_reconnects() const;
 
 private:
   struct Meta {
@@ -214,13 +279,9 @@ private:
                            const std::string& method,
                            const std::string& argument);
 
-  /// Hands `msg` to node `to`, consulting the fault injector: the message
-  /// may be delayed, silently dropped (the sender observes the broken
-  /// reply promise) or duplicated (`clone` builds the same-seq copy whose
-  /// reply nobody awaits). Returns false if the mailbox rejected the
-  /// message — the node is down.
-  bool deliver(std::size_t from, std::size_t to, Message msg,
-               const std::function<Message()>& clone);
+  /// True when the transport accepted the send; a typed rejection is
+  /// counted and the caller retries (the peer may come back).
+  bool sent_ok(transport::SendStatus status);
 
   /// Waits for a reply future, honouring Options::reply_timeout. nullopt =
   /// the message (or its processing node) died — retry.
@@ -244,6 +305,15 @@ private:
   /// True if `meta`'s lock lease has expired (requires `mutex_`).
   [[nodiscard]] bool lease_expired(const Meta& meta) const;
 
+  /// Records a protocol event on the logical clock (requires `mutex_`).
+  /// No-op without Options::trace. Pass kExternalSender as `node` for
+  /// events without a node operand and 0 as `block` for blockless ones.
+  void trace_locked(trace::EventKind kind, const std::string& object,
+                    std::size_t node, std::uint64_t block = 0);
+  /// Stable per-name trace id, assigned in first-use order (requires
+  /// `mutex_`) — identical across transport backends for one workload.
+  std::uint64_t object_trace_id_locked(const std::string& name);
+
   /// Replays the fault plan's crash schedule on wall-clock time.
   void run_fault_schedule();
 
@@ -258,8 +328,16 @@ private:
   std::unordered_map<std::string, std::vector<AttachEdge>> attachments_;
   std::vector<char> node_down_;  ///< guarded by mutex_
   std::uint64_t next_token_ = 1;
+  std::unordered_map<std::string, std::uint64_t> object_ids_;  ///< trace ids
+  std::uint64_t next_object_id_ = 0;  ///< guarded by mutex_
+  std::uint64_t trace_clock_ = 0;     ///< guarded by mutex_
 
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// One frame server per local node in TCP mode (empty otherwise).
+  std::vector<std::unique_ptr<transport::NodeServer>> servers_;
+  std::unique_ptr<transport::Transport> transport_;
+  transport::TcpTransport* tcp_ = nullptr;  ///< transport_, when it is TCP
+
   std::mutex stop_mutex_;
   std::thread fault_thread_;
   std::mutex fault_mutex_;
@@ -276,6 +354,7 @@ private:
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> send_rejections_{0};
 };
 
 }  // namespace omig::runtime

@@ -2,35 +2,45 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 namespace omig::runtime {
 
+/// Typed verdict of a mailbox push. A rejection used to be observable only
+/// through the broken promise inside the destroyed message; the explicit
+/// status lets the retry/backoff layer count and log the rejection instead
+/// of inferring it.
+enum class PushStatus : std::uint8_t {
+  Ok = 0,
+  Closed,  ///< endpoint closed (node stopped or crashed); message dropped
+};
+
 /// Unbounded MPSC queue: any thread pushes, the owning node thread pops.
 ///
 /// Shutdown semantics: `close()` transitions the mailbox to closed exactly
 /// once — the first call wakes every blocked receiver, later calls are
-/// no-ops. A closed mailbox rejects every `push()` (returns false; the
-/// message is destroyed, which breaks any promise it carries — senders
-/// observe the rejection either way) while pending messages are still
-/// delivered, so a graceful stop drains the queue. `close_and_discard()`
-/// models a crash: pending messages are destroyed undelivered. `reopen()`
-/// rearms a closed, consumer-less mailbox for a node restart.
+/// no-ops. A closed mailbox rejects every `push()` (PushStatus::Closed;
+/// the message is destroyed, which also breaks any promise it carries)
+/// while pending messages are still delivered, so a graceful stop drains
+/// the queue. `close_and_discard()` models a crash: pending messages are
+/// destroyed undelivered. `reopen()` rearms a closed, consumer-less
+/// mailbox for a node restart.
 template <class T>
 class Mailbox {
 public:
-  /// Enqueues a message. Returns false if the mailbox is closed (the
-  /// message is dropped).
-  bool push(T value) {
+  /// Enqueues a message. PushStatus::Closed means the mailbox rejected it
+  /// (the message is dropped).
+  PushStatus push(T value) {
     {
       std::lock_guard lock{mutex_};
-      if (closed_) return false;
+      if (closed_) return PushStatus::Closed;
       queue_.push_back(std::move(value));
     }
     cv_.notify_one();
-    return true;
+    return PushStatus::Ok;
   }
 
   /// Blocks until a message is available or the mailbox is closed and

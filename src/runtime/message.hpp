@@ -20,12 +20,16 @@ namespace omig::runtime {
 struct ObjectState {
   std::string type;
   std::unordered_map<std::string, std::string> fields;
+
+  friend bool operator==(const ObjectState&, const ObjectState&) = default;
 };
 
 /// Result of an invocation: either a payload or an error description.
 struct InvokeResult {
   bool ok = false;
   std::string value;  ///< payload on success, error text on failure
+
+  friend bool operator==(const InvokeResult&, const InvokeResult&) = default;
 };
 
 /// Synchronous method invocation, replied to via the promise.

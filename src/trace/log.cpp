@@ -104,6 +104,44 @@ std::size_t TraceLog::to_jsonl(std::ostream& os) const {
   return events_.size();
 }
 
+std::size_t TraceLog::to_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    // One trace-time unit = 1000 Chrome microseconds = 1 displayed ms.
+    const double ts = e.time * 1000.0;
+    const std::uint64_t tid = e.node.valid() ? e.node.value() : 0;
+    const bool transit = e.kind == EventKind::MigrationStart ||
+                         e.kind == EventKind::MigrationEnd;
+    // Both halves of an async pair must carry the same name, so a transit
+    // is always "transit"; the viewer keys the pair by the object id and
+    // draws it as a span on the object's own lane.
+    os << "\n{\"name\":\"" << (transit ? "transit" : to_string(e.kind))
+       << "\",\"pid\":0,\"tid\":" << tid << ",\"ts\":" << ts;
+    if (transit) {
+      os << ",\"ph\":\"" << (e.kind == EventKind::MigrationStart ? 'b' : 'e')
+         << "\",\"cat\":\"migration\",\"id\":" << e.object.value();
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"protocol\"";
+    }
+    os << ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, std::uint64_t value) {
+      if (!first_arg) os << ',';
+      first_arg = false;
+      os << '"' << key << "\":" << value;
+    };
+    if (e.object.valid()) arg("obj", e.object.value());
+    if (e.node.valid()) arg("node", e.node.value());
+    if (e.block.valid()) arg("blk", e.block.value());
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return events_.size();
+}
+
 void TraceLog::clear() {
   events_.clear();
   recorded_ = 0;

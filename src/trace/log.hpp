@@ -46,6 +46,15 @@ public:
   /// omitted). Returns the number of events written.
   std::size_t to_jsonl(std::ostream& os) const;
 
+  /// Chrome trace-event export (load via chrome://tracing or Perfetto):
+  /// MigrationStart/MigrationEnd become paired async "b"/"e" events (one
+  /// lane per object, so transits read as spans), everything else an
+  /// instant event on the row of the node it names. Timestamps are the
+  /// event times scaled to microseconds with displayTimeUnit "ms", so one
+  /// trace-time unit renders as one millisecond. Returns the number of
+  /// events written.
+  std::size_t to_chrome_json(std::ostream& os) const;
+
   void clear();
 
 private:

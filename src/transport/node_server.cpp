@@ -1,0 +1,122 @@
+#include "transport/node_server.hpp"
+
+#include "transport/tcp.hpp"
+#include "util/assert.hpp"
+
+namespace omig::transport {
+
+NodeServer::NodeServer(Handler handler) : handler_{std::move(handler)} {
+  OMIG_REQUIRE(handler_ != nullptr, "server needs a handler");
+}
+
+NodeServer::~NodeServer() { stop(); }
+
+std::uint16_t NodeServer::start(std::uint16_t port, const std::string& host) {
+  std::lock_guard lock{mutex_};
+  if (listener_fd_ >= 0) return port_;  // already running: idempotent
+  const int fd = tcp_listen(host, port);
+  if (fd < 0) return 0;
+  listener_fd_ = fd;
+  port_ = tcp_local_port(fd);
+  stopping_ = false;
+  accept_thread_ = std::thread{[this] { accept_loop(); }};
+  return port_;
+}
+
+void NodeServer::stop() {
+  std::thread accept;
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock{mutex_};
+    if (listener_fd_ < 0 && connections_.empty() &&
+        !accept_thread_.joinable()) {
+      return;  // already stopped: idempotent
+    }
+    stopping_ = true;
+    // shutdown() wakes the blocked accept()/recv() calls without closing
+    // the fds — they are closed exactly once, after their thread joined.
+    tcp_shutdown(listener_fd_);
+    for (auto& conn : connections_) tcp_shutdown(conn->fd);
+    accept = std::move(accept_thread_);
+    conns = std::move(connections_);
+  }
+  if (accept.joinable()) accept.join();
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    tcp_close(conn->fd);
+  }
+  std::lock_guard lock{mutex_};
+  tcp_close(listener_fd_);
+  listener_fd_ = -1;
+}
+
+bool NodeServer::running() const {
+  std::lock_guard lock{mutex_};
+  return listener_fd_ >= 0 && !stopping_;
+}
+
+std::uint16_t NodeServer::port() const {
+  std::lock_guard lock{mutex_};
+  return port_;
+}
+
+void NodeServer::accept_loop() {
+  for (;;) {
+    int listener = -1;
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) return;
+      listener = listener_fd_;
+    }
+    const int fd = tcp_accept(listener);
+    if (fd < 0) return;  // listener shut down
+    std::lock_guard lock{mutex_};
+    if (stopping_) {
+      tcp_close(fd);
+      return;
+    }
+    reap_finished_locked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread{[this, raw, fd] {
+      serve_connection(fd);
+      std::lock_guard exit_lock{mutex_};
+      raw->done = true;
+    }};
+  }
+}
+
+void NodeServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done) {
+      // The thread has released mutex_ already; the join is immediate.
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      tcp_close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NodeServer::serve_connection(int fd) {
+  FrameBuffer frames;
+  std::uint8_t buffer[16 * 1024];
+  for (;;) {
+    const long n = tcp_recv_some(fd, buffer, sizeof(buffer));
+    if (n <= 0) return;  // EOF, reset, or shutdown by stop()
+    frames.feed({buffer, static_cast<std::size_t>(n)});
+    while (auto frame = frames.next()) {
+      std::optional<Frame> reply = handler_(std::move(*frame));
+      if (reply.has_value()) {
+        const std::vector<std::uint8_t> bytes = encode_frame(*reply);
+        if (!tcp_send_all(fd, bytes.data(), bytes.size())) return;
+      }
+    }
+    if (frames.error()) return;  // malformed stream: drop the connection
+  }
+}
+
+}  // namespace omig::transport

@@ -1,0 +1,75 @@
+// Frame server for one live node.
+//
+// Listens on a loopback port, reassembles request frames from each
+// connection (transport/wire) and hands them to a handler; the handler's
+// optional reply frame is written back on the same connection. Frames on
+// one connection are served in order — the same sequencing a node's
+// mailbox imposes — while separate connections proceed independently.
+//
+// A malformed frame closes the connection (a byte stream that lost framing
+// cannot be resynchronised), and stop() closes everything, which is how a
+// node crash becomes a connection reset on the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/wire.hpp"
+
+namespace omig::transport {
+
+class NodeServer {
+public:
+  /// Serves one request; may block (e.g. awaiting the node's mailbox).
+  /// nullopt = no reply (fire-and-forget request, or the node died while
+  /// processing — the caller's loss signal is the connection reset).
+  using Handler = std::function<std::optional<Frame>(Frame)>;
+
+  explicit NodeServer(Handler handler);
+  ~NodeServer();
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Binds `host:port` (0 = ephemeral) and starts accepting. Returns the
+  /// bound port, or 0 on failure. No-op (returns the bound port) if
+  /// already running.
+  std::uint16_t start(std::uint16_t port = 0,
+                      const std::string& host = "127.0.0.1");
+
+  /// Closes the listener and every connection, then joins all threads.
+  /// Pending handlers run to completion first (their replies are simply
+  /// not delivered). Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  /// Port of the current (or, after stop(), the last) listener.
+  [[nodiscard]] std::uint16_t port() const;
+
+private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;  ///< set by the thread on exit (requires mutex_)
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Joins connection threads that already finished (requires mutex_).
+  void reap_finished_locked();
+
+  Handler handler_;
+  mutable std::mutex mutex_;
+  int listener_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace omig::transport

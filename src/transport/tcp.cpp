@@ -1,0 +1,113 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+
+namespace omig::transport {
+
+namespace {
+
+/// Frames are small and latency-sensitive; Nagle buffering would batch a
+/// request behind an unrelated reply.
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool make_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  if (!make_addr(host, port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, backlog) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t tcp_local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int tcp_accept(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  if (!make_addr(host, port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+bool tcp_send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const auto n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long tcp_recv_some(int fd, std::uint8_t* buffer, std::size_t size) {
+  for (;;) {
+    const auto n = ::recv(fd, buffer, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+void tcp_shutdown(int fd) {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void tcp_close(int fd) {
+  if (fd >= 0) (void)::close(fd);
+}
+
+}  // namespace omig::transport

@@ -1,0 +1,45 @@
+// Thin POSIX TCP helpers for the localhost transport.
+//
+// Deliberately minimal: blocking sockets, IPv4 loopback by default, no
+// external dependencies. Everything returns -1 / false on failure and
+// never throws; callers decide whether a failure is retryable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace omig::transport {
+
+/// Binds and listens on `host:port` (port 0 = ephemeral) with
+/// SO_REUSEADDR, so a restarted node can rebind its old port immediately.
+/// Returns the listening fd, or -1.
+[[nodiscard]] int tcp_listen(const std::string& host, std::uint16_t port,
+                             int backlog = 64);
+
+/// Port a listening (or connected) socket is bound to locally; 0 on error.
+[[nodiscard]] std::uint16_t tcp_local_port(int fd);
+
+/// Blocking accept; returns the connection fd (TCP_NODELAY set) or -1
+/// (listener closed).
+[[nodiscard]] int tcp_accept(int listener_fd);
+
+/// Blocking connect to `host:port`; returns the fd (TCP_NODELAY set) or -1.
+[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Writes the whole buffer (retrying short writes). False = peer gone.
+[[nodiscard]] bool tcp_send_all(int fd, const std::uint8_t* data,
+                                std::size_t size);
+
+/// Reads up to `size` bytes. >0 bytes read, 0 = orderly EOF, <0 = error.
+[[nodiscard]] long tcp_recv_some(int fd, std::uint8_t* buffer,
+                                 std::size_t size);
+
+/// Shuts down both directions (wakes a thread blocked in recv) without
+/// closing the fd.
+void tcp_shutdown(int fd);
+
+/// Closes the fd (ignores errors and -1).
+void tcp_close(int fd);
+
+}  // namespace omig::transport

@@ -1,0 +1,244 @@
+#include "transport/tcp_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "transport/tcp.hpp"
+
+namespace omig::transport {
+
+namespace {
+
+/// Fulfils one pending reply from a reply frame's payload. Returns false
+/// when the reply type does not match what the sender awaits — a protocol
+/// violation that costs the peer its connection.
+bool fulfil(std::variant<std::promise<runtime::InvokeResult>,
+                         std::promise<bool>,
+                         std::promise<runtime::ObjectState>>& pending,
+            Frame::Payload&& payload) {
+  if (auto* invoke = std::get_if<std::promise<runtime::InvokeResult>>(
+          &pending)) {
+    auto* reply = std::get_if<WireInvokeReply>(&payload);
+    if (reply == nullptr) return false;
+    invoke->set_value(std::move(reply->result));
+    return true;
+  }
+  if (auto* install = std::get_if<std::promise<bool>>(&pending)) {
+    auto* reply = std::get_if<WireInstallReply>(&payload);
+    if (reply == nullptr) return false;
+    install->set_value(reply->ok);
+    return true;
+  }
+  auto& evict = std::get<std::promise<runtime::ObjectState>>(pending);
+  auto* reply = std::get_if<WireEvictReply>(&payload);
+  if (reply == nullptr) return false;
+  evict.set_value(std::move(reply->state));
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(Options options, fault::FaultInjector* injector)
+    : Transport{injector}, options_{std::move(options)} {
+  conns_.reserve(options_.peers.size());
+  for (const Peer& peer : options_.peers) {
+    auto conn = std::make_unique<Conn>();
+    conn->peer = peer;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& conn : conns_) {
+    std::thread reader;
+    {
+      std::lock_guard lock{conn->mutex};
+      disconnect_locked(*conn);
+      reader = std::move(conn->reader);
+    }
+    if (reader.joinable()) reader.join();
+  }
+}
+
+SendStatus TcpTransport::send_invoke(std::size_t from, std::size_t to,
+                                     const WireInvoke& msg,
+                                     std::future<runtime::InvokeResult>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus TcpTransport::send_install(std::size_t from, std::size_t to,
+                                      const WireInstall& msg,
+                                      std::future<bool>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus TcpTransport::send_evict(std::size_t from, std::size_t to,
+                                    const WireEvict& msg,
+                                    std::future<runtime::ObjectState>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus TcpTransport::send_shutdown(std::size_t to) {
+  if (to >= conns_.size()) return SendStatus::Unreachable;
+  Conn& conn = *conns_[to];
+  std::unique_lock lock{conn.mutex};
+  if (!ensure_connected(lock, conn)) return SendStatus::Unreachable;
+  const std::uint64_t corr =
+      next_corr_.fetch_add(1, std::memory_order_relaxed);
+  const SendStatus status =
+      write_frame_locked(conn, Frame{corr, WireShutdown{}});
+  if (status == SendStatus::Closed) disconnect_locked(conn);
+  return status;
+}
+
+void TcpTransport::on_node_crash(std::size_t node) {
+  if (node >= conns_.size()) return;
+  std::lock_guard lock{conns_[node]->mutex};
+  disconnect_locked(*conns_[node]);
+}
+
+void TcpTransport::set_peer(std::size_t node, Peer peer) {
+  if (node >= conns_.size()) return;
+  std::lock_guard lock{conns_[node]->mutex};
+  disconnect_locked(*conns_[node]);
+  conns_[node]->peer = std::move(peer);
+}
+
+template <class WireT, class ReplyT>
+SendStatus TcpTransport::send_request(std::size_t from, std::size_t to,
+                                      const WireT& msg,
+                                      std::future<ReplyT>& reply) {
+  if (to >= conns_.size()) return SendStatus::Unreachable;
+  // Same verdict order as the in-process backend: delay, drop, duplicate.
+  const fault::Decision verdict = decide(from, to);
+  if (verdict.delay > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>{verdict.delay});
+  }
+  if (verdict.drop) {
+    break_reply(reply);
+    return SendStatus::Ok;  // "sent", but lost in flight
+  }
+  Conn& conn = *conns_[to];
+  std::unique_lock lock{conn.mutex};
+  if (!ensure_connected(lock, conn)) return SendStatus::Unreachable;
+  if (verdict.duplicate) {
+    // Same-seq copy under a fresh correlation ID with no pending entry:
+    // the peer's dedup layer answers it, and the answer is discarded.
+    (void)write_frame_locked(
+        conn,
+        Frame{next_corr_.fetch_add(1, std::memory_order_relaxed), msg});
+  }
+  const std::uint64_t corr =
+      next_corr_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<ReplyT> promise;
+  reply = promise.get_future();
+  conn.pending.emplace(corr, PendingReply{std::move(promise)});
+  const SendStatus status = write_frame_locked(conn, Frame{corr, msg});
+  if (status == SendStatus::Ok) return SendStatus::Ok;
+  if (status == SendStatus::Oversized) {
+    conn.pending.erase(corr);  // breaks `reply`; the link stays healthy
+    return SendStatus::Oversized;
+  }
+  // Write hit a dead socket: the link is gone, and so is every reply that
+  // was still in flight on it. The next send reconnects.
+  disconnect_locked(conn);
+  return SendStatus::Closed;
+}
+
+bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
+                                    Conn& conn) {
+  for (;;) {
+    if (conn.fd >= 0) return true;
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    if (conn.reader.joinable()) {
+      // The old link's reader is finished or about to be; claim the thread
+      // object and join it outside the lock (it needs the mutex to exit).
+      std::thread dead = std::move(conn.reader);
+      lock.unlock();
+      dead.join();
+      lock.lock();
+      continue;  // another sender may have reconnected meanwhile
+    }
+    break;
+  }
+  // Idle link: connect with bounded exponential backoff. Holding the lock
+  // throughout serialises competing senders onto one connect attempt.
+  for (int attempt = 0; attempt < options_.max_connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      const int shift = std::min(attempt - 1, 6);
+      std::this_thread::sleep_for(options_.connect_backoff * (1 << shift));
+    }
+    const int fd = tcp_connect(conn.peer.host, conn.peer.port);
+    if (fd < 0) continue;
+    conn.fd = fd;
+    ++conn.generation;
+    if (conn.ever_connected) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn.ever_connected = true;
+    const std::uint64_t generation = conn.generation;
+    conn.reader = std::thread{
+        [this, &conn, fd, generation] { reader_loop(conn, fd, generation); }};
+    return true;
+  }
+  return false;
+}
+
+SendStatus TcpTransport::write_frame_locked(Conn& conn, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  if (bytes.size() - 4 > kMaxFramePayload) return SendStatus::Oversized;
+  return tcp_send_all(conn.fd, bytes.data(), bytes.size())
+             ? SendStatus::Ok
+             : SendStatus::Closed;
+}
+
+void TcpTransport::disconnect_locked(Conn& conn) {
+  if (conn.fd >= 0) {
+    tcp_shutdown(conn.fd);  // wakes the reader; it closes the fd on exit
+    conn.fd = -1;
+    ++conn.generation;  // anything the old reader still does is stale
+  }
+  conn.pending.clear();  // destroys the promises: every caller's reply breaks
+}
+
+void TcpTransport::reader_loop(Conn& conn, int fd, std::uint64_t generation) {
+  FrameBuffer frames;
+  std::uint8_t buffer[16 * 1024];
+  bool healthy = true;
+  while (healthy) {
+    const long n = tcp_recv_some(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;  // EOF, reset, or shutdown by a disconnect
+    frames.feed({buffer, static_cast<std::size_t>(n)});
+    while (auto frame = frames.next()) {
+      std::lock_guard lock{conn.mutex};
+      if (conn.generation != generation) {
+        healthy = false;  // the link was reset under us; stop touching state
+        break;
+      }
+      const auto it = conn.pending.find(frame->corr);
+      if (it == conn.pending.end()) continue;  // a duplicate's answer
+      const bool matched = fulfil(it->second, std::move(frame->payload));
+      conn.pending.erase(it);
+      if (!matched) {
+        healthy = false;  // type-confused peer: drop the connection
+        break;
+      }
+    }
+    if (frames.error()) healthy = false;  // malformed stream
+  }
+  {
+    std::lock_guard lock{conn.mutex};
+    if (conn.generation == generation) {
+      conn.fd = -1;
+      ++conn.generation;
+      conn.pending.clear();
+    }
+  }
+  // The reader owns its fd's close — exactly once, after the link state no
+  // longer references it.
+  tcp_close(fd);
+}
+
+}  // namespace omig::transport

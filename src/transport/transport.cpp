@@ -1,0 +1,110 @@
+#include "transport/transport.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace omig::transport {
+
+namespace {
+
+/// Rebuilds the promise-carrying runtime message for a wire request. With
+/// `reply` null the message's reply channel is deliberately unawaited —
+/// that is how injected duplicates travel.
+runtime::Message to_message(const WireInvoke& w,
+                            std::future<runtime::InvokeResult>* reply) {
+  runtime::MsgInvoke m;
+  m.object = w.object;
+  m.method = w.method;
+  m.argument = w.argument;
+  m.seq = w.seq;
+  if (reply) *reply = m.reply.get_future();
+  return runtime::Message{std::move(m)};
+}
+
+runtime::Message to_message(const WireInstall& w, std::future<bool>* reply) {
+  runtime::MsgInstall m;
+  m.name = w.name;
+  m.state = w.state;
+  m.seq = w.seq;
+  if (reply) *reply = m.done.get_future();
+  return runtime::Message{std::move(m)};
+}
+
+runtime::Message to_message(const WireEvict& w,
+                            std::future<runtime::ObjectState>* reply) {
+  runtime::MsgEvict m;
+  m.name = w.name;
+  m.seq = w.seq;
+  if (reply) *reply = m.state.get_future();
+  return runtime::Message{std::move(m)};
+}
+
+}  // namespace
+
+const char* to_string(SendStatus status) {
+  switch (status) {
+    case SendStatus::Ok:
+      return "ok";
+    case SendStatus::Closed:
+      return "closed";
+    case SendStatus::Unreachable:
+      return "unreachable";
+    case SendStatus::Oversized:
+      return "oversized";
+  }
+  return "unknown";
+}
+
+template <class WireT, class ReplyT>
+SendStatus InProcTransport::send_request(std::size_t from, std::size_t to,
+                                         const WireT& msg,
+                                         std::future<ReplyT>& reply) {
+  runtime::Mailbox<runtime::Message>* box = mailboxes_(to);
+  if (box == nullptr) return SendStatus::Closed;
+  const fault::Decision d = decide(from, to);
+  if (d.delay > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>{d.delay});
+  }
+  if (d.drop) {
+    // Lost in flight: the sender observes the loss through the broken
+    // reply, exactly as when the message object was destroyed pre-seam.
+    break_reply(reply);
+    return SendStatus::Ok;
+  }
+  if (d.duplicate) {
+    (void)box->push(to_message(msg, static_cast<std::future<ReplyT>*>(nullptr)));
+  }
+  const runtime::PushStatus pushed = box->push(to_message(msg, &reply));
+  return pushed == runtime::PushStatus::Ok ? SendStatus::Ok
+                                           : SendStatus::Closed;
+}
+
+SendStatus InProcTransport::send_invoke(
+    std::size_t from, std::size_t to, const WireInvoke& msg,
+    std::future<runtime::InvokeResult>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus InProcTransport::send_install(std::size_t from, std::size_t to,
+                                         const WireInstall& msg,
+                                         std::future<bool>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus InProcTransport::send_evict(
+    std::size_t from, std::size_t to, const WireEvict& msg,
+    std::future<runtime::ObjectState>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus InProcTransport::send_shutdown(std::size_t to) {
+  runtime::Mailbox<runtime::Message>* box = mailboxes_(to);
+  if (box == nullptr) return SendStatus::Closed;
+  return box->push(runtime::Message{runtime::MsgStop{}}) ==
+                 runtime::PushStatus::Ok
+             ? SendStatus::Ok
+             : SendStatus::Closed;
+}
+
+}  // namespace omig::transport

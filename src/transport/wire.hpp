@@ -1,0 +1,159 @@
+// Wire protocol for the live runtime: every NodeMessage variant as a
+// length-prefixed frame.
+//
+// Inside one process the runtime's messages carry `std::promise` reply
+// channels; those cannot cross a process boundary. At the transport seam a
+// request instead carries a correlation ID, and the peer answers with a
+// reply frame quoting the same ID — the sending transport matches it back
+// to the waiting future. The frame layout is
+//
+//     u32  payload length (little-endian, excludes this prefix)
+//     u8   protocol version (kWireVersion)
+//     u8   frame type (FrameType)
+//     u64  correlation ID (little-endian)
+//     ...  type-specific body
+//
+// Strings use the same u32-length-prefix idiom as runtime/serde, and an
+// embedded ObjectState is carried as a serde blob, so the object codec is
+// written (and validated) exactly once. Decoding follows runtime/serde's
+// strict discipline: truncation, overlong lengths, unknown versions or
+// types, and trailing bytes all reject the frame — decode never reads past
+// the buffer and never throws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/message.hpp"
+
+namespace omig::transport {
+
+/// Protocol version stamped into every frame header.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Upper bound on one frame's payload. A length prefix beyond this is
+/// treated as malformed before any allocation happens, so a corrupt or
+/// hostile peer cannot make the receiver reserve gigabytes.
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+enum class FrameType : std::uint8_t {
+  Invoke = 1,
+  Install = 2,
+  Evict = 3,
+  Shutdown = 4,
+  InvokeReply = 5,
+  InstallReply = 6,
+  EvictReply = 7,
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+// --- request bodies (promise-free mirrors of runtime::Msg*) ----------------
+
+struct WireInvoke {
+  std::uint64_t seq = 0;  ///< at-most-once dedup id (runtime::MsgInvoke)
+  std::string object;
+  std::string method;
+  std::string argument;
+
+  friend bool operator==(const WireInvoke&, const WireInvoke&) = default;
+};
+
+struct WireInstall {
+  std::uint64_t seq = 0;
+  std::string name;
+  runtime::ObjectState state;
+
+  friend bool operator==(const WireInstall&, const WireInstall&) = default;
+};
+
+struct WireEvict {
+  std::uint64_t seq = 0;
+  std::string name;
+
+  friend bool operator==(const WireEvict&, const WireEvict&) = default;
+};
+
+/// Asks a node process to stop (runtime::MsgStop). Fire-and-forget: the
+/// peer closes the connection instead of replying.
+struct WireShutdown {
+  friend bool operator==(const WireShutdown&, const WireShutdown&) = default;
+};
+
+// --- reply bodies ----------------------------------------------------------
+
+struct WireInvokeReply {
+  runtime::InvokeResult result;
+
+  friend bool operator==(const WireInvokeReply&,
+                         const WireInvokeReply&) = default;
+};
+
+struct WireInstallReply {
+  bool ok = false;
+
+  friend bool operator==(const WireInstallReply&,
+                         const WireInstallReply&) = default;
+};
+
+struct WireEvictReply {
+  runtime::ObjectState state;  ///< empty type signals failure (as in-proc)
+
+  friend bool operator==(const WireEvictReply&,
+                         const WireEvictReply&) = default;
+};
+
+/// One decoded frame: correlation ID plus the typed payload.
+struct Frame {
+  using Payload = std::variant<WireInvoke, WireInstall, WireEvict,
+                               WireShutdown, WireInvokeReply,
+                               WireInstallReply, WireEvictReply>;
+
+  std::uint64_t corr = 0;
+  Payload payload;
+
+  [[nodiscard]] FrameType type() const;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Encodes a frame, length prefix included — the buffer can go onto a
+/// socket as-is. The encoder does not enforce kMaxFramePayload; senders
+/// check the encoded size (SendStatus::Oversized) and every receiver
+/// rejects an overlong length prefix, so an oversized frame can never
+/// cross the wire unnoticed.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decodes one frame payload (the bytes *after* the u32 length prefix).
+/// Returns nullopt on any malformation: short header, unknown version or
+/// type, truncated body, overlong inner length, or trailing bytes.
+[[nodiscard]] std::optional<Frame> decode_payload(
+    std::span<const std::uint8_t> payload);
+
+/// Reassembles frames from a TCP byte stream. recv() boundaries carry no
+/// meaning on a stream socket, so feed() accepts arbitrary splits and
+/// coalescings; next() hands out complete frames in order. A malformed
+/// length or payload poisons the buffer permanently (error() turns true):
+/// a byte stream that has lost framing cannot be resynchronised.
+class FrameBuffer {
+public:
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Next complete frame, or nullopt if more bytes are needed (or the
+  /// stream is poisoned — check error() to tell the cases apart).
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] bool error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted lazily
+  bool error_ = false;
+};
+
+}  // namespace omig::transport

@@ -13,8 +13,8 @@ namespace {
 
 TEST(MailboxTest, PushPopSingleThread) {
   Mailbox<int> box;
-  EXPECT_TRUE(box.push(1));
-  EXPECT_TRUE(box.push(2));
+  EXPECT_EQ(box.push(1), PushStatus::Ok);
+  EXPECT_EQ(box.push(2), PushStatus::Ok);
   EXPECT_EQ(box.size(), 2u);
   EXPECT_EQ(box.pop(), 1);
   EXPECT_EQ(box.pop(), 2);
@@ -24,7 +24,7 @@ TEST(MailboxTest, CloseDrainsThenSignalsShutdown) {
   Mailbox<int> box;
   box.push(42);
   box.close();
-  EXPECT_FALSE(box.push(43));  // closed
+  EXPECT_EQ(box.push(43), PushStatus::Closed);
   EXPECT_EQ(box.pop(), 42);    // pending message still delivered
   EXPECT_EQ(box.pop(), std::nullopt);
 }
@@ -82,7 +82,7 @@ TEST(MailboxTest, CloseIsIdempotent) {
   box.close();
   box.close();  // second close must be a harmless no-op
   EXPECT_TRUE(box.closed());
-  EXPECT_FALSE(box.push(2));
+  EXPECT_EQ(box.push(2), PushStatus::Closed);
   EXPECT_EQ(box.pop(), 1);
   EXPECT_EQ(box.pop(), std::nullopt);
 }
@@ -111,10 +111,10 @@ TEST(MailboxTest, ReopenRearmsAClosedMailbox) {
   Mailbox<int> box;
   box.push(1);
   box.close_and_discard();
-  EXPECT_FALSE(box.push(2));
+  EXPECT_EQ(box.push(2), PushStatus::Closed);
   box.reopen();
   EXPECT_FALSE(box.closed());
-  EXPECT_TRUE(box.push(3));
+  EXPECT_EQ(box.push(3), PushStatus::Ok);
   EXPECT_EQ(box.pop(), 3);  // nothing from before the restart survives
 }
 
@@ -128,7 +128,7 @@ TEST(MailboxTest, ConcurrentClosersAndProducersAreSafe) {
     for (int p = 0; p < 4; ++p) {
       threads.emplace_back([&] {
         for (int i = 0; i < 100; ++i) {
-          if (box.push(i)) accepted.fetch_add(1);
+          if (box.push(i) == PushStatus::Ok) accepted.fetch_add(1);
         }
       });
     }

@@ -3,78 +3,40 @@
 // — intake, billing, archive — cooperate on shared case files across four
 // node threads. Exercises types, alliances, placement conflicts, visits
 // and migration-under-load together.
+//
+// Parametrised over the transport backend: the whole suite runs once with
+// in-process mailbox delivery and once with every inter-node request
+// marshalled through a wire frame and a localhost socket — the semantics
+// must not depend on how the messages travel (docs/transport.md).
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <initializer_list>
+#include <memory>
 #include <thread>
-#include <utility>
 
+#include "runtime/demo_types.hpp"
 #include "runtime/live_system.hpp"
 
 namespace omig::runtime {
 namespace {
 
-ObjectFactory case_file_factory() {
-  return [](std::string name, ObjectState state) {
-    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
-    obj->register_method("append", [](ObjectState& self,
-                                      const std::string& entry) {
-      auto& log = self.fields["log"];
-      log += log.empty() ? entry : ";" + entry;
-      return log;
-    });
-    obj->register_method("entries", [](ObjectState& self, const std::string&) {
-      const auto& log = self.fields["log"];
-      return std::to_string(
-          log.empty() ? 0 : 1 + std::count(log.begin(), log.end(), ';'));
-    });
-    return obj;
-  };
-}
-
-ObjectFactory ledger_factory() {
-  return [](std::string name, ObjectState state) {
-    auto obj = std::make_unique<LiveObject>(std::move(name), std::move(state));
-    obj->register_method("bill", [](ObjectState& self, const std::string&) {
-      self.fields["total"] =
-          std::to_string(std::stoi(self.fields["total"]) + 10);
-      return self.fields["total"];
-    });
-    obj->register_method("total", [](ObjectState& self, const std::string&) {
-      return self.fields["total"];
-    });
-    return obj;
-  };
-}
-
-ObjectState state_of(const char* type,
-                     std::initializer_list<std::pair<const char*, const char*>>
-                         fields) {
-  ObjectState s;
-  s.type = type;
-  for (const auto& [k, v] : fields) s.fields[k] = v;
-  return s;
-}
-
-class OfficeWorkflow : public ::testing::Test {
+class OfficeWorkflow : public ::testing::TestWithParam<TransportKind> {
 protected:
   void SetUp() override {
     LiveSystem::Options opts;
     opts.nodes = 4;
     opts.placement_policy = true;
     opts.a_transitive_attachments = true;
+    opts.transport = GetParam();
     sys = std::make_unique<LiveSystem>(opts);
-    sys->register_type("case-file", case_file_factory());
-    sys->register_type("ledger", ledger_factory());
+    register_demo_types(*sys);
     sys->start();
 
-    ASSERT_TRUE(sys->create("case-1", state_of("case-file", {{"log", ""}}),
-                            0));
-    ASSERT_TRUE(sys->create("case-2", state_of("case-file", {{"log", ""}}),
-                            0));
     ASSERT_TRUE(
-        sys->create("ledger", state_of("ledger", {{"total", "0"}}), 3));
+        sys->create("case-1", make_state("case-file", {{"log", ""}}), 0));
+    ASSERT_TRUE(
+        sys->create("case-2", make_state("case-file", {{"log", ""}}), 0));
+    ASSERT_TRUE(
+        sys->create("ledger", make_state("ledger", {{"total", "0"}}), 3));
 
     // Billing keeps the ledger with whichever case it processes — one
     // cooperation context *per case*: attaching both cases in a single
@@ -87,7 +49,7 @@ protected:
   std::unique_ptr<LiveSystem> sys;
 };
 
-TEST_F(OfficeWorkflow, ThreeComponentsCooperate) {
+TEST_P(OfficeWorkflow, ThreeComponentsCooperate) {
   // Intake (node 1) visits case-1, appends entries, lets it go home.
   auto intake = sys->visit("case-1", 1, "intake");
   ASSERT_TRUE(intake.granted);
@@ -125,9 +87,10 @@ TEST_F(OfficeWorkflow, ThreeComponentsCooperate) {
   EXPECT_EQ(sys->invoke("case-1", "entries", "").value, "7");
   EXPECT_EQ(sys->invoke("ledger", "total", "").value, "10");
   EXPECT_EQ(sys->refused_moves(), 1u);
+  EXPECT_EQ(sys->send_rejections(), 0u);
 }
 
-TEST_F(OfficeWorkflow, ConcurrentComponentsNeverLoseWork) {
+TEST_P(OfficeWorkflow, ConcurrentComponentsNeverLoseWork) {
   constexpr int kRounds = 30;
   auto component = [&](std::size_t home, const char* tag,
                        const char* case_name) {
@@ -150,7 +113,7 @@ TEST_F(OfficeWorkflow, ConcurrentComponentsNeverLoseWork) {
             std::to_string(kRounds));
 }
 
-TEST_F(OfficeWorkflow, FixPinsTheLedgerForAudit) {
+TEST_P(OfficeWorkflow, FixPinsTheLedgerForAudit) {
   sys->fix("ledger");
   auto billing = sys->move("case-1", 2, "billing");
   ASSERT_TRUE(billing.granted);
@@ -158,6 +121,15 @@ TEST_F(OfficeWorkflow, FixPinsTheLedgerForAudit) {
   EXPECT_EQ(sys->location("ledger"), 3u);  // fixed: stayed for the audit
   sys->end(billing);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, OfficeWorkflow,
+                         ::testing::Values(TransportKind::InProc,
+                                           TransportKind::Tcp),
+                         [](const auto& info) {
+                           return info.param == TransportKind::InProc
+                                      ? "InProc"
+                                      : "Tcp";
+                         });
 
 }  // namespace
 }  // namespace omig::runtime

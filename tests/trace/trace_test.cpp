@@ -129,6 +129,32 @@ TEST(TraceLogTest, JsonlExport) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
 }
 
+TEST(TraceLogTest, ChromeJsonExport) {
+  TraceLog log;
+  log.record(ev(1.5, EventKind::MigrationStart, 3, 2));
+  log.record(ev(4.0, EventKind::MigrationEnd, 3, 2));
+  log.record(Event{5.0, EventKind::Lock, ObjectId{4}, NodeId{1},
+                   BlockId{9}});
+  std::ostringstream os;
+  EXPECT_EQ(log.to_chrome_json(os), 3u);
+  const std::string out = os.str();
+  // Wrapped as one trace object, times scaled to microseconds.
+  EXPECT_EQ(out.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  // The transit is an async begin/end pair keyed by the object id.
+  EXPECT_NE(out.find("\"name\":\"transit\",\"pid\":0,\"tid\":0,"
+                     "\"ts\":1500,\"ph\":\"b\",\"cat\":\"migration\","
+                     "\"id\":3"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ts\":4000,\"ph\":\"e\""), std::string::npos);
+  // Everything else is an instant event on its node's row.
+  EXPECT_NE(out.find("\"name\":\"lock\",\"pid\":0,\"tid\":1,\"ts\":5000,"
+                     "\"ph\":\"i\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"blk\":9"), std::string::npos);
+  // Balanced JSON array + object close.
+  EXPECT_NE(out.find("\n]}\n"), std::string::npos);
+}
+
 TEST(TraceLogTest, ZeroCapacityRejected) {
   EXPECT_THROW(TraceLog{0}, omig::AssertionError);
 }

@@ -1,0 +1,364 @@
+// Transport backends: typed send errors, TCP reconnect after a reset, and
+// the core equivalence property — the same workflow with the same
+// FaultPlan produces the same protocol-event trace whether the traffic
+// stays in-process or takes the full wire round trip.
+#include "transport/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "runtime/demo_types.hpp"
+#include "runtime/live_node.hpp"
+#include "runtime/live_system.hpp"
+#include "trace/log.hpp"
+#include "transport/bridge.hpp"
+#include "transport/node_server.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace omig::transport {
+namespace {
+
+using runtime::LiveSystem;
+using runtime::TransportKind;
+
+constexpr std::size_t kSender = 99;
+
+// --- standalone TcpTransport against one real node -------------------------
+
+class TcpLink : public ::testing::Test {
+protected:
+  void SetUp() override {
+    factories_ = runtime::demo_factories();
+    node_ = std::make_unique<runtime::LiveNode>(0, &factories_);
+    node_->start();
+    server_ = std::make_unique<NodeServer>([this](Frame frame) {
+      return serve_on_mailbox(node_->mailbox(), std::move(frame));
+    });
+    port_ = server_->start();
+    ASSERT_NE(port_, 0);
+    TcpTransport::Options opts;
+    opts.peers = {Peer{"127.0.0.1", port_}};
+    opts.max_connect_attempts = 2;
+    opts.connect_backoff = std::chrono::milliseconds{1};
+    tcp_ = std::make_unique<TcpTransport>(std::move(opts), nullptr);
+  }
+
+  void TearDown() override {
+    tcp_.reset();
+    server_->stop();
+    node_->stop();
+  }
+
+  bool install(const std::string& name, runtime::ObjectState state) {
+    WireInstall msg;
+    msg.seq = next_seq_++;
+    msg.name = name;
+    msg.state = std::move(state);
+    std::future<bool> done;
+    if (tcp_->send_install(kSender, 0, msg, done) != SendStatus::Ok) {
+      return false;
+    }
+    return done.get();
+  }
+
+  std::unordered_map<std::string, runtime::ObjectFactory> factories_;
+  std::unique_ptr<runtime::LiveNode> node_;
+  std::unique_ptr<NodeServer> server_;
+  std::unique_ptr<TcpTransport> tcp_;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+TEST_F(TcpLink, RequestReplyRoundTrip) {
+  ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "5"}})));
+
+  WireInvoke msg;
+  msg.seq = next_seq_++;
+  msg.object = "c";
+  msg.method = "add";
+  msg.argument = "3";
+  std::future<runtime::InvokeResult> reply;
+  ASSERT_EQ(tcp_->send_invoke(kSender, 0, msg, reply), SendStatus::Ok);
+  const runtime::InvokeResult result = reply.get();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.value, "8");
+
+  WireEvict evict;
+  evict.seq = next_seq_++;
+  evict.name = "c";
+  std::future<runtime::ObjectState> state;
+  ASSERT_EQ(tcp_->send_evict(kSender, 0, evict, state), SendStatus::Ok);
+  const runtime::ObjectState evicted = state.get();
+  EXPECT_EQ(evicted.type, "counter");
+  EXPECT_EQ(evicted.fields.at("count"), "8");
+}
+
+TEST_F(TcpLink, ManyInFlightRequestsDemultiplexByCorrelation) {
+  ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "0"}})));
+  // Issue a burst of invokes before reading any reply: every future must
+  // get *its* answer back (correlation IDs, not ordering luck).
+  constexpr int kBurst = 64;
+  std::vector<std::future<runtime::InvokeResult>> replies(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    WireInvoke msg;
+    msg.seq = next_seq_++;
+    msg.object = "c";
+    msg.method = "add";
+    msg.argument = "1";
+    ASSERT_EQ(tcp_->send_invoke(kSender, 0, msg, replies[i]), SendStatus::Ok);
+  }
+  std::vector<std::string> values;
+  for (auto& reply : replies) {
+    const runtime::InvokeResult result = reply.get();
+    ASSERT_TRUE(result.ok);
+    values.push_back(result.value);
+  }
+  // The node serves one connection in order, so the final count is exact.
+  EXPECT_EQ(values.back(), std::to_string(kBurst));
+}
+
+TEST_F(TcpLink, UnknownPeerIsUnreachable) {
+  WireInvoke msg;
+  msg.object = "c";
+  std::future<runtime::InvokeResult> reply;
+  EXPECT_EQ(tcp_->send_invoke(kSender, 7, msg, reply),
+            SendStatus::Unreachable);
+}
+
+TEST_F(TcpLink, DeadListenerIsUnreachableAndRecoversOnRestart) {
+  ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "1"}})));
+  server_->stop();
+
+  WireInvoke msg;
+  msg.seq = next_seq_++;
+  msg.object = "c";
+  msg.method = "get";
+  std::future<runtime::InvokeResult> reply;
+  // The first send may still ride the old connection (Closed when the
+  // write hits the reset) or fail to reconnect (Unreachable); either way
+  // it is a typed rejection, not a hang.
+  SendStatus status = tcp_->send_invoke(kSender, 0, msg, reply);
+  if (status == SendStatus::Ok) {
+    // Accepted just before the reset was observed: the reply must break.
+    EXPECT_THROW(reply.get(), std::future_error);
+    status = tcp_->send_invoke(kSender, 0, msg, reply);
+  }
+  EXPECT_NE(status, SendStatus::Ok);
+
+  // Restart on the same port (the node itself kept running, so the object
+  // is still there) — the transport reconnects transparently.
+  ASSERT_EQ(server_->start(port_), port_);
+  std::future<runtime::InvokeResult> after;
+  ASSERT_EQ(tcp_->send_invoke(kSender, 0, msg, after), SendStatus::Ok);
+  EXPECT_EQ(after.get().value, "1");
+  EXPECT_GE(tcp_->reconnects(), 1u);
+}
+
+TEST_F(TcpLink, OversizedFrameIsRejectedWithoutKillingTheLink) {
+  ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "1"}})));
+  WireInstall big;
+  big.seq = next_seq_++;
+  big.name = "blob";
+  big.state.type = "counter";
+  big.state.fields["payload"] = std::string(kMaxFramePayload + 1, 'x');
+  std::future<bool> done;
+  EXPECT_EQ(tcp_->send_install(kSender, 0, big, done), SendStatus::Oversized);
+  EXPECT_THROW(done.get(), std::future_error);  // reply broke, typed status
+
+  // The connection survived: normal traffic still flows.
+  WireInvoke msg;
+  msg.seq = next_seq_++;
+  msg.object = "c";
+  msg.method = "get";
+  std::future<runtime::InvokeResult> reply;
+  ASSERT_EQ(tcp_->send_invoke(kSender, 0, msg, reply), SendStatus::Ok);
+  EXPECT_EQ(reply.get().value, "1");
+}
+
+// --- in-proc typed errors ---------------------------------------------------
+
+TEST(InProcTransportTest, ClosedMailboxYieldsTypedError) {
+  auto factories = runtime::demo_factories();
+  runtime::LiveNode node{0, &factories};
+  node.start();
+  InProcTransport transport{
+      [&](std::size_t to) {
+        return to == 0 ? &node.mailbox() : nullptr;
+      },
+      nullptr};
+
+  WireInvoke msg;
+  msg.seq = 1;
+  msg.object = "nothing";
+  msg.method = "get";
+  std::future<runtime::InvokeResult> reply;
+  EXPECT_EQ(transport.send_invoke(kSender, 0, msg, reply), SendStatus::Ok);
+  EXPECT_FALSE(reply.get().ok);  // unknown object, but delivered
+
+  EXPECT_EQ(transport.send_invoke(kSender, 3, msg, reply),
+            SendStatus::Closed);  // no such mailbox
+
+  node.crash();
+  EXPECT_EQ(transport.send_invoke(kSender, 0, msg, reply),
+            SendStatus::Closed);  // crashed: mailbox rejects
+  node.stop();
+}
+
+// --- LiveSystem over both backends ------------------------------------------
+
+LiveSystem::Options system_options(TransportKind kind, std::size_t nodes,
+                                   trace::TraceLog* trace = nullptr) {
+  LiveSystem::Options opts;
+  opts.nodes = nodes;
+  opts.transport = kind;
+  opts.trace = trace;
+  opts.max_retries = 8;
+  opts.retry_backoff = std::chrono::milliseconds{1};
+  return opts;
+}
+
+/// The deterministic mini-workflow used for the equivalence checks: one
+/// driver thread, so directory events are totally ordered.
+void run_workflow(LiveSystem& sys) {
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(
+      sys.create("case-1", runtime::make_state("case-file", {{"log", ""}}),
+                 0));
+  ASSERT_TRUE(sys.create(
+      "ledger", runtime::make_state("ledger", {{"total", "0"}}), 2));
+  ASSERT_TRUE(sys.attach("case-1", "ledger", "billing"));
+
+  auto intake = sys.visit("case-1", 1, "intake");
+  ASSERT_TRUE(intake.granted);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sys.invoke_from(1, "case-1", "append", "intake").ok);
+  }
+  sys.end(intake);
+
+  auto billing = sys.move("case-1", 2, "billing");
+  ASSERT_TRUE(billing.granted);
+  ASSERT_TRUE(sys.invoke_from(2, "ledger", "bill", "").ok);
+  ASSERT_TRUE(sys.invoke_from(2, "case-1", "append", "billed").ok);
+  auto conflicting = sys.move("case-1", 0, "archive");
+  EXPECT_FALSE(conflicting.granted);
+  sys.end(conflicting);
+  sys.end(billing);
+
+  sys.fix("ledger");
+  auto pinned = sys.move("case-1", 0, "billing");
+  ASSERT_TRUE(pinned.granted);
+  sys.end(pinned);
+  sys.unfix("ledger");
+
+  EXPECT_EQ(sys.invoke("case-1", "entries", "").value, "5");
+  EXPECT_EQ(sys.invoke("ledger", "total", "").value, "10");
+}
+
+TEST(TransportEquivalence, TcpBackendRunsTheWorkflowIdentically) {
+  for (const TransportKind kind : {TransportKind::InProc, TransportKind::Tcp}) {
+    LiveSystem sys{system_options(kind, 3)};
+    run_workflow(sys);
+    EXPECT_EQ(sys.refused_moves(), 1u);
+    EXPECT_EQ(sys.send_rejections(), 0u);
+    sys.stop();
+  }
+}
+
+TEST(TransportEquivalence, ProtocolTracesMatchAcrossBackends) {
+  trace::TraceLog inproc_trace;
+  trace::TraceLog tcp_trace;
+  {
+    LiveSystem sys{system_options(TransportKind::InProc, 3, &inproc_trace)};
+    run_workflow(sys);
+    sys.stop();
+  }
+  {
+    LiveSystem sys{system_options(TransportKind::Tcp, 3, &tcp_trace)};
+    run_workflow(sys);
+    sys.stop();
+  }
+  ASSERT_GT(inproc_trace.size(), 0u);
+  // Identical protocol history, event for event, on the logical clock.
+  EXPECT_EQ(inproc_trace.render(10'000), tcp_trace.render(10'000));
+  // And the history is not just equal but *valid*.
+  EXPECT_EQ(trace::check::locks_balance(inproc_trace), "");
+  EXPECT_EQ(trace::check::transits_alternate(inproc_trace), "");
+  EXPECT_EQ(trace::check::refused_blocks_never_migrate(inproc_trace), "");
+}
+
+TEST(TransportEquivalence, TracesMatchUnderTheSameFaultPlan) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.links.push_back(fault::LinkFault{fault::kAnyNode, fault::kAnyNode,
+                                        0.10, 0.10, 0.1});
+  auto run = [&](TransportKind kind, trace::TraceLog* log) {
+    LiveSystem::Options opts = system_options(kind, 3, log);
+    opts.fault_plan = plan;
+    LiveSystem sys{opts};
+    run_workflow(sys);
+    const std::uint64_t dropped = sys.dropped_messages();
+    sys.stop();
+    return dropped;
+  };
+  trace::TraceLog inproc_trace;
+  trace::TraceLog tcp_trace;
+  const std::uint64_t inproc_dropped = run(TransportKind::InProc,
+                                           &inproc_trace);
+  const std::uint64_t tcp_dropped = run(TransportKind::Tcp, &tcp_trace);
+  // Same seed, same delivery order, same injector stream: identical fault
+  // sequences and identical protocol histories on either backend.
+  EXPECT_EQ(inproc_dropped, tcp_dropped);
+  EXPECT_EQ(inproc_trace.render(10'000), tcp_trace.render(10'000));
+  EXPECT_EQ(trace::check::locks_balance(tcp_trace), "");
+  EXPECT_EQ(trace::check::transits_alternate(tcp_trace), "");
+}
+
+TEST(TransportFaults, CrashedNodeCountsTypedRejections) {
+  LiveSystem::Options opts = system_options(TransportKind::InProc, 2);
+  opts.max_retries = 2;
+  LiveSystem sys{opts};
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(
+      sys.create("c", runtime::make_state("counter", {{"count", "0"}}), 1));
+  sys.crash_node(1);
+  const runtime::InvokeResult result = sys.invoke("c", "add", "1");
+  EXPECT_FALSE(result.ok);
+  // Every delivery attempt was rejected by the closed mailbox — counted,
+  // not inferred from broken promises.
+  EXPECT_GE(sys.send_rejections(), 3u);
+  sys.stop();
+}
+
+TEST(TransportFaults, TcpCrashRestartRecoversObjects) {
+  LiveSystem::Options opts = system_options(TransportKind::Tcp, 2);
+  opts.max_retries = 4;
+  LiveSystem sys{opts};
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(
+      sys.create("c", runtime::make_state("counter", {{"count", "0"}}), 1));
+  ASSERT_TRUE(sys.invoke("c", "add", "5").ok);
+
+  sys.crash_node(1);
+  EXPECT_FALSE(sys.node_up(1));
+  EXPECT_FALSE(sys.invoke("c", "get", "").ok);
+  EXPECT_GE(sys.send_rejections(), 1u);
+
+  sys.restart_node(1);
+  EXPECT_TRUE(sys.node_up(1));
+  // Recovered from the creation checkpoint: post-checkpoint updates are
+  // lost (degraded mode), the object itself survives.
+  const runtime::InvokeResult result = sys.invoke("c", "get", "");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.value, "0");
+  EXPECT_EQ(sys.recoveries(), 1u);
+  sys.stop();
+}
+
+}  // namespace
+}  // namespace omig::transport

@@ -1,0 +1,285 @@
+// omig_node: one live node as a real OS process, plus a cluster launcher.
+//
+//   omig_node --serve --id N [--port P] [--port-file FILE]
+//       Hosts node N: a LiveNode event loop behind a loopback frame server
+//       (transport/wire). All demo object types are compiled in, so any
+//       coordinator can create and migrate demo objects here. The process
+//       exits when it receives a Shutdown frame. The bound port is printed
+//       to stdout and, with --port-file, written to FILE (atomically, via
+//       rename), which is how a launcher discovers an ephemeral port.
+//
+//   omig_node --cluster N
+//       Spawns N child node processes and drives the office workflow
+//       (docs/transport.md) across them as a remote LiveSystem
+//       coordinator — the paper's scenario as N+1 real processes.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "runtime/demo_types.hpp"
+#include "runtime/live_system.hpp"
+#include "transport/bridge.hpp"
+#include "transport/node_server.hpp"
+
+namespace {
+
+using namespace omig;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --serve --id N [--port P] [--port-file FILE]\n"
+               "       %s --cluster N\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// Publishes the bound port for the launcher: write-then-rename, so a
+/// reader never sees a half-written file.
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out) return false;
+    out << port << "\n";
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+int serve(std::size_t id, std::uint16_t port, const std::string& port_file) {
+  const auto factories = runtime::demo_factories();
+  runtime::LiveNode node{id, &factories};
+  node.start();
+
+  // The server thread flags the Shutdown frame so main can exit; the
+  // bridge still forwards it as MsgStop, which ends the node loop.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+  transport::NodeServer server{[&](transport::Frame frame) {
+    const bool is_shutdown =
+        std::holds_alternative<transport::WireShutdown>(frame.payload);
+    auto reply = transport::serve_on_mailbox(node.mailbox(), std::move(frame));
+    if (is_shutdown) {
+      {
+        std::lock_guard lock{mutex};
+        stopping = true;
+      }
+      cv.notify_all();
+    }
+    return reply;
+  }};
+
+  const std::uint16_t bound = server.start(port);
+  if (bound == 0) {
+    std::fprintf(stderr, "omig_node %zu: cannot bind port %u\n", id, port);
+    return 1;
+  }
+  if (!port_file.empty() && !write_port_file(port_file, bound)) {
+    std::fprintf(stderr, "omig_node %zu: cannot write %s\n", id,
+                 port_file.c_str());
+    return 1;
+  }
+  std::printf("omig_node %zu listening on 127.0.0.1:%u\n", id, bound);
+  std::fflush(stdout);
+
+  {
+    std::unique_lock lock{mutex};
+    cv.wait(lock, [&] { return stopping; });
+  }
+  node.stop();
+  server.stop();
+  std::printf("omig_node %zu: processed %llu messages, bye\n", id,
+              static_cast<unsigned long long>(node.processed()));
+  return 0;
+}
+
+/// Path of this binary, for re-exec'ing children.
+std::string self_exe(const char* argv0) {
+  std::error_code ec;
+  auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? std::string{argv0} : path.string();
+}
+
+struct Child {
+  pid_t pid = -1;
+  std::string port_file;
+};
+
+void kill_children(const std::vector<Child>& children) {
+  for (const Child& child : children) {
+    if (child.pid > 0) kill(child.pid, SIGKILL);
+  }
+  for (const Child& child : children) {
+    if (child.pid > 0) waitpid(child.pid, nullptr, 0);
+  }
+}
+
+int cluster(const char* argv0, std::size_t count) {
+  char dir_template[] = "omig-cluster-XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+  const std::string exe = self_exe(argv0);
+
+  // Launch the node processes; they pick ephemeral ports and publish them.
+  std::vector<Child> children;
+  for (std::size_t i = 0; i < count; ++i) {
+    Child child;
+    child.port_file = dir + "/node-" + std::to_string(i) + ".port";
+    const std::string id = std::to_string(i);
+    child.pid = fork();
+    if (child.pid == 0) {
+      execl(exe.c_str(), exe.c_str(), "--serve", "--id", id.c_str(),
+            "--port-file", child.port_file.c_str(),
+            static_cast<char*>(nullptr));
+      std::perror("execl");
+      _exit(127);
+    }
+    if (child.pid < 0) {
+      std::perror("fork");
+      kill_children(children);
+      return 1;
+    }
+    children.push_back(std::move(child));
+  }
+
+  // Wait for every port file (bounded).
+  std::vector<transport::Peer> peers;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  for (const Child& child : children) {
+    std::uint16_t port = 0;
+    while (port == 0) {
+      std::ifstream in{child.port_file};
+      if (!(in >> port) || port == 0) {
+        port = 0;
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "cluster: node did not come up\n");
+          kill_children(children);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+      }
+    }
+    peers.push_back(transport::Peer{"127.0.0.1", port});
+  }
+  std::printf("cluster: %zu node processes up\n", count);
+
+  // Drive the office workflow as a remote coordinator.
+  int rc = 0;
+  {
+    runtime::LiveSystem::Options opts;
+    opts.remote_nodes = peers;
+    runtime::LiveSystem sys{opts};
+    runtime::register_demo_types(sys);
+    sys.start();
+
+    bool ok = sys.create("case-1",
+                         runtime::make_state("case-file", {{"log", ""}}), 0);
+    ok = sys.create("ledger",
+                    runtime::make_state("ledger", {{"total", "0"}}),
+                    count - 1) &&
+         ok;
+    ok = ok && sys.attach("case-1", "ledger", "billing");
+    if (ok) {
+      auto intake = sys.visit("case-1", 1 % count, "intake");
+      for (int i = 0; i < 5; ++i) {
+        ok = sys.invoke_from(1 % count, "case-1", "append", "intake").ok && ok;
+      }
+      sys.end(intake);
+      auto billing = sys.move("case-1", 2 % count, "billing");
+      ok = billing.granted && ok;
+      ok = sys.invoke_from(2 % count, "ledger", "bill", "").ok && ok;
+      ok = sys.invoke_from(2 % count, "case-1", "append", "billed").ok && ok;
+      sys.end(billing);
+      const auto entries = sys.invoke("case-1", "entries", "");
+      const auto total = sys.invoke("ledger", "total", "");
+      ok = ok && entries.ok && entries.value == "6" && total.ok &&
+           total.value == "10";
+      std::printf(
+          "cluster: entries=%s total=%s migrations=%llu invocations=%llu\n",
+          entries.value.c_str(), total.value.c_str(),
+          static_cast<unsigned long long>(sys.migrations()),
+          static_cast<unsigned long long>(sys.invocations()));
+    }
+    if (!ok) {
+      std::fprintf(stderr, "cluster: workflow FAILED\n");
+      rc = 1;
+    }
+    sys.shutdown_remote_nodes();
+    sys.stop();
+  }
+
+  // The shutdown frames make every child exit on its own; reap them.
+  for (const Child& child : children) {
+    int status = 0;
+    if (waitpid(child.pid, &status, 0) != child.pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "cluster: node process exited abnormally\n");
+      rc = 1;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (rc == 0) std::printf("cluster: all node processes exited cleanly\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool serve_mode = false;
+  std::size_t id = 0;
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::size_t cluster_count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--serve") {
+      serve_mode = true;
+    } else if (arg == "--id") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      id = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--cluster") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_count = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (serve_mode) return serve(id, port, port_file);
+  if (cluster_count >= 2) return cluster(argv[0], cluster_count);
+  return usage(argv[0]);
+}

@@ -35,6 +35,7 @@ struct CliOptions {
   bool json = false;
   std::size_t trace_lines = 0;
   std::string trace_file;
+  std::string trace_json;
   bool help = false;
 };
 
@@ -85,6 +86,8 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.trace_lines = std::stoul(next("--trace"));
     } else if (arg == "--trace-file") {
       opts.trace_file = next("--trace-file");
+    } else if (arg == "--trace-json") {
+      opts.trace_json = next("--trace-json");
     } else if (arg.rfind("--", 0) == 0) {
       throw core::ConfigError{"unknown flag '" + arg + "'"};
     } else {
@@ -110,6 +113,8 @@ flags:
   --fault-plan PATH         load a fault plan (same as fault-plan=PATH)
   --trace N                 print the last N protocol events of the run
   --trace-file PATH         dump the full protocol trace as JSONL
+  --trace-json PATH         dump the trace in Chrome trace-event format
+                            (open in chrome://tracing or Perfetto)
   --help                    this text
 
 )" << core::config_help()
@@ -168,7 +173,8 @@ void print_json(const core::ExperimentConfig& cfg,
 int run_single(const CliOptions& opts) {
   const core::ExperimentConfig cfg = core::parse_config(opts.assignments);
   std::cerr << "running: " << core::describe(cfg) << "\n";
-  const bool want_trace = opts.trace_lines > 0 || !opts.trace_file.empty();
+  const bool want_trace = opts.trace_lines > 0 || !opts.trace_file.empty() ||
+                          !opts.trace_json.empty();
   trace::TraceLog trace_log{1 << 20};
   const core::ExperimentResult r =
       core::run_experiment(cfg, want_trace ? &trace_log : nullptr);
@@ -228,6 +234,15 @@ int run_single(const CliOptions& opts) {
     }
     const std::size_t n = trace_log.to_jsonl(out);
     std::cerr << "wrote " << n << " events to " << opts.trace_file << "\n";
+  }
+  if (!opts.trace_json.empty()) {
+    std::ofstream out{opts.trace_json};
+    if (!out) {
+      throw core::ConfigError{"cannot open trace file '" + opts.trace_json +
+                              "'"};
+    }
+    const std::size_t n = trace_log.to_chrome_json(out);
+    std::cerr << "wrote " << n << " events to " << opts.trace_json << "\n";
   }
   return 0;
 }
