@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Dead-link check for the repo's markdown: every relative link target in a
+# *.md file must exist on disk. External links (http/https/mailto) and
+# pure in-page anchors (#...) are out of scope — this guards against doc
+# rot when files move or get renamed.
+#
+# Usage: scripts/check_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+while IFS= read -r -d '' file; do
+  dir=$(dirname "$file")
+  # Pull out inline markdown link targets: [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}   # strip an in-page anchor from a file link
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "DEAD LINK: $file -> $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find . -name '*.md' -not -path './build*/*' -not -path './.git/*' -print0)
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_links.sh: $failures dead relative link(s)"
+  exit 1
+fi
+echo "check_links.sh: all relative markdown links resolve"

@@ -8,6 +8,9 @@
 #include "fault/injector.hpp"
 #include "migration/alliance.hpp"
 #include "migration/attachment.hpp"
+#include "migration/policy.hpp"
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
 #include "objsys/invocation.hpp"
 #include "objsys/registry.hpp"
 #include "sim/engine.hpp"
@@ -140,6 +143,40 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   if (health.has_value()) {
     r.node_crashes = health->crashes();
     r.node_restarts = health->restarts();
+  }
+
+  // Fold this run's tallies into the process-wide registry, labelled by
+  // policy, once at run end: the sweep engine runs cells in parallel, so
+  // keeping the fold out of the hot path avoids cache-line contention and
+  // cannot perturb the deterministic per-cell RNG streams.
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const obs::Labels by_policy{
+        {"policy", std::string{migration::to_string(config.policy)}}};
+    reg.counter("omig_sim_calls_total", "Completed top-level calls by policy",
+                by_policy)
+        .inc(r.calls);
+    reg.counter("omig_sim_migrations_total", "Object migrations by policy",
+                by_policy)
+        .inc(r.migrations);
+    reg.counter("omig_sim_remote_calls_total", "Remote invocations by policy",
+                by_policy)
+        .inc(r.remote_calls);
+    reg.counter("omig_sim_blocked_calls_total",
+                "Calls blocked on an in-transit object, by policy", by_policy)
+        .inc(r.blocked_calls);
+    reg.counter("omig_sim_control_messages_total",
+                "Policy control messages by policy", by_policy)
+        .inc(r.control_messages);
+    // The invocation split and latency histograms accumulated in plain
+    // per-run tallies (obs::HistogramTally) on the sim's hottest loop.
+    obs::SimMetrics& sm = obs::sim_metrics();
+    const std::uint64_t total_invocations = invoker.invocations();
+    const std::uint64_t remote = invoker.remote_invocations();
+    sm.invocations_local->inc(total_invocations - remote);
+    sm.invocations_remote->inc(remote);
+    sm.call_local_milli->merge(invoker.local_call_milli());
+    sm.call_remote_milli->merge(invoker.remote_call_milli());
   }
 
   // Tear the processes down while every service they reference is alive.

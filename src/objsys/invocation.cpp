@@ -11,6 +11,14 @@ namespace {
 /// nothing relocates its objects) cannot hang the simulation.
 constexpr int kMaxLegRetries = 64;
 constexpr int kMaxDownPolls = 100000;
+
+/// Sim time is unit-mean message latency; histograms store integers, so
+/// durations are recorded in milli-units (×1000) to keep sub-unit
+/// resolution in the power-of-2 buckets.
+std::uint64_t to_milli(sim::SimTime duration) {
+  if (duration <= 0.0) return 0;
+  return static_cast<std::uint64_t>(duration * 1000.0);
+}
 }  // namespace
 
 Invoker::Invoker(sim::Engine& engine, ObjectRegistry& registry,
@@ -39,6 +47,7 @@ void Invoker::set_replication(ReplicationMode mode, double copy_duration) {
 
 sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
                           InvocationKind kind) {
+  const sim::SimTime start = engine_->now();
   // "When the object migrates at the moment of the invocation, the call is
   // blocked until the object is operational once again" (Section 4.1).
   if (registry_->in_transit(callee)) {
@@ -80,7 +89,10 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
     invalidation_messages_ += registry_->drop_replicas(callee);
   }
 
-  if (loc == caller) co_return;  // local invocation: negligible
+  if (loc == caller) {  // local invocation: negligible execution cost
+    local_call_milli_.record(to_milli(engine_->now() - start));
+    co_return;
+  }
 
   // A local copy serves the call if the access permits it: always for
   // immutable ("static") objects, reads only for mutable ones.
@@ -89,6 +101,8 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
       registry_->has_replica(callee, caller);
   if (copy_serves) {
     ++replica_hits_;
+    // Served locally, whatever the primary says.
+    local_call_milli_.record(to_milli(engine_->now() - start));
     co_return;
   }
 
@@ -113,6 +127,7 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
       registry_->add_replica(callee, caller);
     }
   }
+  remote_call_milli_.record(to_milli(engine_->now() - start));
 }
 
 sim::Task Invoker::invoke_from_object(ObjectId caller, ObjectId callee,

@@ -13,6 +13,7 @@
 
 #include "fault/injector.hpp"
 #include "net/latency.hpp"
+#include "obs/metrics.hpp"
 #include "objsys/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -82,6 +83,17 @@ public:
     return invalidation_messages_;
   }
 
+  /// Call-duration tallies in sim-time milli-units, split local vs remote.
+  /// Plain (non-atomic) accumulators — the invocation path is the sim's
+  /// hottest loop and the engine is single-threaded — folded into the
+  /// process-wide registry once per run (core/experiment.cpp).
+  [[nodiscard]] const obs::HistogramTally& local_call_milli() const {
+    return local_call_milli_;
+  }
+  [[nodiscard]] const obs::HistogramTally& remote_call_milli() const {
+    return remote_call_milli_;
+  }
+
 private:
   /// Cost of one message leg including injected faults: a dropped leg adds
   /// the retry timeout plus the retransmission's latency; a delayed leg
@@ -102,6 +114,8 @@ private:
   std::uint64_t blocked_ = 0;  ///< calls that had to wait for a migration
   std::uint64_t replica_hits_ = 0;
   std::uint64_t invalidation_messages_ = 0;
+  obs::HistogramTally local_call_milli_;
+  obs::HistogramTally remote_call_milli_;
 };
 
 }  // namespace omig::objsys

@@ -1,0 +1,61 @@
+#include "obs/delta_logger.hpp"
+
+namespace omig::obs {
+
+DeltaLogger::DeltaLogger(MetricsRegistry& registry, std::ostream& out)
+    : registry_{registry}, out_{out}, baseline_{registry.snapshot()} {}
+
+DeltaLogger::~DeltaLogger() { stop(); }
+
+void DeltaLogger::start(std::chrono::milliseconds interval) {
+  stop();
+  {
+    std::lock_guard lock{wake_mutex_};
+    stopping_ = false;
+  }
+  thread_ = std::thread{[this, interval] { run(interval); }};
+}
+
+void DeltaLogger::stop() {
+  {
+    std::lock_guard lock{wake_mutex_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t DeltaLogger::log_once() {
+  std::lock_guard lock{log_mutex_};
+  Snapshot current = registry_.snapshot();
+  std::string line;
+  std::size_t changed = 0;
+  for (const auto& [key, value] : current) {
+    auto it = baseline_.find(key);
+    const std::uint64_t before = it == baseline_.end() ? 0 : it->second;
+    if (value == before) continue;
+    if (changed > 0) line += ' ';
+    // Counters only grow, but gauges may shrink between snapshots.
+    if (value >= before) {
+      line += key + "+=" + std::to_string(value - before);
+    } else {
+      line += key + "-=" + std::to_string(before - value);
+    }
+    ++changed;
+  }
+  if (changed > 0) out_ << "[metrics] " << line << '\n' << std::flush;
+  baseline_ = std::move(current);
+  return changed;
+}
+
+void DeltaLogger::run(std::chrono::milliseconds interval) {
+  std::unique_lock lock{wake_mutex_};
+  while (!stopping_) {
+    if (wake_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    log_once();
+    lock.lock();
+  }
+}
+
+}  // namespace omig::obs

@@ -1,0 +1,55 @@
+// Periodic snapshot-delta logger for long chaos runs.
+//
+// A Prometheus scrape needs a server and a scraper; a 10-minute chaos
+// soak under `omig_node --serve` just needs a heartbeat in the log. The
+// DeltaLogger snapshots the registry on a fixed interval and prints only
+// what moved since the previous snapshot, so a quiet system logs nothing
+// and a busy one logs a compact per-interval rate line.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace omig::obs {
+
+class DeltaLogger {
+public:
+  /// Does not start logging; call start(). `out` must outlive the logger.
+  DeltaLogger(MetricsRegistry& registry, std::ostream& out);
+  ~DeltaLogger();
+
+  DeltaLogger(const DeltaLogger&) = delete;
+  DeltaLogger& operator=(const DeltaLogger&) = delete;
+
+  /// Spawns the background thread; logs one delta line per interval.
+  void start(std::chrono::milliseconds interval);
+
+  /// Stops the background thread (idempotent; also run by the dtor).
+  void stop();
+
+  /// One synchronous snapshot-diff-log cycle against the stored baseline.
+  /// Returns the number of series that changed. Used by the background
+  /// thread and directly by tests (no timing dependence).
+  std::size_t log_once();
+
+private:
+  void run(std::chrono::milliseconds interval);
+
+  MetricsRegistry& registry_;
+  std::ostream& out_;
+  Snapshot baseline_;
+  std::mutex log_mutex_;  ///< serialises log_once() vs. the thread
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace omig::obs

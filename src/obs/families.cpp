@@ -1,0 +1,126 @@
+#include "obs/families.hpp"
+
+namespace omig::obs {
+
+SimMetrics& sim_metrics() {
+  static SimMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    SimMetrics m;
+    m.invocations_local =
+        &r.counter("omig_sim_invocations_total",
+                   "Simulated invocations by caller locality",
+                   {{"kind", "local"}});
+    m.invocations_remote =
+        &r.counter("omig_sim_invocations_total",
+                   "Simulated invocations by caller locality",
+                   {{"kind", "remote"}});
+    m.call_local_milli = &r.histogram(
+        "omig_sim_call_local_milli",
+        "Local-call duration in sim-time milli-units (incl. transit waits)");
+    m.call_remote_milli = &r.histogram(
+        "omig_sim_call_remote_milli",
+        "Remote-call duration in sim-time milli-units (legs + faults)");
+    return m;
+  }();
+  return metrics;
+}
+
+RuntimeMetrics& runtime_metrics() {
+  static RuntimeMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    RuntimeMetrics m;
+    m.invocations_local = &r.counter("omig_runtime_invocations_total",
+                                     "Live-runtime invocations by locality",
+                                     {{"kind", "local"}});
+    m.invocations_remote = &r.counter("omig_runtime_invocations_total",
+                                      "Live-runtime invocations by locality",
+                                      {{"kind", "remote"}});
+    m.invoke_local_us = &r.histogram(
+        "omig_runtime_invoke_local_us",
+        "Wall-clock send-to-reply time of caller-local invocations");
+    m.invoke_remote_us =
+        &r.histogram("omig_runtime_invoke_remote_us",
+                     "Wall-clock send-to-reply time of remote invocations");
+    m.migrations = &r.counter("omig_runtime_migrations_total",
+                              "Completed object relocations");
+    m.migration_us =
+        &r.histogram("omig_runtime_migration_us",
+                     "Wall-clock evict-to-install time per migrated object");
+    m.refused_moves =
+        &r.counter("omig_runtime_refused_moves_total",
+                   "move() requests refused by transient placement");
+    m.lease_acquisitions =
+        &r.counter("omig_runtime_lease_acquisitions_total",
+                   "Placement locks taken by move/visit blocks");
+    m.lease_expiries = &r.counter("omig_runtime_lease_expiries_total",
+                                  "Placement locks released by lease expiry");
+    m.retries = &r.counter("omig_runtime_retries_total",
+                           "Message retransmissions under the same seq");
+    m.recoveries = &r.counter("omig_runtime_recoveries_total",
+                              "Objects reinstalled from a checkpoint");
+    m.crashes = &r.counter("omig_runtime_crashes_total", "Node crashes");
+    m.restarts = &r.counter("omig_runtime_restarts_total", "Node restarts");
+    m.send_rejections =
+        &r.counter("omig_runtime_send_rejections_total",
+                   "Sends the transport rejected with a typed status");
+    return m;
+  }();
+  return metrics;
+}
+
+TransportMetrics& transport_metrics() {
+  static TransportMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    TransportMetrics m;
+    m.frames_out =
+        &r.counter("omig_transport_frames_out_total", "Wire frames sent");
+    m.frames_in =
+        &r.counter("omig_transport_frames_in_total", "Wire frames received");
+    m.frame_bytes_out = &r.counter("omig_transport_frame_bytes_out_total",
+                                   "Encoded frame bytes written to sockets");
+    m.frame_bytes_in = &r.counter("omig_transport_frame_bytes_in_total",
+                                  "Frame bytes read from sockets");
+    m.reconnects = &r.counter("omig_transport_reconnects_total",
+                              "Connections re-established after a reset");
+    m.send_rejections = &r.counter("omig_transport_send_rejections_total",
+                                   "Sends rejected with a typed status");
+    return m;
+  }();
+  return metrics;
+}
+
+NodeMetrics& node_metrics() {
+  static NodeMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    NodeMetrics m;
+    m.invokes = &r.counter("omig_node_messages_total",
+                           "Node messages executed by type",
+                           {{"type", "invoke"}});
+    m.installs = &r.counter("omig_node_messages_total",
+                            "Node messages executed by type",
+                            {{"type", "install"}});
+    m.evicts = &r.counter("omig_node_messages_total",
+                          "Node messages executed by type",
+                          {{"type", "evict"}});
+    m.dedup_hits =
+        &r.counter("omig_node_dedup_hits_total",
+                   "Requests answered from the at-most-once reply cache");
+    m.hosted_objects =
+        &r.gauge("omig_node_hosted_objects", "Objects currently hosted");
+    m.server_bytes_in = &r.counter("omig_node_server_bytes_in_total",
+                                   "Bytes read by the node's frame server");
+    m.server_bytes_out = &r.counter("omig_node_server_bytes_out_total",
+                                    "Bytes written by the node's frame server");
+    return m;
+  }();
+  return metrics;
+}
+
+void register_standard_metrics() {
+  (void)sim_metrics();
+  (void)runtime_metrics();
+  (void)transport_metrics();
+  (void)node_metrics();
+}
+
+}  // namespace omig::obs

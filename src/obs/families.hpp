@@ -1,0 +1,77 @@
+// The standard metric families, registered into the global registry.
+//
+// Each layer's instrumentation points grab its struct once (a
+// function-local static, so registration cost is paid on first use) and
+// then touch only lock-free metric objects. Centralising the names here
+// keeps the naming scheme (docs/metrics.md) in one place and lets an
+// exporter process (tools/omig_node) pre-register every family so a
+// scrape shows the full schema even before traffic flows.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace omig::obs {
+
+/// Simulator layer (objsys invocation + core experiment driver).
+/// Durations are recorded in sim-time milli-units (sim time × 1000): the
+/// paper's unit is the mean one-way message ≈ 1.0, so a remote call ≈
+/// 2000 milli-units.
+struct SimMetrics {
+  Counter* invocations_local;    ///< omig_sim_invocations_total{kind=local}
+  Counter* invocations_remote;   ///< omig_sim_invocations_total{kind=remote}
+  Histogram* call_local_milli;   ///< local-call duration (incl. transit waits)
+  Histogram* call_remote_milli;  ///< remote-call duration (legs + faults)
+};
+[[nodiscard]] SimMetrics& sim_metrics();
+
+/// Live runtime layer (runtime/live_system): the paper's primitives on
+/// real threads. Wall-clock durations in microseconds.
+struct RuntimeMetrics {
+  Counter* invocations_local;   ///< omig_runtime_invocations_total{kind=local}
+  Counter* invocations_remote;  ///< omig_runtime_invocations_total{kind=remote}
+  Histogram* invoke_local_us;   ///< send→reply wall time, caller-local calls
+  Histogram* invoke_remote_us;  ///< send→reply wall time, remote calls
+  Counter* migrations;          ///< completed object relocations
+  Histogram* migration_us;      ///< evict→install wall time per object
+  Counter* refused_moves;       ///< placement conflicts (move not granted)
+  Counter* lease_acquisitions;  ///< placement locks taken by move/visit
+  Counter* lease_expiries;      ///< locks released by lease expiry
+  Counter* retries;             ///< message retransmissions
+  Counter* recoveries;          ///< objects reinstalled from a checkpoint
+  Counter* crashes;
+  Counter* restarts;
+  Counter* send_rejections;     ///< typed transport rejections observed
+};
+[[nodiscard]] RuntimeMetrics& runtime_metrics();
+
+/// Transport layer (wire frames over sockets). Per-peer RTT histograms
+/// are registered lazily by TcpTransport under
+/// omig_transport_rtt_us{peer="N"}.
+struct TransportMetrics {
+  Counter* frames_out;
+  Counter* frames_in;
+  Counter* frame_bytes_out;  ///< omig_transport_frame_bytes_out_total
+  Counter* frame_bytes_in;
+  Counter* reconnects;       ///< connections re-established after a reset
+  Counter* send_rejections;  ///< sends rejected with a typed status
+};
+[[nodiscard]] TransportMetrics& transport_metrics();
+
+/// Node layer (runtime/live_node + transport/node_server): what one
+/// hosting node executes, regardless of which transport delivered it.
+struct NodeMetrics {
+  Counter* invokes;     ///< omig_node_messages_total{type=invoke}
+  Counter* installs;    ///< omig_node_messages_total{type=install}
+  Counter* evicts;      ///< omig_node_messages_total{type=evict}
+  Counter* dedup_hits;  ///< requests answered from the at-most-once cache
+  Gauge* hosted_objects;
+  Counter* server_bytes_in;   ///< bytes into this node's frame server
+  Counter* server_bytes_out;  ///< reply bytes out of the frame server
+};
+[[nodiscard]] NodeMetrics& node_metrics();
+
+/// Touches every family above so an exporter shows the full schema
+/// before any traffic (Prometheus convention: export zeros, not absence).
+void register_standard_metrics();
+
+}  // namespace omig::obs

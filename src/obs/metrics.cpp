@@ -1,0 +1,295 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace omig::obs {
+
+void Histogram::merge(const HistogramTally& tally) {
+  if (tally.count == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (tally.buckets[i] != 0) {
+      buckets_[i].fetch_add(tally.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(tally.count, std::memory_order_relaxed);
+  sum_.fetch_add(tally.sum, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t i) {
+  OMIG_ASSERT(i < kBuckets);
+  // The last bucket is +Inf; report the largest finite bound below it.
+  if (i >= kBuckets - 1) i = kBuckets - 2;
+  return std::uint64_t{1} << i;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th observation (1-based, ceil), walked over cumulative
+  // bucket counts.
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  const std::uint64_t rank = target < 1 ? 1 : (target > total ? total : target);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= rank) return bucket_bound(i);
+  }
+  return bucket_bound(kBuckets - 1);
+}
+
+namespace {
+
+/// Escapes a label value per the Prometheus text format.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// JSON string escaping for names and label values.
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  const char* sep = "";
+  for (const auto& [k, v] : labels) {
+    out += sep;
+    out += '"';
+    out += escape_json(k);
+    out += "\":\"";
+    out += escape_json(v);
+    out += '"';
+    sep = ",";
+  }
+  out += "}";
+  return out;
+}
+
+/// With an extra label appended (for the histogram `le` series).
+std::string render_labels_with(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return render_labels(extended);
+}
+
+}  // namespace
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  const char* sep = "";
+  for (const auto& [k, v] : labels) {
+    out += sep;
+    out += k + "=\"" + escape_label(v) + "\"";
+    sep = ",";
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    Kind kind, const std::string& name, const std::string& help,
+    const Labels& labels) {
+  const std::string key = name + render_labels(labels);
+  std::lock_guard lock{mutex_};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    OMIG_REQUIRE(entry.kind == kind,
+                 "metric re-registered with a different kind: " + key);
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  switch (kind) {
+    case Kind::Counter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::Gauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::Histogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  index_.emplace(key, entries_.size() - 1);
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *find_or_create(Kind::Counter, name, help, labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *find_or_create(Kind::Gauge, name, help, labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return *find_or_create(Kind::Histogram, name, help, labels).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock{mutex_};
+  return entries_.size();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock{mutex_};
+  std::ostringstream os;
+  std::string last_family;
+  for (const auto& entry_ptr : entries_) {
+    const Entry& e = *entry_ptr;
+    // HELP/TYPE once per family; series of one family are registered
+    // together, so first-seen order keeps families contiguous.
+    if (e.name != last_family) {
+      os << "# HELP " << e.name << ' ' << e.help << '\n';
+      os << "# TYPE " << e.name << ' '
+         << (e.kind == Kind::Counter
+                 ? "counter"
+                 : e.kind == Kind::Gauge ? "gauge" : "histogram")
+         << '\n';
+      last_family = e.name;
+    }
+    switch (e.kind) {
+      case Kind::Counter:
+        os << e.name << render_labels(e.labels) << ' ' << e.counter->value()
+           << '\n';
+        break;
+      case Kind::Gauge:
+        os << e.name << render_labels(e.labels) << ' ' << e.gauge->value()
+           << '\n';
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        // Cumulative buckets up to the last non-empty finite one, then
+        // +Inf — a valid (monotone) le-series without 64 lines per
+        // histogram.
+        std::size_t top = 0;
+        for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) > 0) top = i;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= top; ++i) {
+          cumulative += h.bucket(i);
+          os << e.name << "_bucket"
+             << render_labels_with(e.labels, "le",
+                                   std::to_string(Histogram::bucket_bound(i)))
+             << ' ' << cumulative << '\n';
+        }
+        os << e.name << "_bucket"
+           << render_labels_with(e.labels, "le", "+Inf") << ' ' << h.count()
+           << '\n';
+        os << e.name << "_sum" << render_labels(e.labels) << ' ' << h.sum()
+           << '\n';
+        os << e.name << "_count" << render_labels(e.labels) << ' ' << h.count()
+           << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock{mutex_};
+  std::ostringstream os;
+  os << '{';
+  std::string open_family;
+  const char* family_sep = "";
+  const char* series_sep = "";
+  for (const auto& entry_ptr : entries_) {
+    const Entry& e = *entry_ptr;
+    if (e.name != open_family) {
+      if (!open_family.empty()) os << ']';
+      os << family_sep << '"' << escape_json(e.name) << "\":[";
+      open_family = e.name;
+      family_sep = ",";
+      series_sep = "";
+    }
+    os << series_sep << "{\"labels\":" << labels_json(e.labels);
+    switch (e.kind) {
+      case Kind::Counter: os << ",\"value\":" << e.counter->value(); break;
+      case Kind::Gauge: os << ",\"value\":" << e.gauge->value(); break;
+      case Kind::Histogram: {
+        const Histogram& h = *e.histogram;
+        os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+           << ",\"p50\":" << h.quantile(0.50) << ",\"p95\":" << h.quantile(0.95)
+           << ",\"p99\":" << h.quantile(0.99) << ",\"buckets\":[";
+        const char* bucket_sep = "";
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t n = h.bucket(i);
+          if (n == 0) continue;
+          os << bucket_sep << '[' << Histogram::bucket_bound(i) << ',' << n
+             << ']';
+          bucket_sep = ",";
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+    series_sep = ",";
+  }
+  if (!open_family.empty()) os << ']';
+  os << '}';
+  return os.str();
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock{mutex_};
+  Snapshot snap;
+  for (const auto& entry_ptr : entries_) {
+    const Entry& e = *entry_ptr;
+    const std::string key = e.name + render_labels(e.labels);
+    switch (e.kind) {
+      case Kind::Counter: snap[key] = e.counter->value(); break;
+      case Kind::Gauge:
+        snap[key] = static_cast<std::uint64_t>(e.gauge->value());
+        break;
+      case Kind::Histogram:
+        snap[key + "_count"] = e.histogram->count();
+        snap[key + "_sum"] = e.histogram->sum();
+        break;
+    }
+  }
+  return snap;
+}
+
+}  // namespace omig::obs

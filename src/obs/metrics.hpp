@@ -1,0 +1,199 @@
+// Unified observability layer: a process-wide metrics registry.
+//
+// The runtime spans threads, processes, and a faultable TCP transport;
+// before this layer its telemetry was scattered — LiveSystem atomics,
+// fault::Injector tallies, sim-side aggregates — none of it exported.
+// This registry is the one source of truth the exporters read: counters,
+// gauges, and fixed-bucket power-of-2 latency histograms, all cheap
+// enough for the invocation hot path.
+//
+// Cost discipline: after registration (mutex-guarded, done once per
+// metric) every update is a handful of relaxed atomic increments — no
+// locks, no allocation, no branches beyond a bucket index. Reads
+// (to_json / to_prometheus / snapshot) take the registration mutex only
+// to walk the entry list; they never block writers.
+//
+// Naming scheme (docs/metrics.md): omig_<layer>_<name>_<unit> with
+// layer ∈ {sim, runtime, transport, node}; counters end in _total,
+// histograms in their unit (_us wall-clock microseconds, _milli
+// sim-time milli-units, _bytes sizes).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omig::obs {
+
+/// Monotonic counter. Relaxed atomics: totals are exact, ordering between
+/// different metrics is not promised (Prometheus semantics).
+class Counter {
+public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (e.g. objects currently hosted).
+class Gauge {
+public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram, HDR-style with power-of-2 bounds:
+/// bucket i counts values in (2^(i-1), 2^i] (bucket 0 takes 0 and 1, the
+/// last bucket is +Inf). 64 buckets cover the full uint64 range, so a
+/// record() is one array index + three relaxed fetch_adds — lock-free,
+/// allocation-free, exact under any thread count.
+struct HistogramTally;
+
+class Histogram {
+public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Folds a single-threaded tally in (one fetch_add per touched bucket).
+  void merge(const HistogramTally& tally);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket i (2^i); the last bucket is unbounded and
+  /// reports the largest finite bound.
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t i);
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) {
+    if (v <= 1) return 0;
+    const auto width = static_cast<std::size_t>(std::bit_width(v - 1));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Quantile estimate: the upper bound of the bucket where the q-th
+  /// observation falls (conservative — never under-reports a latency).
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain (non-atomic) histogram accumulator for single-threaded hot loops
+/// that cannot afford even relaxed RMWs — the simulation's invocation
+/// path records ~10^6 calls per run. Record into a tally locally, then
+/// Histogram::merge() it into the shared registry once per run.
+struct HistogramTally {
+  std::uint64_t buckets[Histogram::kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void record(std::uint64_t v) {
+    ++buckets[Histogram::bucket_index(v)];
+    ++count;
+    sum += v;
+  }
+};
+
+/// Prometheus-style labels, e.g. {{"policy", "placement"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Flat view of every scalar the registry holds at one instant; the key
+/// is `name{labels}` (histograms contribute `..._count` and `..._sum`).
+/// Used by the snapshot-delta logger and by tests asserting deltas.
+using Snapshot = std::map<std::string, std::uint64_t>;
+
+/// Registry of named metrics. Registration (counter()/gauge()/histogram())
+/// is mutex-guarded and idempotent: the same (name, labels) pair always
+/// returns the same object, so independent subsystems — or several
+/// LiveSystems in one process — share one process-wide total. Returned
+/// references stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem instruments by default.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition format (0.0.4): HELP/TYPE per family,
+  /// histograms as cumulative `_bucket{le=...}` series + `_sum`/`_count`.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One JSON object keyed by family name; each family is an array of
+  /// `{"labels": {...}, ...}` series (counters/gauges carry "value",
+  /// histograms carry count/sum/p50/p95/p99 and the non-empty buckets).
+  /// Compact (no pretty-printing) — meant to be embedded, e.g. into
+  /// `omig_sim --json` output as its "metrics" member.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Point-in-time flat view for delta logging.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Number of registered series (all kinds).
+  [[nodiscard]] std::size_t size() const;
+
+private:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(Kind kind, const std::string& name,
+                        const std::string& help, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::size_t> index_;  ///< key(name, labels) → entry
+};
+
+/// Renders `{a="x",b="y"}` (empty string for no labels); values are
+/// escaped per the Prometheus text format.
+[[nodiscard]] std::string render_labels(const Labels& labels);
+
+}  // namespace omig::obs

@@ -1,5 +1,6 @@
 #include "runtime/live_node.hpp"
 
+#include "obs/families.hpp"
 #include "util/assert.hpp"
 
 namespace omig::runtime {
@@ -43,6 +44,8 @@ void LiveNode::crash() {
   // senders observe the failure.
   mailbox_.close_and_discard();
   thread_.join();
+  obs::node_metrics().hosted_objects->sub(
+      static_cast<std::int64_t>(hosted_.load()));
   // Volatile node state is lost with the process.
   objects_.clear();
   installed_seq_.clear();
@@ -99,12 +102,14 @@ void LiveNode::remember(std::unordered_map<std::uint64_t, V>& cache,
 }
 
 void LiveNode::handle(MsgInvoke& msg) {
+  obs::node_metrics().invokes->inc();
   if (msg.seq != 0) {
     auto cached = invoke_replies_.find(msg.seq);
     if (cached != invoke_replies_.end()) {
       // Retransmission of a request we already executed: answer from the
       // cache, never run the method twice.
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      obs::node_metrics().dedup_hits->inc();
       msg.reply.set_value(cached->second);
       return;
     }
@@ -123,11 +128,13 @@ void LiveNode::handle(MsgInvoke& msg) {
 }
 
 void LiveNode::handle(MsgInstall& msg) {
+  obs::node_metrics().installs->inc();
   if (msg.seq != 0) {
     auto seen = installed_seq_.find(msg.name);
     if (seen != installed_seq_.end() && seen->second == msg.seq) {
       // Duplicate of an install we already applied: just acknowledge.
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      obs::node_metrics().dedup_hits->inc();
       msg.done.set_value(true);
       return;
     }
@@ -140,16 +147,19 @@ void LiveNode::handle(MsgInstall& msg) {
   objects_[msg.name] = fit->second(msg.name, std::move(msg.state));
   if (msg.seq != 0) installed_seq_[msg.name] = msg.seq;
   hosted_.fetch_add(1, std::memory_order_relaxed);
+  obs::node_metrics().hosted_objects->add(1);
   msg.done.set_value(true);
 }
 
 void LiveNode::handle(MsgEvict& msg) {
+  obs::node_metrics().evicts->inc();
   if (msg.seq != 0) {
     auto cached = evicted_states_.find(msg.seq);
     if (cached != evicted_states_.end()) {
       // Duplicate evict: the object is already gone — hand out the state
       // captured by the first delivery.
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      obs::node_metrics().dedup_hits->inc();
       msg.state.set_value(cached->second);
       return;
     }
@@ -162,6 +172,7 @@ void LiveNode::handle(MsgEvict& msg) {
   ObjectState state = it->second->linearize();
   objects_.erase(it);
   hosted_.fetch_sub(1, std::memory_order_relaxed);
+  obs::node_metrics().hosted_objects->sub(1);
   if (msg.seq != 0) {
     remember(evicted_states_, evict_order_, msg.seq, state);
   }

@@ -1,10 +1,12 @@
 #include "runtime/live_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <thread>
 #include <unordered_set>
 
+#include "obs/families.hpp"
 #include "runtime/serde.hpp"
 #include "trace/log.hpp"
 #include "transport/bridge.hpp"
@@ -13,6 +15,15 @@
 #include "util/assert.hpp"
 
 namespace omig::runtime {
+
+namespace {
+/// Wall-clock microseconds since `start`, for the latency histograms.
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+}  // namespace
 
 LiveSystem::LiveSystem(Options options) : options_{std::move(options)} {
   OMIG_REQUIRE(options_.nodes >= 1 || remote(), "need at least one node");
@@ -146,6 +157,7 @@ bool LiveSystem::sent_ok(transport::SendStatus status) {
   // layer can count the rejection instead of inferring it from a broken
   // promise.
   send_rejections_.fetch_add(1, std::memory_order_relaxed);
+  obs::runtime_metrics().send_rejections->inc();
   return false;
 }
 
@@ -188,6 +200,7 @@ bool LiveSystem::install_with_retry(std::size_t node, const std::string& name,
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       retries_.fetch_add(1, std::memory_order_relaxed);
+      obs::runtime_metrics().retries->inc();
       backoff(attempt);
     }
     std::future<bool> done;
@@ -248,6 +261,7 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
                                      const std::string& method,
                                      const std::string& argument) {
   OMIG_REQUIRE(started_, "start() the system first");
+  const auto wall_start = std::chrono::steady_clock::now();
   // Rounds spent on "object not resident". Fault-free this loops only while
   // a migration races the delivery; under faults a recovering object may
   // stay non-resident for a while, so the loop is bounded then.
@@ -274,6 +288,9 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
     }
     invocations_.fetch_add(1, std::memory_order_relaxed);
     const bool remote_call = !from.has_value() || *from != node;
+    (remote_call ? obs::runtime_metrics().invocations_remote
+                 : obs::runtime_metrics().invocations_local)
+        ->inc();
     if (remote_call) {
       remote_.fetch_add(1, std::memory_order_relaxed);
       if (options_.remote_latency.count() > 0) {
@@ -321,6 +338,9 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
       }
       continue;
     }
+    (remote_call ? obs::runtime_metrics().invoke_remote_us
+                 : obs::runtime_metrics().invoke_local_us)
+        ->record(us_since(wall_start));
     return *result;
   }
 }
@@ -403,6 +423,7 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
                                  std::size_t dest) {
   std::size_t moved = 0;
   for (const std::string& name : objects) {
+    const auto wall_start = std::chrono::steady_clock::now();
     std::size_t src;
     {
       std::lock_guard lock{mutex_};
@@ -444,6 +465,7 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
       std::lock_guard lock{mutex_};
       state = directory_.at(name).checkpoint;
       recoveries_.fetch_add(1, std::memory_order_relaxed);
+      obs::runtime_metrics().recoveries->inc();
     }
     OMIG_ASSERT(!state->type.empty());
 
@@ -480,6 +502,8 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
     }
     if (target == dest) {
       migrations_.fetch_add(1, std::memory_order_relaxed);
+      obs::runtime_metrics().migrations->inc();
+      obs::runtime_metrics().migration_us->record(us_since(wall_start));
       ++moved;
     }
   }
@@ -540,6 +564,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
       // Transient placement: a conflicting unfinished move refuses us.
       if (it->second.locked_by != 0 || it->second.fixed) {
         refused_.fetch_add(1, std::memory_order_relaxed);
+        obs::runtime_metrics().refused_moves->inc();
         trace_locked(trace::EventKind::MoveRefused, object, dest, token.id);
         return token;  // granted = false: caller invokes remotely
       }
@@ -551,6 +576,7 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
         if (meta.locked_by != 0) continue;  // partial move
         meta.locked_by = token.id;
         meta.lease_expiry = lease_deadline;
+        obs::runtime_metrics().lease_acquisitions->inc();
         token.locked.push_back(name);
         trace_locked(trace::EventKind::Lock, name, dest, token.id);
         transit_cv_.wait(lock,
@@ -634,6 +660,7 @@ void LiveSystem::expire_lease(std::uint64_t token) {
     }
   }
   lease_expiries_.fetch_add(1, std::memory_order_relaxed);
+  obs::runtime_metrics().lease_expiries->inc();
 }
 
 void LiveSystem::trace_locked(trace::EventKind kind,
@@ -679,6 +706,7 @@ void LiveSystem::crash_node(std::size_t node) {
   }
   transport_->on_node_crash(node);
   crashes_.fetch_add(1, std::memory_order_relaxed);
+  obs::runtime_metrics().crashes->inc();
 }
 
 void LiveSystem::restart_node(std::size_t node) {
@@ -713,9 +741,11 @@ void LiveSystem::restart_node(std::size_t node) {
   for (const auto& [name, state] : to_restore) {
     if (install_with_retry(node, name, state, kExternalSender)) {
       recoveries_.fetch_add(1, std::memory_order_relaxed);
+      obs::runtime_metrics().recoveries->inc();
     }
   }
   restarts_.fetch_add(1, std::memory_order_relaxed);
+  obs::runtime_metrics().restarts->inc();
 }
 
 bool LiveSystem::node_up(std::size_t node) const {

@@ -1,0 +1,100 @@
+#include "transport/metrics_exporter.hpp"
+
+#include <utility>
+
+#include "transport/tcp.hpp"
+
+namespace omig::transport {
+
+MetricsExporter::MetricsExporter(obs::MetricsRegistry& registry)
+    : registry_{registry} {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+std::uint16_t MetricsExporter::start(std::uint16_t port,
+                                     const std::string& host) {
+  std::lock_guard lock{mutex_};
+  if (listener_fd_ >= 0) return port_;
+  const int fd = tcp_listen(host, port);
+  if (fd < 0) return 0;
+  listener_fd_ = fd;
+  port_ = tcp_local_port(fd);
+  stopping_ = false;
+  accept_thread_ = std::thread{[this] { accept_loop(); }};
+  return port_;
+}
+
+void MetricsExporter::stop() {
+  std::thread accept_thread;
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock{mutex_};
+    if (listener_fd_ < 0 && !accept_thread_.joinable()) return;
+    stopping_ = true;
+    tcp_shutdown(listener_fd_);
+    tcp_close(listener_fd_);
+    listener_fd_ = -1;
+    accept_thread = std::move(accept_thread_);
+    connections = std::move(connections_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool MetricsExporter::running() const {
+  std::lock_guard lock{mutex_};
+  return listener_fd_ >= 0;
+}
+
+std::uint16_t MetricsExporter::port() const {
+  std::lock_guard lock{mutex_};
+  return port_;
+}
+
+void MetricsExporter::accept_loop() {
+  for (;;) {
+    int listener = -1;
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) return;
+      listener = listener_fd_;
+    }
+    const int fd = tcp_accept(listener);
+    if (fd < 0) return;  // listener closed by stop()
+    std::lock_guard lock{mutex_};
+    if (stopping_) {
+      tcp_close(fd);
+      return;
+    }
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void MetricsExporter::serve_connection(int fd) {
+  // Read the request until the header terminator; scrapes are tiny, so a
+  // small bounded buffer suffices and anything larger is dropped.
+  std::string request;
+  std::uint8_t chunk[512];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < 8192) {
+    const long n = tcp_recv_some(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    request.append(reinterpret_cast<const char*>(chunk),
+                   static_cast<std::size_t>(n));
+  }
+  const std::string body = registry_.to_prometheus();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n"
+      "Connection: close\r\n"
+      "\r\n" + body;
+  (void)tcp_send_all(fd, reinterpret_cast<const std::uint8_t*>(response.data()),
+                     response.size());
+  tcp_close(fd);
+}
+
+}  // namespace omig::transport

@@ -1,0 +1,54 @@
+// Prometheus scrape endpoint over the transport's own TCP plumbing.
+//
+// Lives in transport (not obs) because obs sits below transport in the
+// layering — transport instruments itself against the registry, so the
+// registry cannot link back up to the sockets. The server side is a
+// deliberately tiny HTTP/1.0 responder: read until the blank line, answer
+// any GET with the full text-format exposition, close. That is exactly
+// what `curl` and a Prometheus scraper need, and nothing more.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace omig::transport {
+
+class MetricsExporter {
+public:
+  /// Serves `registry` (usually MetricsRegistry::global()); the registry
+  /// must outlive the exporter.
+  explicit MetricsExporter(obs::MetricsRegistry& registry);
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds `host:port` (0 = ephemeral) and starts answering scrapes.
+  /// Returns the bound port, or 0 on failure. Idempotent while running.
+  std::uint16_t start(std::uint16_t port = 0,
+                      const std::string& host = "127.0.0.1");
+
+  /// Closes the listener and joins all threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] std::uint16_t port() const;
+
+private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  obs::MetricsRegistry& registry_;
+  mutable std::mutex mutex_;
+  int listener_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  std::thread accept_thread_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace omig::transport

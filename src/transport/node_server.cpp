@@ -1,5 +1,6 @@
 #include "transport/node_server.hpp"
 
+#include "obs/families.hpp"
 #include "transport/tcp.hpp"
 #include "util/assert.hpp"
 
@@ -107,12 +108,14 @@ void NodeServer::serve_connection(int fd) {
   for (;;) {
     const long n = tcp_recv_some(fd, buffer, sizeof(buffer));
     if (n <= 0) return;  // EOF, reset, or shutdown by stop()
+    obs::node_metrics().server_bytes_in->inc(static_cast<std::uint64_t>(n));
     frames.feed({buffer, static_cast<std::size_t>(n)});
     while (auto frame = frames.next()) {
       std::optional<Frame> reply = handler_(std::move(*frame));
       if (reply.has_value()) {
         const std::vector<std::uint8_t> bytes = encode_frame(*reply);
         if (!tcp_send_all(fd, bytes.data(), bytes.size())) return;
+        obs::node_metrics().server_bytes_out->inc(bytes.size());
       }
     }
     if (frames.error()) return;  // malformed stream: drop the connection

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/families.hpp"
 #include "transport/tcp.hpp"
 
 namespace omig::transport {
@@ -44,6 +45,9 @@ TcpTransport::TcpTransport(Options options, fault::FaultInjector* injector)
   for (const Peer& peer : options_.peers) {
     auto conn = std::make_unique<Conn>();
     conn->peer = peer;
+    conn->rtt = &obs::MetricsRegistry::global().histogram(
+        "omig_transport_rtt_us", "Request-to-reply round trip per peer",
+        {{"peer", std::to_string(conns_.size())}});
     conns_.push_back(std::move(conn));
   }
 }
@@ -122,7 +126,10 @@ SendStatus TcpTransport::send_request(std::size_t from, std::size_t to,
   }
   Conn& conn = *conns_[to];
   std::unique_lock lock{conn.mutex};
-  if (!ensure_connected(lock, conn)) return SendStatus::Unreachable;
+  if (!ensure_connected(lock, conn)) {
+    obs::transport_metrics().send_rejections->inc();
+    return SendStatus::Unreachable;
+  }
   if (verdict.duplicate) {
     // Same-seq copy under a fresh correlation ID with no pending entry:
     // the peer's dedup layer answers it, and the answer is discarded.
@@ -134,7 +141,8 @@ SendStatus TcpTransport::send_request(std::size_t from, std::size_t to,
       next_corr_.fetch_add(1, std::memory_order_relaxed);
   std::promise<ReplyT> promise;
   reply = promise.get_future();
-  conn.pending.emplace(corr, PendingReply{std::move(promise)});
+  conn.pending.emplace(corr, Pending{PendingReply{std::move(promise)},
+                                     std::chrono::steady_clock::now()});
   const SendStatus status = write_frame_locked(conn, Frame{corr, msg});
   if (status == SendStatus::Ok) return SendStatus::Ok;
   if (status == SendStatus::Oversized) {
@@ -176,6 +184,7 @@ bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
     ++conn.generation;
     if (conn.ever_connected) {
       reconnects_.fetch_add(1, std::memory_order_relaxed);
+      obs::transport_metrics().reconnects->inc();
     }
     conn.ever_connected = true;
     const std::uint64_t generation = conn.generation;
@@ -188,10 +197,18 @@ bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
 
 SendStatus TcpTransport::write_frame_locked(Conn& conn, const Frame& frame) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
-  if (bytes.size() - 4 > kMaxFramePayload) return SendStatus::Oversized;
-  return tcp_send_all(conn.fd, bytes.data(), bytes.size())
-             ? SendStatus::Ok
-             : SendStatus::Closed;
+  if (bytes.size() - 4 > kMaxFramePayload) {
+    obs::transport_metrics().send_rejections->inc();
+    return SendStatus::Oversized;
+  }
+  if (!tcp_send_all(conn.fd, bytes.data(), bytes.size())) {
+    obs::transport_metrics().send_rejections->inc();
+    return SendStatus::Closed;
+  }
+  obs::TransportMetrics& m = obs::transport_metrics();
+  m.frames_out->inc();
+  m.frame_bytes_out->inc(bytes.size());
+  return SendStatus::Ok;
 }
 
 void TcpTransport::disconnect_locked(Conn& conn) {
@@ -210,8 +227,11 @@ void TcpTransport::reader_loop(Conn& conn, int fd, std::uint64_t generation) {
   while (healthy) {
     const long n = tcp_recv_some(fd, buffer, sizeof(buffer));
     if (n <= 0) break;  // EOF, reset, or shutdown by a disconnect
+    obs::transport_metrics().frame_bytes_in->inc(
+        static_cast<std::uint64_t>(n));
     frames.feed({buffer, static_cast<std::size_t>(n)});
     while (auto frame = frames.next()) {
+      obs::transport_metrics().frames_in->inc();
       std::lock_guard lock{conn.mutex};
       if (conn.generation != generation) {
         healthy = false;  // the link was reset under us; stop touching state
@@ -219,7 +239,11 @@ void TcpTransport::reader_loop(Conn& conn, int fd, std::uint64_t generation) {
       }
       const auto it = conn.pending.find(frame->corr);
       if (it == conn.pending.end()) continue;  // a duplicate's answer
-      const bool matched = fulfil(it->second, std::move(frame->payload));
+      conn.rtt->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - it->second.sent_at)
+              .count()));
+      const bool matched = fulfil(it->second.promise, std::move(frame->payload));
       conn.pending.erase(it);
       if (!matched) {
         healthy = false;  // type-confused peer: drop the connection

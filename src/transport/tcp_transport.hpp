@@ -26,6 +26,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "transport/transport.hpp"
 
 namespace omig::transport {
@@ -72,6 +73,13 @@ private:
                                     std::promise<bool>,
                                     std::promise<runtime::ObjectState>>;
 
+  /// A reply someone awaits, stamped at send time so the reader can record
+  /// the request/reply round trip into the peer's RTT histogram.
+  struct Pending {
+    PendingReply promise;
+    std::chrono::steady_clock::time_point sent_at;
+  };
+
   /// Per-peer link state. `generation` ties a reader thread to the link it
   /// serves: a reader that outlives its link (reset + reconnect won the
   /// race) sees a newer generation and leaves the fresh state alone.
@@ -82,7 +90,8 @@ private:
     std::uint64_t generation = 0;
     bool ever_connected = false;
     std::thread reader;
-    std::unordered_map<std::uint64_t, PendingReply> pending;
+    std::unordered_map<std::uint64_t, Pending> pending;
+    obs::Histogram* rtt = nullptr;  ///< omig_transport_rtt_us{peer="N"}
   };
 
   template <class WireT, class ReplyT>

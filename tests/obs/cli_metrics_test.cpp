@@ -1,0 +1,228 @@
+// End-to-end CLI telemetry: a real `omig_node --serve --metrics-port`
+// process is scraped over HTTP and must expose the full standard schema;
+// after live traffic the node-layer counters must have moved. Also checks
+// that `omig_sim --json` embeds the registry as its "metrics" member.
+//
+// Binaries are located via $OMIG_NODE_BIN / $OMIG_SIM_BIN, falling back to
+// the build-time paths compiled into this target.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/demo_types.hpp"
+#include "runtime/live_system.hpp"
+#include "transport/tcp.hpp"
+
+namespace omig {
+namespace {
+
+std::string node_binary() {
+  if (const char* env = std::getenv("OMIG_NODE_BIN")) return env;
+#ifdef OMIG_NODE_BIN_DEFAULT
+  return OMIG_NODE_BIN_DEFAULT;
+#else
+  return "omig_node";
+#endif
+}
+
+std::string sim_binary() {
+  if (const char* env = std::getenv("OMIG_SIM_BIN")) return env;
+#ifdef OMIG_SIM_BIN_DEFAULT
+  return OMIG_SIM_BIN_DEFAULT;
+#else
+  return "omig_sim";
+#endif
+}
+
+std::uint16_t wait_for_port_file(const std::string& path) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  std::uint16_t port = 0;
+  while (port == 0) {
+    std::ifstream in{path};
+    if (in >> port && port != 0) break;
+    port = 0;
+    if (std::chrono::steady_clock::now() > deadline) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+  return port;
+}
+
+/// One HTTP GET /metrics against the exporter; returns the body only.
+std::string scrape_body(std::uint16_t port) {
+  const int fd = transport::tcp_connect("127.0.0.1", port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return "";
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  EXPECT_TRUE(transport::tcp_send_all(
+      fd, reinterpret_cast<const std::uint8_t*>(request.data()),
+      request.size()));
+  std::string response;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const long n = transport::tcp_recv_some(fd, buffer, sizeof buffer);
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buffer),
+                    static_cast<std::size_t>(n));
+  }
+  transport::tcp_close(fd);
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// Value of one exposition sample line, or -1 when the series is absent.
+long long sample_value(const std::string& body, const std::string& series) {
+  const auto pos = body.find("\n" + series + " ");
+  if (pos == std::string::npos) return -1;
+  return std::stoll(body.substr(pos + series.size() + 2));
+}
+
+/// Every non-comment exposition line must parse as `series value`.
+void expect_parseable(const std::string& body) {
+  std::istringstream lines{body};
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line.rfind("# ", 0) == 0) continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    std::size_t parsed = 0;
+    (void)std::stoll(value, &parsed);
+    EXPECT_EQ(parsed, value.size()) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 30u);  // the standard schema is substantial
+}
+
+class CliMetrics : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ASSERT_TRUE(std::filesystem::exists(node_binary()))
+        << "omig_node binary not found at " << node_binary()
+        << " (set OMIG_NODE_BIN)";
+    char dir_template[] = "/tmp/omig-obs-test-XXXXXX";
+    ASSERT_NE(mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+  }
+
+  void TearDown() override {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Spawns `omig_node --serve --metrics-port 0` and resolves both ports.
+  void spawn_node() {
+    const std::string exe = node_binary();
+    const std::string port_file = dir_ + "/node.port";
+    const std::string metrics_file = dir_ + "/metrics.port";
+    pid_ = fork();
+    if (pid_ == 0) {
+      execl(exe.c_str(), exe.c_str(), "--serve", "--id", "0", "--port-file",
+            port_file.c_str(), "--metrics-port", "0", "--metrics-port-file",
+            metrics_file.c_str(), static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    ASSERT_GT(pid_, 0);
+    node_port_ = wait_for_port_file(port_file);
+    metrics_port_ = wait_for_port_file(metrics_file);
+    ASSERT_NE(node_port_, 0);
+    ASSERT_NE(metrics_port_, 0);
+  }
+
+  std::string dir_;
+  pid_t pid_ = -1;
+  std::uint16_t node_port_ = 0;
+  std::uint16_t metrics_port_ = 0;
+};
+
+TEST_F(CliMetrics, FreshNodeExposesTheFullStandardSchema) {
+  spawn_node();
+  const std::string body = scrape_body(metrics_port_);
+  // The four layers the tentpole instruments, present before any traffic.
+  for (const char* family :
+       {"omig_sim_invocations_total", "omig_runtime_invocations_total",
+        "omig_runtime_migrations_total", "omig_runtime_lease_acquisitions_total",
+        "omig_runtime_recoveries_total", "omig_transport_frames_out_total",
+        "omig_transport_reconnects_total", "omig_node_messages_total",
+        "omig_node_hosted_objects"}) {
+    EXPECT_NE(body.find(std::string{"# TYPE "} + family), std::string::npos)
+        << "missing family " << family;
+  }
+  expect_parseable(body);
+}
+
+TEST_F(CliMetrics, LiveTrafficMovesTheNodeCounters) {
+  spawn_node();
+  runtime::LiveSystem::Options opts;
+  opts.remote_nodes = {transport::Peer{"127.0.0.1", node_port_}};
+  runtime::LiveSystem sys{opts};
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(
+      sys.create("c", runtime::make_state("counter", {{"count", "0"}}), 0));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(sys.invoke("c", "add", "1").ok);
+  }
+
+  const std::string body = scrape_body(metrics_port_);
+  // >= instead of == for the message counts: a retransmission under load
+  // re-runs the handler (the dedup cache answers it) and still counts.
+  EXPECT_GE(sample_value(body, "omig_node_messages_total{type=\"install\"}"),
+            1)
+      << body;
+  EXPECT_GE(sample_value(body, "omig_node_messages_total{type=\"invoke\"}"),
+            3)
+      << body;
+  EXPECT_EQ(sample_value(body, "omig_node_hosted_objects"), 1);
+  // The frame server moved real bytes for those requests.
+  EXPECT_GT(sample_value(body, "omig_node_server_bytes_in_total"), 0);
+  EXPECT_GT(sample_value(body, "omig_node_server_bytes_out_total"), 0);
+
+  sys.shutdown_remote_nodes();
+  int status = 0;
+  EXPECT_EQ(waitpid(pid_, &status, 0), pid_);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  pid_ = -1;
+  sys.stop();
+}
+
+TEST(CliMetricsSim, SimJsonEmbedsTheRegistry) {
+  ASSERT_TRUE(std::filesystem::exists(sim_binary()))
+      << "omig_sim binary not found at " << sim_binary()
+      << " (set OMIG_SIM_BIN)";
+  const std::string cmd =
+      sim_binary() +
+      " policy=placement clients=2 max-blocks=500 --json 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
+  EXPECT_EQ(pclose(pipe), 0);
+  EXPECT_NE(output.find("\"metrics\": {"), std::string::npos) << output;
+  EXPECT_NE(output.find("\"omig_sim_invocations_total\":"), std::string::npos);
+  EXPECT_NE(output.find("\"omig_sim_call_remote_milli\":"), std::string::npos);
+  // The per-policy fold-in labels the series with the run's policy.
+  EXPECT_NE(output.find("\"policy\":\"placement\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omig

@@ -1,12 +1,17 @@
 // omig_node: one live node as a real OS process, plus a cluster launcher.
 //
 //   omig_node --serve --id N [--port P] [--port-file FILE]
+//             [--metrics-port P [--metrics-port-file FILE]]
+//             [--metrics-log-ms N]
 //       Hosts node N: a LiveNode event loop behind a loopback frame server
 //       (transport/wire). All demo object types are compiled in, so any
 //       coordinator can create and migrate demo objects here. The process
 //       exits when it receives a Shutdown frame. The bound port is printed
 //       to stdout and, with --port-file, written to FILE (atomically, via
 //       rename), which is how a launcher discovers an ephemeral port.
+//       --metrics-port additionally serves the process's metric registry
+//       in Prometheus text format over HTTP (0 = ephemeral; docs/metrics.md),
+//       and --metrics-log-ms logs snapshot deltas to stderr on that cadence.
 //
 //   omig_node --cluster N
 //       Spawns N child node processes and drives the office workflow
@@ -23,15 +28,19 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
+#include "obs/delta_logger.hpp"
+#include "obs/families.hpp"
 #include "runtime/demo_types.hpp"
 #include "runtime/live_system.hpp"
 #include "transport/bridge.hpp"
+#include "transport/metrics_exporter.hpp"
 #include "transport/node_server.hpp"
 
 namespace {
@@ -41,10 +50,19 @@ using namespace omig;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --serve --id N [--port P] [--port-file FILE]\n"
+               "              [--metrics-port P [--metrics-port-file FILE]]\n"
+               "              [--metrics-log-ms N]\n"
                "       %s --cluster N\n",
                argv0, argv0);
   return 2;
 }
+
+/// --serve options beyond the frame-server basics.
+struct ServeOptions {
+  int metrics_port = -1;  ///< -1 = no exporter; 0 = ephemeral
+  std::string metrics_port_file;
+  long metrics_log_ms = 0;  ///< 0 = no delta logging
+};
 
 /// Publishes the bound port for the launcher: write-then-rename, so a
 /// reader never sees a half-written file.
@@ -60,10 +78,38 @@ bool write_port_file(const std::string& path, std::uint16_t port) {
   return !ec;
 }
 
-int serve(std::size_t id, std::uint16_t port, const std::string& port_file) {
+int serve(std::size_t id, std::uint16_t port, const std::string& port_file,
+          const ServeOptions& serve_opts) {
   const auto factories = runtime::demo_factories();
   runtime::LiveNode node{id, &factories};
   node.start();
+
+  // Pre-register every standard family so a scrape on a fresh node shows
+  // the complete schema at zero instead of an empty page.
+  obs::register_standard_metrics();
+  transport::MetricsExporter exporter{obs::MetricsRegistry::global()};
+  if (serve_opts.metrics_port >= 0) {
+    const std::uint16_t bound = exporter.start(
+        static_cast<std::uint16_t>(serve_opts.metrics_port));
+    if (bound == 0) {
+      std::fprintf(stderr, "omig_node %zu: cannot bind metrics port %d\n", id,
+                   serve_opts.metrics_port);
+      return 1;
+    }
+    if (!serve_opts.metrics_port_file.empty() &&
+        !write_port_file(serve_opts.metrics_port_file, bound)) {
+      std::fprintf(stderr, "omig_node %zu: cannot write %s\n", id,
+                   serve_opts.metrics_port_file.c_str());
+      return 1;
+    }
+    std::printf("omig_node %zu metrics on http://127.0.0.1:%u/metrics\n", id,
+                bound);
+    std::fflush(stdout);
+  }
+  obs::DeltaLogger delta_logger{obs::MetricsRegistry::global(), std::cerr};
+  if (serve_opts.metrics_log_ms > 0) {
+    delta_logger.start(std::chrono::milliseconds{serve_opts.metrics_log_ms});
+  }
 
   // The server thread flags the Shutdown frame so main can exit; the
   // bridge still forwards it as MsgStop, which ends the node loop.
@@ -250,6 +296,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string port_file;
   std::size_t cluster_count = 0;
+  ServeOptions serve_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -270,6 +317,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       port_file = v;
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_opts.metrics_port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--metrics-port-file") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_opts.metrics_port_file = v;
+    } else if (arg == "--metrics-log-ms") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_opts.metrics_log_ms = std::strtol(v, nullptr, 10);
     } else if (arg == "--cluster") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -279,7 +338,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (serve_mode) return serve(id, port, port_file);
+  if (serve_mode) return serve(id, port, port_file, serve_opts);
   if (cluster_count >= 2) return cluster(argv[0], cluster_count);
   return usage(argv[0]);
 }

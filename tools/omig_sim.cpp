@@ -19,6 +19,7 @@
 #include "core/config.hpp"
 #include "core/sweep.hpp"
 #include "core/table.hpp"
+#include "obs/metrics.hpp"
 #include "trace/log.hpp"
 #include "util/executor.hpp"
 
@@ -166,6 +167,10 @@ void print_json(const core::ExperimentConfig& cfg,
   count("recoveries", r.recoveries);
   count("seed", cfg.seed);
   count("threads", static_cast<std::uint64_t>(threads));
+  // The run's registry state (docs/metrics.md): per-policy fold-ins plus
+  // the invocation latency histograms.
+  os << sep << "\n  \"metrics\": "
+     << obs::MetricsRegistry::global().to_json();
   os << "\n}\n";
   std::cout << os.str();
 }
