@@ -39,6 +39,22 @@ void BM_ManyConcurrentProcesses(benchmark::State& state) {
 }
 BENCHMARK(BM_ManyConcurrentProcesses)->Arg(100)->Arg(1'000);
 
+void BM_SpawnChurn(benchmark::State& state) {
+  // Short-lived tasks at call rate — the workload shape that stresses the
+  // coroutine frame pool: every spawn is two frames (task + root wrapper)
+  // that die almost immediately, so steady-state throughput is set by how
+  // cheaply frames come back.
+  const int procs = static_cast<int>(state.range(0));
+  sim::Engine eng;
+  for (auto _ : state) {
+    for (int i = 0; i < procs; ++i) eng.spawn(ping(eng, 1));
+    eng.run();
+    eng.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * procs);
+}
+BENCHMARK(BM_SpawnChurn)->Arg(1'000);
+
 void BM_RngExponential(benchmark::State& state) {
   sim::Rng rng{1, 0};
   double acc = 0.0;

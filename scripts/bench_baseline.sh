@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Records the simulation-kernel perf trajectory into BENCH_kernel.json.
+#
+# Builds a Release tree and runs the kernel microbench suite
+# (bench_kernel_throughput, google-benchmark: 3 repetitions, medians) plus
+# two representative figure benches (fig 8 usage-frequency and fig 11
+# migration-load, wall-clock medians of 3 runs at a fixed reduced
+# resolution). Results are merged into BENCH_kernel.json under the given
+# label, so running it once per kernel revision accumulates the before/after
+# trajectory:
+#
+#   scripts/bench_baseline.sh --label before   # on the old kernel
+#   scripts/bench_baseline.sh --label after    # on the new kernel
+#
+# When both labels are present the script also computes the headline
+# speedup (raw kernel event-dispatch throughput, after/before).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL=after
+OUT=BENCH_kernel.json
+MIN_TIME=0.5
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label) LABEL="$2"; shift 2 ;;
+    --output) OUT="$2"; shift 2 ;;
+    --min-time) MIN_TIME="$2"; shift 2 ;;
+    *) echo "usage: $0 [--label NAME] [--output FILE] [--min-time SECS]" >&2
+       exit 2 ;;
+  esac
+done
+
+BUILD_DIR=build-bench
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target \
+  bench_kernel_throughput bench_fig08_usage_frequency \
+  bench_fig11_migration_load >/dev/null
+
+KERNEL_JSON=$(mktemp)
+"$BUILD_DIR/bench/bench_kernel_throughput" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$KERNEL_JSON" 2>/dev/null
+
+# Figure benches at a fixed reduced resolution (the absolute tables are not
+# the point here — only the wall-clock trend of the same workload).
+time_fig() {
+  local bin="$1" runs=3 best=""
+  local t0 t1 dt
+  for _ in $(seq "$runs"); do
+    t0=$(date +%s%N)
+    OMIG_THREADS=1 OMIG_CI_TARGET=0.05 OMIG_MAX_BLOCKS=4000 \
+      "$BUILD_DIR/bench/$bin" >/dev/null
+    t1=$(date +%s%N)
+    dt=$(( (t1 - t0) / 1000000 ))  # ms
+    best="$best $dt"
+  done
+  # median of three
+  echo "$best" | tr ' ' '\n' | sed '/^$/d' | sort -n | sed -n 2p
+}
+
+FIG08_MS=$(time_fig bench_fig08_usage_frequency)
+FIG11_MS=$(time_fig bench_fig11_migration_load)
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+LABEL="$LABEL" OUT="$OUT" KERNEL_JSON="$KERNEL_JSON" FIG08_MS="$FIG08_MS" \
+FIG11_MS="$FIG11_MS" GIT_REV="$GIT_REV" python3 - <<'PY'
+import json, os
+
+label = os.environ["LABEL"]
+out = os.environ["OUT"]
+
+with open(os.environ["KERNEL_JSON"]) as f:
+    raw = json.load(f)
+
+kernel = {}
+for b in raw["benchmarks"]:
+    if b["name"].endswith("_median"):
+        name = b["name"][: -len("_median")]
+        entry = {"real_time_ns": b["real_time"] * {"ns": 1, "us": 1e3,
+                                                   "ms": 1e6, "s": 1e9}[b["time_unit"]]}
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        kernel[name] = entry
+
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+doc.setdefault("bench", "simulation-kernel")
+doc.setdefault("recipe", {
+    "build": "Release",
+    "kernel": "bench_kernel_throughput --benchmark_min_time=<min-time> "
+              "--benchmark_repetitions=3 (medians)",
+    "figures": "OMIG_THREADS=1 OMIG_CI_TARGET=0.05 OMIG_MAX_BLOCKS=4000, "
+               "wall-clock median of 3 runs",
+    "headline": "BM_EngineEventThroughput/100000 items_per_second "
+                "(kernel event dispatch, 100k-event run)",
+})
+doc["recipe"]["headline"] = (
+    "BM_EngineEventThroughput/100000 items_per_second "
+    "(kernel event dispatch, 100k-event run)")
+runs = doc.setdefault("runs", {})
+runs[label] = {
+    "git": os.environ["GIT_REV"],
+    "nproc": os.cpu_count(),
+    "kernel": kernel,
+    "fig08_usage_frequency_ms": int(os.environ["FIG08_MS"]),
+    "fig11_migration_load_ms": int(os.environ["FIG11_MS"]),
+}
+
+if "before" in runs and "after" in runs:
+    head = "BM_EngineEventThroughput/100000"
+    b = runs["before"]["kernel"][head]["items_per_second"]
+    a = runs["after"]["kernel"][head]["items_per_second"]
+    speedups = {}
+    for name, rec in runs["after"]["kernel"].items():
+        if name in runs["before"]["kernel"] and "items_per_second" in rec:
+            prev = runs["before"]["kernel"][name].get("items_per_second")
+            if prev:
+                speedups[name] = round(rec["items_per_second"] / prev, 3)
+    doc["headline"] = {
+        "metric": head + " events/sec",
+        "before": b,
+        "after": a,
+        "speedup": round(a / b, 3),
+        "all_speedups": speedups,
+        "fig08_speedup": round(
+            runs["before"]["fig08_usage_frequency_ms"]
+            / runs["after"]["fig08_usage_frequency_ms"], 3),
+        "fig11_speedup": round(
+            runs["before"]["fig11_migration_load_ms"]
+            / runs["after"]["fig11_migration_load_ms"], 3),
+    }
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out} [{label}]")
+PY
+
+rm -f "$KERNEL_JSON"

@@ -216,13 +216,15 @@ std::vector<SweepPoint> run_sweep(const std::vector<double>& xs,
   points.reserve(n_x);
   std::size_t failed_cells = 0;
   std::string first_error;
+  std::vector<ExperimentResult> reps;  // reused across variants and points
+  reps.reserve(n_r);
   for (std::size_t xi = 0; xi < n_x; ++xi) {
     SweepPoint point;
     point.x = xs[xi];
+    point.results.reserve(n_v);
     bool ok = true;
     for (std::size_t vi = 0; vi < n_v; ++vi) {
-      std::vector<ExperimentResult> reps;
-      reps.reserve(n_r);
+      reps.clear();
       for (std::size_t rep = 0; rep < n_r; ++rep) {
         const std::size_t cell = (xi * n_v + vi) * n_r + rep;
         if (!errors[cell].empty()) {

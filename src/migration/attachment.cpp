@@ -1,8 +1,6 @@
 #include "migration/attachment.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -28,11 +26,11 @@ bool AttachmentGraph::attach(ObjectId a, ObjectId b, AllianceId ctx) {
 
 bool AttachmentGraph::detach(ObjectId a, ObjectId b) {
   auto erase_all = [&](ObjectId from, ObjectId peer) {
-    auto it = adj_.find(from);
-    if (it == adj_.end()) return std::size_t{0};
-    const auto before = it->second.size();
-    std::erase_if(it->second, [&](const Edge& e) { return e.peer == peer; });
-    return before - it->second.size();
+    std::vector<Edge>* edges = adj_.find(from);
+    if (edges == nullptr) return std::size_t{0};
+    const auto before = edges->size();
+    std::erase_if(*edges, [&](const Edge& e) { return e.peer == peer; });
+    return before - edges->size();
   };
   const std::size_t removed = erase_all(a, b);
   erase_all(b, a);
@@ -42,14 +40,14 @@ bool AttachmentGraph::detach(ObjectId a, ObjectId b) {
 
 bool AttachmentGraph::detach(ObjectId a, ObjectId b, AllianceId ctx) {
   auto erase_one = [&](ObjectId from, ObjectId peer) {
-    auto it = adj_.find(from);
-    if (it == adj_.end()) return false;
-    auto pos = std::find_if(it->second.begin(), it->second.end(),
+    std::vector<Edge>* edges = adj_.find(from);
+    if (edges == nullptr) return false;
+    auto pos = std::find_if(edges->begin(), edges->end(),
                             [&](const Edge& e) {
                               return e.peer == peer && e.ctx == ctx;
                             });
-    if (pos == it->second.end()) return false;
-    it->second.erase(pos);
+    if (pos == edges->end()) return false;
+    edges->erase(pos);
     return true;
   };
   if (!erase_one(a, b)) return false;
@@ -60,15 +58,15 @@ bool AttachmentGraph::detach(ObjectId a, ObjectId b, AllianceId ctx) {
 }
 
 bool AttachmentGraph::attached(ObjectId a, ObjectId b) const {
-  auto it = adj_.find(a);
-  if (it == adj_.end()) return false;
-  return std::any_of(it->second.begin(), it->second.end(),
+  const std::vector<Edge>* edges = adj_.find(a);
+  if (edges == nullptr) return false;
+  return std::any_of(edges->begin(), edges->end(),
                      [&](const Edge& e) { return e.peer == b; });
 }
 
 std::size_t AttachmentGraph::degree(ObjectId a) const {
-  auto it = adj_.find(a);
-  return it == adj_.end() ? 0 : it->second.size();
+  const std::vector<Edge>* edges = adj_.find(a);
+  return edges == nullptr ? 0 : edges->size();
 }
 
 std::vector<ObjectId> AttachmentGraph::closure(ObjectId start) const {
@@ -82,22 +80,31 @@ std::vector<ObjectId> AttachmentGraph::closure_in(ObjectId start,
 
 std::vector<ObjectId> AttachmentGraph::bfs(ObjectId start, bool restrict_ctx,
                                            AllianceId ctx) const {
-  std::vector<ObjectId> out;
-  std::unordered_set<ObjectId> seen;
-  std::deque<ObjectId> frontier;
-  seen.insert(start);
-  frontier.push_back(start);
-  while (!frontier.empty()) {
-    const ObjectId cur = frontier.front();
-    frontier.pop_front();
-    out.push_back(cur);
-    auto it = adj_.find(cur);
-    if (it == adj_.end()) continue;
-    for (const Edge& e : it->second) {
+  const auto seen = [&](ObjectId o) {
+    if (seen_stamp_.size() <= o.value()) seen_stamp_.resize(o.value() + 1, 0);
+    if (seen_stamp_[o.value()] == epoch_) return true;
+    seen_stamp_[o.value()] = epoch_;
+    return false;
+  };
+  if (++epoch_ == 0) {
+    // Stamp counter wrapped: stale stamps could alias the new epoch.
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  // frontier_ doubles as the output: visited objects are never removed,
+  // only a read cursor advances, so at the end it IS the closure.
+  frontier_.clear();
+  seen(start);
+  frontier_.push_back(start);
+  for (std::size_t next = 0; next < frontier_.size(); ++next) {
+    const std::vector<Edge>* edges = adj_.find(frontier_[next]);
+    if (edges == nullptr) continue;
+    for (const Edge& e : *edges) {
       if (restrict_ctx && e.ctx != ctx) continue;
-      if (seen.insert(e.peer).second) frontier.push_back(e.peer);
+      if (!seen(e.peer)) frontier_.push_back(e.peer);
     }
   }
+  std::vector<ObjectId> out(frontier_.begin(), frontier_.end());
   std::sort(out.begin(), out.end());
   return out;
 }

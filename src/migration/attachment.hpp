@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "objsys/ids.hpp"
+#include "util/dense_table.hpp"
 
 namespace omig::migration {
 
@@ -75,8 +75,17 @@ private:
                                           AllianceId ctx) const;
 
   Mode mode_;
-  std::unordered_map<ObjectId, std::vector<Edge>> adj_;
+  /// Adjacency lists indexed by object id (ids are registry-contiguous).
+  util::DenseTable<ObjectId, std::vector<Edge>> adj_;
   std::size_t edges_ = 0;  ///< directed half-edge count
+
+  // BFS scratch, reused across closure() calls: `seen_stamp_[id] ==
+  // epoch_` marks a visited object, so starting a new traversal is one
+  // counter bump instead of clearing (or rebuilding) a hash set. Purely a
+  // cache — mutable so the const closure queries can use it.
+  mutable std::vector<std::uint32_t> seen_stamp_;
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<ObjectId> frontier_;
 };
 
 }  // namespace omig::migration

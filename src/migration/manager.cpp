@@ -183,75 +183,76 @@ bool MigrationManager::lease_expired(const Lock& lock) const {
 }
 
 bool MigrationManager::is_locked(ObjectId obj) const {
-  auto it = locks_.find(obj);
-  return it != locks_.end() && !lease_expired(it->second);
+  const Lock* lock = locks_.find(obj);
+  return lock != nullptr && !lease_expired(*lock);
 }
 
 objsys::BlockId MigrationManager::lock_owner(ObjectId obj) const {
-  auto it = locks_.find(obj);
-  if (it == locks_.end() || lease_expired(it->second)) {
+  const Lock* lock = locks_.find(obj);
+  if (lock == nullptr || lease_expired(*lock)) {
     return objsys::BlockId::invalid();
   }
-  return it->second.owner;
+  return lock->owner;
 }
 
 bool MigrationManager::try_lock(ObjectId obj, objsys::BlockId blk) {
-  auto it = locks_.find(obj);
-  if (it != locks_.end() && lease_expired(it->second)) {
+  Lock* lock = locks_.find(obj);
+  if (lock != nullptr && lease_expired(*lock)) {
     // The holding block outlived its lease — presumed dead with a crashed
     // node. Release the object in place so this move can take over.
     trace_event(trace::EventKind::Unlock, obj, objsys::NodeId::invalid(),
-                it->second.owner);
+                lock->owner);
     ++lease_expiries_;
-    locks_.erase(it);
-    it = locks_.end();
+    locks_.erase(obj);
+    lock = nullptr;
   }
-  if (it == locks_.end()) {
-    locks_.emplace(obj, Lock{blk, engine_->now() + options_.lock_lease});
+  if (lock == nullptr) {
+    locks_.try_emplace(obj, Lock{blk, engine_->now() + options_.lock_lease});
     trace_event(trace::EventKind::Lock, obj, objsys::NodeId::invalid(), blk);
     return true;
   }
-  return it->second.owner == blk;
+  return lock->owner == blk;
 }
 
 void MigrationManager::unlock(ObjectId obj, objsys::BlockId blk) {
-  auto it = locks_.find(obj);
-  if (it != locks_.end() && it->second.owner == blk) {
-    locks_.erase(it);
+  const Lock* lock = locks_.find(obj);
+  if (lock != nullptr && lock->owner == blk) {
+    locks_.erase(obj);
     trace_event(trace::EventKind::Unlock, obj, objsys::NodeId::invalid(),
                 blk);
   }
 }
 
 void MigrationManager::note_move(ObjectId obj, objsys::NodeId node) {
-  ++open_moves_[obj][node];
+  std::vector<int>& counts = open_moves_[obj];
+  if (counts.size() <= node.value()) counts.resize(node.value() + 1, 0);
+  ++counts[node.value()];
 }
 
 void MigrationManager::note_end(ObjectId obj, objsys::NodeId node) {
-  auto it = open_moves_.find(obj);
-  OMIG_REQUIRE(it != open_moves_.end(), "end without matching move");
-  auto nit = it->second.find(node);
-  OMIG_REQUIRE(nit != it->second.end() && nit->second > 0,
+  std::vector<int>* counts = open_moves_.find(obj);
+  OMIG_REQUIRE(counts != nullptr, "end without matching move");
+  OMIG_REQUIRE(node.value() < counts->size() && (*counts)[node.value()] > 0,
                "end without matching move at this node");
-  if (--nit->second == 0) it->second.erase(nit);
+  --(*counts)[node.value()];
 }
 
 int MigrationManager::open_moves(ObjectId obj, objsys::NodeId node) const {
-  auto it = open_moves_.find(obj);
-  if (it == open_moves_.end()) return 0;
-  auto nit = it->second.find(node);
-  return nit == it->second.end() ? 0 : nit->second;
+  const std::vector<int>* counts = open_moves_.find(obj);
+  if (counts == nullptr || node.value() >= counts->size()) return 0;
+  return (*counts)[node.value()];
 }
 
 objsys::NodeId MigrationManager::strict_majority_node(ObjectId obj) const {
-  auto it = open_moves_.find(obj);
-  if (it == open_moves_.end()) return objsys::NodeId::invalid();
+  const std::vector<int>* counts = open_moves_.find(obj);
+  if (counts == nullptr) return objsys::NodeId::invalid();
   objsys::NodeId best = objsys::NodeId::invalid();
   int best_count = 0;
   bool tie = false;
-  for (const auto& [node, count] : it->second) {
+  for (std::size_t n = 0; n < counts->size(); ++n) {
+    const int count = (*counts)[n];
     if (count > best_count) {
-      best = node;
+      best = objsys::NodeId{static_cast<objsys::NodeId::value_type>(n)};
       best_count = count;
       tie = false;
     } else if (count == best_count && count > 0) {

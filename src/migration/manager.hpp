@@ -10,7 +10,6 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -24,6 +23,7 @@
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "trace/log.hpp"
+#include "util/dense_table.hpp"
 
 namespace omig::migration {
 
@@ -179,10 +179,13 @@ private:
   AllianceRegistry* alliances_;
   ManagerOptions options_;
 
-  std::unordered_map<ObjectId, Lock> locks_;
+  // Dense id-indexed tables (docs/performance.md): object ids are allocated
+  // contiguously, so the lock and open-move lookups on the migration hot
+  // path are flat indexed loads instead of hashes.
+  util::DenseTable<ObjectId, Lock> locks_;
   std::uint64_t lease_expiries_ = 0;
-  std::unordered_map<ObjectId, std::unordered_map<objsys::NodeId, int>>
-      open_moves_;
+  /// Per object: open-move counts indexed by node id value.
+  util::DenseTable<ObjectId, std::vector<int>> open_moves_;
   std::function<void(double)> background_sink_;
   objsys::LocationService* service_ = nullptr;
   trace::TraceLog* trace_ = nullptr;

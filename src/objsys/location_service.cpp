@@ -30,6 +30,9 @@ LocationService::LocationService(sim::Engine& engine, ObjectRegistry& registry,
       scheme_{scheme}, name_server_{name_server} {
   OMIG_REQUIRE(name_server.value() < registry.node_count(),
                "name server node out of range");
+  if (scheme_ == LocationScheme::Forwarding) {
+    known_.resize(registry.node_count());
+  }
 }
 
 sim::Task LocationService::resolve(NodeId from, ObjectId obj) {
@@ -66,16 +69,18 @@ sim::Task LocationService::resolve(NodeId from, ObjectId obj) {
       // forwarded along the chain of addresses the object left behind.
       // Each extra chain hop is one extra message duration.
       const auto& hist = registry_->history(obj);
-      const std::uint64_t k = key(from, obj);
-      auto [it, inserted] = known_.try_emplace(k, std::size_t{0});
+      OMIG_ASSERT(from.value() < known_.size());
+      std::vector<std::uint32_t>& row = known_[from.value()];
+      if (row.size() <= obj.value()) row.resize(obj.value() + 1, 0);
       const std::size_t current = hist.size() - 1;
-      const std::size_t cached = std::min(it->second, current);
+      const std::size_t cached =
+          std::min<std::size_t>(row[obj.value()], current);
       for (std::size_t i = cached; i < current; ++i) {
         ++messages_;
         co_await engine_->delay(latency_->sample(*rng_, hist[i].value(),
                                                  hist[i + 1].value()));
       }
-      it->second = current;
+      row[obj.value()] = static_cast<std::uint32_t>(current);
       co_return;
     }
   }

@@ -122,13 +122,15 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
     Kind kind, const std::string& name, const std::string& help,
     const Labels& labels) {
-  const std::string key = name + render_labels(labels);
   std::lock_guard lock{mutex_};
-  auto it = index_.find(key);
+  // Heterogeneous lookup: a hit (the overwhelmingly common case — every
+  // run re-registers the same series) allocates nothing.
+  auto it = index_.find(KeyView{name, &labels});
   if (it != index_.end()) {
     Entry& entry = *entries_[it->second];
     OMIG_REQUIRE(entry.kind == kind,
-                 "metric re-registered with a different kind: " + key);
+                 "metric re-registered with a different kind: " + name +
+                     render_labels(labels));
     return entry;
   }
   auto entry = std::make_unique<Entry>();
@@ -144,7 +146,7 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
       break;
   }
   entries_.push_back(std::move(entry));
-  index_.emplace(key, entries_.size() - 1);
+  index_.emplace(Key{name, labels}, entries_.size() - 1);
   return *entries_.back();
 }
 

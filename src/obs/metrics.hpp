@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -187,9 +188,39 @@ private:
   Entry& find_or_create(Kind kind, const std::string& name,
                         const std::string& help, const Labels& labels);
 
+  // The index is keyed by the (name, labels) pair itself, not by a rendered
+  // `name{labels}` string, and the comparator is transparent: the hot
+  // re-registration path (every LiveSystem construction, every per-run
+  // instrumentation setup) looks up with a borrowed KeyView and allocates
+  // nothing on a hit.
+  using Key = std::pair<std::string, Labels>;
+  struct KeyView {
+    std::string_view name;
+    const Labels* labels;
+  };
+  struct KeyLess {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const {
+      if (const int c = a.first.compare(b.first); c != 0) return c < 0;
+      return a.second < b.second;
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      if (const int c = std::string_view{a.first}.compare(b.name); c != 0) {
+        return c < 0;
+      }
+      return a.second < *b.labels;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      if (const int c = a.name.compare(std::string_view{b.first}); c != 0) {
+        return c < 0;
+      }
+      return *a.labels < b.second;
+    }
+  };
+
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
-  std::map<std::string, std::size_t> index_;  ///< key(name, labels) → entry
+  std::map<Key, std::size_t, KeyLess> index_;  ///< (name, labels) → entry
 };
 
 /// Renders `{a="x",b="y"}` (empty string for no labels); values are

@@ -6,10 +6,6 @@
 
 namespace omig::sim {
 
-void DelayAwaiter::await_suspend(std::coroutine_handle<> h) const {
-  engine->schedule_handle(engine->now() + dt, h);
-}
-
 Task Engine::root_wrapper(Task inner) {
   // Root processes must not leak exceptions into the event loop; record the
   // failure and stop the simulation so `run` can rethrow it.
@@ -32,36 +28,29 @@ void Engine::spawn(Task t) {
   schedule_handle(now_, h);
 }
 
-DelayAwaiter Engine::delay(SimTime dt) {
-  OMIG_REQUIRE(dt >= 0.0, "cannot delay by negative time");
-  return DelayAwaiter{this, dt};
-}
-
-void Engine::schedule_handle(SimTime at, std::coroutine_handle<> h) {
-  OMIG_REQUIRE(at >= now_, "cannot schedule into the past");
-  OMIG_ASSERT(h);
-  queue_.push(Event{at, seq_++, h});
-}
-
 void Engine::run() { run_until(kTimeInfinity); }
 
 void Engine::run_until(SimTime deadline) {
   while (!queue_.empty() && !stop_requested_) {
-    const Event ev = queue_.top();
-    if (ev.at > deadline) break;
-    queue_.pop();
-    now_ = ev.at;
-    dispatch(ev);
+    const Event& top = queue_.top();
+    if (top.at > deadline) break;
+    now_ = top.at;
+    const std::coroutine_handle<> h = top.handle;
+    // Mark the top consumed instead of popping: if the resumed process
+    // schedules (the overwhelmingly common case — delays, gate reopenings),
+    // its first event replaces the top in one sift-down.
+    top_consumed_ = true;
+    ++events_;
+    h.resume();
+    if (top_consumed_) {
+      top_consumed_ = false;
+      queue_.pop();
+    }
   }
   if (error_) {
     auto e = std::exchange(error_, nullptr);
     std::rethrow_exception(e);
   }
-}
-
-void Engine::dispatch(const Event& ev) {
-  ++events_;
-  ev.handle.resume();
 }
 
 void Engine::record_error(std::exception_ptr e) {
@@ -70,8 +59,9 @@ void Engine::record_error(std::exception_ptr e) {
 
 void Engine::clear() {
   // Drop queued handles first (they point into frames owned by roots_),
-  // then destroy the frames.
-  while (!queue_.empty()) queue_.pop();
+  // then destroy the frames. The slab keeps its capacity.
+  queue_.clear();
+  top_consumed_ = false;
   roots_.clear();
 }
 

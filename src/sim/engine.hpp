@@ -4,16 +4,27 @@
 // suspend on `co_await engine.delay(dt)` (advance simulated time) or on a
 // `Gate` (wait for a condition). The engine owns all root processes and
 // resumes whichever handle is due next.
+//
+// Hot-path layout (docs/performance.md): the queue is an EventHeap — a
+// binary heap over a reusable slab, no allocation per push, capacity kept
+// across clear()/runs — and the dispatch loop fuses the pop/push pair that
+// almost every resumed process generates (it consumes the top, resumes, and
+// lets the first event scheduled during the resumption replace the top in a
+// single sift-down). Coroutine frames are pooled by sim::FramePool via
+// Task's promise. All of this is result-neutral: the (at, seq) order is a
+// strict total order, so the event sequence is bit-identical to the
+// original std::priority_queue kernel.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <queue>
 #include <vector>
 
+#include "sim/event_heap.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "util/assert.hpp"
 
 namespace omig::sim {
 
@@ -54,11 +65,26 @@ public:
   void spawn(Task t);
 
   /// Awaitable that advances simulated time by `dt >= 0`.
-  [[nodiscard]] DelayAwaiter delay(SimTime dt);
+  [[nodiscard]] DelayAwaiter delay(SimTime dt) {
+    OMIG_REQUIRE(dt >= 0.0, "cannot delay by negative time");
+    return DelayAwaiter{this, dt};
+  }
 
   /// Schedules `h` to be resumed at absolute time `at` (>= now). Used by
   /// awaiter implementations (delay, gates); not part of the workload API.
-  void schedule_handle(SimTime at, std::coroutine_handle<> h);
+  /// The first schedule issued while the loop is mid-dispatch takes the
+  /// consumed top's slot (one sift-down instead of pop + push).
+  void schedule_handle(SimTime at, std::coroutine_handle<> h) {
+    OMIG_REQUIRE(at >= now_, "cannot schedule into the past");
+    OMIG_ASSERT(h);
+    const Event ev{at, seq_++, h};
+    if (top_consumed_) {
+      top_consumed_ = false;
+      queue_.replace_top(ev);
+    } else {
+      queue_.push(ev);
+    }
+  }
 
   /// Runs until the event queue is empty or a stop is requested. Rethrows
   /// the first exception that escaped any root process.
@@ -78,32 +104,36 @@ public:
   /// Records a failure from a root process; rethrown by `run`.
   void record_error(std::exception_ptr e);
 
-  /// Destroys all pending processes and clears the queue; time is preserved.
+  /// Destroys all pending processes and clears the queue; time is preserved
+  /// and the event slab keeps its capacity for the next run.
   void clear();
 
+  /// Pre-sizes the event slab (the heap grows on demand regardless).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
+  /// Capacity of the event slab (diagnostics / tests).
+  [[nodiscard]] std::size_t event_capacity() const {
+    return queue_.capacity();
+  }
+
 private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;  ///< FIFO tie-breaker for simultaneous events
-    std::coroutine_handle<> handle;
-
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
-  };
-
   Task root_wrapper(Task inner);
   void prune_finished_roots();
-  void dispatch(const Event& ev);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventHeap queue_;
   std::vector<Task> roots_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_ = 0;
   bool stop_requested_ = false;
+  /// True while the loop has logically removed the top but not yet popped
+  /// it (the dispatch window in which replace_top fusion applies).
+  bool top_consumed_ = false;
   std::exception_ptr error_;
 };
+
+inline void DelayAwaiter::await_suspend(std::coroutine_handle<> h) const {
+  engine->schedule_handle(engine->now() + dt, h);
+}
 
 }  // namespace omig::sim

@@ -1,0 +1,123 @@
+// Index-addressable d-ary min-heap over a reusable slab — the engine's
+// event queue.
+//
+// Why not std::priority_queue: the adaptor hides its container, so the
+// engine could neither retain the slab across clear()/runs nor fuse the
+// pop/push pair that dominates the dispatch loop (almost every resumed
+// process immediately schedules its next event). This heap exposes exactly
+// those two operations:
+//
+//  * clear() keeps the slab — a sweep cell reuses the previous cell's
+//    capacity instead of re-growing from empty, and no event push ever
+//    allocates once the high-water mark is reached;
+//  * replace_top() substitutes the minimum in one sift-down, turning the
+//    common pop-then-push sequence (cost: one full sift-down plus one
+//    sift-up) into a single traversal.
+//
+// Determinism: the ordering key (at, seq) is a strict total order (seq is
+// unique), so the pop sequence is the fully sorted event order — identical
+// for this heap, std::priority_queue, or any other correct priority queue.
+// The kernel overhaul can therefore swap the queue implementation without
+// perturbing a single simulation result.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace omig::sim {
+
+/// One scheduled resumption.
+struct Event {
+  SimTime at;
+  std::uint64_t seq;  ///< FIFO tie-breaker for simultaneous events
+  std::coroutine_handle<> handle;
+};
+
+class EventHeap {
+public:
+  /// Branching factor. 4 halves the tree depth versus a binary heap and
+  /// keeps one node's children inside two cache lines (4 × 24 B), which is
+  /// what the deep-queue sift-down is bound by. Any arity pops the same
+  /// (at, seq)-sorted sequence.
+  static constexpr std::size_t kArity = 4;
+
+  [[nodiscard]] bool empty() const { return slab_.empty(); }
+  [[nodiscard]] std::size_t size() const { return slab_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return slab_.capacity(); }
+
+  void reserve(std::size_t n) { slab_.reserve(n); }
+
+  /// Drops every event but keeps the slab's capacity.
+  void clear() { slab_.clear(); }
+
+  /// The earliest event: smallest (at, seq).
+  [[nodiscard]] const Event& top() const {
+    OMIG_ASSERT(!slab_.empty());
+    return slab_.front();
+  }
+
+  void push(const Event& ev) {
+    slab_.push_back(ev);
+    sift_up(slab_.size() - 1);
+  }
+
+  /// Removes the minimum.
+  void pop() {
+    OMIG_ASSERT(!slab_.empty());
+    const Event last = slab_.back();
+    slab_.pop_back();
+    if (!slab_.empty()) place_from_root(last);
+  }
+
+  /// Equivalent to pop() followed by push(ev) but with a single sift-down
+  /// from the root — the fused fast path of the dispatch loop.
+  void replace_top(const Event& ev) {
+    OMIG_ASSERT(!slab_.empty());
+    place_from_root(ev);
+  }
+
+private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t hole) {
+    const Event v = slab_[hole];
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / kArity;
+      if (!before(v, slab_[parent])) break;
+      slab_[hole] = slab_[parent];
+      hole = parent;
+    }
+    slab_[hole] = v;
+  }
+
+  /// Sifts `v` down from the root into its position (the root is a hole).
+  void place_from_root(const Event& v) {
+    const std::size_t n = slab_.size();
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first = kArity * hole + 1;
+      if (first >= n) break;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(slab_[c], slab_[best])) best = c;
+      }
+      if (!before(slab_[best], v)) break;
+      slab_[hole] = slab_[best];
+      hole = best;
+    }
+    slab_[hole] = v;
+  }
+
+  std::vector<Event> slab_;
+};
+
+}  // namespace omig::sim

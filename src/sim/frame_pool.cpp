@@ -1,0 +1,55 @@
+#include "sim/frame_pool.hpp"
+
+#include <new>
+
+namespace omig::sim {
+
+FramePool& FramePool::local() {
+  thread_local FramePool pool;
+  return pool;
+}
+
+void* FramePool::allocate(std::size_t bytes) {
+  const std::size_t cls = class_of(bytes);
+  if (cls < kClasses) {
+    if (FreeNode* node = free_[cls]) {
+      free_[cls] = node->next;
+      --parked_;
+      ++reuses_;
+      return node;
+    }
+    ++fresh_;
+    // Allocate the full class size so the block is reusable for any frame
+    // of the same class, whatever its exact byte count.
+    return ::operator new(cls * kGranularity);
+  }
+  ++fresh_;
+  return ::operator new(bytes);
+}
+
+void FramePool::deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t cls = class_of(bytes);
+  if (cls < kClasses) {
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+    ++parked_;
+    return;
+  }
+  ::operator delete(p);
+}
+
+void FramePool::release() noexcept {
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    FreeNode* node = free_[cls];
+    free_[cls] = nullptr;
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      ::operator delete(node);
+      node = next;
+    }
+  }
+  parked_ = 0;
+}
+
+}  // namespace omig::sim

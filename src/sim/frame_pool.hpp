@@ -1,0 +1,77 @@
+// Size-class free-list pool for coroutine frames.
+//
+// Every simulation process — clients, migrations, control messages — is a
+// coroutine, and the default promise allocator pays one heap round-trip per
+// frame. A workload run spawns short-lived tasks (control_message, transfer,
+// resolve) at call rate, so the allocator shows up directly in simulator
+// throughput. Task's promise routes frame allocation here instead: freed
+// frames are parked on a per-size-class free list and handed back on the
+// next allocation of the same class, so steady-state simulation performs no
+// frame allocation at all.
+//
+// The pool is thread-local. The engine is single-threaded and the parallel
+// sweep runs one engine per worker at a time, so "per thread" and "per
+// engine" coincide on the hot path; a frame freed on another thread (which
+// the simulator never does, but the pool tolerates) simply migrates to that
+// thread's pool. No locks, no atomics, no sharing — a TSan-clean design by
+// construction (tests/sim/engine_pool_test.cpp stresses it across threads).
+//
+// Determinism: allocation addresses never feed into simulation logic (no
+// pointer-keyed ordered iteration anywhere in the sim layer), so recycling
+// frames cannot perturb results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omig::sim {
+
+class FramePool {
+public:
+  /// Size classes are multiples of 64 bytes; frames above the largest class
+  /// fall through to the global allocator.
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 40;  ///< pools frames ≤ 2496 B
+  static constexpr std::size_t kMaxPooledBytes = (kClasses - 1) * kGranularity;
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool() { release(); }
+
+  /// The calling thread's pool (what Task's promise operators use).
+  [[nodiscard]] static FramePool& local();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Returns every parked frame to the global allocator (leak hygiene for
+  /// LSan; also lets tests reset the pool between measurements).
+  void release() noexcept;
+
+  // --- diagnostics ---------------------------------------------------------
+  /// Allocations served by popping a parked frame (no heap traffic).
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  /// Allocations that had to touch the global allocator (cold misses and
+  /// frames larger than the largest size class).
+  [[nodiscard]] std::uint64_t fresh_allocs() const { return fresh_; }
+  /// Frames currently parked across all size classes.
+  [[nodiscard]] std::size_t parked() const { return parked_; }
+
+private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  /// 1-based size-class index; >= kClasses means "not pooled".
+  [[nodiscard]] static std::size_t class_of(std::size_t bytes) {
+    return (bytes + kGranularity - 1) / kGranularity;
+  }
+
+  FreeNode* free_[kClasses] = {};
+  std::uint64_t reuses_ = 0;
+  std::uint64_t fresh_ = 0;
+  std::size_t parked_ = 0;
+};
+
+}  // namespace omig::sim

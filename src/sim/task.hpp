@@ -8,9 +8,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
 #include "util/assert.hpp"
 
 namespace omig::sim {
@@ -41,6 +43,18 @@ public:
     std::coroutine_handle<> continuation;  ///< resumed when this task finishes
     std::exception_ptr exception;
     bool done = false;
+
+    // Frames come from the thread-local FramePool: simulation processes are
+    // spawned at call rate, and recycling their frames removes the per-task
+    // heap round-trip from the kernel hot path. Only the sized delete is
+    // declared, so the compiler always reports the frame size back and the
+    // pool can bin the block by size class without a header.
+    static void* operator new(std::size_t bytes) {
+      return FramePool::local().allocate(bytes);
+    }
+    static void operator delete(void* p, std::size_t bytes) noexcept {
+      FramePool::local().deallocate(p, bytes);
+    }
 
     Task get_return_object() { return Task{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() const noexcept { return {}; }

@@ -42,16 +42,21 @@ TraceLog::TraceLog(std::size_t capacity) : capacity_{capacity} {
 
 void TraceLog::record(const Event& event) {
   ++recorded_;
-  if (events_.size() == capacity_) events_.pop_front();
-  events_.push_back(event);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    // Full: overwrite the oldest slot in place — no allocation, ever.
+    ring_[head_] = event;
+    if (++head_ == capacity_) head_ = 0;
+  }
 }
 
 std::vector<Event> TraceLog::select(
     const std::function<bool(const Event&)>& pred) const {
   std::vector<Event> out;
-  for (const Event& e : events_) {
+  visit([&](const Event& e) {
     if (pred(e)) out.push_back(e);
-  }
+  });
   return out;
 }
 
@@ -65,49 +70,49 @@ std::vector<Event> TraceLog::for_object(objsys::ObjectId obj) const {
 
 std::size_t TraceLog::count(EventKind kind) const {
   std::size_t n = 0;
-  for (const Event& e : events_) {
+  visit([&](const Event& e) {
     if (e.kind == kind) ++n;
-  }
+  });
   return n;
 }
 
 std::string TraceLog::render(std::size_t max_lines) const {
   std::ostringstream os;
   std::size_t skip = 0;
-  if (events_.size() > max_lines) {
-    skip = events_.size() - max_lines;
+  if (ring_.size() > max_lines) {
+    skip = ring_.size() - max_lines;
     os << "... (" << skip << " earlier events)\n";
   }
   std::size_t index = 0;
-  for (const Event& e : events_) {
-    if (index++ < skip) continue;
+  visit([&](const Event& e) {
+    if (index++ < skip) return;
     os << "t=" << e.time << "  " << to_string(e.kind);
     if (e.object.valid()) os << "  obj " << e.object;
     if (e.node.valid()) os << "  node " << e.node;
     if (e.block.valid()) os << "  blk " << e.block;
     os << '\n';
-  }
+  });
   return os.str();
 }
 // (render shows the tail of the window: the most recent events are the
 // ones an operator debugging a live run cares about.)
 
 std::size_t TraceLog::to_jsonl(std::ostream& os) const {
-  for (const Event& e : events_) {
+  visit([&](const Event& e) {
     os << "{\"t\":" << e.time << ",\"kind\":\"" << to_string(e.kind)
        << '"';
     if (e.object.valid()) os << ",\"obj\":" << e.object.value();
     if (e.node.valid()) os << ",\"node\":" << e.node.value();
     if (e.block.valid()) os << ",\"blk\":" << e.block.value();
     os << "}\n";
-  }
-  return events_.size();
+  });
+  return ring_.size();
 }
 
 std::size_t TraceLog::to_chrome_json(std::ostream& os) const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const Event& e : events_) {
+  visit([&](const Event& e) {
     if (!first) os << ',';
     first = false;
     // One trace-time unit = 1000 Chrome microseconds = 1 displayed ms.
@@ -137,13 +142,16 @@ std::size_t TraceLog::to_chrome_json(std::ostream& os) const {
     if (e.node.valid()) arg("node", e.node.value());
     if (e.block.valid()) arg("blk", e.block.value());
     os << "}}";
-  }
+  });
   os << "\n]}\n";
-  return events_.size();
+  return ring_.size();
 }
 
 void TraceLog::clear() {
-  events_.clear();
+  // Keep the ring's capacity: a trace window is sized once and reused
+  // across runs.
+  ring_.clear();
+  head_ = 0;
   recorded_ = 0;
 }
 

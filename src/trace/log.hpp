@@ -1,10 +1,11 @@
 // Bounded trace log with query helpers.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/event.hpp"
@@ -14,6 +15,11 @@ namespace omig::trace {
 /// Records up to `capacity` most-recent events (older ones are dropped —
 /// a trace is a window, not an unbounded archive). Attach one to a
 /// MigrationManager to instrument a run; detached by default, zero cost.
+///
+/// Storage is a flat ring buffer: record() is an indexed store with no
+/// allocation once the window has filled (the deque it replaced allocated
+/// a block roughly every 500 events, forever), and clear() keeps the
+/// buffer's capacity for the next run.
 class TraceLog {
 public:
   explicit TraceLog(std::size_t capacity = 65'536);
@@ -21,13 +27,21 @@ public:
   void record(const Event& event);
 
   /// Number of events currently retained.
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
   /// Total events ever recorded (including dropped ones).
   [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
   /// True if older events have been dropped.
-  [[nodiscard]] bool truncated() const { return recorded_ > events_.size(); }
+  [[nodiscard]] bool truncated() const { return recorded_ > ring_.size(); }
 
-  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  /// The retained window in time order (oldest first), materialized from
+  /// the ring. A by-value snapshot: fine for tests and exporters; hot
+  /// in-process consumers should use the query helpers instead.
+  [[nodiscard]] std::vector<Event> events() const {
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    visit([&](const Event& e) { out.push_back(e); });
+    return out;
+  }
 
   /// Events satisfying a predicate (in time order).
   [[nodiscard]] std::vector<Event> select(
@@ -57,9 +71,19 @@ public:
 
   void clear();
 
+  /// Visits every retained event oldest-first without materializing a copy.
+  template <class F>
+  void visit(F&& f) const {
+    // head_ is the overwrite cursor; once the ring is full it also marks
+    // the oldest event.
+    for (std::size_t i = head_; i < ring_.size(); ++i) f(ring_[i]);
+    for (std::size_t i = 0; i < head_; ++i) f(ring_[i]);
+  }
+
 private:
   std::size_t capacity_;
-  std::deque<Event> events_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< next slot to overwrite once full
   std::uint64_t recorded_ = 0;
 };
 

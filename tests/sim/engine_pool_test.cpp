@@ -1,0 +1,170 @@
+// EventHeap and FramePool: the kernel overhaul's two new hot-path pieces.
+//
+// EventHeapTest pins the heap to its specification — the pop sequence is
+// the fully (at, seq)-sorted order, replace_top is exactly pop+push, and
+// the slab survives clear(). EnginePoolTest covers the coroutine frame
+// pool: reuse actually happens under engine spawn churn, frames may be
+// freed on a different thread than they were allocated on, and concurrent
+// engines on distinct threads never share pool state (the TSan gate in
+// scripts/check.sh runs this suite).
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/event_heap.hpp"
+#include "sim/frame_pool.hpp"
+#include "sim/task.hpp"
+
+namespace omig::sim {
+namespace {
+
+TEST(EventHeapTest, PopsInAtThenSeqOrder) {
+  EventHeap heap;
+  std::mt19937_64 rng{42};
+  std::uniform_real_distribution<double> at_dist{0.0, 100.0};
+  std::vector<Event> events;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    // Coarse times force plenty of (at) ties to exercise the seq
+    // tie-break.
+    const double at = std::floor(at_dist(rng));
+    events.push_back(Event{at, seq, std::noop_coroutine()});
+  }
+  for (const Event& e : events) heap.push(e);
+
+  std::vector<std::pair<double, std::uint64_t>> popped;
+  while (!heap.empty()) {
+    popped.emplace_back(heap.top().at, heap.top().seq);
+    heap.pop();
+  }
+  auto sorted = popped;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(popped, sorted);
+  EXPECT_EQ(popped.size(), events.size());
+}
+
+TEST(EventHeapTest, ReplaceTopMatchesPopThenPush) {
+  EventHeap fused;
+  EventHeap reference;
+  std::mt19937_64 rng{7};
+  std::uniform_real_distribution<double> at_dist{0.0, 50.0};
+  std::uint64_t seq = 0;
+  for (; seq < 64; ++seq) {
+    const Event e{at_dist(rng), seq, std::noop_coroutine()};
+    fused.push(e);
+    reference.push(e);
+  }
+  for (int round = 0; round < 500; ++round) {
+    const double base = fused.top().at;
+    const Event next{base + at_dist(rng), seq++, std::noop_coroutine()};
+    fused.replace_top(next);
+    reference.pop();
+    reference.push(next);
+    ASSERT_EQ(fused.top().at, reference.top().at);
+    ASSERT_EQ(fused.top().seq, reference.top().seq);
+    ASSERT_EQ(fused.size(), reference.size());
+  }
+}
+
+TEST(EventHeapTest, ClearKeepsSlabCapacity) {
+  EventHeap heap;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    heap.push(Event{static_cast<double>(i), i, std::noop_coroutine()});
+  }
+  const std::size_t cap = heap.capacity();
+  EXPECT_GE(cap, 500u);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.capacity(), cap);
+}
+
+TEST(EventHeapTest, EngineClearKeepsEventSlab) {
+  Engine engine;
+  engine.reserve_events(256);
+  const std::size_t cap = engine.event_capacity();
+  EXPECT_GE(cap, 256u);
+  engine.spawn([](Engine& e) -> Task {
+    for (int i = 0; i < 10; ++i) co_await e.delay(1.0);
+  }(engine));
+  engine.run();
+  engine.clear();
+  EXPECT_EQ(engine.event_capacity(), cap);
+}
+
+Task churn_process(Engine& engine, int hops) {
+  for (int i = 0; i < hops; ++i) co_await engine.delay(0.5);
+}
+
+TEST(EnginePoolTest, SpawnChurnReusesFrames) {
+  FramePool& pool = FramePool::local();
+  pool.release();
+  Engine engine;
+  // Wave after wave of short-lived processes: after the first wave warms
+  // the free lists, later frames must come from the pool.
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 20; ++i) engine.spawn(churn_process(engine, 3));
+    engine.run();
+    engine.clear();
+  }
+  EXPECT_GT(pool.reuses(), 0u);
+  // Steady state: far more frames were recycled than ever hit the heap.
+  EXPECT_GT(pool.reuses(), pool.fresh_allocs());
+}
+
+TEST(EnginePoolTest, ReleaseReturnsParkedFrames) {
+  FramePool& pool = FramePool::local();
+  {
+    Engine engine;
+    for (int i = 0; i < 8; ++i) engine.spawn(churn_process(engine, 2));
+    engine.run();
+    engine.clear();
+  }
+  EXPECT_GT(pool.parked(), 0u);
+  pool.release();
+  EXPECT_EQ(pool.parked(), 0u);
+}
+
+TEST(EnginePoolTest, CrossThreadFreeMigratesToFreeingThreadsPool) {
+  void* p = FramePool::local().allocate(128);
+  std::uint64_t other_parked = 0;
+  std::thread t{[&] {
+    FramePool::local().deallocate(p, 128);
+    other_parked = FramePool::local().parked();
+    FramePool::local().release();
+  }};
+  t.join();
+  EXPECT_EQ(other_parked, 1u);
+}
+
+TEST(EnginePoolTest, ConcurrentEnginesAreIndependent) {
+  // One engine per thread, as the parallel sweep runs them. Identical
+  // workloads must process identical event counts, and TSan must see no
+  // shared pool state.
+  constexpr int kThreads = 4;
+  std::uint64_t events[kThreads] = {};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&events, i] {
+      Engine engine;
+      for (int wave = 0; wave < 10; ++wave) {
+        for (int j = 0; j < 16; ++j) engine.spawn(churn_process(engine, 4));
+        engine.run();
+        engine.clear();
+      }
+      events[i] = engine.events_processed();
+      FramePool::local().release();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(events[i], events[0]);
+  EXPECT_GT(events[0], 0u);
+}
+
+}  // namespace
+}  // namespace omig::sim

@@ -1,0 +1,90 @@
+#include "util/dense_table.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "objsys/ids.hpp"
+
+namespace omig::util {
+namespace {
+
+using objsys::ObjectId;
+
+TEST(DenseTableTest, StartsEmpty) {
+  DenseTable<ObjectId, int> table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.contains(ObjectId{3}));
+  EXPECT_EQ(table.find(ObjectId{3}), nullptr);
+}
+
+TEST(DenseTableTest, InsertFindErase) {
+  DenseTable<ObjectId, std::string> table;
+  auto [value, inserted] = table.try_emplace(ObjectId{5}, "five");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(value, "five");
+  EXPECT_EQ(table.size(), 1u);
+
+  auto [again, inserted2] = table.try_emplace(ObjectId{5}, "other");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(again, "five");  // existing value untouched
+
+  ASSERT_NE(table.find(ObjectId{5}), nullptr);
+  EXPECT_EQ(*table.find(ObjectId{5}), "five");
+  EXPECT_FALSE(table.contains(ObjectId{4}));  // neighbour slot stays empty
+
+  EXPECT_TRUE(table.erase(ObjectId{5}));
+  EXPECT_FALSE(table.erase(ObjectId{5}));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(ObjectId{5}), nullptr);
+}
+
+TEST(DenseTableTest, SubscriptDefaultConstructs) {
+  DenseTable<ObjectId, int> table;
+  ++table[ObjectId{7}];
+  ++table[ObjectId{7}];
+  EXPECT_EQ(*table.find(ObjectId{7}), 2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DenseTableTest, ForEachVisitsInAscendingIdOrder) {
+  DenseTable<ObjectId, int> table;
+  for (const std::uint32_t id : {9u, 2u, 40u, 0u}) {
+    table[ObjectId{id}] = static_cast<int>(id * 10);
+  }
+  std::vector<std::pair<std::uint32_t, int>> seen;
+  table.for_each([&](ObjectId id, const int& v) {
+    seen.emplace_back(id.value(), v);
+  });
+  const std::vector<std::pair<std::uint32_t, int>> expected{
+      {0, 0}, {2, 20}, {9, 90}, {40, 400}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DenseTableTest, ClearEmptiesButReinsertSeesNoStaleState) {
+  DenseTable<ObjectId, std::vector<int>> table;
+  table[ObjectId{3}].assign(100, 1);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.find(ObjectId{3}), nullptr);
+  // Re-insert after clear must produce a fresh value, never the erased
+  // entry's leftover contents.
+  auto [value, inserted] = table.try_emplace(ObjectId{3});
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(value.empty());
+}
+
+TEST(DenseTableTest, ReinsertAfterEraseIsFresh) {
+  DenseTable<ObjectId, int> table;
+  table[ObjectId{1}] = 42;
+  table.erase(ObjectId{1});
+  auto [value, inserted] = table.try_emplace(ObjectId{1}, 7);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(value, 7);
+}
+
+}  // namespace
+}  // namespace omig::util
