@@ -1,0 +1,151 @@
+// Microbenchmarks of the durable store (google-benchmark): WAL append
+// cost with and without the per-record fsync, recovery replay throughput,
+// snapshot compaction, and the raw CRC32 framing cost — the numbers
+// behind the fsync-discipline discussion in docs/durability.md.
+//
+// All benches run against a throwaway directory under /tmp, so they
+// measure this machine's filesystem; see scripts/bench_baseline.sh.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/crc32.hpp"
+#include "store/store.hpp"
+#include "store/wal.hpp"
+
+namespace {
+
+using namespace omig::store;
+
+/// Fresh scratch directory; removed when the bench iteration set ends.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    char dir_template[] = "/tmp/omig-bench-store-XXXXXX";
+    if (mkdtemp(dir_template) != nullptr) path = dir_template;
+  }
+  ~ScratchDir() {
+    if (path.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::vector<std::uint8_t> state_blob(std::size_t bytes) {
+  return std::vector<std::uint8_t>(bytes, 0x5A);
+}
+
+// One checkpoint append per iteration. Arg 0 is the state-blob size, arg 1
+// selects the fsync discipline (1 = fsync every append — the durability
+// contract's configuration; 0 = buffered, the lease-record fast path).
+void BM_WalAppend(benchmark::State& state) {
+  ScratchDir scratch;
+  DurableStore::OpenOptions opts;
+  opts.dir = scratch.path;
+  opts.sync_each_append = state.range(1) == 1;
+  DurableStore store;
+  if (!store.open(std::move(opts))) {
+    state.SkipWithError("store.open failed");
+    return;
+  }
+  const auto blob = state_blob(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.checkpoint("obj", 0, 0, blob));
+  }
+  state.SetLabel(state.range(1) == 1 ? "fsync" : "buffered");
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_WalAppend)
+    ->Args({64, 1})
+    ->Args({64, 0})
+    ->Args({4096, 1})
+    ->Args({4096, 0});
+
+// Recovery replay: reopen a store whose WAL holds range(0) records. The
+// open itself (read + CRC check + view fold + tail truncate) is timed.
+void BM_WalReplay(benchmark::State& state) {
+  ScratchDir scratch;
+  const auto blob = state_blob(256);
+  {
+    DurableStore::OpenOptions opts;
+    opts.dir = scratch.path;
+    opts.sync_each_append = false;
+    DurableStore store;
+    if (!store.open(std::move(opts))) {
+      state.SkipWithError("store.open failed");
+      return;
+    }
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      (void)store.checkpoint("obj-" + std::to_string(i % 64), 0, 0, blob);
+    }
+    (void)store.sync();
+  }
+  for (auto _ : state) {
+    DurableStore::OpenOptions opts;
+    opts.dir = scratch.path;
+    DurableStore store;
+    if (!store.open(std::move(opts))) {
+      state.SkipWithError("reopen failed");
+      return;
+    }
+    benchmark::DoNotOptimize(store.recovery().replayed_records);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WalReplay)->Arg(256)->Arg(4096);
+
+// Snapshot compaction of a range(0)-object view: encode, CRC, atomic
+// rename install, WAL reset.
+void BM_SnapshotCompact(benchmark::State& state) {
+  ScratchDir scratch;
+  DurableStore::OpenOptions opts;
+  opts.dir = scratch.path;
+  opts.sync_each_append = false;
+  DurableStore store;
+  if (!store.open(std::move(opts))) {
+    state.SkipWithError("store.open failed");
+    return;
+  }
+  const auto blob = state_blob(256);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    (void)store.checkpoint("obj-" + std::to_string(i), 0, 0, blob);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.compact());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotCompact)->Arg(64)->Arg(1024);
+
+// Pure framing cost, no disk: encode one record and CRC its payload.
+void BM_RecordEncode(benchmark::State& state) {
+  WalRecord record;
+  record.kind = RecordKind::Checkpoint;
+  record.seq = 1;
+  record.name = "obj";
+  record.blob = state_blob(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_record(record));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(record.blob.size()));
+}
+BENCHMARK(BM_RecordEncode)->Arg(64)->Arg(4096);
+
+void BM_Crc32(benchmark::State& state) {
+  const auto blob = state_blob(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(blob));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,17 +20,78 @@ cd "$(dirname "$0")/.."
 LABEL=after
 OUT=BENCH_kernel.json
 MIN_TIME=0.5
+MODE=kernel
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --label) LABEL="$2"; shift 2 ;;
     --output) OUT="$2"; shift 2 ;;
     --min-time) MIN_TIME="$2"; shift 2 ;;
+    --store) MODE=store; shift ;;
     *) echo "usage: $0 [--label NAME] [--output FILE] [--min-time SECS]" >&2
+       echo "          [--store]   # bench the durable store into BENCH_store.json" >&2
        exit 2 ;;
   esac
 done
 
 BUILD_DIR=build-bench
+
+# --store: record the durable-store microbench medians (WAL append with
+# both fsync disciplines, replay, compaction) into BENCH_store.json.
+if [[ "$MODE" == store ]]; then
+  [[ "$OUT" == BENCH_kernel.json ]] && OUT=BENCH_store.json
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_store >/dev/null
+  STORE_JSON=$(mktemp)
+  "$BUILD_DIR/bench/bench_store" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >"$STORE_JSON" 2>/dev/null
+  GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+  LABEL="$LABEL" OUT="$OUT" STORE_JSON="$STORE_JSON" GIT_REV="$GIT_REV" \
+  python3 - <<'PY'
+import json, os
+
+with open(os.environ["STORE_JSON"]) as f:
+    raw = json.load(f)
+scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}
+bench = {}
+for b in raw["benchmarks"]:
+    if b["name"].endswith("_median"):
+        name = b["name"][: -len("_median")]
+        entry = {"real_time_ns": b["real_time"] * scale[b["time_unit"]]}
+        for key in ("items_per_second", "bytes_per_second"):
+            if key in b:
+                entry[key] = b[key]
+        bench[name] = entry
+
+out = os.environ["OUT"]
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+doc.setdefault("bench", "durable-store")
+doc.setdefault("recipe", {
+    "build": "Release",
+    "store": "bench_store --benchmark_min_time=<min-time> "
+             "--benchmark_repetitions=3 (medians)",
+    "headline": "BM_WalAppend/64/1 real_time_ns "
+                "(one fsynced 64-byte checkpoint append)",
+})
+doc.setdefault("runs", {})[os.environ["LABEL"]] = {
+    "git": os.environ["GIT_REV"],
+    "nproc": os.cpu_count(),
+    "store": bench,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out} [{os.environ['LABEL']}]")
+PY
+  rm -f "$STORE_JSON"
+  exit 0
+fi
+
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   bench_kernel_throughput bench_fig08_usage_frequency \

@@ -2,8 +2,9 @@
 # Sanitizer gate for the concurrent code paths: builds a Debug tree with
 # ThreadSanitizer + UBSan and runs the suites that exercise real threads —
 # the live runtime, the transport layer (wire codec, TCP sockets,
-# multi-process cluster), the fault-injection / chaos tests, and the
-# work-stealing executor + parallel sweep engine.
+# multi-process cluster), the fault-injection / chaos tests, the durable
+# store (WAL, snapshots, crash recovery), and the work-stealing executor +
+# parallel sweep engine.
 #
 # Usage: scripts/check.sh [extra ctest args]
 set -euo pipefail
@@ -29,7 +30,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1} su
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
-  -R 'Mailbox|LiveNode|LiveSystem|OfficeWorkflow|LiveFault|FaultPlan|FaultInjector|NodeHealth|CrashDriver|Chaos|Executor|SweepParallel|SweepGolden|EnginePool|EventHeap|DenseTable|Transport|Wire|MultiProcess|TcpLink|InProcTransport|Metrics|Histogram|Exporter' \
+  -R 'Mailbox|LiveNode|LiveSystem|OfficeWorkflow|LiveFault|FaultPlan|FaultInjector|NodeHealth|CrashDriver|Chaos|Executor|SweepParallel|SweepGolden|EnginePool|EventHeap|DenseTable|Transport|Wire|MultiProcess|TcpLink|InProcTransport|Metrics|Histogram|Exporter|Wal|Store|Snapshot|Recovery' \
   "$@"
 
 echo "check.sh: sanitized runtime + fault suites passed"

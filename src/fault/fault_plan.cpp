@@ -26,11 +26,37 @@ LinkFault FaultPlan::effective(std::size_t from, std::size_t to) const {
   return out;
 }
 
+DiskFault FaultPlan::effective_disk(std::size_t node) const {
+  DiskFault out;
+  out.node = node;
+  double no_tear = 1.0;
+  double no_short = 1.0;
+  double no_fsync_fail = 1.0;
+  for (const DiskFault& f : disk) {
+    if (!f.matches(node)) continue;
+    no_tear *= 1.0 - f.torn_write;
+    no_short *= 1.0 - f.short_write;
+    no_fsync_fail *= 1.0 - f.fsync_fail;
+  }
+  out.torn_write = 1.0 - no_tear;
+  out.short_write = 1.0 - no_short;
+  out.fsync_fail = 1.0 - no_fsync_fail;
+  return out;
+}
+
 std::string FaultPlan::describe() const {
   std::ostringstream os;
   os << links.size() << " link fault" << (links.size() == 1 ? "" : "s")
      << ", " << crashes.size() << " crash"
-     << (crashes.size() == 1 ? "" : "es") << ", seed " << seed;
+     << (crashes.size() == 1 ? "" : "es");
+  if (!disk.empty()) {
+    os << ", " << disk.size() << " disk fault" << (disk.size() == 1 ? "" : "s");
+  }
+  if (!wal_kills.empty()) {
+    os << ", " << wal_kills.size() << " wal-kill"
+       << (wal_kills.size() == 1 ? "" : "s");
+  }
+  os << ", seed " << seed;
   return os.str();
 }
 
@@ -135,6 +161,36 @@ FaultPlan parse_plan(std::istream& in) {
                              ": crash time must be >= 0"};
       }
       plan.crashes.push_back(c);
+    } else if (op == "torn-write" || op == "short-write" ||
+               op == "fsync-fail") {
+      want(2, 2);
+      DiskFault f;
+      f.node = parse_node(args[0], line);
+      const double p = parse_probability(args[1], line);
+      if (op == "torn-write") {
+        f.torn_write = p;
+      } else if (op == "short-write") {
+        f.short_write = p;
+      } else {
+        f.fsync_fail = p;
+      }
+      plan.disk.push_back(f);
+    } else if (op == "wal-kill" || op == "wal-torn-kill") {
+      want(2, 2);
+      WalKill k;
+      k.node = parse_node(args[0], line);
+      if (k.node == kAnyNode) {
+        throw FaultPlanError{"line " + std::to_string(line) + ": '" + op +
+                             "' needs a concrete node"};
+      }
+      const double after = parse_number(args[1], line);
+      if (after < 0.0) {
+        throw FaultPlanError{"line " + std::to_string(line) +
+                             ": append count must be >= 0"};
+      }
+      k.after_appends = static_cast<std::uint64_t>(after);
+      k.torn = op == "wal-torn-kill";
+      plan.wal_kills.push_back(k);
     } else {
       throw FaultPlanError{"line " + std::to_string(line) +
                            ": unknown directive '" + op + "'"};

@@ -49,6 +49,39 @@ struct CrashEvent {
   [[nodiscard]] bool restarts() const { return restart_after >= 0.0; }
 };
 
+/// Probabilistic disk fault on a node's durable store (src/store/). The
+/// node may be kAnyNode. Probabilities are per WAL operation:
+///   torn_write  — the append persists only a prefix of the record and the
+///                 store dies (the tear IS the power loss; recovery must
+///                 discard the tail). Only meaningful on stores that can
+///                 be "rebooted" — a process relaunch or a reopen.
+///   short_write — the kernel persists fewer bytes than asked; the store
+///                 truncates back and rewrites (recoverable, counted).
+///   fsync_fail  — fsync reports failure: the record is applied but its
+///                 durability is not promised (degraded mode).
+struct DiskFault {
+  std::size_t node = kAnyNode;
+  double torn_write = 0.0;
+  double short_write = 0.0;
+  double fsync_fail = 0.0;
+
+  [[nodiscard]] bool matches(std::size_t n) const {
+    return node == kAnyNode || node == n;
+  }
+};
+
+/// One scheduled kill-between-fsyncs: after the store on `node` has
+/// appended `after_appends` WAL records, the very next append dies at the
+/// power-loss point — after the write, before the fsync (`torn` false), or
+/// mid-write with only a prefix on disk (`torn` true). In an omig_node
+/// process the store raises SIGKILL; in-process stores go dead and refuse
+/// further writes, so a reopen simulates the reboot.
+struct WalKill {
+  std::size_t node = 0;
+  std::uint64_t after_appends = 0;
+  bool torn = false;
+};
+
 /// The full declarative schedule. An empty (default) plan perturbs nothing:
 /// both backends behave bit-identically to a run without fault injection.
 struct FaultPlan {
@@ -58,14 +91,21 @@ struct FaultPlan {
   double retry_timeout = 4.0;
   std::vector<LinkFault> links;
   std::vector<CrashEvent> crashes;
+  std::vector<DiskFault> disk;
+  std::vector<WalKill> wal_kills;
 
   [[nodiscard]] bool empty() const {
-    return links.empty() && crashes.empty();
+    return links.empty() && crashes.empty() && disk.empty() &&
+           wal_kills.empty();
   }
 
   /// Combined fault for a link: probabilities of all matching rules compose
   /// (independent loss processes); delays add.
   [[nodiscard]] LinkFault effective(std::size_t from, std::size_t to) const;
+
+  /// Combined disk fault for a node's store: probabilities of all matching
+  /// rules compose (independent failure processes), mirroring effective().
+  [[nodiscard]] DiskFault effective_disk(std::size_t node) const;
 
   /// One-line summary for logs ("2 link faults, 1 crash, seed 42").
   [[nodiscard]] std::string describe() const;
@@ -80,6 +120,12 @@ struct FaultPlan {
 ///     delay <from> <to> <time>
 ///     dup <from> <to> <prob>
 ///     crash <node> <at> [<restart-after>]
+///     # disk faults (durable store, docs/durability.md):
+///     torn-write <node> <prob>      # '*' = any node's store
+///     short-write <node> <prob>
+///     fsync-fail <node> <prob>
+///     wal-kill <node> <after-appends>        # SIGKILL between fsyncs
+///     wal-torn-kill <node> <after-appends>   # tear the append, then die
 ///
 /// Throws FaultPlanError (with line number) on malformed input.
 FaultPlan parse_plan(std::istream& in);

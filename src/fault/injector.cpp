@@ -8,10 +8,16 @@ namespace {
 /// Dedicated RNG stream index so injector draws never collide with the
 /// workload/network streams derived from the same master seed.
 constexpr std::uint64_t kInjectorStream = 0xFA17;
+/// Separate stream for disk-fault draws: adding disk rules to a plan must
+/// never perturb the link-fault sequence of the same seed (and vice
+/// versa), the same discipline per-cell sweep seeds follow.
+constexpr std::uint64_t kDiskStream = 0xD15C;
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_{std::move(plan)}, rng_{plan_.seed, kInjectorStream} {}
+    : plan_{std::move(plan)},
+      rng_{plan_.seed, kInjectorStream},
+      disk_rng_{plan_.seed, kDiskStream} {}
 
 Decision FaultInjector::on_message(std::size_t from, std::size_t to) {
   Decision d;
@@ -32,6 +38,55 @@ Decision FaultInjector::on_message(std::size_t from, std::size_t to) {
     counters_.delayed.fetch_add(1, std::memory_order_relaxed);
   }
   return d;
+}
+
+DiskDecision FaultInjector::on_wal_append(std::size_t node) {
+  DiskDecision d;
+  const DiskFault f = plan_.effective_disk(node);
+  const bool has_schedule = !plan_.wal_kills.empty();
+  if (!has_schedule && f.torn_write <= 0.0 && f.short_write <= 0.0) return d;
+  bool scheduled = false;
+  {
+    std::lock_guard lock{mutex_};
+    const std::uint64_t seen = wal_appends_[node]++;
+    for (const WalKill& k : plan_.wal_kills) {
+      if (k.node == node && seen == k.after_appends) {
+        (k.torn ? d.torn : d.kill) = true;
+        scheduled = true;
+      }
+    }
+    if (!d.torn && !d.kill) {
+      if (f.torn_write > 0.0 && disk_rng_.uniform() < f.torn_write) {
+        d.torn = true;
+      } else if (f.short_write > 0.0 &&
+                 disk_rng_.uniform() < f.short_write) {
+        d.short_write = true;
+      }
+    }
+  }
+  if (d.torn) {
+    counters_.torn_writes.fetch_add(1, std::memory_order_relaxed);
+  } else if (d.short_write) {
+    counters_.short_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (scheduled) {
+    counters_.wal_kills.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+bool FaultInjector::fsync_fails(std::size_t node) {
+  const DiskFault f = plan_.effective_disk(node);
+  if (f.fsync_fail <= 0.0) return false;
+  bool fails = false;
+  {
+    std::lock_guard lock{mutex_};
+    fails = disk_rng_.uniform() < f.fsync_fail;
+  }
+  if (fails) {
+    counters_.fsync_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fails;
 }
 
 NodeHealth::NodeHealth(sim::Engine& engine, std::size_t nodes) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -37,6 +38,11 @@ struct FaultCounters {
   std::atomic<std::uint64_t> crashes{0};
   std::atomic<std::uint64_t> restarts{0};
   std::atomic<std::uint64_t> recoveries{0};     ///< objects reinstalled
+  // Disk-fault dimension (durable store, docs/durability.md).
+  std::atomic<std::uint64_t> torn_writes{0};
+  std::atomic<std::uint64_t> short_writes{0};
+  std::atomic<std::uint64_t> fsync_failures{0};
+  std::atomic<std::uint64_t> wal_kills{0};      ///< scheduled power losses
 };
 
 /// Per-message verdict for one delivery attempt.
@@ -44,6 +50,14 @@ struct Decision {
   bool drop = false;
   bool duplicate = false;
   double delay = 0.0;
+};
+
+/// Verdict for one WAL append on a node's durable store. At most one of
+/// the flags is set per decision (a tear already implies the store dies).
+struct DiskDecision {
+  bool torn = false;         ///< persist a prefix only, then die
+  bool short_write = false;  ///< partial write; store truncates + rewrites
+  bool kill = false;         ///< die between the write and its fsync
 };
 
 class FaultInjector {
@@ -56,6 +70,17 @@ class FaultInjector {
   /// deterministic in the order of calls. Counts what it decides.
   Decision on_message(std::size_t from, std::size_t to);
 
+  /// Decides the fate of one WAL append on `node`'s durable store:
+  /// scheduled wal-kills fire on the exact append count, probabilistic
+  /// torn/short writes draw from a dedicated splitmix64-derived stream
+  /// (independent of the link-fault stream, so adding disk rules never
+  /// perturbs the message-fault sequence). Thread-safe; deterministic in
+  /// the per-node order of calls. Counts what it decides.
+  DiskDecision on_wal_append(std::size_t node);
+
+  /// True when this fsync on `node`'s store must report failure.
+  bool fsync_fails(std::size_t node);
+
   [[nodiscard]] FaultCounters& counters() { return counters_; }
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
 
@@ -63,6 +88,9 @@ class FaultInjector {
   FaultPlan plan_;
   std::mutex mutex_;
   sim::Rng rng_;
+  sim::Rng disk_rng_;
+  /// WAL appends seen per store identity, for the wal-kill schedules.
+  std::unordered_map<std::size_t, std::uint64_t> wal_appends_;
   FaultCounters counters_;
 };
 

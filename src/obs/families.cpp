@@ -116,11 +116,35 @@ NodeMetrics& node_metrics() {
   return metrics;
 }
 
+StoreMetrics& store_metrics() {
+  static StoreMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    StoreMetrics m;
+    m.wal_appends = &r.counter("omig_store_wal_appends_total",
+                               "Records appended to the write-ahead log");
+    m.wal_fsyncs = &r.counter("omig_store_wal_fsyncs_total",
+                              "fsyncs issued by the write-ahead log");
+    m.wal_bytes = &r.counter("omig_store_wal_bytes_total",
+                             "Frame bytes written to the write-ahead log");
+    m.replay_records = &r.counter("omig_store_replay_records_total",
+                                  "WAL records applied during recovery");
+    m.replay_truncations =
+        &r.counter("omig_store_replay_truncations_total",
+                   "Torn or corrupt WAL tails detected and discarded");
+    m.snapshot_installs =
+        &r.counter("omig_store_snapshot_installs_total",
+                   "Compacted snapshots atomically installed");
+    return m;
+  }();
+  return metrics;
+}
+
 void register_standard_metrics() {
   (void)sim_metrics();
   (void)runtime_metrics();
   (void)transport_metrics();
   (void)node_metrics();
+  (void)store_metrics();
 }
 
 }  // namespace omig::obs

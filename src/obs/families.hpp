@@ -70,6 +70,18 @@ struct NodeMetrics {
 };
 [[nodiscard]] NodeMetrics& node_metrics();
 
+/// Durable store layer (src/store/): the write-ahead log, snapshot
+/// installs, and recovery replay (docs/durability.md).
+struct StoreMetrics {
+  Counter* wal_appends;          ///< records appended to the WAL
+  Counter* wal_fsyncs;           ///< fsyncs issued by the WAL
+  Counter* wal_bytes;            ///< frame bytes written to the WAL
+  Counter* replay_records;       ///< records applied during recovery
+  Counter* replay_truncations;   ///< torn/corrupt tails detected + discarded
+  Counter* snapshot_installs;    ///< compacted snapshots atomically installed
+};
+[[nodiscard]] StoreMetrics& store_metrics();
+
 /// Touches every family above so an exporter shows the full schema
 /// before any traffic (Prometheus convention: export zeros, not absence).
 void register_standard_metrics();

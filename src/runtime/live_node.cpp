@@ -1,6 +1,7 @@
 #include "runtime/live_node.hpp"
 
 #include "obs/families.hpp"
+#include "runtime/serde.hpp"
 #include "util/assert.hpp"
 
 namespace omig::runtime {
@@ -20,6 +21,25 @@ LiveNode::LiveNode(
 }
 
 LiveNode::~LiveNode() { stop(); }
+
+std::size_t LiveNode::preload_from_store() {
+  OMIG_REQUIRE(store_ != nullptr, "attach a store before preloading");
+  std::lock_guard lock{lifecycle_mutex_};
+  OMIG_REQUIRE(!thread_.joinable(), "preload before start()");
+  std::size_t restored = 0;
+  for (const auto& [name, obj] : store_->view()) {
+    if (obj.state.empty()) continue;  // location-only record
+    const auto state = decode(obj.state);
+    if (!state.has_value()) continue;  // unreadable checkpoint: skip
+    auto fit = factories_->find(state->type);
+    if (fit == factories_->end()) continue;
+    objects_[name] = fit->second(name, *state);
+    ++restored;
+  }
+  hosted_.store(restored);
+  obs::node_metrics().hosted_objects->add(static_cast<std::int64_t>(restored));
+  return restored;
+}
 
 void LiveNode::start() {
   std::lock_guard lock{lifecycle_mutex_};
@@ -144,6 +164,17 @@ void LiveNode::handle(MsgInstall& msg) {
     msg.done.set_value(false);
     return;
   }
+  if (store_ != nullptr) {
+    // WAL first, ack second: once the sender sees `true`, this install
+    // survives SIGKILL. A dead store (injected power loss) refuses the
+    // install outright — the sender retries against the relaunch.
+    const auto outcome =
+        store_->checkpoint(msg.name, id_, 0, encode(msg.state));
+    if (!outcome.applied) {
+      msg.done.set_value(false);
+      return;
+    }
+  }
   objects_[msg.name] = fit->second(msg.name, std::move(msg.state));
   if (msg.seq != 0) installed_seq_[msg.name] = msg.seq;
   hosted_.fetch_add(1, std::memory_order_relaxed);
@@ -173,6 +204,12 @@ void LiveNode::handle(MsgEvict& msg) {
   objects_.erase(it);
   hosted_.fetch_sub(1, std::memory_order_relaxed);
   obs::node_metrics().hosted_objects->sub(1);
+  if (store_ != nullptr) {
+    // Recorded before the state leaves this node: a relaunch must not
+    // resurrect an object the coordinator already pulled away (the
+    // directory, not this store, is the arbiter of its new home).
+    (void)store_->evict(msg.name);
+  }
   if (msg.seq != 0) {
     remember(evicted_states_, evict_order_, msg.seq, state);
   }

@@ -13,6 +13,7 @@
 #include "runtime/live_object.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/message.hpp"
+#include "store/store.hpp"
 
 namespace omig::runtime {
 
@@ -37,6 +38,18 @@ public:
 
   [[nodiscard]] std::size_t id() const { return id_; }
   [[nodiscard]] Mailbox<Message>& mailbox() { return mailbox_; }
+
+  /// Attaches a durable store (docs/durability.md): every install appends
+  /// a fsynced checkpoint record before it is acknowledged, every evict an
+  /// evict record — so an acked install survives SIGKILL. Non-owning; must
+  /// outlive the node. Call before start().
+  void set_store(store::DurableStore* store) { store_ = store; }
+
+  /// Rebuilds hosted objects from the attached store's recovered view
+  /// (entries recorded for this node with a decodable state). Call after
+  /// set_store() and before start() — this is the relaunch path of
+  /// omig_node --data-dir. Returns the number of objects restored.
+  std::size_t preload_from_store();
 
   /// Starts the event-loop thread. No-op if already running.
   void start();
@@ -72,6 +85,7 @@ private:
 
   std::size_t id_;
   const std::unordered_map<std::string, ObjectFactory>* factories_;
+  store::DurableStore* store_ = nullptr;  ///< optional; non-owning
   Mailbox<Message> mailbox_;
 
   mutable std::mutex lifecycle_mutex_;  ///< guards thread_ start/join

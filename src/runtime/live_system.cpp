@@ -93,9 +93,46 @@ void LiveSystem::start() {
         injector_.get());
   }
 
+  if (!options_.data_dir.empty()) {
+    // The coordinator's own store. Its identity for disk-fault rules is
+    // kExternalSender: wildcard rules reach it, rules naming a concrete
+    // node target only that node's store.
+    store_ = std::make_unique<store::DurableStore>();
+    store::DurableStore::OpenOptions sopts;
+    sopts.dir = options_.data_dir;
+    sopts.compact_every = options_.store_compact_every;
+    sopts.injector = injector_.get();
+    sopts.node = kExternalSender;
+    OMIG_REQUIRE(store_->open(std::move(sopts)),
+                 "could not open the data-dir store");
+    recover_from_store();
+  }
+
   started_ = true;
   if (!options_.fault_plan.crashes.empty()) {
     fault_thread_ = std::thread{[this] { run_fault_schedule(); }};
+  }
+}
+
+void LiveSystem::recover_from_store() {
+  for (const auto& [name, obj] : store_->view()) {
+    if (obj.state.empty()) continue;  // location knowledge only, no state
+    const auto state = decode(obj.state);
+    if (!state.has_value() || !factories_.contains(state->type)) continue;
+    const auto node = static_cast<std::size_t>(obj.node);
+    if (node >= node_count()) continue;
+    {
+      std::lock_guard lock{mutex_};
+      Meta meta;
+      meta.node = node;
+      meta.checkpoint = *state;
+      meta.moves = obj.cursor;
+      meta.durable = true;
+      directory_[name] = std::move(meta);
+    }
+    if (install_with_retry(node, name, *state, kExternalSender)) {
+      replayed_objects_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -111,6 +148,9 @@ void LiveSystem::stop() {
   // Servers after nodes: any handler still awaiting a reply gets its
   // promise broken by the node teardown and unblocks immediately.
   for (auto& server : servers_) server->stop();
+  // Final compaction: fold the WAL into one snapshot so the next start()
+  // recovers from a single file. Best-effort — a dead store skips it.
+  if (store_ != nullptr) (void)store_->compact();
 }
 
 void LiveSystem::run_fault_schedule() {
@@ -231,8 +271,19 @@ bool LiveSystem::create(const std::string& name, ObjectState state,
   if (!ok) {
     std::lock_guard lock{mutex_};
     directory_.erase(name);
+    return false;
   }
-  return ok;
+  if (store_ != nullptr) {
+    // Persist the creation checkpoint; only a fsynced append upgrades the
+    // entry to durable (an injected fsync failure leaves it in-memory).
+    const auto outcome = store_->checkpoint(name, node, 0, encode(state));
+    if (outcome.durable) {
+      std::lock_guard lock{mutex_};
+      auto it = directory_.find(name);
+      if (it != directory_.end()) it->second.durable = true;
+    }
+  }
+  return true;
 }
 
 std::optional<std::size_t> LiveSystem::location(
@@ -493,12 +544,25 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
       target = src;
     }
 
+    std::uint64_t cursor = 0;
     {
       std::lock_guard lock{mutex_};
       Meta& meta = directory_.at(name);
       meta.node = target;
       meta.in_transit = false;
+      if (target != src) cursor = ++meta.moves;
       trace_locked(trace::EventKind::MigrationEnd, name, target);
+    }
+    if (store_ != nullptr && target != src) {
+      // Log the location change, then checkpoint the in-flight state under
+      // the new home — both fsynced before relocate() acks the migration,
+      // so no acked migration is ever lost (docs/durability.md).
+      (void)store_->migration(name, src, target);
+      const auto outcome =
+          store_->checkpoint(name, target, cursor, encode(*decoded));
+      std::lock_guard lock{mutex_};
+      auto it = directory_.find(name);
+      if (it != directory_.end()) it->second.durable = outcome.durable;
     }
     if (target == dest) {
       migrations_.fetch_add(1, std::memory_order_relaxed);
@@ -577,6 +641,11 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
         meta.locked_by = token.id;
         meta.lease_expiry = lease_deadline;
         obs::runtime_metrics().lease_acquisitions->inc();
+        if (store_ != nullptr) {
+          // Audit record, unsynced: lease grants ride on the next synced
+          // append (recovery never restores leases — they expire).
+          (void)store_->lease(name, token.id);
+        }
         token.locked.push_back(name);
         trace_locked(trace::EventKind::Lock, name, dest, token.id);
         transit_cv_.wait(lock,
@@ -728,20 +797,30 @@ void LiveSystem::restart_node(std::size_t node) {
   // Reconcile the directory with the freshly-empty node: reinstall every
   // object placed there from its checkpoint. In-transit objects are
   // skipped — their migration is in progress and settles them itself.
-  std::vector<std::pair<std::string, ObjectState>> to_restore;
+  struct Restore {
+    std::string name;
+    ObjectState state;
+    bool durable;
+  };
+  std::vector<Restore> to_restore;
   {
     std::lock_guard lock{mutex_};
     node_down_[node] = 0;
     for (const auto& [name, meta] : directory_) {
       if (meta.node == node && !meta.in_transit) {
-        to_restore.emplace_back(name, meta.checkpoint);
+        to_restore.push_back({name, meta.checkpoint, meta.durable});
       }
     }
   }
-  for (const auto& [name, state] : to_restore) {
+  for (const auto& [name, state, durable] : to_restore) {
     if (install_with_retry(node, name, state, kExternalSender)) {
       recoveries_.fetch_add(1, std::memory_order_relaxed);
       obs::runtime_metrics().recoveries->inc();
+      if (durable) {
+        // The checkpoint that revived this object was disk-backed — the
+        // distinction durable_recoveries() reports.
+        durable_recoveries_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   restarts_.fetch_add(1, std::memory_order_relaxed);
@@ -778,6 +857,12 @@ std::uint64_t LiveSystem::lease_expiries() const {
 std::uint64_t LiveSystem::crashes() const { return crashes_.load(); }
 std::uint64_t LiveSystem::restarts() const { return restarts_.load(); }
 std::uint64_t LiveSystem::recoveries() const { return recoveries_.load(); }
+std::uint64_t LiveSystem::durable_recoveries() const {
+  return durable_recoveries_.load();
+}
+std::uint64_t LiveSystem::replayed_objects() const {
+  return replayed_objects_.load();
+}
 
 std::uint64_t LiveSystem::dropped_messages() const {
   return injector_ ? injector_->counters().dropped.load() : 0;

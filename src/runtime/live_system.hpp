@@ -43,6 +43,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "runtime/live_node.hpp"
+#include "store/store.hpp"
 #include "trace/event.hpp"
 #include "transport/transport.hpp"
 
@@ -110,6 +111,18 @@ public:
     /// Optional reply timeout per delivery attempt; zero = wait forever
     /// (losses are observed through broken promises, not timeouts).
     std::chrono::milliseconds reply_timeout{0};
+
+    // --- durability (docs/durability.md) ----------------------------------
+    /// Directory for the coordinator's durable store: a CRC32-framed WAL
+    /// plus compacted snapshots recording every object checkpoint,
+    /// migration, and lease grant. Empty = in-memory only (pre-durability
+    /// behaviour). On start() the store is recovered and every surviving
+    /// object is reinstalled on its recorded node; no acked migration is
+    /// lost across a coordinator restart.
+    std::string data_dir;
+    /// Auto-compact the store after this many WAL appends (0 = only the
+    /// final compaction at stop()).
+    std::uint64_t store_compact_every = 256;
   };
 
   /// Token returned by move()/visit(): carries the placement grant, the
@@ -231,6 +244,16 @@ public:
   /// Objects reinstalled from a checkpoint (restart reconciliation or a
   /// migration that pulled an object off a dead node).
   [[nodiscard]] std::uint64_t recoveries() const;
+  /// Of recoveries(), those whose checkpoint was backed by the durable
+  /// store (fsynced append or disk replay) rather than only coordinator
+  /// memory. Zero without Options::data_dir.
+  [[nodiscard]] std::uint64_t durable_recoveries() const;
+  /// Objects rebuilt from the durable store's WAL/snapshot at start().
+  [[nodiscard]] std::uint64_t replayed_objects() const;
+  /// The coordinator's durable store, or nullptr without a data_dir.
+  [[nodiscard]] const store::DurableStore* store() const {
+    return store_.get();
+  }
   [[nodiscard]] std::uint64_t dropped_messages() const;
   [[nodiscard]] std::uint64_t duplicated_messages() const;
   /// Messages answered from the nodes' dedup caches.
@@ -253,6 +276,13 @@ private:
     /// Last linearised state the directory has seen (creation or most
     /// recent migration) — the crash-recovery checkpoint.
     ObjectState checkpoint;
+    /// Completed relocations of this object (location-history cursor;
+    /// persisted in the store's checkpoint records).
+    std::uint64_t moves = 0;
+    /// The checkpoint is backed by the durable store — a fsynced WAL
+    /// append or a recovery replay — so restart reconciliation counts its
+    /// reinstall as a durable recovery, not just an in-memory one.
+    bool durable = false;
   };
 
   struct AttachEdge {
@@ -317,6 +347,10 @@ private:
   /// Replays the fault plan's crash schedule on wall-clock time.
   void run_fault_schedule();
 
+  /// Rebuilds the directory from the recovered store and reinstalls every
+  /// surviving object on its recorded node (start() with a data_dir).
+  void recover_from_store();
+
   Options options_;
   std::unordered_map<std::string, ObjectFactory> factories_;
   std::vector<std::unique_ptr<LiveNode>> nodes_;
@@ -333,6 +367,8 @@ private:
   std::uint64_t trace_clock_ = 0;     ///< guarded by mutex_
 
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Coordinator-level durable store (Options::data_dir); null = in-memory.
+  std::unique_ptr<store::DurableStore> store_;
   /// One frame server per local node in TCP mode (empty otherwise).
   std::vector<std::unique_ptr<transport::NodeServer>> servers_;
   std::unique_ptr<transport::Transport> transport_;
@@ -354,6 +390,8 @@ private:
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};
   std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> durable_recoveries_{0};
+  std::atomic<std::uint64_t> replayed_objects_{0};
   std::atomic<std::uint64_t> send_rejections_{0};
 };
 

@@ -1,0 +1,47 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for WAL record framing.
+//
+// Every record the durable store writes is guarded by this checksum; a
+// mismatch at replay time marks the spot where a torn or corrupted tail
+// begins (docs/durability.md). Table-based, one byte per step — fast
+// enough for the WAL append path, and dependency-free by design: the
+// container must not need zlib to recover a log.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace omig::store {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC32 of `bytes`, continuing from `seed` (pass the previous return value
+/// to checksum data in chunks; the default starts a fresh checksum).
+[[nodiscard]] constexpr std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                            std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = detail::kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace omig::store

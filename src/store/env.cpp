@@ -1,0 +1,137 @@
+#include "store/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+namespace omig::store {
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, size_{std::exchange(other.size_, 0)} {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+bool AppendFile::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return false;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    close();
+    return false;
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  return true;
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+std::size_t AppendFile::append(std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  size_ += written;
+  return written;
+}
+
+bool AppendFile::sync() {
+  if (fd_ < 0) return false;
+  return ::fdatasync(fd_) == 0;
+}
+
+bool AppendFile::truncate(std::uint64_t size) {
+  if (fd_ < 0 || size > size_) return false;
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) return false;
+  size_ = size;
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  std::uint8_t buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+bool sync_dir_of(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path{path}.parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool atomic_install(const std::string& path,
+                    std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    AppendFile file;
+    // O_APPEND on a fresh file: make sure no stale tmp survives.
+    if (!remove_file(tmp) || !file.open(tmp)) return false;
+    if (file.append(bytes) != bytes.size()) return false;
+    if (!file.sync()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  return sync_dir_of(path);
+}
+
+bool ensure_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return !ec && std::filesystem::is_directory(path, ec);
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  return !ec;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace omig::store

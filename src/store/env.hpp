@@ -1,0 +1,76 @@
+// Thin POSIX file seam for the durable store (LeviDB's env_io shape).
+//
+// The WAL and the snapshot installer need exactly five capabilities:
+// append to a file, fsync it, truncate it back, atomically rename a file
+// into place, and fsync the containing directory so the rename itself is
+// durable. Centralising them here keeps every durability-critical syscall
+// in one reviewable place and gives the disk-fault injector a single seam
+// to perturb (fault/injector.hpp: torn write, short write, fsync failure).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omig::store {
+
+/// An append-only file handle. Not thread-safe; the owner serialises.
+class AppendFile {
+public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens `path` for appending, creating it if missing. Returns false on
+  /// any failure (errno preserved for the caller's error text).
+  bool open(const std::string& path);
+  void close();
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Appends all of `bytes` (looping over partial writes). Returns the
+  /// number of bytes actually persisted to the file — shorter than
+  /// `bytes.size()` only on an I/O error mid-write.
+  std::size_t append(std::span<const std::uint8_t> bytes);
+
+  /// fdatasync; false when the kernel reports the data may not be durable.
+  bool sync();
+
+  /// Truncates the file back to `size` bytes (undoes a failed append).
+  bool truncate(std::uint64_t size);
+
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+
+private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+/// Reads the whole file; nullopt if it does not exist or cannot be read.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// Writes `bytes` to `path + ".tmp"`, fsyncs, renames over `path`, and
+/// fsyncs the parent directory — the classic atomic-install sequence: a
+/// reader sees either the old file or the complete new one, never a
+/// half-written hybrid, even across power loss.
+bool atomic_install(const std::string& path,
+                    std::span<const std::uint8_t> bytes);
+
+/// fsyncs the directory containing `path` (making renames/creates in it
+/// durable). Returns false on failure.
+bool sync_dir_of(const std::string& path);
+
+/// Creates the directory (and parents) if missing. False on failure.
+bool ensure_dir(const std::string& path);
+
+/// Removes the file if present; true when it is gone afterwards.
+bool remove_file(const std::string& path);
+
+/// True when the path names an existing regular file.
+bool file_exists(const std::string& path);
+
+}  // namespace omig::store

@@ -1,0 +1,68 @@
+// Compacted snapshots of a store's materialized view.
+//
+// A snapshot is a single file holding every live object entry plus the
+// WAL sequence number it covers, guarded by a whole-file CRC32:
+//
+//     u32  CRC32 of everything after this word
+//     u8   format version (kSnapshotVersion)
+//     u64  last_seq — highest WAL seq folded into this snapshot
+//     u32  entry count
+//     per entry:
+//       u32 name length, name bytes
+//       u64 node     — where the object lives
+//       u64 cursor   — location-history cursor (moves so far)
+//       u32 blob length, blob bytes (serde-encoded ObjectState)
+//
+// Snapshots are only ever written via atomic_install() (tmp + fsync +
+// rename + directory fsync), so a reader sees the previous snapshot or
+// the complete new one — never a torn hybrid. The CRC catches the
+// remaining hazard: bit rot or a partial tmp that somehow got renamed.
+// `last_seq` makes recovery idempotent across a crash between snapshot
+// install and WAL truncation: replay skips records with seq ≤ last_seq.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omig::store {
+
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// One object's durable image inside a snapshot (and in the store's
+/// materialized view).
+struct StoredObject {
+  std::uint64_t node = 0;    ///< hosting node at snapshot time
+  std::uint64_t cursor = 0;  ///< location-history cursor (completed moves)
+  std::vector<std::uint8_t> state;  ///< serde-encoded ObjectState
+
+  friend bool operator==(const StoredObject&, const StoredObject&) = default;
+};
+
+struct Snapshot {
+  std::uint64_t last_seq = 0;
+  std::map<std::string, StoredObject> objects;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap);
+
+/// Strict decode: CRC mismatch, truncation, bad version, overlong inner
+/// lengths, or trailing bytes all reject. A rejected snapshot is treated
+/// as absent (recovery falls back to WAL-only replay).
+[[nodiscard]] std::optional<Snapshot> decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+/// Loads and validates the snapshot at `path`; nullopt when missing or
+/// corrupt (the caller recovers from the WAL alone).
+[[nodiscard]] std::optional<Snapshot> load_snapshot(const std::string& path);
+
+/// Atomically installs `snap` at `path` (tmp + fsync + rename + dir
+/// fsync). Counts into omig_store_snapshot_installs_total on success.
+bool install_snapshot(const std::string& path, const Snapshot& snap);
+
+}  // namespace omig::store

@@ -1,0 +1,179 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+
+#include "store/env.hpp"
+
+namespace omig::store {
+
+namespace {
+
+void apply_record(Snapshot& state, const WalRecord& record) {
+  switch (record.kind) {
+    case RecordKind::Checkpoint: {
+      StoredObject& obj = state.objects[record.name];
+      obj.node = record.a;
+      obj.cursor = record.b;
+      obj.state.assign(record.blob.begin(), record.blob.end());
+      break;
+    }
+    case RecordKind::Migration: {
+      StoredObject& obj = state.objects[record.name];
+      obj.node = record.b;
+      ++obj.cursor;
+      break;
+    }
+    case RecordKind::Lease:
+      // Audit only: leases expire on their own, recovery never restores
+      // them (a recovered lock nobody holds would deadlock placement).
+      break;
+    case RecordKind::Evict:
+      state.objects.erase(record.name);
+      break;
+  }
+  state.last_seq = record.seq;
+}
+
+}  // namespace
+
+bool DurableStore::open(OpenOptions options) {
+  std::lock_guard lock{mutex_};
+  options_ = std::move(options);
+  state_ = {};
+  recovery_ = {};
+  appends_since_compact_ = 0;
+  open_ = false;
+  if (options_.create_if_missing && !ensure_dir(options_.dir)) return false;
+
+  if (const auto snap = load_snapshot(snapshot_path())) {
+    state_ = *snap;
+    recovery_.snapshot_loaded = true;
+    recovery_.snapshot_objects = state_.objects.size();
+  }
+  const std::uint64_t covered = state_.last_seq;
+  wal_.set_process_kill(options_.process_kill);
+  const bool ok = wal_.open(
+      wal_path(),
+      [this, covered](const WalRecord& record) {
+        // Skip records the snapshot already folded in: a crash between
+        // snapshot install and WAL truncation leaves them behind, and
+        // replaying a migration twice would double-advance the cursor.
+        if (record.seq <= covered) return;
+        apply_record(state_, record);
+        ++recovery_.replayed_records;
+      },
+      options_.injector, options_.node);
+  if (!ok) return false;
+  recovery_.truncations = wal_.recovery().truncations;
+  // The snapshot may cover records the (truncated) WAL no longer holds.
+  recovery_.last_seq = std::max(covered, wal_.recovery().last_seq);
+  state_.last_seq = recovery_.last_seq;
+  open_ = true;
+  return true;
+}
+
+DurableStore::AppendOutcome DurableStore::append_locked(WalRecord& record,
+                                                        bool sync) {
+  AppendOutcome outcome;
+  if (!open_ || wal_.dead()) return outcome;
+  const Wal::AppendResult r = wal_.append(record, sync);
+  if (r.status != Wal::AppendStatus::Ok) return outcome;
+  apply_record(state_, record);
+  outcome.applied = true;
+  outcome.durable = r.durable;
+  ++appends_since_compact_;
+  if (options_.compact_every > 0 &&
+      appends_since_compact_ >= options_.compact_every) {
+    (void)compact_locked();
+  }
+  return outcome;
+}
+
+DurableStore::AppendOutcome DurableStore::checkpoint(
+    const std::string& name, std::uint64_t node, std::uint64_t cursor,
+    std::span<const std::uint8_t> state) {
+  std::lock_guard lock{mutex_};
+  WalRecord record;
+  record.kind = RecordKind::Checkpoint;
+  record.name = name;
+  record.a = node;
+  record.b = cursor;
+  record.blob.assign(state.begin(), state.end());
+  return append_locked(record, options_.sync_each_append);
+}
+
+DurableStore::AppendOutcome DurableStore::migration(const std::string& name,
+                                                    std::uint64_t from,
+                                                    std::uint64_t to) {
+  std::lock_guard lock{mutex_};
+  WalRecord record;
+  record.kind = RecordKind::Migration;
+  record.name = name;
+  record.a = from;
+  record.b = to;
+  return append_locked(record, options_.sync_each_append);
+}
+
+DurableStore::AppendOutcome DurableStore::lease(const std::string& name,
+                                                std::uint64_t token) {
+  std::lock_guard lock{mutex_};
+  WalRecord record;
+  record.kind = RecordKind::Lease;
+  record.name = name;
+  record.a = token;
+  return append_locked(record, /*sync=*/false);
+}
+
+DurableStore::AppendOutcome DurableStore::evict(const std::string& name) {
+  std::lock_guard lock{mutex_};
+  WalRecord record;
+  record.kind = RecordKind::Evict;
+  record.name = name;
+  return append_locked(record, options_.sync_each_append);
+}
+
+bool DurableStore::compact_locked() {
+  if (!open_ || wal_.dead()) return false;
+  if (!install_snapshot(snapshot_path(), state_)) return false;
+  // A crash here leaves the old WAL behind the new snapshot — harmless,
+  // because replay skips seq ≤ snapshot.last_seq.
+  if (!wal_.reset()) return false;
+  appends_since_compact_ = 0;
+  return true;
+}
+
+bool DurableStore::compact() {
+  std::lock_guard lock{mutex_};
+  return compact_locked();
+}
+
+bool DurableStore::sync() {
+  std::lock_guard lock{mutex_};
+  if (!open_) return false;
+  return wal_.sync();
+}
+
+std::map<std::string, StoredObject> DurableStore::view() const {
+  std::lock_guard lock{mutex_};
+  return state_.objects;
+}
+
+DurableStore::RecoveryInfo DurableStore::recovery() const {
+  std::lock_guard lock{mutex_};
+  return recovery_;
+}
+
+bool DurableStore::dead() const {
+  std::lock_guard lock{mutex_};
+  return wal_.dead();
+}
+
+std::string DurableStore::wal_path() const {
+  return options_.dir + "/wal.log";
+}
+
+std::string DurableStore::snapshot_path() const {
+  return options_.dir + "/snapshot.bin";
+}
+
+}  // namespace omig::store

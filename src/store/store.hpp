@@ -1,0 +1,131 @@
+// DurableStore: the log-structured local store behind a node or
+// coordinator (docs/durability.md).
+//
+// One directory, two files with fixed names:
+//
+//     <dir>/wal.log       CRC32-framed append-only write-ahead log
+//     <dir>/snapshot.bin  compacted materialized view, atomic-installed
+//
+// Writes append a WAL record (fsynced before the caller acks, unless the
+// caller opted into batched syncs) and fold into an in-memory
+// materialized view. Compaction snapshots the view with
+// atomic_install() and truncates the WAL; `last_seq` in the snapshot
+// plus monotonic sequence numbers make recovery idempotent even when a
+// crash lands between the snapshot install and the WAL truncation —
+// replay simply skips records the snapshot already covers.
+//
+// Recovery order on open(): load + CRC-validate the snapshot (a corrupt
+// snapshot is treated as absent), replay the WAL's valid prefix on top,
+// discard any torn tail. The durability contract: no record acked as
+// durable is ever lost, no torn record is ever applied.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+namespace omig::store {
+
+class DurableStore {
+public:
+  struct OpenOptions {
+    std::string dir;
+    /// Create `dir` (and parents) when missing.
+    bool create_if_missing = true;
+    /// fsync every append before returning (the default contract). Off,
+    /// callers batch with sync() — leases use this internally regardless.
+    bool sync_each_append = true;
+    /// Auto-compact after this many appends since the last compaction;
+    /// 0 disables auto-compaction (callers invoke compact() themselves).
+    std::uint64_t compact_every = 0;
+    /// Disk-fault injection seam; null runs faithfully.
+    fault::FaultInjector* injector = nullptr;
+    /// This store's identity for disk-fault rules (kAnyNode for stores
+    /// not owned by a numbered node, e.g. the coordinator's).
+    std::size_t node = fault::kAnyNode;
+    /// Injected power losses SIGKILL the process (omig_node mode)
+    /// instead of just marking the store dead.
+    bool process_kill = false;
+  };
+
+  /// What open() recovered, for counters and logs. Distinguishes objects
+  /// that came from the snapshot vs the WAL replay so the runtime can
+  /// report durable recoveries separately from in-memory reinstalls.
+  struct RecoveryInfo {
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_objects = 0;
+    std::uint64_t replayed_records = 0;  ///< WAL records applied on top
+    std::uint64_t truncations = 0;       ///< torn/corrupt tails discarded
+    std::uint64_t last_seq = 0;
+  };
+
+  struct AppendOutcome {
+    bool applied = false;  ///< the record is in the log + view
+    bool durable = false;  ///< ... and fsynced (safe to ack)
+  };
+
+  DurableStore() = default;
+
+  /// Opens (recovering) the store. False on I/O failure; recovery()
+  /// describes what was found either way.
+  bool open(OpenOptions options);
+
+  /// Records an object-state checkpoint hosted on `node` with
+  /// location-history cursor `cursor`. `state` is a serde-encoded
+  /// ObjectState blob.
+  AppendOutcome checkpoint(const std::string& name, std::uint64_t node,
+                           std::uint64_t cursor,
+                           std::span<const std::uint8_t> state);
+
+  /// Records a completed migration `from` → `to`, advancing the object's
+  /// cursor. Creates a state-less entry when the object was never
+  /// checkpointed (location knowledge alone is still worth persisting).
+  AppendOutcome migration(const std::string& name, std::uint64_t from,
+                          std::uint64_t to);
+
+  /// Records a placement-lock grant (audit trail; leases expire on their
+  /// own, so recovery does not restore them). Never fsyncs on its own —
+  /// lease grants ride on the next synced append.
+  AppendOutcome lease(const std::string& name, std::uint64_t token);
+
+  /// Records that the object left this store's node; drops it from the
+  /// view.
+  AppendOutcome evict(const std::string& name);
+
+  /// Snapshots the view (atomic install) and truncates the WAL.
+  bool compact();
+
+  /// fsyncs the WAL (for batched-sync callers).
+  bool sync();
+
+  /// Copy of the materialized view (objects recovered + applied so far).
+  [[nodiscard]] std::map<std::string, StoredObject> view() const;
+
+  [[nodiscard]] RecoveryInfo recovery() const;
+  /// True after an injected power loss killed this store; every append
+  /// refuses. Reopening a fresh DurableStore on the same dir is the
+  /// reboot.
+  [[nodiscard]] bool dead() const;
+  [[nodiscard]] std::string wal_path() const;
+  [[nodiscard]] std::string snapshot_path() const;
+
+private:
+  AppendOutcome append_locked(WalRecord& record, bool sync);
+  bool compact_locked();
+
+  mutable std::mutex mutex_;
+  OpenOptions options_;
+  Wal wal_;
+  Snapshot state_;  ///< materialized view; last_seq tracks applied records
+  RecoveryInfo recovery_;
+  std::uint64_t appends_since_compact_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace omig::store

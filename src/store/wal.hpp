@@ -1,0 +1,162 @@
+// Append-only write-ahead log with CRC32-framed, length-prefixed records.
+//
+// The durable store's source of truth between snapshots. Every record is
+// framed as
+//
+//     u32  payload length (little-endian, excludes the 8-byte header)
+//     u32  CRC32 of the payload
+//     ...  payload
+//
+// with the payload following runtime/serde's strict little-endian
+// discipline:
+//
+//     u8   format version (kWalVersion)
+//     u8   record kind (RecordKind)
+//     u64  sequence number (monotonic per store)
+//     u32  name length, name bytes
+//     u64  operand a (node / token / origin, kind-specific)
+//     u64  operand b (cursor / destination, kind-specific)
+//     u32  blob length, blob bytes (serde-encoded ObjectState or empty)
+//
+// Durability contract: a record is promised only after append() returned
+// Ok with `durable == true` (the frame was fully written AND fsynced).
+// Replay applies the longest valid prefix: the first truncated frame,
+// CRC mismatch, or malformed payload marks where a torn write or power
+// loss hit — everything from there on is discarded, never applied, and
+// the file is truncated back so new appends continue from the last good
+// record. Corruption cannot be resynchronised past (framing is gone), so
+// discarding the tail is the only sound choice (docs/durability.md).
+//
+// Disk faults (fault/injector.hpp) inject at this seam: torn writes
+// persist a prefix of the frame and kill the store, short writes are
+// truncated back and rewritten, fsync failures demote the record to
+// not-durable, and scheduled wal-kills raise SIGKILL between the write
+// and the fsync — the power-loss scenarios the crash tests replay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "store/env.hpp"
+
+namespace omig::store {
+
+/// Format version stamped into every record payload.
+inline constexpr std::uint8_t kWalVersion = 1;
+
+/// Upper bound on one record's payload; a longer length prefix is treated
+/// as corruption before any allocation happens (same cap discipline as
+/// transport/wire.hpp).
+inline constexpr std::uint32_t kMaxWalPayload = 16u * 1024u * 1024u;
+
+enum class RecordKind : std::uint8_t {
+  Checkpoint = 1,  ///< object-state checkpoint: a = node, b = cursor, blob
+  Migration = 2,   ///< location update: a = from node, b = to node
+  Lease = 3,       ///< placement-lock grant: a = token id
+  Evict = 4,       ///< object left this store's node
+};
+
+[[nodiscard]] const char* to_string(RecordKind kind);
+
+struct WalRecord {
+  RecordKind kind = RecordKind::Checkpoint;
+  std::uint64_t seq = 0;
+  std::string name;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::vector<std::uint8_t> blob;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Encodes the full frame (header included) — ready to append to the file.
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const WalRecord& record);
+
+/// Decodes one payload (the bytes after the 8-byte header). Strict:
+/// truncation, unknown version/kind, overlong inner lengths, or trailing
+/// bytes all reject. Never reads past the buffer, never throws.
+[[nodiscard]] std::optional<WalRecord> decode_record_payload(
+    std::span<const std::uint8_t> payload);
+
+/// What replay found in a log file.
+struct ReplayResult {
+  std::uint64_t records = 0;         ///< valid records applied
+  std::uint64_t truncations = 0;     ///< 1 when a torn/corrupt tail was cut
+  std::uint64_t discarded_bytes = 0; ///< bytes of tail discarded
+  std::uint64_t valid_bytes = 0;     ///< length of the valid prefix
+  std::uint64_t last_seq = 0;        ///< seq of the last valid record
+};
+
+/// Replays `bytes` as a WAL image, calling `apply` for each valid record
+/// in order. Stops at the first framing violation and reports the tail.
+ReplayResult replay_wal(std::span<const std::uint8_t> bytes,
+                        const std::function<void(const WalRecord&)>& apply);
+
+class Wal {
+public:
+  enum class AppendStatus {
+    Ok,          ///< record persisted (durable iff sync was requested + ok)
+    Dead,        ///< store died (injected power loss); reopen to recover
+    IoError,     ///< the OS refused the write
+  };
+
+  struct AppendResult {
+    AppendStatus status = AppendStatus::IoError;
+    /// True when the record was fsynced to disk. False under sync=false
+    /// (caller batches) or when an injected/real fsync failure demoted
+    /// this record to page-cache durability.
+    bool durable = false;
+  };
+
+  Wal() = default;
+
+  /// Opens (creating if needed) the log at `path`, replays the existing
+  /// image through `apply`, truncates any torn tail, and positions new
+  /// appends after the last valid record. `injector` may be null;
+  /// `node` identifies this store to the disk-fault rules.
+  bool open(const std::string& path,
+            const std::function<void(const WalRecord&)>& apply,
+            fault::FaultInjector* injector = nullptr,
+            std::size_t node = fault::kAnyNode);
+
+  /// Appends `record` (assigning the next sequence number into it).
+  /// With `sync`, the record is fsynced before returning.
+  AppendResult append(WalRecord& record, bool sync);
+
+  /// fsyncs everything appended so far (for callers batching syncs).
+  bool sync();
+
+  /// When set, injected power losses (torn writes, scheduled wal-kills)
+  /// raise SIGKILL on the whole process — the omig_node mode, where the
+  /// crash matrix relaunches the binary. In-process stores leave this off:
+  /// the store goes dead() and refuses writes, so reopen() is the reboot.
+  void set_process_kill(bool on) { process_kill_ = on; }
+
+  /// Truncates the log to empty (after a snapshot covered it) and fsyncs.
+  bool reset();
+
+  [[nodiscard]] const ReplayResult& recovery() const { return recovery_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t size() const { return file_.size(); }
+  [[nodiscard]] bool dead() const { return dead_; }
+
+private:
+  /// Marks the store dead (or SIGKILLs the process) at an injected
+  /// power-loss point.
+  void die();
+
+  AppendFile file_;
+  ReplayResult recovery_;
+  std::uint64_t next_seq_ = 1;
+  bool dead_ = false;
+  bool process_kill_ = false;
+  fault::FaultInjector* injector_ = nullptr;
+  std::size_t node_ = fault::kAnyNode;
+};
+
+}  // namespace omig::store

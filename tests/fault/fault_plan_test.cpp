@@ -76,6 +76,62 @@ TEST(FaultPlanTest, DescribeSummarises) {
   EXPECT_EQ(plan.describe(), "1 link fault, 1 crash, seed 9");
 }
 
+TEST(FaultPlanTest, ParsesDiskDirectives) {
+  const FaultPlan plan = parse_plan_text(R"(
+seed 7
+torn-write * 0.1
+short-write 2 0.25
+fsync-fail 1 0.5
+wal-kill 1 3
+wal-torn-kill 0 0
+)");
+  ASSERT_EQ(plan.disk.size(), 3u);
+  EXPECT_EQ(plan.disk[0].node, kAnyNode);
+  EXPECT_DOUBLE_EQ(plan.disk[0].torn_write, 0.1);
+  EXPECT_EQ(plan.disk[1].node, 2u);
+  EXPECT_DOUBLE_EQ(plan.disk[1].short_write, 0.25);
+  EXPECT_DOUBLE_EQ(plan.disk[2].fsync_fail, 0.5);
+  ASSERT_EQ(plan.wal_kills.size(), 2u);
+  EXPECT_EQ(plan.wal_kills[0].node, 1u);
+  EXPECT_EQ(plan.wal_kills[0].after_appends, 3u);
+  EXPECT_FALSE(plan.wal_kills[0].torn);
+  EXPECT_EQ(plan.wal_kills[1].after_appends, 0u);  // die on the 1st append
+  EXPECT_TRUE(plan.wal_kills[1].torn);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, EffectiveDiskComposesMultiplicatively) {
+  const FaultPlan plan = parse_plan_text(R"(
+torn-write * 0.5
+torn-write 0 0.5
+fsync-fail 0 0.25
+)");
+  // Two independent 50% tear processes on node 0's store.
+  const DiskFault both = plan.effective_disk(0);
+  EXPECT_DOUBLE_EQ(both.torn_write, 0.75);
+  EXPECT_DOUBLE_EQ(both.fsync_fail, 0.25);
+  const DiskFault wildcard_only = plan.effective_disk(3);
+  EXPECT_DOUBLE_EQ(wildcard_only.torn_write, 0.5);
+  EXPECT_DOUBLE_EQ(wildcard_only.fsync_fail, 0.0);
+}
+
+TEST(FaultPlanTest, DescribeIncludesDiskAndWalKills) {
+  const FaultPlan plan =
+      parse_plan_text("seed 3\ntorn-write * 0.1\nwal-kill 0 2\n");
+  EXPECT_EQ(plan.describe(), "0 link faults, 0 crashes, 1 disk fault,"
+                             " 1 wal-kill, seed 3");
+}
+
+TEST(FaultPlanTest, RejectsMalformedDiskDirectives) {
+  EXPECT_THROW(parse_plan_text("torn-write 0 1.5\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("short-write 0\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("fsync-fail x 0.5\n"), FaultPlanError);
+  // wal-kill schedules target one specific store, never a wildcard.
+  EXPECT_THROW(parse_plan_text("wal-kill * 2\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("wal-torn-kill 0 -1\n"), FaultPlanError);
+  EXPECT_THROW(parse_plan_text("wal-kill 0 2 3\n"), FaultPlanError);
+}
+
 TEST(FaultPlanTest, RejectsMalformedInput) {
   EXPECT_THROW(parse_plan_text("drop 0 1 1.5\n"), FaultPlanError);   // p > 1
   EXPECT_THROW(parse_plan_text("drop 0 1 -0.1\n"), FaultPlanError);  // p < 0

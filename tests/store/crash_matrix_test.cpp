@@ -1,0 +1,386 @@
+// The crash matrix: real omig_node processes with --data-dir, SIGKILLed
+// by a scheduled wal-kill at a seed-chosen append, relaunched on the same
+// directory — the acceptance scenario of docs/durability.md. After every
+// kill/relaunch: zero acked-migration loss, and every torn WAL tail is
+// detected via CRC, counted, and never applied.
+//
+// Binaries via $OMIG_NODE_BIN, falling back to OMIG_NODE_BIN_DEFAULT.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/demo_types.hpp"
+#include "runtime/live_system.hpp"
+#include "sim/random.hpp"
+#include "transport/tcp.hpp"
+#include "transport/transport.hpp"
+
+namespace omig::store {
+namespace {
+
+std::string node_binary() {
+  if (const char* env = std::getenv("OMIG_NODE_BIN")) return env;
+#ifdef OMIG_NODE_BIN_DEFAULT
+  return OMIG_NODE_BIN_DEFAULT;
+#else
+  return "omig_node";
+#endif
+}
+
+std::uint16_t wait_for_port_file(const std::string& path) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{10};
+  std::uint16_t port = 0;
+  while (port == 0) {
+    std::ifstream in{path};
+    if (in >> port && port != 0) break;
+    port = 0;
+    if (std::chrono::steady_clock::now() > deadline) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  }
+  return port;
+}
+
+/// One HTTP GET /metrics against a node's exporter; body only.
+std::string scrape_body(std::uint16_t port) {
+  const int fd = transport::tcp_connect("127.0.0.1", port);
+  if (fd < 0) return "";
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (!transport::tcp_send_all(
+          fd, reinterpret_cast<const std::uint8_t*>(request.data()),
+          request.size())) {
+    transport::tcp_close(fd);
+    return "";
+  }
+  std::string response;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const long n = transport::tcp_recv_some(fd, buffer, sizeof buffer);
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buffer),
+                    static_cast<std::size_t>(n));
+  }
+  transport::tcp_close(fd);
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+long long sample_value(const std::string& body, const std::string& series) {
+  const auto pos = body.find("\n" + series + " ");
+  if (pos == std::string::npos) return -1;
+  return std::stoll(body.substr(pos + series.size() + 2));
+}
+
+/// An omig_node child with a durable --data-dir and (optionally) a fault
+/// plan whose wal-kill schedule SIGKILLs it between a write and its fsync.
+struct DurableNode {
+  std::size_t id = 0;
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::uint16_t metrics_port = 0;
+  std::string data_dir;
+  std::string port_file;
+  std::string metrics_port_file;
+  std::string plan_file;  ///< empty = run faithfully
+
+  bool spawn(bool with_metrics = false) {
+    std::error_code ec;
+    std::filesystem::remove(port_file, ec);
+    std::filesystem::remove(metrics_port_file, ec);
+    const std::string exe = node_binary();
+    const std::string id_arg = std::to_string(id);
+    pid = fork();
+    if (pid == 0) {
+      std::vector<const char*> argv{exe.c_str(),       "--serve",
+                                    "--id",            id_arg.c_str(),
+                                    "--port-file",     port_file.c_str(),
+                                    "--data-dir",      data_dir.c_str()};
+      if (!plan_file.empty()) {
+        argv.push_back("--fault-plan");
+        argv.push_back(plan_file.c_str());
+      }
+      if (with_metrics) {
+        argv.push_back("--metrics-port");
+        argv.push_back("0");
+        argv.push_back("--metrics-port-file");
+        argv.push_back(metrics_port_file.c_str());
+      }
+      argv.push_back(nullptr);
+      execv(exe.c_str(), const_cast<char* const*>(argv.data()));
+      _exit(127);
+    }
+    if (pid < 0) return false;
+    port = wait_for_port_file(port_file);
+    if (with_metrics) metrics_port = wait_for_port_file(metrics_port_file);
+    return port != 0;
+  }
+
+  /// True once the child has exited (e.g. its scheduled wal-kill fired).
+  bool wait_dead(std::chrono::seconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+      int status = 0;
+      if (waitpid(pid, &status, WNOHANG) == pid) {
+        pid = -1;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+    return false;
+  }
+
+  void kill_hard() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    pid = -1;
+  }
+
+  [[nodiscard]] bool reap_clean() {
+    if (pid <= 0) return true;
+    int status = 0;
+    const bool ok = waitpid(pid, &status, 0) == pid && WIFEXITED(status) &&
+                    WEXITSTATUS(status) == 0;
+    pid = -1;
+    return ok;
+  }
+};
+
+class StoreCrashMatrix : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ASSERT_TRUE(std::filesystem::exists(node_binary()))
+        << "omig_node binary not found at " << node_binary()
+        << " (set OMIG_NODE_BIN)";
+    char dir_template[] = "/tmp/omig-crash-matrix-XXXXXX";
+    ASSERT_NE(mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+  }
+
+  void TearDown() override {
+    for (DurableNode& node : nodes_) node.kill_hard();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  DurableNode make_node(std::size_t id) {
+    DurableNode node;
+    node.id = id;
+    node.data_dir = dir_ + "/n" + std::to_string(id);
+    node.port_file = dir_ + "/node-" + std::to_string(id) + ".port";
+    node.metrics_port_file =
+        dir_ + "/node-" + std::to_string(id) + ".metrics-port";
+    return node;
+  }
+
+  /// Writes a plan scheduling one kill on `node` after `appends` WAL
+  /// appends — torn (power loss mid-write) or clean (between fsyncs).
+  std::string write_plan(std::uint64_t seed, std::size_t node,
+                         std::uint64_t appends, bool torn) {
+    const std::string path = dir_ + "/plan-" + std::to_string(node) + ".txt";
+    std::ofstream out{path, std::ios::trunc};
+    out << "seed " << seed << "\n"
+        << (torn ? "wal-torn-kill " : "wal-kill ") << node << " " << appends
+        << "\n";
+    return path;
+  }
+
+  [[nodiscard]] std::vector<transport::Peer> peers() const {
+    std::vector<transport::Peer> result;
+    for (const DurableNode& node : nodes_) {
+      result.push_back(transport::Peer{"127.0.0.1", node.port});
+    }
+    return result;
+  }
+
+  [[nodiscard]] runtime::LiveSystem::Options coordinator_options() const {
+    runtime::LiveSystem::Options opts;
+    opts.remote_nodes = peers();
+    opts.max_retries = 2;
+    opts.retry_backoff = std::chrono::milliseconds{1};
+    return opts;
+  }
+
+  std::string dir_;
+  std::vector<DurableNode> nodes_;
+};
+
+// SIGKILL node 1 between a WAL write and its fsync at a seed-chosen
+// install, relaunch it on the same --data-dir, and require the office-
+// style workflow to complete with zero acked-migration loss.
+TEST_F(StoreCrashMatrix, KillBetweenFsyncsLosesNoAckedMigration) {
+  // The kill point is drawn from the seed (the "seed-chosen point" of the
+  // acceptance criteria): node 1 dies on its (k+1)-th WAL append.
+  constexpr std::uint64_t kSeed = 20260808;
+  sim::Rng rng{kSeed, /*stream=*/0};
+  const std::uint64_t kill_after = rng.uniform_int(3);  // 0, 1, or 2 appends
+
+  nodes_.push_back(make_node(0));
+  nodes_.push_back(make_node(1));
+  nodes_[1].plan_file = write_plan(kSeed, 1, kill_after, /*torn=*/false);
+  ASSERT_TRUE(nodes_[0].spawn());
+  ASSERT_TRUE(nodes_[1].spawn());
+
+  runtime::LiveSystem sys{coordinator_options()};
+  runtime::register_demo_types(sys);
+  sys.start();
+
+  // Three counters born on node 0, then migrated to node 1 one at a time.
+  // Node 1's (kill_after+1)-th install append SIGKILLs it mid-protocol.
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    const std::string count = std::to_string(i);
+    ASSERT_TRUE(sys.create(
+        name, runtime::make_state("counter", {{"count", count.c_str()}}), 0));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    // migrate() completing IS the ack: afterwards the directory always
+    // knows a live home for the object — node 1 if the install landed,
+    // node 0 (fallback) if the kill beat it.
+    ASSERT_TRUE(sys.migrate(name, 1));
+    ASSERT_TRUE(sys.location(name).has_value());
+  }
+  // The schedule guarantees the kill fired within those three installs.
+  ASSERT_TRUE(nodes_[1].wait_dead(std::chrono::seconds{5}))
+      << "wal-kill after " << kill_after << " appends never fired";
+  sys.crash_node(1);
+
+  // Zero acked loss, part 1: every object is reachable right now.
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    const auto loc = sys.location(name);
+    ASSERT_TRUE(loc.has_value());
+    if (*loc == 1) {
+      // Acked onto the dead node: its fsynced WAL record revives it on
+      // relaunch. Pull it off the dead node meanwhile — the coordinator
+      // checkpoint recovers it (the existing degraded path).
+      ASSERT_TRUE(sys.migrate(name, 0));
+    }
+    EXPECT_EQ(sys.invoke(name, "get", "").value, std::to_string(i));
+  }
+
+  // Relaunch node 1 on the SAME data dir, without the fault plan: its
+  // store recovers every acked record; unacked ones were never promised.
+  nodes_[1].plan_file.clear();
+  ASSERT_TRUE(nodes_[1].spawn());
+  sys.set_remote_peer(1, transport::Peer{"127.0.0.1", nodes_[1].port});
+  sys.restart_node(1);
+
+  // Zero acked loss, part 2: the full workflow completes post-recovery.
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "obj-" + std::to_string(i);
+    ASSERT_TRUE(sys.migrate(name, 1));
+    ASSERT_EQ(sys.location(name), std::size_t{1});
+    EXPECT_EQ(sys.invoke(name, "get", "").value, std::to_string(i));
+    ASSERT_TRUE(sys.invoke(name, "add", "100").ok);
+    ASSERT_TRUE(sys.migrate(name, 0));
+    EXPECT_EQ(sys.invoke(name, "get", "").value, std::to_string(i + 100));
+  }
+
+  sys.shutdown_remote_nodes();
+  for (DurableNode& node : nodes_) EXPECT_TRUE(node.reap_clean());
+  sys.stop();
+}
+
+// Torn-write power loss: the record is half-written when the process
+// dies. The relaunch must detect the tear via CRC, discard it, count it
+// in omig_store_replay_truncations_total — and never apply it.
+TEST_F(StoreCrashMatrix, TornTailIsDetectedDiscardedAndCounted) {
+  nodes_.push_back(make_node(0));
+  nodes_.push_back(make_node(1));
+  // Node 1 tears its second WAL append (the install after obj-keep's).
+  nodes_[1].plan_file = write_plan(7, 1, 1, /*torn=*/true);
+  ASSERT_TRUE(nodes_[0].spawn());
+  ASSERT_TRUE(nodes_[1].spawn());
+
+  runtime::LiveSystem sys{coordinator_options()};
+  runtime::register_demo_types(sys);
+  sys.start();
+
+  ASSERT_TRUE(sys.create(
+      "obj-keep", runtime::make_state("counter", {{"count", "1"}}), 0));
+  ASSERT_TRUE(sys.create(
+      "obj-torn", runtime::make_state("counter", {{"count", "2"}}), 0));
+  ASSERT_TRUE(sys.migrate("obj-keep", 1));  // append 1: fsynced, acked
+  ASSERT_TRUE(sys.migrate("obj-torn", 1));  // append 2: torn, node dies
+  ASSERT_TRUE(nodes_[1].wait_dead(std::chrono::seconds{5}));
+  sys.crash_node(1);
+
+  // The torn install was never acked, so the coordinator fell back and
+  // both objects are still reachable (zero acked loss).
+  for (const char* name : {"obj-keep", "obj-torn"}) {
+    const auto loc = sys.location(name);
+    ASSERT_TRUE(loc.has_value()) << name;
+    if (*loc == 1) {
+      ASSERT_TRUE(sys.migrate(name, 0));
+    }
+    EXPECT_TRUE(sys.invoke(name, "get", "").ok) << name;
+  }
+
+  // Relaunch with a metrics exporter and read the store's own account of
+  // the recovery: exactly one torn tail detected and discarded.
+  nodes_[1].plan_file.clear();
+  ASSERT_TRUE(nodes_[1].spawn(/*with_metrics=*/true));
+  ASSERT_NE(nodes_[1].metrics_port, 0);
+  const std::string body = scrape_body(nodes_[1].metrics_port);
+  EXPECT_EQ(sample_value(body, "omig_store_replay_truncations_total"), 1);
+  // The fsynced first record replayed; the torn one was never applied.
+  EXPECT_GE(sample_value(body, "omig_store_replay_records_total"), 1);
+
+  sys.set_remote_peer(1, transport::Peer{"127.0.0.1", nodes_[1].port});
+  sys.restart_node(1);
+  ASSERT_TRUE(sys.migrate("obj-torn", 1));
+  EXPECT_EQ(sys.invoke("obj-torn", "get", "").value, "2");
+
+  sys.shutdown_remote_nodes();
+  for (DurableNode& node : nodes_) EXPECT_TRUE(node.reap_clean());
+  sys.stop();
+}
+
+// Bare SIGKILL with no fault plan — the degenerate cell of the matrix: the
+// node dies at an arbitrary point, and on relaunch its own store replays
+// the fsynced WAL (visible in the metrics) before the port comes up.
+TEST_F(StoreCrashMatrix, BareSigkillRelaunchReplaysTheNodesOwnWal) {
+  nodes_.push_back(make_node(0));
+  ASSERT_TRUE(nodes_[0].spawn());
+  runtime::LiveSystem sys{coordinator_options()};
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(sys.create(
+      "c", runtime::make_state("counter", {{"count", "5"}}), 0));
+  EXPECT_EQ(sys.invoke("c", "get", "").value, "5");
+
+  nodes_[0].kill_hard();
+  sys.crash_node(0);
+
+  // Same data dir, fresh process: the acked create was a fsynced WAL
+  // append, so the relaunch replays at least that record.
+  ASSERT_TRUE(nodes_[0].spawn(/*with_metrics=*/true));
+  ASSERT_NE(nodes_[0].metrics_port, 0);
+  const std::string body = scrape_body(nodes_[0].metrics_port);
+  EXPECT_GE(sample_value(body, "omig_store_replay_records_total"), 1);
+  EXPECT_EQ(sample_value(body, "omig_store_replay_truncations_total"), 0);
+
+  sys.set_remote_peer(0, transport::Peer{"127.0.0.1", nodes_[0].port});
+  sys.restart_node(0);
+  EXPECT_EQ(sys.invoke("c", "get", "").value, "5");
+
+  sys.shutdown_remote_nodes();
+  EXPECT_TRUE(nodes_[0].reap_clean());
+  sys.stop();
+}
+
+}  // namespace
+}  // namespace omig::store

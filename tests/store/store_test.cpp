@@ -1,0 +1,247 @@
+// DurableStore: materialized view semantics, snapshot compaction with
+// atomic install, idempotent recovery across the snapshot/WAL-truncation
+// window, and the injected power-loss cases (docs/durability.md).
+#include "store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "store/env.hpp"
+#include "store/snapshot.hpp"
+
+namespace omig::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char dir_template[] = "/tmp/omig-store-test-XXXXXX";
+    ASSERT_NE(mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] DurableStore::OpenOptions options() const {
+    DurableStore::OpenOptions o;
+    o.dir = dir_;
+    return o;
+  }
+
+  static std::vector<std::uint8_t> blob(std::uint8_t tag) {
+    return {tag, tag, tag};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, ViewFoldsCheckpointMigrationAndEvict) {
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).durable);
+  ASSERT_TRUE(store.checkpoint("b", 1, 0, blob(2)).durable);
+  ASSERT_TRUE(store.migration("a", 0, 2).durable);
+  ASSERT_TRUE(store.evict("b").durable);
+
+  const auto view = store.view();
+  ASSERT_EQ(view.size(), 1u);
+  const StoredObject& a = view.at("a");
+  EXPECT_EQ(a.node, 2u);        // migration moved it
+  EXPECT_EQ(a.cursor, 1u);      // one completed move
+  EXPECT_EQ(a.state, blob(1));  // state from the checkpoint
+}
+
+TEST_F(StoreTest, ReopenRecoversTheViewFromTheWal) {
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(options()));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+    ASSERT_TRUE(store.migration("a", 0, 1).applied);
+    ASSERT_TRUE(store.lease("a", 99).applied);  // audit only
+  }
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_FALSE(info.snapshot_loaded);
+  EXPECT_EQ(info.replayed_records, 3u);
+  EXPECT_EQ(info.truncations, 0u);
+  const auto view = store.view();
+  ASSERT_TRUE(view.contains("a"));
+  EXPECT_EQ(view.at("a").node, 1u);
+  EXPECT_EQ(view.at("a").cursor, 1u);
+}
+
+TEST_F(StoreTest, CompactionInstallsSnapshotAndTruncatesWal) {
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(options()));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+    ASSERT_TRUE(store.migration("a", 0, 1).applied);
+    ASSERT_TRUE(store.compact());
+    EXPECT_TRUE(file_exists(store.snapshot_path()));
+    // Post-compaction appends land in the (now empty) WAL.
+    ASSERT_TRUE(store.migration("a", 1, 2).applied);
+  }
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.snapshot_objects, 1u);
+  EXPECT_EQ(info.replayed_records, 1u);  // only the post-compaction record
+  const auto view = store.view();
+  EXPECT_EQ(view.at("a").node, 2u);
+  EXPECT_EQ(view.at("a").cursor, 2u);
+}
+
+TEST_F(StoreTest, AutoCompactionKicksInAtTheConfiguredCadence) {
+  auto opts = options();
+  opts.compact_every = 3;
+  DurableStore store;
+  ASSERT_TRUE(store.open(std::move(opts)));
+  ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+  ASSERT_TRUE(store.migration("a", 0, 1).applied);
+  EXPECT_FALSE(file_exists(store.snapshot_path()));
+  ASSERT_TRUE(store.migration("a", 1, 0).applied);  // third append compacts
+  EXPECT_TRUE(file_exists(store.snapshot_path()));
+}
+
+// A crash can land between snapshot install and WAL truncation, leaving a
+// WAL whose records the snapshot already covers. Replay must skip them —
+// otherwise a migration record replayed twice double-advances the cursor.
+TEST_F(StoreTest, RecoveryIsIdempotentAcrossTheSnapshotInstallWindow) {
+  std::string snapshot_path;
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(options()));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);  // seq 1
+    ASSERT_TRUE(store.migration("a", 0, 1).applied);            // seq 2
+    ASSERT_TRUE(store.migration("a", 1, 2).applied);            // seq 3
+    snapshot_path = store.snapshot_path();
+  }
+  // Hand-install a snapshot covering seq 1..2 WITHOUT truncating the WAL —
+  // exactly the on-disk image a crash in that window leaves behind.
+  Snapshot snap;
+  snap.last_seq = 2;
+  snap.objects["a"] = StoredObject{1, 1, blob(1)};
+  ASSERT_TRUE(install_snapshot(snapshot_path, snap));
+
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_EQ(info.replayed_records, 1u);  // only seq 3; 1..2 were skipped
+  const auto view = store.view();
+  EXPECT_EQ(view.at("a").node, 2u);
+  EXPECT_EQ(view.at("a").cursor, 2u);  // NOT 3 — no double apply
+}
+
+TEST_F(StoreTest, CorruptSnapshotIsIgnoredAndWalAloneRecovers) {
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(options()));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+    ASSERT_TRUE(store.compact());
+    ASSERT_TRUE(store.migration("a", 0, 1).applied);
+  }
+  // Flip a byte inside the snapshot: its whole-file CRC must reject it.
+  const std::string snapshot_path = dir_ + "/snapshot.bin";
+  auto bytes = read_file(snapshot_path);
+  ASSERT_TRUE(bytes.has_value());
+  (*bytes)[bytes->size() / 2] ^= 0x01;
+  {
+    std::ofstream out{snapshot_path, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(bytes->data()),
+              static_cast<std::streamsize>(bytes->size()));
+  }
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_FALSE(info.snapshot_loaded);  // treated as absent
+  // The WAL after compaction holds only the migration; the checkpoint
+  // record was folded into the (now unreadable) snapshot. The migration
+  // still yields location knowledge — a state-less entry.
+  const auto view = store.view();
+  ASSERT_TRUE(view.contains("a"));
+  EXPECT_EQ(view.at("a").node, 1u);
+  EXPECT_TRUE(view.at("a").state.empty());
+}
+
+TEST_F(StoreTest, SnapshotRoundTripsAndRejectsTruncation) {
+  Snapshot snap;
+  snap.last_seq = 17;
+  snap.objects["x"] = StoredObject{3, 2, blob(7)};
+  snap.objects["y"] = StoredObject{0, 0, {}};
+  const auto bytes = encode_snapshot(snap);
+  const auto decoded = decode_snapshot(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, snap);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_snapshot(std::span{bytes.data(), len}).has_value())
+        << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST_F(StoreTest, ScheduledWalKillMakesStoreDeadAndReopenRecovers) {
+  fault::FaultPlan plan;
+  plan.wal_kills.push_back(fault::WalKill{5, 2, /*torn=*/false});
+  fault::FaultInjector injector{plan};
+  auto opts = options();
+  opts.injector = &injector;
+  opts.node = 5;
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(std::move(opts)));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+    ASSERT_TRUE(store.checkpoint("b", 0, 0, blob(2)).applied);
+    // The scheduled kill fires between the write and the fsync: the store
+    // is dead (in-process stand-in for SIGKILL) and the append unacked.
+    const auto outcome = store.checkpoint("c", 0, 0, blob(3));
+    EXPECT_FALSE(outcome.applied);
+    EXPECT_TRUE(store.dead());
+    EXPECT_FALSE(store.migration("a", 0, 1).applied);  // refuses writes
+  }
+  EXPECT_EQ(injector.counters().wal_kills.load(), 1u);
+  // Reboot: the two acked records recover. The killed record was fully
+  // written (just not fsynced) — with the page cache intact it may also
+  // survive, but it was never acked, so either way the contract holds.
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto view = store.view();
+  EXPECT_TRUE(view.contains("a"));
+  EXPECT_TRUE(view.contains("b"));
+}
+
+TEST_F(StoreTest, TornKillNeverAppliesTheTornRecord) {
+  fault::FaultPlan plan;
+  plan.wal_kills.push_back(fault::WalKill{5, 1, /*torn=*/true});
+  fault::FaultInjector injector{plan};
+  auto opts = options();
+  opts.injector = &injector;
+  opts.node = 5;
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(std::move(opts)));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).applied);
+    EXPECT_FALSE(store.checkpoint("b", 0, 0, blob(2)).applied);  // torn
+    EXPECT_TRUE(store.dead());
+  }
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_EQ(info.truncations, 1u);  // the torn tail was detected + cut
+  const auto view = store.view();
+  EXPECT_TRUE(view.contains("a"));
+  EXPECT_FALSE(view.contains("b"));  // never applied, never will be
+}
+
+}  // namespace
+}  // namespace omig::store

@@ -1,0 +1,291 @@
+// WAL framing, strict decode, and the torn-tail fuzz: truncate or corrupt
+// the log at every byte offset of the tail record and require clean
+// recovery of the untouched prefix — the durability contract's "no torn
+// record is ever applied" half, exhaustively.
+#include "store/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "store/crc32.hpp"
+#include "store/env.hpp"
+
+namespace omig::store {
+namespace {
+
+class WalTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char dir_template[] = "/tmp/omig-wal-test-XXXXXX";
+    ASSERT_NE(mkdtemp(dir_template), nullptr);
+    dir_ = dir_template;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return dir_ + "/" + name;
+  }
+
+  static void write_bytes(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static WalRecord sample(std::uint8_t i) {
+    WalRecord r;
+    r.kind = static_cast<RecordKind>(1 + i % 4);
+    r.name = "object-" + std::to_string(i);
+    r.a = 10u + i;
+    r.b = 100u + i;
+    if (i % 2 == 0) r.blob = {i, 1, 2, 3};
+    return r;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, RecordRoundTripsThroughFrame) {
+  WalRecord r = sample(3);
+  r.seq = 42;
+  const std::vector<std::uint8_t> frame = encode_record(r);
+  // Frame = 8-byte header + payload; the CRC covers the payload.
+  ASSERT_GT(frame.size(), 8u);
+  const auto decoded = decode_record_payload(
+      std::span{frame}.subspan(8));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, r);
+}
+
+TEST_F(WalTest, StrictDecodeRejectsMalformedPayloads) {
+  WalRecord r = sample(1);
+  r.seq = 7;
+  const std::vector<std::uint8_t> frame = encode_record(r);
+  std::vector<std::uint8_t> payload{frame.begin() + 8, frame.end()};
+
+  // Truncation at every inner offset rejects (never reads past the end).
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        decode_record_payload(std::span{payload.data(), len}).has_value())
+        << "accepted a " << len << "-byte prefix";
+  }
+  // Trailing garbage rejects.
+  std::vector<std::uint8_t> longer = payload;
+  longer.push_back(0);
+  EXPECT_FALSE(decode_record_payload(longer).has_value());
+  // Unknown version and kind reject.
+  std::vector<std::uint8_t> bad_version = payload;
+  bad_version[0] = kWalVersion + 1;
+  EXPECT_FALSE(decode_record_payload(bad_version).has_value());
+  std::vector<std::uint8_t> bad_kind = payload;
+  bad_kind[1] = 99;
+  EXPECT_FALSE(decode_record_payload(bad_kind).has_value());
+}
+
+TEST_F(WalTest, AppendsReplayInOrderAcrossReopen) {
+  const std::string wal_path = path("wal.log");
+  std::vector<WalRecord> written;
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(wal_path, nullptr));
+    for (std::uint8_t i = 0; i < 5; ++i) {
+      WalRecord r = sample(i);
+      const auto result = wal.append(r, /*sync=*/true);
+      ASSERT_EQ(result.status, Wal::AppendStatus::Ok);
+      EXPECT_TRUE(result.durable);
+      EXPECT_EQ(r.seq, i + 1u);  // monotonic, assigned by the log
+      written.push_back(r);
+    }
+  }
+  Wal wal;
+  std::vector<WalRecord> replayed;
+  ASSERT_TRUE(
+      wal.open(wal_path, [&](const WalRecord& r) { replayed.push_back(r); }));
+  EXPECT_EQ(replayed, written);
+  EXPECT_EQ(wal.recovery().records, 5u);
+  EXPECT_EQ(wal.recovery().truncations, 0u);
+  EXPECT_EQ(wal.next_seq(), 6u);
+}
+
+// The fuzz matrix: a 5-record log whose tail record is cut at EVERY byte
+// boundary. Each cut must recover exactly the 4-record prefix, count one
+// truncation, and leave the log appendable.
+TEST_F(WalTest, TornTailTruncatedAtEveryByteRecoversPrefix) {
+  const std::string base_path = path("base.log");
+  std::uint64_t prefix_end = 0;
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(base_path, nullptr));
+    for (std::uint8_t i = 0; i < 5; ++i) {
+      WalRecord r = sample(i);
+      ASSERT_EQ(wal.append(r, true).status, Wal::AppendStatus::Ok);
+      if (i == 3) prefix_end = wal.size();  // end of the 4-record prefix
+    }
+  }
+  const auto base = read_file(base_path);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_GT(base->size(), prefix_end);
+
+  for (std::size_t cut = prefix_end; cut < base->size(); ++cut) {
+    const std::string case_path = path("torn-" + std::to_string(cut));
+    write_bytes(case_path,
+                std::vector<std::uint8_t>{base->begin(),
+                                          base->begin() + cut});
+    Wal wal;
+    std::size_t replayed = 0;
+    ASSERT_TRUE(wal.open(case_path, [&](const WalRecord&) { ++replayed; }))
+        << "cut at " << cut;
+    EXPECT_EQ(replayed, 4u) << "cut at " << cut;
+    EXPECT_EQ(wal.recovery().records, 4u) << "cut at " << cut;
+    if (cut == prefix_end) {
+      EXPECT_EQ(wal.recovery().truncations, 0u);  // clean end, no tail
+    } else {
+      EXPECT_EQ(wal.recovery().truncations, 1u) << "cut at " << cut;
+      EXPECT_EQ(wal.recovery().discarded_bytes, cut - prefix_end);
+    }
+    // The torn tail is physically gone; the log accepts new records.
+    EXPECT_EQ(wal.size(), prefix_end);
+    WalRecord next = sample(9);
+    ASSERT_EQ(wal.append(next, true).status, Wal::AppendStatus::Ok);
+    EXPECT_EQ(next.seq, 5u);  // continues after the valid prefix
+    std::filesystem::remove(case_path);
+  }
+}
+
+// Corrupt (bit-flip) the tail record at every byte offset: the CRC must
+// catch every single-byte corruption and recovery must keep the prefix.
+TEST_F(WalTest, CorruptTailAtEveryByteIsDetectedByCrc) {
+  const std::string base_path = path("base.log");
+  std::uint64_t prefix_end = 0;
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(base_path, nullptr));
+    for (std::uint8_t i = 0; i < 5; ++i) {
+      WalRecord r = sample(i);
+      ASSERT_EQ(wal.append(r, true).status, Wal::AppendStatus::Ok);
+      if (i == 3) prefix_end = wal.size();
+    }
+  }
+  const auto base = read_file(base_path);
+  ASSERT_TRUE(base.has_value());
+
+  for (std::size_t at = prefix_end; at < base->size(); ++at) {
+    std::vector<std::uint8_t> corrupted = *base;
+    corrupted[at] ^= 0x40;
+    const std::string case_path = path("corrupt-" + std::to_string(at));
+    write_bytes(case_path, corrupted);
+    Wal wal;
+    std::size_t replayed = 0;
+    ASSERT_TRUE(wal.open(case_path, [&](const WalRecord&) { ++replayed; }))
+        << "corruption at " << at;
+    EXPECT_EQ(replayed, 4u) << "corruption at " << at;
+    EXPECT_EQ(wal.recovery().truncations, 1u) << "corruption at " << at;
+    EXPECT_EQ(wal.size(), prefix_end) << "corruption at " << at;
+    std::filesystem::remove(case_path);
+  }
+}
+
+TEST_F(WalTest, InjectedTornWriteKillsStoreAndRecoveryDiscardsTail) {
+  fault::FaultPlan plan;
+  plan.wal_kills.push_back(fault::WalKill{7, 2, /*torn=*/true});
+  fault::FaultInjector injector{plan};
+  const std::string wal_path = path("wal.log");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(wal_path, nullptr, &injector, 7));
+    WalRecord a = sample(0);
+    WalRecord b = sample(1);
+    ASSERT_EQ(wal.append(a, true).status, Wal::AppendStatus::Ok);
+    ASSERT_EQ(wal.append(b, true).status, Wal::AppendStatus::Ok);
+    // Third append hits the schedule: a prefix lands on disk, store dies.
+    WalRecord c = sample(2);
+    EXPECT_EQ(wal.append(c, true).status, Wal::AppendStatus::Dead);
+    EXPECT_TRUE(wal.dead());
+    // A dead store refuses everything until reopened.
+    WalRecord d = sample(3);
+    EXPECT_EQ(wal.append(d, true).status, Wal::AppendStatus::Dead);
+  }
+  EXPECT_EQ(injector.counters().torn_writes.load(), 1u);
+  EXPECT_EQ(injector.counters().wal_kills.load(), 1u);
+
+  Wal wal;
+  std::size_t replayed = 0;
+  ASSERT_TRUE(wal.open(wal_path, [&](const WalRecord&) { ++replayed; }));
+  EXPECT_EQ(replayed, 2u);  // the torn third record was never applied
+  EXPECT_EQ(wal.recovery().truncations, 1u);
+}
+
+TEST_F(WalTest, InjectedShortWriteIsRetriedAndRecordSurvives) {
+  fault::FaultPlan plan;
+  fault::DiskFault f;
+  f.node = 3;
+  f.short_write = 1.0;  // every append suffers a partial write first
+  plan.disk.push_back(f);
+  fault::FaultInjector injector{plan};
+  const std::string wal_path = path("wal.log");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.open(wal_path, nullptr, &injector, 3));
+    WalRecord r = sample(0);
+    const auto result = wal.append(r, true);
+    EXPECT_EQ(result.status, Wal::AppendStatus::Ok);
+    EXPECT_TRUE(result.durable);
+  }
+  EXPECT_EQ(injector.counters().short_writes.load(), 1u);
+  Wal wal;
+  std::size_t replayed = 0;
+  ASSERT_TRUE(wal.open(wal_path, [&](const WalRecord&) { ++replayed; }));
+  EXPECT_EQ(replayed, 1u);  // the rewrite left exactly one intact record
+  EXPECT_EQ(wal.recovery().truncations, 0u);
+}
+
+TEST_F(WalTest, InjectedFsyncFailureDemotesDurability) {
+  fault::FaultPlan plan;
+  fault::DiskFault f;
+  f.fsync_fail = 1.0;
+  plan.disk.push_back(f);
+  fault::FaultInjector injector{plan};
+  Wal wal;
+  ASSERT_TRUE(wal.open(path("wal.log"), nullptr, &injector, 0));
+  WalRecord r = sample(0);
+  const auto result = wal.append(r, true);
+  EXPECT_EQ(result.status, Wal::AppendStatus::Ok);  // applied...
+  EXPECT_FALSE(result.durable);                     // ...but not promised
+  EXPECT_GE(injector.counters().fsync_failures.load(), 1u);
+}
+
+TEST_F(WalTest, OversizedLengthPrefixIsTreatedAsCorruption) {
+  // A length prefix beyond the cap must be rejected before allocation.
+  std::vector<std::uint8_t> bogus(12, 0xFF);  // len = 0xFFFFFFFF
+  const std::string wal_path = path("wal.log");
+  write_bytes(wal_path, bogus);
+  Wal wal;
+  std::size_t replayed = 0;
+  ASSERT_TRUE(wal.open(wal_path, [&](const WalRecord&) { ++replayed; }));
+  EXPECT_EQ(replayed, 0u);
+  EXPECT_EQ(wal.recovery().truncations, 1u);
+  EXPECT_EQ(wal.size(), 0u);
+}
+
+TEST_F(WalTest, Crc32MatchesKnownVector) {
+  // IEEE CRC32 of "123456789" — the standard check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(std::span{
+                reinterpret_cast<const std::uint8_t*>(check.data()),
+                check.size()}),
+            0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace omig::store

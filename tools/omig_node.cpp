@@ -1,6 +1,7 @@
 // omig_node: one live node as a real OS process, plus a cluster launcher.
 //
 //   omig_node --serve --id N [--port P] [--port-file FILE]
+//             [--data-dir DIR] [--fault-plan FILE]
 //             [--metrics-port P [--metrics-port-file FILE]]
 //             [--metrics-log-ms N]
 //       Hosts node N: a LiveNode event loop behind a loopback frame server
@@ -9,6 +10,14 @@
 //       exits when it receives a Shutdown frame. The bound port is printed
 //       to stdout and, with --port-file, written to FILE (atomically, via
 //       rename), which is how a launcher discovers an ephemeral port.
+//       --data-dir attaches a durable store (docs/durability.md): installs
+//       append fsynced WAL checkpoints before they are acked, and a
+//       relaunch on the same directory recovers every acked object —
+//       hosted state survives SIGKILL. --fault-plan loads a fault plan
+//       whose disk directives (torn-write / short-write / fsync-fail /
+//       wal-kill) perturb that store; injected power losses SIGKILL this
+//       process at the scheduled point, which is how the crash matrix
+//       rehearses kill-between-fsyncs.
 //       --metrics-port additionally serves the process's metric registry
 //       in Prometheus text format over HTTP (0 = ephemeral; docs/metrics.md),
 //       and --metrics-log-ms logs snapshot deltas to stderr on that cadence.
@@ -29,16 +38,20 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <variant>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "obs/delta_logger.hpp"
 #include "obs/families.hpp"
 #include "runtime/demo_types.hpp"
 #include "runtime/live_system.hpp"
+#include "store/store.hpp"
 #include "transport/bridge.hpp"
 #include "transport/metrics_exporter.hpp"
 #include "transport/node_server.hpp"
@@ -50,6 +63,7 @@ using namespace omig;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --serve --id N [--port P] [--port-file FILE]\n"
+               "              [--data-dir DIR] [--fault-plan FILE]\n"
                "              [--metrics-port P [--metrics-port-file FILE]]\n"
                "              [--metrics-log-ms N]\n"
                "       %s --cluster N\n",
@@ -62,6 +76,8 @@ struct ServeOptions {
   int metrics_port = -1;  ///< -1 = no exporter; 0 = ephemeral
   std::string metrics_port_file;
   long metrics_log_ms = 0;  ///< 0 = no delta logging
+  std::string data_dir;     ///< durable store directory; empty = volatile
+  std::string fault_plan;   ///< plan file with disk directives; empty = none
 };
 
 /// Publishes the bound port for the launcher: write-then-rename, so a
@@ -82,6 +98,44 @@ int serve(std::size_t id, std::uint16_t port, const std::string& port_file,
           const ServeOptions& serve_opts) {
   const auto factories = runtime::demo_factories();
   runtime::LiveNode node{id, &factories};
+
+  // Durable store: open (recovering any previous incarnation's state)
+  // and preload the hosted objects before the listener comes up, so the
+  // coordinator never races an empty node.
+  std::unique_ptr<fault::FaultInjector> injector;
+  store::DurableStore durable;
+  if (!serve_opts.data_dir.empty()) {
+    if (!serve_opts.fault_plan.empty()) {
+      try {
+        injector = std::make_unique<fault::FaultInjector>(
+            fault::load_plan(serve_opts.fault_plan));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "omig_node %zu: bad fault plan: %s\n", id,
+                     e.what());
+        return 1;
+      }
+    }
+    store::DurableStore::OpenOptions sopts;
+    sopts.dir = serve_opts.data_dir;
+    sopts.injector = injector.get();
+    sopts.node = id;
+    sopts.process_kill = true;  // injected power loss = SIGKILL, for real
+    if (!durable.open(std::move(sopts))) {
+      std::fprintf(stderr, "omig_node %zu: cannot open data dir %s\n", id,
+                   serve_opts.data_dir.c_str());
+      return 1;
+    }
+    node.set_store(&durable);
+    const std::size_t restored = node.preload_from_store();
+    const auto info = durable.recovery();
+    std::printf(
+        "omig_node %zu recovered %zu objects (snapshot=%d, wal records=%llu, "
+        "torn tails=%llu)\n",
+        id, restored, info.snapshot_loaded ? 1 : 0,
+        static_cast<unsigned long long>(info.replayed_records),
+        static_cast<unsigned long long>(info.truncations));
+    std::fflush(stdout);
+  }
   node.start();
 
   // Pre-register every standard family so a scrape on a fresh node shows
@@ -329,6 +383,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       serve_opts.metrics_log_ms = std::strtol(v, nullptr, 10);
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_opts.data_dir = v;
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      serve_opts.fault_plan = v;
     } else if (arg == "--cluster") {
       const char* v = next();
       if (!v) return usage(argv[0]);

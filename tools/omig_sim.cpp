@@ -111,7 +111,13 @@ flags:
                             results are bit-identical for every N)
   --csv                     print CSV instead of the aligned table
   --json                    print the single-run result as one JSON object
-  --fault-plan PATH         load a fault plan (same as fault-plan=PATH)
+  --fault-plan PATH         load a fault plan (same as fault-plan=PATH).
+                            Directives: drop/delay/dup <from> <to> <x>,
+                            crash <node> <at> [<restart-after>], and the
+                            disk-fault dimension for durable stores —
+                            torn-write/short-write/fsync-fail <node> <prob>,
+                            wal-kill/wal-torn-kill <node> <after-appends>
+                            (docs/fault_model.md, docs/durability.md)
   --trace N                 print the last N protocol events of the run
   --trace-file PATH         dump the full protocol trace as JSONL
   --trace-json PATH         dump the trace in Chrome trace-event format
