@@ -68,6 +68,12 @@ bool DurableStore::open(OpenOptions options) {
   // The snapshot may cover records the (truncated) WAL no longer holds.
   recovery_.last_seq = std::max(covered, wal_.recovery().last_seq);
   state_.last_seq = recovery_.last_seq;
+  // The WAL derives next_seq from its own file alone; after compaction
+  // truncated it, that restarts at 1 — below the snapshot's coverage —
+  // and the `seq <= covered` replay filter above would silently discard
+  // this incarnation's acked records on the next recovery. Keep sequence
+  // numbers monotonic across the snapshot too.
+  wal_.ensure_next_seq(recovery_.last_seq + 1);
   open_ = true;
   return true;
 }

@@ -204,6 +204,13 @@ void Wal::die() {
 
 Wal::AppendResult Wal::append(WalRecord& record, bool sync) {
   if (dead_ || !file_.is_open()) return {AppendStatus::Dead, false};
+  // Enforce the cap before encoding: 34 fixed payload bytes (version,
+  // kind, seq, two u32 lengths, operands a/b) plus the variable parts.
+  // Checked in u64 so a >4 GiB blob cannot wrap the u32 length prefix.
+  const std::uint64_t payload_size =
+      34 + static_cast<std::uint64_t>(record.name.size()) +
+      static_cast<std::uint64_t>(record.blob.size());
+  if (payload_size > kMaxWalPayload) return {AppendStatus::TooLarge, false};
   record.seq = next_seq_;
   const std::vector<std::uint8_t> frame = encode_record(record);
   fault::DiskDecision decision;

@@ -103,6 +103,7 @@ public:
     Ok,          ///< record persisted (durable iff sync was requested + ok)
     Dead,        ///< store died (injected power loss); reopen to recover
     IoError,     ///< the OS refused the write
+    TooLarge,    ///< encoded payload exceeds kMaxWalPayload; nothing written
   };
 
   struct AppendResult {
@@ -125,8 +126,20 @@ public:
             std::size_t node = fault::kAnyNode);
 
   /// Appends `record` (assigning the next sequence number into it).
-  /// With `sync`, the record is fsynced before returning.
+  /// With `sync`, the record is fsynced before returning. Records whose
+  /// payload would exceed kMaxWalPayload are rejected up front — replay
+  /// treats an over-cap length prefix as corruption, so writing one would
+  /// ack a record that recovery is guaranteed to discard.
   AppendResult append(WalRecord& record, bool sync);
+
+  /// Raises next_seq() to at least `min_next`. The store calls this after
+  /// open() with snapshot.last_seq + 1: a compacted log is empty, so
+  /// replay alone would restart sequence numbers below the snapshot's
+  /// coverage and the `seq <= covered` recovery filter would silently
+  /// drop the next incarnation's acked records.
+  void ensure_next_seq(std::uint64_t min_next) {
+    if (min_next > next_seq_) next_seq_ = min_next;
+  }
 
   /// fsyncs everything appended so far (for callers batching syncs).
   bool sync();

@@ -101,6 +101,49 @@ TEST_F(StoreTest, CompactionInstallsSnapshotAndTruncatesWal) {
   EXPECT_EQ(view.at("a").cursor, 2u);
 }
 
+// Compaction truncates the WAL, so a reopened store's log no longer
+// carries the sequence history — next_seq must come from the snapshot's
+// last_seq, not the (empty) WAL. If sequence numbers restarted at 1, the
+// next incarnation's acked records would sit at or below the snapshot's
+// coverage and the `seq <= covered` replay filter would discard them on
+// the following recovery: open → append → compact → close → open →
+// append (acked) → kill → open must recover the second-incarnation
+// records.
+TEST_F(StoreTest, SequenceNumbersStayMonotonicAcrossCompactedReopen) {
+  {
+    DurableStore store;
+    ASSERT_TRUE(store.open(options()));
+    ASSERT_TRUE(store.checkpoint("a", 0, 0, blob(1)).durable);  // seq 1
+    ASSERT_TRUE(store.compact());  // snapshot last_seq=1, WAL now empty
+  }
+  // Second incarnation: one acked append, then an injected power loss.
+  fault::FaultPlan plan;
+  plan.wal_kills.push_back(fault::WalKill{5, 1, /*torn=*/false});
+  fault::FaultInjector injector{plan};
+  {
+    auto opts = options();
+    opts.injector = &injector;
+    opts.node = 5;
+    DurableStore store;
+    ASSERT_TRUE(store.open(std::move(opts)));
+    ASSERT_TRUE(store.migration("a", 0, 1).durable);  // acked — must survive
+    EXPECT_FALSE(store.checkpoint("b", 0, 0, blob(2)).applied);  // killed
+    EXPECT_TRUE(store.dead());
+  }
+  // Third incarnation: the acked migration replays — its seq is above the
+  // snapshot's coverage, so the skip filter must not swallow it.
+  DurableStore store;
+  ASSERT_TRUE(store.open(options()));
+  const auto info = store.recovery();
+  EXPECT_TRUE(info.snapshot_loaded);
+  EXPECT_GE(info.replayed_records, 1u);
+  const auto view = store.view();
+  ASSERT_TRUE(view.contains("a"));
+  EXPECT_EQ(view.at("a").node, 1u);    // the migration was applied...
+  EXPECT_EQ(view.at("a").cursor, 1u);  // ...exactly once
+  EXPECT_EQ(view.at("a").state, blob(1));
+}
+
 TEST_F(StoreTest, AutoCompactionKicksInAtTheConfiguredCadence) {
   auto opts = options();
   opts.compact_every = 3;

@@ -278,6 +278,37 @@ TEST_F(WalTest, OversizedLengthPrefixIsTreatedAsCorruption) {
   EXPECT_EQ(wal.size(), 0u);
 }
 
+// Replay rejects any frame whose length prefix exceeds kMaxWalPayload, so
+// appending one would ack a record that the next recovery is guaranteed to
+// discard — together with every record after it. The write side must
+// refuse it up front, consuming neither disk bytes nor a sequence number.
+TEST_F(WalTest, OversizedRecordIsRejectedBeforeAnyWrite) {
+  Wal wal;
+  ASSERT_TRUE(wal.open(path("wal.log"), nullptr));
+  WalRecord first = sample(0);
+  ASSERT_EQ(wal.append(first, true).status, Wal::AppendStatus::Ok);
+  const std::uint64_t size_before = wal.size();
+  const std::uint64_t seq_before = wal.next_seq();
+
+  WalRecord big = sample(1);
+  big.blob.assign(kMaxWalPayload, 0xAB);  // fixed fields push it over
+  EXPECT_EQ(wal.append(big, true).status, Wal::AppendStatus::TooLarge);
+  EXPECT_EQ(wal.size(), size_before);     // nothing reached the file
+  EXPECT_EQ(wal.next_seq(), seq_before);  // no sequence number consumed
+
+  // The log stays healthy: later records append and replay cleanly.
+  WalRecord next = sample(2);
+  ASSERT_EQ(wal.append(next, true).status, Wal::AppendStatus::Ok);
+  EXPECT_EQ(next.seq, 2u);
+
+  Wal reopened;
+  std::size_t replayed = 0;
+  ASSERT_TRUE(reopened.open(path("wal.log"),
+                            [&](const WalRecord&) { ++replayed; }));
+  EXPECT_EQ(replayed, 2u);
+  EXPECT_EQ(reopened.recovery().truncations, 0u);
+}
+
 TEST_F(WalTest, Crc32MatchesKnownVector) {
   // IEEE CRC32 of "123456789" — the standard check value.
   const std::string check = "123456789";

@@ -96,14 +96,19 @@ bool write_port_file(const std::string& path, std::uint16_t port) {
 
 int serve(std::size_t id, std::uint16_t port, const std::string& port_file,
           const ServeOptions& serve_opts) {
+  // Declared before the node: LiveNode::set_store requires the store to
+  // outlive the node, and ~LiveNode joins the event-loop thread — which
+  // may still be checkpointing into the store on the early-return error
+  // paths below. Destruction order (node first, then store/injector) is
+  // what makes every `return` after node.start() safe.
+  std::unique_ptr<fault::FaultInjector> injector;
+  store::DurableStore durable;
   const auto factories = runtime::demo_factories();
   runtime::LiveNode node{id, &factories};
 
   // Durable store: open (recovering any previous incarnation's state)
   // and preload the hosted objects before the listener comes up, so the
   // coordinator never races an empty node.
-  std::unique_ptr<fault::FaultInjector> injector;
-  store::DurableStore durable;
   if (!serve_opts.data_dir.empty()) {
     if (!serve_opts.fault_plan.empty()) {
       try {
