@@ -1,0 +1,154 @@
+// Location-directory lookup latency: Central (one name-server map, the
+// seed behaviour) vs Sharded (per-node caches + forwarding chases + shard
+// owner), at 10 / 100 / 1000 simulated nodes. Reports per-lookup p50/p99
+// in nanoseconds as JSON; scripts/bench_baseline.sh --directory merges the
+// output into BENCH_directory.json.
+//
+// The workload interleaves lookups from random origin nodes with
+// migrations (one move per eight lookups), so the sharded side exercises
+// the full mix the runtime sees: cache hits, stale entries healed through
+// forwarding pointers, and authoritative owner consults. Both sides run
+// the model layer (objsys), not live threads — 1000 nodes is a directory
+// size, not an OS-thread count.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "objsys/ids.hpp"
+#include "objsys/sharded_directory.hpp"
+
+namespace {
+
+using omig::objsys::ConsistencyStrategy;
+using omig::objsys::NodeId;
+using omig::objsys::ObjectId;
+using omig::objsys::ShardedDirectory;
+using omig::objsys::ShardedDirectoryOptions;
+
+using Clock = std::chrono::steady_clock;
+
+struct Percentiles {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+Percentiles percentiles(std::vector<std::uint64_t>& samples) {
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const std::size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    return static_cast<double>(samples[idx]);
+  };
+  return {at(0.50), at(0.99)};
+}
+
+/// The seed's central directory: one mutex-guarded map, every lookup and
+/// every migration funnels through it (runtime/live_system.cpp, Central).
+struct CentralDirectory {
+  std::mutex mutex;
+  std::unordered_map<ObjectId, NodeId> map;
+};
+
+Percentiles bench_central(std::size_t nodes, std::size_t objects,
+                          std::size_t lookups, std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  CentralDirectory dir;
+  for (std::size_t i = 0; i < objects; ++i) {
+    dir.map.emplace(ObjectId{static_cast<ObjectId::value_type>(i)},
+                    NodeId{static_cast<NodeId::value_type>(i % nodes)});
+  }
+  std::vector<std::uint64_t> samples;
+  samples.reserve(lookups);
+  NodeId sink{0};
+  for (std::size_t i = 0; i < lookups; ++i) {
+    if (i % 8 == 0) {
+      const ObjectId obj{static_cast<ObjectId::value_type>(rng() % objects)};
+      const NodeId dest{static_cast<NodeId::value_type>(rng() % nodes)};
+      std::lock_guard<std::mutex> lock(dir.mutex);
+      dir.map[obj] = dest;
+    }
+    const ObjectId obj{static_cast<ObjectId::value_type>(rng() % objects)};
+    const auto t0 = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(dir.mutex);
+      sink = dir.map.find(obj)->second;
+    }
+    const auto t1 = Clock::now();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  if (!sink.valid()) std::fputs("", stderr);  // keep `sink` observable
+  return percentiles(samples);
+}
+
+Percentiles bench_sharded(std::size_t nodes, std::size_t objects,
+                          std::size_t lookups, std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  ShardedDirectoryOptions opts;
+  opts.nodes = nodes;
+  opts.strategy = ConsistencyStrategy::LazyForward;
+  ShardedDirectory dir{opts};
+  for (std::size_t i = 0; i < objects; ++i) {
+    dir.insert(ObjectId{static_cast<ObjectId::value_type>(i)},
+               NodeId{static_cast<NodeId::value_type>(i % nodes)});
+  }
+  std::vector<std::uint64_t> samples;
+  samples.reserve(lookups);
+  for (std::size_t i = 0; i < lookups; ++i) {
+    if (i % 8 == 0) {
+      const ObjectId obj{static_cast<ObjectId::value_type>(rng() % objects)};
+      const NodeId dest{static_cast<NodeId::value_type>(rng() % nodes)};
+      (void)dir.record_move(obj, dest);
+    }
+    const ObjectId obj{static_cast<ObjectId::value_type>(rng() % objects)};
+    const NodeId from{static_cast<NodeId::value_type>(rng() % nodes)};
+    const auto t0 = Clock::now();
+    (void)dir.lookup(from, obj);
+    const auto t1 = Clock::now();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  return percentiles(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t lookups = 200'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lookups" && i + 1 < argc) {
+      lookups = static_cast<std::size_t>(std::stoull(argv[++i]));
+    }
+  }
+  const std::size_t node_counts[] = {10, 100, 1000};
+
+  std::printf("{\n  \"results\": [\n");
+  bool first = true;
+  for (const std::size_t nodes : node_counts) {
+    const std::size_t objects = 16 * nodes;
+    for (const char* kind : {"central", "sharded"}) {
+      const bool sharded = std::string(kind) == "sharded";
+      const Percentiles p =
+          sharded ? bench_sharded(nodes, objects, lookups, 42)
+                  : bench_central(nodes, objects, lookups, 42);
+      std::printf(
+          "%s    {\"kind\": \"%s\", \"nodes\": %zu, \"objects\": %zu, "
+          "\"lookups\": %zu, \"p50_ns\": %.1f, \"p99_ns\": %.1f}",
+          first ? "" : ",\n", kind, nodes, objects, lookups, p.p50_ns,
+          p.p99_ns);
+      first = false;
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

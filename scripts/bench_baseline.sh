@@ -27,13 +27,92 @@ while [[ $# -gt 0 ]]; do
     --output) OUT="$2"; shift 2 ;;
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --store) MODE=store; shift ;;
+    --directory) MODE=directory; shift ;;
     *) echo "usage: $0 [--label NAME] [--output FILE] [--min-time SECS]" >&2
-       echo "          [--store]   # bench the durable store into BENCH_store.json" >&2
+       echo "          [--store]      # bench the durable store into BENCH_store.json" >&2
+       echo "          [--directory]  # bench directory lookups into BENCH_directory.json" >&2
        exit 2 ;;
   esac
 done
 
 BUILD_DIR=build-bench
+
+# --directory: record location-directory lookup latency (p50/p99 per
+# lookup, Central vs Sharded, at 10/100/1000 simulated nodes) into
+# BENCH_directory.json. Medians of 3 runs per percentile.
+if [[ "$MODE" == directory ]]; then
+  [[ "$OUT" == BENCH_kernel.json ]] && OUT=BENCH_directory.json
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_directory >/dev/null
+  DIR_JSON=$(mktemp)
+  for rep in 1 2 3; do
+    "$BUILD_DIR/bench/bench_directory" >>"$DIR_JSON"
+  done
+  GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+  LABEL="$LABEL" OUT="$OUT" DIR_JSON="$DIR_JSON" GIT_REV="$GIT_REV" \
+  python3 - <<'PY'
+import json, os, statistics
+
+# Three concatenated JSON documents (one per repetition): decode them in
+# sequence, then take the per-series median of each percentile.
+reps, decoder, text, pos = [], json.JSONDecoder(), open(os.environ["DIR_JSON"]).read(), 0
+while pos < len(text):
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    if pos >= len(text):
+        break
+    doc, pos = decoder.raw_decode(text, pos)
+    reps.append(doc)
+
+series = {}
+for doc in reps:
+    for row in doc["results"]:
+        key = (row["kind"], row["nodes"])
+        entry = series.setdefault(key, {"p50_ns": [], "p99_ns": [],
+                                        "objects": row["objects"],
+                                        "lookups": row["lookups"]})
+        entry["p50_ns"].append(row["p50_ns"])
+        entry["p99_ns"].append(row["p99_ns"])
+
+results = [
+    {
+        "kind": kind,
+        "nodes": nodes,
+        "objects": entry["objects"],
+        "lookups": entry["lookups"],
+        "p50_ns": statistics.median(entry["p50_ns"]),
+        "p99_ns": statistics.median(entry["p99_ns"]),
+    }
+    for (kind, nodes), entry in sorted(series.items(),
+                                       key=lambda kv: (kv[0][1], kv[0][0]))
+]
+
+out = os.environ["OUT"]
+doc = {}
+if os.path.exists(out):
+    with open(out) as f:
+        doc = json.load(f)
+doc.setdefault("bench", "location-directory")
+doc.setdefault("recipe", {
+    "build": "Release",
+    "directory": "bench_directory (200k lookups per config, one migration "
+                 "per 8 lookups; per-lookup latency medians of 3 runs)",
+    "headline": "sharded p99_ns at nodes=1000 vs central p99_ns at "
+                "nodes=1000 (tail lookup latency at scale)",
+})
+doc.setdefault("runs", {})[os.environ["LABEL"]] = {
+    "git": os.environ["GIT_REV"],
+    "nproc": os.cpu_count(),
+    "directory": results,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out} [{os.environ['LABEL']}]")
+PY
+  rm -f "$DIR_JSON"
+  exit 0
+fi
 
 # --store: record the durable-store microbench medians (WAL append with
 # both fsync disciplines, replay, compaction) into BENCH_store.json.

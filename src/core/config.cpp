@@ -104,6 +104,16 @@ std::optional<objsys::LocationScheme> location_from_string(
   return std::nullopt;
 }
 
+std::optional<objsys::DirectoryKind> directory_kind_from_string(
+    std::string_view s) {
+  return objsys::directory_from_string(std::string{s});
+}
+
+std::optional<objsys::ConsistencyStrategy> dir_strategy_from_string(
+    std::string_view s) {
+  return objsys::strategy_from_string(std::string{s});
+}
+
 const char* to_string(net::TopologyKind kind) {
   switch (kind) {
     case net::TopologyKind::FullMesh:
@@ -224,6 +234,17 @@ void apply_assignment(ExperimentConfig& config, std::string_view key,
     config.location_scheme =
         parse_enum(key, value, &location_from_string,
                    "none|name-server|forwarding|broadcast|immediate-update");
+  } else if (key == "directory") {
+    config.directory = parse_enum(key, value, &directory_kind_from_string,
+                                  "central|sharded");
+  } else if (key == "shards") {
+    config.dir_shards = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "dir-strategy") {
+    config.dir_strategy =
+        parse_enum(key, value, &dir_strategy_from_string,
+                   "eager-invalidate|lazy-forward|lease-ttl");
+  } else if (key == "dir-lease") {
+    config.dir_lease_ttl = static_cast<std::uint64_t>(parse_int(key, value));
   } else if (key == "egoistic-clients") {
     config.egoistic_clients = static_cast<int>(parse_int(key, value));
   } else if (key == "egoistic-policy") {
@@ -300,6 +321,14 @@ std::string describe(const ExperimentConfig& config) {
   if (config.location_scheme != objsys::LocationScheme::None) {
     os << " location=" << objsys::to_string(config.location_scheme);
   }
+  if (config.directory != objsys::DirectoryKind::Central) {
+    os << " directory=" << objsys::to_string(config.directory)
+       << " dir-strategy=" << objsys::to_string(config.dir_strategy);
+    if (config.dir_shards != 0) os << " shards=" << config.dir_shards;
+    if (config.dir_strategy == objsys::ConsistencyStrategy::LeaseTtl) {
+      os << " dir-lease=" << config.dir_lease_ttl;
+    }
+  }
   if (config.egoistic_clients > 0) {
     os << " egoistic-clients=" << config.egoistic_clients
        << " egoistic-policy=" << migration::to_string(config.egoistic_policy);
@@ -329,6 +358,9 @@ std::string config_help() {
                  latency={uniform|hop-scaled|fixed}
                  location={none|name-server|forwarding|broadcast|
                            immediate-update}
+                 directory={central|sharded} shards=N (0 = one per node)
+                 dir-strategy={eager-invalidate|lazy-forward|lease-ttl}
+                 dir-lease=T (lease-ttl cache lifetime, logical ticks)
   mixed policy:  egoistic-clients egoistic-policy
   run control:   ci min-blocks max-blocks warmup max-time seed
                  majority (clear-majority threshold for reinstantiation)

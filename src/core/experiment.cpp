@@ -73,9 +73,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   }
 
   std::optional<objsys::LocationService> service;
-  if (config.location_scheme != objsys::LocationScheme::None) {
+  if (config.location_scheme != objsys::LocationScheme::None ||
+      config.directory == objsys::DirectoryKind::Sharded) {
     service.emplace(engine, registry, latency, mgr_rng,
                     config.location_scheme);
+    if (config.directory == objsys::DirectoryKind::Sharded) {
+      objsys::ShardedDirectoryOptions dir;
+      dir.shards = config.dir_shards;
+      dir.strategy = config.dir_strategy;
+      dir.lease_ttl = config.dir_lease_ttl;
+      service->enable_sharded(dir);
+    }
     invoker.set_location_service(&*service);
     manager.set_location_service(&*service);
   }
@@ -177,6 +185,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     sm.invocations_remote->inc(remote);
     sm.call_local_milli->merge(invoker.local_call_milli());
     sm.call_remote_milli->merge(invoker.remote_call_milli());
+    if (service && service->sharded() != nullptr) {
+      const objsys::DirectoryStats& ds = service->sharded()->stats();
+      obs::DirMetrics& dm = obs::dir_metrics();
+      dm.lookups_hit->inc(ds.cache_hits);
+      dm.lookups_stale->inc(ds.stale_hits);
+      dm.lookups_miss->inc(ds.lookups - ds.cache_hits - ds.stale_hits);
+      dm.forward_hops->inc(ds.forward_hops);
+      dm.updates->inc(ds.updates);
+      dm.invalidations->inc(ds.invalidations);
+      dm.unresolved->inc(ds.unresolved);
+    }
   }
 
   // Tear the processes down while every service they reference is alive.

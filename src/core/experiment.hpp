@@ -38,6 +38,18 @@ struct ExperimentConfig {
   net::LatencyMode latency_mode = net::LatencyMode::Uniform;
   objsys::LocationScheme location_scheme = objsys::LocationScheme::None;
 
+  /// Directory implementation behind the location seam (docs/directory.md).
+  /// Central is the seed behaviour (single name server / registry map);
+  /// Sharded hashes objects onto per-node directory shards with per-node
+  /// lookup caches kept consistent by `dir_strategy`.
+  objsys::DirectoryKind directory = objsys::DirectoryKind::Central;
+  /// Directory shards when sharded; 0 = one shard per node.
+  std::size_t dir_shards = 0;
+  objsys::ConsistencyStrategy dir_strategy =
+      objsys::ConsistencyStrategy::LazyForward;
+  /// LeaseTtl strategy: cache-entry lifetime in directory logical ticks.
+  std::uint64_t dir_lease_ttl = 16;
+
   /// Beyond-paper (Section 2.4's "completely egoistic" implementor): the
   /// first `egoistic_clients` clients run `egoistic_policy` while everyone
   /// else runs `policy`. One-layer workloads only.

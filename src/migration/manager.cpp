@@ -143,18 +143,19 @@ sim::Task MigrationManager::transfer(std::vector<ObjectId> objs,
   }
 
   sim::SimTime duration = 0.0;
-  auto accumulate = [&](ObjectId o) {
+  auto accumulate = [&](ObjectId o, bool relocates) {
     sim::SimTime d =
         options_.migration_duration * registry_->descriptor(o).size;
     if (service_ != nullptr) {
-      d += service_->migration_overhead(registry_->location(o), dest);
+      d += service_->migration_overhead(o, registry_->location(o), dest,
+                                        relocates);
     }
     duration = options_.transfer == ClusterTransfer::Parallel
                    ? std::max(duration, d)
                    : duration + d;
   };
-  for (ObjectId o : moving) accumulate(o);
-  for (ObjectId o : copying) accumulate(o);
+  for (ObjectId o : moving) accumulate(o, true);
+  for (ObjectId o : copying) accumulate(o, false);
 
   ++transfers_;
   const objsys::BlockId blk_id = blk ? blk->id : objsys::BlockId::invalid();

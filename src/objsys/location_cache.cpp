@@ -1,0 +1,10 @@
+#include "objsys/location_cache.hpp"
+
+namespace omig::objsys {
+
+// The two instantiations every layer shares (simulator model by id, live
+// runtime by name) are compiled once here.
+template class BasicLocationCache<ObjectId>;
+template class BasicLocationCache<std::string>;
+
+}  // namespace omig::objsys

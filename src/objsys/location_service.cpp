@@ -35,7 +35,48 @@ LocationService::LocationService(sim::Engine& engine, ObjectRegistry& registry,
   }
 }
 
+void LocationService::enable_sharded(ShardedDirectoryOptions options) {
+  options.nodes = registry_->node_count();
+  sharded_.emplace(options);
+}
+
+void LocationService::ensure_registered(ObjectId obj) {
+  if (!sharded_->contains(obj)) {
+    sharded_->insert(obj, registry_->location(obj));
+  }
+}
+
 sim::Task LocationService::resolve(NodeId from, ObjectId obj) {
+  if (sharded_) {
+    // Sharded directory: the model decides what the lookup cost — nothing
+    // (cache hit), an owner round-trip, and/or forwarding hops — and we
+    // charge one simulated message per reported leg. The chase legs are
+    // approximated as from↔host samples; the model guarantees hop count ≤
+    // shard count, so the charge is bounded.
+    ensure_registered(obj);
+    const DirectoryLookup r = sharded_->lookup(from, obj);
+    if (r.cache_hit) co_return;
+    if (r.stale) {
+      // One message to the stale host that bounced, plus one per chain hop.
+      const std::size_t legs = 1 + r.hops;
+      const NodeId target = r.host.valid() ? r.host : registry_->location(obj);
+      for (std::size_t i = 0; i < legs; ++i) {
+        ++messages_;
+        co_await engine_->delay(
+            latency_->sample(*rng_, from.value(), target.value()));
+      }
+    }
+    if (r.owner_consulted) {
+      const NodeId owner = sharded_->owner_of(obj);
+      messages_ += 2;
+      co_await engine_->delay(
+          latency_->sample(*rng_, from.value(), owner.value()));
+      co_await engine_->delay(
+          latency_->sample(*rng_, owner.value(), from.value()));
+    }
+    co_return;
+  }
+
   switch (scheme_) {
     case LocationScheme::None:
     case LocationScheme::ImmediateUpdate:
@@ -86,7 +127,28 @@ sim::Task LocationService::resolve(NodeId from, ObjectId obj) {
   }
 }
 
-sim::SimTime LocationService::migration_overhead(NodeId from, NodeId dest) {
+sim::SimTime LocationService::migration_overhead(ObjectId obj, NodeId from,
+                                                 NodeId dest, bool relocates) {
+  if (sharded_) {
+    // Replica copies leave the primary location untouched — the directory
+    // does not change and nothing is charged.
+    if (!relocates) return 0.0;
+    ensure_registered(obj);
+    const DirectoryMove move = sharded_->record_move(obj, dest);
+    // One update message to the shard owner, overlapped with any eager
+    // invalidations fanning out in parallel: the migration is extended by
+    // the slowest leg.
+    ++messages_;
+    sim::SimTime worst =
+        latency_->sample(*rng_, dest.value(), move.owner.value());
+    for (const NodeId node : move.invalidated) {
+      ++messages_;
+      worst =
+          std::max(worst, latency_->sample(*rng_, dest.value(), node.value()));
+    }
+    return worst;
+  }
+
   switch (scheme_) {
     case LocationScheme::None:
     case LocationScheme::Forwarding:

@@ -1,0 +1,221 @@
+#include "objsys/sharded_directory.hpp"
+
+#include <algorithm>
+
+namespace omig::objsys {
+namespace {
+
+// splitmix64 finaliser: cheap, well-mixed object-id → shard hashing so
+// consecutive ids don't all land on the same shard owner.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string to_string(DirectoryKind kind) {
+  switch (kind) {
+  case DirectoryKind::Central: return "central";
+  case DirectoryKind::Sharded: return "sharded";
+  }
+  return "unknown";
+}
+
+std::string to_string(ConsistencyStrategy strategy) {
+  switch (strategy) {
+  case ConsistencyStrategy::EagerInvalidate: return "eager-invalidate";
+  case ConsistencyStrategy::LazyForward: return "lazy-forward";
+  case ConsistencyStrategy::LeaseTtl: return "lease-ttl";
+  }
+  return "unknown";
+}
+
+std::optional<DirectoryKind> directory_from_string(const std::string& text) {
+  if (text == "central") return DirectoryKind::Central;
+  if (text == "sharded") return DirectoryKind::Sharded;
+  return std::nullopt;
+}
+
+std::optional<ConsistencyStrategy> strategy_from_string(
+    const std::string& text) {
+  if (text == "eager-invalidate") return ConsistencyStrategy::EagerInvalidate;
+  if (text == "lazy-forward") return ConsistencyStrategy::LazyForward;
+  if (text == "lease-ttl") return ConsistencyStrategy::LeaseTtl;
+  return std::nullopt;
+}
+
+ShardedDirectory::ShardedDirectory(ShardedDirectoryOptions options)
+    : options_{options},
+      shards_{options.shards != 0 ? options.shards
+                                  : std::max<std::size_t>(1, options.nodes)},
+      hop_limit_{options.hop_limit != 0 ? options.hop_limit : shards_},
+      nodes_{std::max<std::size_t>(1, options.nodes)} {}
+
+void ShardedDirectory::insert(ObjectId object, NodeId home) {
+  ++now_;
+  authoritative_[object] = home;
+  const NodeId owner = owner_of(object);
+  if (node_up(owner)) nodes_.at(owner.value()).slice[object] = home;
+}
+
+bool ShardedDirectory::contains(ObjectId object) const {
+  return authoritative_.contains(object);
+}
+
+DirectoryLookup ShardedDirectory::lookup(NodeId from, ObjectId object) {
+  ++now_;
+  ++stats_.lookups;
+  auto& viewer = nodes_.at(from.value());
+  DirectoryLookup result;
+  const NodeId truth = current_host(object);
+
+  auto entry = viewer.cache.get(object);
+  if (entry && options_.strategy == ConsistencyStrategy::LeaseTtl &&
+      !fresh(*entry)) {
+    viewer.cache.invalidate(object);
+    entry.reset();
+  }
+  if (entry) {
+    const NodeId cached{static_cast<NodeId::value_type>(entry->node)};
+    if (cached == truth && node_up(truth)) {
+      ++stats_.cache_hits;
+      result.cache_hit = true;
+      result.host = truth;
+      result.resolved = true;
+      return result;
+    }
+    // Stale entry: chase forwarding pointers from the cached host. Each
+    // pointer records where the object went when it last left that node,
+    // so departure times strictly increase along the chase — the chain is
+    // acyclic and ends at the current host unless it exceeds the hop cap
+    // or runs into a crashed node, in which case the shard owner below is
+    // the authoritative fallback.
+    result.stale = true;
+    ++stats_.stale_hits;
+    NodeId at = cached;
+    while (at != truth && result.hops < hop_limit_ && node_up(at)) {
+      const auto& forward = nodes_.at(at.value()).forward;
+      auto fw = forward.find(object);
+      if (fw == forward.end()) break;
+      ++result.hops;
+      ++stats_.forward_hops;
+      at = fw->second;
+    }
+    if (at == truth && node_up(truth)) {
+      result.host = truth;
+      result.resolved = true;
+      cache_learn(viewer, object, truth);
+      return result;
+    }
+  }
+
+  result.owner_consulted = true;
+  ++stats_.owner_lookups;
+  const NodeId owner = owner_of(object);
+  if (node_up(owner)) {
+    const auto& slice = nodes_.at(owner.value()).slice;
+    auto it = slice.find(object);
+    if (it != slice.end() && node_up(it->second)) {
+      result.host = it->second;
+      result.resolved = true;
+      cache_learn(viewer, object, it->second);
+      return result;
+    }
+  }
+  // Owner crashed (or the host itself is down): the lookup does not
+  // settle on a dead host — callers back off and retry after recovery.
+  ++stats_.unresolved;
+  return result;
+}
+
+DirectoryMove ShardedDirectory::record_move(ObjectId object, NodeId dest) {
+  ++now_;
+  ++stats_.updates;
+  DirectoryMove move;
+  const auto it = authoritative_.find(object);
+  const NodeId from = it != authoritative_.end() ? it->second
+                                                 : NodeId::invalid();
+  authoritative_[object] = dest;
+  const NodeId owner = owner_of(object);
+  move.owner = owner;
+  if (node_up(owner)) nodes_.at(owner.value()).slice[object] = dest;
+  if (from.valid() && from != dest && node_up(from))
+    nodes_.at(from.value()).forward[object] = dest;
+  // The new host serves the object itself; a leftover pointer from an
+  // earlier residence would only add a redundant hop.
+  if (node_up(dest)) nodes_.at(dest.value()).forward.erase(object);
+  if (options_.strategy == ConsistencyStrategy::EagerInvalidate) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (!nodes_[n].up) continue;
+      if (nodes_[n].cache.invalidate(object)) {
+        ++stats_.invalidations;
+        move.invalidated.push_back(
+            NodeId{static_cast<NodeId::value_type>(n)});
+      }
+    }
+  }
+  return move;
+}
+
+void ShardedDirectory::crash_node(NodeId node) {
+  ++now_;
+  auto& state = nodes_.at(node.value());
+  state.up = false;
+  state.slice.clear();
+  state.forward.clear();
+  state.cache.clear();
+}
+
+void ShardedDirectory::recover_node(NodeId node) {
+  ++now_;
+  auto& state = nodes_.at(node.value());
+  state.up = true;
+  // Re-seed this node's shard slice from the authoritative map — the same
+  // role restart_node plays in the live runtime, where the coordinator
+  // replays directory updates to a recovered shard owner.
+  for (const auto& [object, host] : authoritative_) {
+    if (owner_of(object) == node) state.slice[object] = host;
+  }
+}
+
+bool ShardedDirectory::node_up(NodeId node) const {
+  if (!node.valid() || node.value() >= nodes_.size()) return false;
+  return nodes_[node.value()].up;
+}
+
+void ShardedDirectory::tick(std::uint64_t amount) { now_ += amount; }
+
+std::size_t ShardedDirectory::shard_of(ObjectId object) const {
+  return static_cast<std::size_t>(mix(object.value())) % shards_;
+}
+
+NodeId ShardedDirectory::shard_owner(std::size_t shard) const {
+  return NodeId{static_cast<NodeId::value_type>(shard % nodes_.size())};
+}
+
+NodeId ShardedDirectory::owner_of(ObjectId object) const {
+  return shard_owner(shard_of(object));
+}
+
+NodeId ShardedDirectory::current_host(ObjectId object) const {
+  auto it = authoritative_.find(object);
+  return it != authoritative_.end() ? it->second : NodeId::invalid();
+}
+
+const LocationCache& ShardedDirectory::cache(NodeId node) const {
+  return nodes_.at(node.value()).cache;
+}
+
+bool ShardedDirectory::fresh(const CachedLocation& entry) const {
+  return now_ - entry.stamp <= options_.lease_ttl;
+}
+
+void ShardedDirectory::cache_learn(NodeState& viewer, ObjectId object,
+                                   NodeId host) {
+  viewer.cache.put(object, host.value(), now_);
+}
+
+}  // namespace omig::objsys

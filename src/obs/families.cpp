@@ -139,12 +139,46 @@ StoreMetrics& store_metrics() {
   return metrics;
 }
 
+DirMetrics& dir_metrics() {
+  static DirMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::global();
+    DirMetrics m;
+    m.lookups_hit = &r.counter("omig_dir_lookups_total",
+                               "Directory lookups by outcome",
+                               {{"result", "hit"}});
+    m.lookups_stale = &r.counter("omig_dir_lookups_total",
+                                 "Directory lookups by outcome",
+                                 {{"result", "stale"}});
+    m.lookups_miss = &r.counter("omig_dir_lookups_total",
+                                "Directory lookups by outcome",
+                                {{"result", "miss"}});
+    m.forward_hops = &r.counter("omig_dir_forward_hops_total",
+                                "Forwarding-pointer hops chased by lookups");
+    m.updates = &r.counter("omig_dir_updates_total",
+                           "Shard-owner directory updates");
+    m.invalidations =
+        &r.counter("omig_dir_invalidations_total",
+                   "Cache entries dropped by eager invalidation");
+    m.fallbacks =
+        &r.counter("omig_dir_fallbacks_total",
+                   "Lookups resolved by the coordinator's central fallback");
+    m.unresolved =
+        &r.counter("omig_dir_unresolved_total",
+                   "Lookups that found no live host and were retried");
+    m.lookup_us = &r.histogram("omig_dir_lookup_us",
+                               "Wall-clock time per live directory lookup");
+    return m;
+  }();
+  return metrics;
+}
+
 void register_standard_metrics() {
   (void)sim_metrics();
   (void)runtime_metrics();
   (void)transport_metrics();
   (void)node_metrics();
   (void)store_metrics();
+  (void)dir_metrics();
 }
 
 }  // namespace omig::obs

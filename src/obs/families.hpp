@@ -82,6 +82,23 @@ struct StoreMetrics {
 };
 [[nodiscard]] StoreMetrics& store_metrics();
 
+/// Location-directory layer (objsys/sharded_directory + the live
+/// runtime's sharded lookup path, docs/directory.md). Both backends feed
+/// the same family: the simulator folds its model stats in once per run,
+/// the live runtime increments per lookup/update.
+struct DirMetrics {
+  Counter* lookups_hit;    ///< omig_dir_lookups_total{result=hit}
+  Counter* lookups_stale;  ///< omig_dir_lookups_total{result=stale}
+  Counter* lookups_miss;   ///< omig_dir_lookups_total{result=miss}
+  Counter* forward_hops;   ///< forwarding-pointer hops chased
+  Counter* updates;        ///< shard-owner updates (migrations, installs)
+  Counter* invalidations;  ///< cache entries dropped by eager invalidation
+  Counter* fallbacks;      ///< lookups resolved by the coordinator fallback
+  Counter* unresolved;     ///< lookups that found no live host (retried)
+  Histogram* lookup_us;    ///< live-runtime wall time per directory lookup
+};
+[[nodiscard]] DirMetrics& dir_metrics();
+
 /// Touches every family above so an exporter shows the full schema
 /// before any traffic (Prometheus convention: export zeros, not absence).
 void register_standard_metrics();

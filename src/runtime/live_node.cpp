@@ -73,7 +73,9 @@ void LiveNode::crash() {
   invoke_order_.clear();
   evicted_states_.clear();
   evict_order_.clear();
+  dir_entries_.clear();
   hosted_.store(0);
+  dir_entry_count_.store(0);
 }
 
 void LiveNode::restart() {
@@ -180,6 +182,30 @@ void LiveNode::handle(MsgInstall& msg) {
   hosted_.fetch_add(1, std::memory_order_relaxed);
   obs::node_metrics().hosted_objects->add(1);
   msg.done.set_value(true);
+}
+
+void LiveNode::handle(MsgDirLookup& msg) {
+  // Read-only and idempotent: no dedup needed. Answers from whatever this
+  // node serves — its shard slice or a forwarding hint left behind by a
+  // departed object; both live in the same table.
+  auto it = dir_entries_.find(msg.name);
+  if (it == dir_entries_.end()) {
+    msg.reply.set_value(DirReply{false, 0});
+    return;
+  }
+  msg.reply.set_value(DirReply{true, it->second});
+}
+
+void LiveNode::handle(MsgDirUpdate& msg) {
+  // Idempotent: the update carries the absolute new value (or drops the
+  // entry), so a retransmission converges to the same state.
+  if (msg.invalidate) {
+    dir_entries_.erase(msg.name);
+  } else {
+    dir_entries_[msg.name] = msg.node;
+  }
+  dir_entry_count_.store(dir_entries_.size(), std::memory_order_relaxed);
+  msg.done.set_value(DirAck{true});
 }
 
 void LiveNode::handle(MsgEvict& msg) {

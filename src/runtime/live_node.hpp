@@ -71,12 +71,19 @@ public:
   }
   /// Messages answered from the dedup caches instead of being re-executed.
   [[nodiscard]] std::uint64_t deduplicated() const { return deduped_.load(); }
+  /// Directory entries (shard-slice records + forwarding hints) this node
+  /// currently serves (DirectoryKind::Sharded, docs/directory.md).
+  [[nodiscard]] std::uint64_t directory_entries() const {
+    return dir_entry_count_.load();
+  }
 
 private:
   void run();
   void handle(MsgInvoke& msg);
   void handle(MsgInstall& msg);
   void handle(MsgEvict& msg);
+  void handle(MsgDirLookup& msg);
+  void handle(MsgDirUpdate& msg);
   /// Inserts into a seq-keyed cache, evicting the oldest entry beyond the
   /// retention bound (enough to cover any plausible retransmission window).
   template <class V>
@@ -99,10 +106,15 @@ private:
   std::deque<std::uint64_t> invoke_order_;
   std::unordered_map<std::uint64_t, ObjectState> evicted_states_;
   std::deque<std::uint64_t> evict_order_;
+  /// Sharded-directory state this node serves: its shard slice plus any
+  /// forwarding hints left when an object migrated away. Volatile — a
+  /// crash loses it, and the coordinator re-seeds the slice on restart.
+  std::unordered_map<std::string, std::uint64_t> dir_entries_;
 
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> hosted_{0};
   std::atomic<std::uint64_t> deduped_{0};
+  std::atomic<std::uint64_t> dir_entry_count_{0};
 };
 
 }  // namespace omig::runtime

@@ -23,6 +23,14 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
 }
+
+/// Monotonic milliseconds, the stamp the lease-TTL strategy ages by.
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 LiveSystem::LiveSystem(Options options) : options_{std::move(options)} {
@@ -54,6 +62,15 @@ void LiveSystem::start() {
     }
   }
   node_down_.assign(count, 0);
+  dir_shards_ = options_.dir_shards != 0 ? options_.dir_shards : count;
+  if (sharded()) {
+    // One lookup cache per origin; the extra slot serves external callers.
+    caches_.clear();
+    caches_.reserve(count + 1);
+    for (std::size_t i = 0; i <= count; ++i) {
+      caches_.push_back(std::make_unique<objsys::NamedLocationCache>());
+    }
+  }
   if (!options_.fault_plan.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(options_.fault_plan);
   }
@@ -132,6 +149,7 @@ void LiveSystem::recover_from_store() {
     }
     if (install_with_retry(node, name, *state, kExternalSender)) {
       replayed_objects_.fetch_add(1, std::memory_order_relaxed);
+      if (sharded()) dir_publish_move(name, node, node);
     }
   }
 }
@@ -273,6 +291,9 @@ bool LiveSystem::create(const std::string& name, ObjectState state,
     directory_.erase(name);
     return false;
   }
+  // Seed the shard owner's slice (and a self-entry at the host, so a
+  // forwarding chase arriving here resolves instead of running dry).
+  if (sharded()) dir_publish_move(name, node, node);
   if (store_ != nullptr) {
     // Persist the creation checkpoint; only a fsynced append upgrades the
     // entry to durable (an injected fsync failure leaves it in-memory).
@@ -318,6 +339,9 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
   // stay non-resident for a while, so the loop is bounded then.
   int stale_rounds = 0;
   constexpr int kMaxStaleRounds = 64;
+  // Sharded mode: a node the previous round found empty — the resolve
+  // path invalidates its cache entry and chases the forwarding hints.
+  std::optional<std::size_t> stale;
   for (;;) {
     std::size_t node;
     {
@@ -336,6 +360,10 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
         return InvokeResult{false, "unknown object: " + object};
       }
       node = it->second.node;
+    }
+    if (sharded()) {
+      node = resolve_sharded(from, object, stale);
+      stale.reset();
     }
     invocations_.fetch_add(1, std::memory_order_relaxed);
     const bool remote_call = !from.has_value() || *from != node;
@@ -383,6 +411,7 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
     // object may be awaiting reinstallation, so give recovery time and
     // give up eventually instead of spinning forever.
     if (!result->ok && result->value.starts_with("object not resident")) {
+      if (sharded()) stale = node;
       if (faults_active()) {
         if (++stale_rounds > kMaxStaleRounds) return *result;
         backoff(1);
@@ -553,6 +582,7 @@ std::size_t LiveSystem::relocate(const std::vector<std::string>& objects,
       if (target != src) cursor = ++meta.moves;
       trace_locked(trace::EventKind::MigrationEnd, name, target);
     }
+    if (sharded() && target != src) dir_publish_move(name, src, target);
     if (store_ != nullptr && target != src) {
       // Log the location change, then checkpoint the in-flight state under
       // the new home — both fsynced before relocate() acks the migration,
@@ -773,6 +803,9 @@ void LiveSystem::crash_node(std::size_t node) {
     // resets, and their pending replies break immediately.
     if (node < servers_.size()) servers_[node]->stop();
   }
+  // The node's lookup cache dies with it (its directory slice and hints
+  // are node-thread state and died inside crash() already).
+  if (sharded() && node < caches_.size()) caches_[node]->clear();
   transport_->on_node_crash(node);
   crashes_.fetch_add(1, std::memory_order_relaxed);
   obs::runtime_metrics().crashes->inc();
@@ -823,8 +856,188 @@ void LiveSystem::restart_node(std::size_t node) {
       }
     }
   }
+  // The fresh node serves an empty directory slice; rebuild it (plus the
+  // self-entries for objects reinstalled here) from the central map.
+  if (sharded()) dir_reseed_node(node);
   restarts_.fetch_add(1, std::memory_order_relaxed);
   obs::runtime_metrics().restarts->inc();
+}
+
+std::size_t LiveSystem::shard_of(const std::string& name) const {
+  // FNV-1a: deterministic across processes, so a remote coordinator and a
+  // test model agree on every name's shard.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const unsigned char c : name) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash % dir_shards_);
+}
+
+bool LiveSystem::dir_update(std::size_t target, const std::string& name,
+                            std::size_t node, bool invalidate) {
+  dir_updates_.fetch_add(1, std::memory_order_relaxed);
+  obs::dir_metrics().updates->inc();
+  transport::WireDirUpdate msg;
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  msg.name = name;
+  msg.node = static_cast<std::uint64_t>(node);
+  msg.invalidate = invalidate;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff(attempt);
+    }
+    std::future<DirAck> done;
+    if (!sent_ok(transport_->send_dir_update(kExternalSender, target, msg,
+                                             done))) {
+      continue;  // target is down; restart reconciliation re-seeds it
+    }
+    auto ack = await_reply(done);
+    if (ack.has_value()) return ack->ok;
+  }
+  return false;
+}
+
+std::optional<DirReply> LiveSystem::dir_lookup(std::size_t from,
+                                               std::size_t target,
+                                               const std::string& name) {
+  transport::WireDirLookup msg;
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  msg.name = name;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      backoff(attempt);
+    }
+    std::future<DirReply> reply;
+    if (!sent_ok(transport_->send_dir_lookup(from, target, msg, reply))) {
+      continue;
+    }
+    auto got = await_reply(reply);
+    if (got.has_value()) return got;
+  }
+  return std::nullopt;
+}
+
+std::size_t LiveSystem::resolve_sharded(std::optional<std::size_t> from,
+                                        const std::string& object,
+                                        std::optional<std::size_t> stale) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  obs::DirMetrics& metrics = obs::dir_metrics();
+  dir_lookups_.fetch_add(1, std::memory_order_relaxed);
+  objsys::NamedLocationCache& cache = *caches_[cache_slot(from)];
+  const std::size_t origin = from.value_or(kExternalSender);
+  auto finish = [&](std::size_t node) {
+    cache.put(object, static_cast<std::uint64_t>(node), now_ms());
+    metrics.lookup_us->record(us_since(wall_start));
+    return node;
+  };
+
+  if (stale.has_value()) {
+    // The previous attempt found no object at *stale: drop the lie from
+    // the cache, then chase the forwarding hints migrations left behind.
+    // Hints record each node's last departure destination, so departure
+    // times rise strictly along the chain — it cannot cycle — and the hop
+    // cap (= shard count) bounds the walk before the owner takes over.
+    dir_stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics.lookups_stale->inc();
+    cache.invalidate(object);
+    if (options_.dir_strategy == objsys::ConsistencyStrategy::LazyForward) {
+      std::size_t at = *stale;
+      for (std::size_t hop = 0; hop < dir_shards_; ++hop) {
+        if (!node_up(at)) break;
+        auto hint = dir_lookup(origin, at, object);
+        if (!hint.has_value()) break;  // unreachable mid-chase: ask owner
+        const auto next = hint->found
+                              ? static_cast<std::size_t>(hint->node)
+                              : at;
+        if (next >= node_count()) break;  // corrupt hint: distrust it
+        if (next == at) {
+          // A self-entry (or no hint at all): the chain terminates here.
+          // The starting node just failed an invoke, though — never trust
+          // it to name itself; fall through to the owner instead.
+          if (at != *stale) return finish(at);
+          break;
+        }
+        dir_hops_.fetch_add(1, std::memory_order_relaxed);
+        metrics.forward_hops->inc();
+        at = next;
+      }
+    }
+  } else if (auto cached = cache.get(object); cached.has_value()) {
+    bool fresh = true;
+    if (options_.dir_strategy == objsys::ConsistencyStrategy::LeaseTtl) {
+      const auto ttl =
+          static_cast<std::uint64_t>(options_.dir_lease_ttl.count());
+      fresh = now_ms() - cached->stamp <= ttl;
+    }
+    const auto node = static_cast<std::size_t>(cached->node);
+    if (fresh && node < node_count() && node_up(node)) {
+      dir_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.lookups_hit->inc();
+      metrics.lookup_us->record(us_since(wall_start));
+      return node;
+    }
+    cache.invalidate(object);
+  }
+
+  // Cache miss (or a failed chase): consult the shard owner's slice.
+  const std::size_t owner = shard_owner(shard_of(object));
+  if (!stale.has_value()) metrics.lookups_miss->inc();
+  if (node_up(owner)) {
+    auto reply = dir_lookup(origin, owner, object);
+    if (reply.has_value() && reply->found) {
+      const auto node = static_cast<std::size_t>(reply->node);
+      if (node < node_count() && node_up(node)) return finish(node);
+    }
+  }
+  // Owner down or its slice not yet re-seeded: the coordinator's map is
+  // the model's durable layer, and the last resort.
+  dir_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  metrics.fallbacks->inc();
+  std::size_t node = owner;
+  {
+    std::lock_guard lock{mutex_};
+    auto it = directory_.find(object);
+    if (it != directory_.end()) node = it->second.node;
+  }
+  return finish(node);
+}
+
+void LiveSystem::dir_publish_move(const std::string& name, std::size_t src,
+                                  std::size_t dest) {
+  const std::size_t owner = shard_owner(shard_of(name));
+  // Authoritative slice first, then the forwarding hint at the old host
+  // and a self-entry at the new one so chases terminate there.
+  (void)dir_update(owner, name, dest, false);
+  if (src != dest && src != owner) (void)dir_update(src, name, dest, false);
+  if (dest != owner) (void)dir_update(dest, name, dest, false);
+  if (options_.dir_strategy == objsys::ConsistencyStrategy::EagerInvalidate) {
+    for (auto& cache : caches_) {
+      if (cache->invalidate(name)) {
+        dir_invalidations_.fetch_add(1, std::memory_order_relaxed);
+        obs::dir_metrics().invalidations->inc();
+      }
+    }
+  }
+}
+
+void LiveSystem::dir_reseed_node(std::size_t node) {
+  std::vector<std::pair<std::string, std::size_t>> slice;
+  {
+    std::lock_guard lock{mutex_};
+    for (const auto& [name, meta] : directory_) {
+      if (shard_owner(shard_of(name)) == node) {
+        slice.emplace_back(name, meta.node);
+      } else if (meta.node == node && !meta.in_transit) {
+        slice.emplace_back(name, node);  // self-entry for a reinstall
+      }
+    }
+  }
+  for (const auto& [name, host] : slice) {
+    (void)dir_update(node, name, host, false);
+  }
 }
 
 bool LiveSystem::node_up(std::size_t node) const {
@@ -880,6 +1093,22 @@ std::uint64_t LiveSystem::deduplicated_messages() const {
 
 std::uint64_t LiveSystem::send_rejections() const {
   return send_rejections_.load();
+}
+
+std::uint64_t LiveSystem::dir_lookups() const { return dir_lookups_.load(); }
+std::uint64_t LiveSystem::dir_cache_hits() const {
+  return dir_cache_hits_.load();
+}
+std::uint64_t LiveSystem::dir_stale_hits() const {
+  return dir_stale_hits_.load();
+}
+std::uint64_t LiveSystem::dir_forward_hops() const { return dir_hops_.load(); }
+std::uint64_t LiveSystem::dir_updates() const { return dir_updates_.load(); }
+std::uint64_t LiveSystem::dir_invalidations() const {
+  return dir_invalidations_.load();
+}
+std::uint64_t LiveSystem::dir_fallbacks() const {
+  return dir_fallbacks_.load();
 }
 
 std::uint64_t LiveSystem::transport_reconnects() const {

@@ -42,6 +42,8 @@
 
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "objsys/location_cache.hpp"
+#include "objsys/sharded_directory.hpp"
 #include "runtime/live_node.hpp"
 #include "store/store.hpp"
 #include "trace/event.hpp"
@@ -77,6 +79,21 @@ public:
     /// Use transient placement for move(): a conflicting move is refused
     /// instead of stealing the object (Section 3.2).
     bool placement_policy = true;
+
+    // --- location directory (docs/directory.md) ---------------------------
+    /// Central: every lookup reads the coordinator's directory map (the
+    /// pre-sharding behaviour). Sharded: object names hash to shard slices
+    /// served by the nodes themselves, fronted by per-origin lookup caches
+    /// and forwarding hints — lookups become messages, so the protocol's
+    /// consistency story is observable end to end.
+    objsys::DirectoryKind directory = objsys::DirectoryKind::Central;
+    /// Shard count for the sharded directory; 0 = one shard per node.
+    std::size_t dir_shards = 0;
+    /// How caches learn about migrations (docs/directory.md).
+    objsys::ConsistencyStrategy dir_strategy =
+        objsys::ConsistencyStrategy::LazyForward;
+    /// Cache-entry lifetime under ConsistencyStrategy::LeaseTtl.
+    std::chrono::milliseconds dir_lease_ttl{50};
 
     // --- transport --------------------------------------------------------
     /// Backend for inter-node traffic (docs/transport.md).
@@ -264,6 +281,29 @@ public:
   /// TCP connections re-established after a reset (0 for in-proc).
   [[nodiscard]] std::uint64_t transport_reconnects() const;
 
+  // Sharded-directory counters (all zero under DirectoryKind::Central).
+  /// Location resolutions that went through the sharded protocol.
+  [[nodiscard]] std::uint64_t dir_lookups() const;
+  /// Resolutions answered by the origin's lookup cache.
+  [[nodiscard]] std::uint64_t dir_cache_hits() const;
+  /// Cached locations that turned out stale (invoke found no resident
+  /// object there) and were invalidated.
+  [[nodiscard]] std::uint64_t dir_stale_hits() const;
+  /// Forwarding-hint hops chased after stale hits (LazyForward).
+  [[nodiscard]] std::uint64_t dir_forward_hops() const;
+  /// Slice/hint updates published to shard owners and old hosts.
+  [[nodiscard]] std::uint64_t dir_updates() const;
+  /// Cache entries eagerly invalidated by migrations (EagerInvalidate).
+  [[nodiscard]] std::uint64_t dir_invalidations() const;
+  /// Resolutions that fell back to the coordinator's central map because
+  /// the shard owner was unreachable (crash window before re-seeding).
+  [[nodiscard]] std::uint64_t dir_fallbacks() const;
+  /// Node serving `name`'s directory shard (Sharded mode, after start()).
+  [[nodiscard]] std::size_t directory_shard_owner(
+      const std::string& name) const {
+    return shard_owner(shard_of(name));
+  }
+
 private:
   struct Meta {
     std::size_t node = 0;
@@ -347,6 +387,43 @@ private:
   /// Replays the fault plan's crash schedule on wall-clock time.
   void run_fault_schedule();
 
+  // --- sharded directory (DirectoryKind::Sharded) ------------------------
+  [[nodiscard]] bool sharded() const {
+    return options_.directory == objsys::DirectoryKind::Sharded;
+  }
+  /// Shard an object name hashes to (FNV-1a: stable across processes).
+  [[nodiscard]] std::size_t shard_of(const std::string& name) const;
+  /// Node serving a shard's slice of the directory.
+  [[nodiscard]] std::size_t shard_owner(std::size_t shard) const {
+    return shard % node_count();
+  }
+  /// Cache index for an origin (kExternalSender maps to the extra slot).
+  [[nodiscard]] std::size_t cache_slot(
+      std::optional<std::size_t> from) const {
+    return from.value_or(node_count());
+  }
+  /// Publishes `name -> node` into the directory entry table served by
+  /// `target` (or drops the entry when `invalidate`), with bounded
+  /// retries. Best-effort: an unreachable target just stays stale — the
+  /// resolve path tolerates that.
+  bool dir_update(std::size_t target, const std::string& name,
+                  std::size_t node, bool invalidate);
+  /// One directory lookup served by `target`; nullopt = unreachable.
+  std::optional<DirReply> dir_lookup(std::size_t from, std::size_t target,
+                                     const std::string& name);
+  /// Resolves an object's node through cache -> forwarding chase -> shard
+  /// owner -> central-map fallback. `stale` names a node an invoke just
+  /// found empty, triggering invalidation and a hint chase from there.
+  std::size_t resolve_sharded(std::optional<std::size_t> from,
+                              const std::string& object,
+                              std::optional<std::size_t> stale);
+  /// Announces a migration: slice update at the shard owner, forwarding
+  /// hint at the old host, eager cache invalidation when configured.
+  void dir_publish_move(const std::string& name, std::size_t src,
+                        std::size_t dest);
+  /// Re-seeds a restarted node's shard slice from the central map.
+  void dir_reseed_node(std::size_t node);
+
   /// Rebuilds the directory from the recovered store and reinstalls every
   /// surviving object on its recorded node (start() with a data_dir).
   void recover_from_store();
@@ -365,6 +442,11 @@ private:
   std::unordered_map<std::string, std::uint64_t> object_ids_;  ///< trace ids
   std::uint64_t next_object_id_ = 0;  ///< guarded by mutex_
   std::uint64_t trace_clock_ = 0;     ///< guarded by mutex_
+
+  /// Per-origin lookup caches (node_count() + 1 entries; the last one
+  /// serves external senders). Pointers because the caches hold mutexes.
+  std::vector<std::unique_ptr<objsys::NamedLocationCache>> caches_;
+  std::size_t dir_shards_ = 0;  ///< resolved shard count (0 until start())
 
   std::unique_ptr<fault::FaultInjector> injector_;
   /// Coordinator-level durable store (Options::data_dir); null = in-memory.
@@ -393,6 +475,13 @@ private:
   std::atomic<std::uint64_t> durable_recoveries_{0};
   std::atomic<std::uint64_t> replayed_objects_{0};
   std::atomic<std::uint64_t> send_rejections_{0};
+  std::atomic<std::uint64_t> dir_lookups_{0};
+  std::atomic<std::uint64_t> dir_cache_hits_{0};
+  std::atomic<std::uint64_t> dir_stale_hits_{0};
+  std::atomic<std::uint64_t> dir_hops_{0};
+  std::atomic<std::uint64_t> dir_updates_{0};
+  std::atomic<std::uint64_t> dir_invalidations_{0};
+  std::atomic<std::uint64_t> dir_fallbacks_{0};
 };
 
 }  // namespace omig::runtime

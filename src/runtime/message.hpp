@@ -66,9 +66,46 @@ struct MsgEvict {
   std::promise<ObjectState> state;
 };
 
+/// Answer to a directory lookup: whether this node has an entry for the
+/// object (shard-slice record or forwarding hint), and where it points.
+struct DirReply {
+  bool found = false;
+  std::uint64_t node = 0;
+
+  friend bool operator==(const DirReply&, const DirReply&) = default;
+};
+
+/// Acknowledgement of a directory update.
+struct DirAck {
+  bool ok = false;
+
+  friend bool operator==(const DirAck&, const DirAck&) = default;
+};
+
+/// Asks this node for its directory entry for `name` — it answers from its
+/// shard slice / forwarding hints (DirectoryKind::Sharded only,
+/// docs/directory.md). Read-only and idempotent; seq is carried for
+/// symmetry with the other requests but needs no dedup.
+struct MsgDirLookup {
+  std::string name;
+  std::uint64_t seq = 0;
+  std::promise<DirReply> reply;
+};
+
+/// Installs (or, with `invalidate`, drops) this node's directory entry for
+/// `name`. Idempotent: the update carries the absolute new value.
+struct MsgDirUpdate {
+  std::string name;
+  std::uint64_t node = 0;
+  bool invalidate = false;
+  std::uint64_t seq = 0;
+  std::promise<DirAck> done;
+};
+
 /// Stops the node's event loop.
 struct MsgStop {};
 
-using Message = std::variant<MsgInvoke, MsgInstall, MsgEvict, MsgStop>;
+using Message = std::variant<MsgInvoke, MsgInstall, MsgEvict, MsgDirLookup,
+                             MsgDirUpdate, MsgStop>;
 
 }  // namespace omig::runtime

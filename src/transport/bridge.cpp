@@ -60,6 +60,26 @@ std::optional<Frame> serve_on_mailbox(
               mailbox, runtime::Message{std::move(msg)}, std::move(reply));
           if (!result.has_value()) return std::nullopt;
           return Frame{corr, WireEvictReply{std::move(*result)}};
+        } else if constexpr (std::is_same_v<T, WireDirLookup>) {
+          runtime::MsgDirLookup msg;
+          msg.name = std::move(body.name);
+          msg.seq = body.seq;
+          auto reply = msg.reply.get_future();
+          auto result = push_and_await(
+              mailbox, runtime::Message{std::move(msg)}, std::move(reply));
+          if (!result.has_value()) return std::nullopt;
+          return Frame{corr, WireDirLookupReply{result->found, result->node}};
+        } else if constexpr (std::is_same_v<T, WireDirUpdate>) {
+          runtime::MsgDirUpdate msg;
+          msg.name = std::move(body.name);
+          msg.node = body.node;
+          msg.invalidate = body.invalidate;
+          msg.seq = body.seq;
+          auto reply = msg.done.get_future();
+          auto result = push_and_await(
+              mailbox, runtime::Message{std::move(msg)}, std::move(reply));
+          if (!result.has_value()) return std::nullopt;
+          return Frame{corr, WireDirUpdateReply{result->ok}};
         } else if constexpr (std::is_same_v<T, WireShutdown>) {
           (void)mailbox.push(runtime::Message{runtime::MsgStop{}});
           return std::nullopt;

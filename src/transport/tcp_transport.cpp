@@ -15,7 +15,9 @@ namespace {
 /// violation that costs the peer its connection.
 bool fulfil(std::variant<std::promise<runtime::InvokeResult>,
                          std::promise<bool>,
-                         std::promise<runtime::ObjectState>>& pending,
+                         std::promise<runtime::ObjectState>,
+                         std::promise<runtime::DirReply>,
+                         std::promise<runtime::DirAck>>& pending,
             Frame::Payload&& payload) {
   if (auto* invoke = std::get_if<std::promise<runtime::InvokeResult>>(
           &pending)) {
@@ -28,6 +30,18 @@ bool fulfil(std::variant<std::promise<runtime::InvokeResult>,
     auto* reply = std::get_if<WireInstallReply>(&payload);
     if (reply == nullptr) return false;
     install->set_value(reply->ok);
+    return true;
+  }
+  if (auto* lookup = std::get_if<std::promise<runtime::DirReply>>(&pending)) {
+    auto* reply = std::get_if<WireDirLookupReply>(&payload);
+    if (reply == nullptr) return false;
+    lookup->set_value(runtime::DirReply{reply->found, reply->node});
+    return true;
+  }
+  if (auto* update = std::get_if<std::promise<runtime::DirAck>>(&pending)) {
+    auto* reply = std::get_if<WireDirUpdateReply>(&payload);
+    if (reply == nullptr) return false;
+    update->set_value(runtime::DirAck{reply->ok});
     return true;
   }
   auto& evict = std::get<std::promise<runtime::ObjectState>>(pending);
@@ -80,6 +94,18 @@ SendStatus TcpTransport::send_install(std::size_t from, std::size_t to,
 SendStatus TcpTransport::send_evict(std::size_t from, std::size_t to,
                                     const WireEvict& msg,
                                     std::future<runtime::ObjectState>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus TcpTransport::send_dir_lookup(
+    std::size_t from, std::size_t to, const WireDirLookup& msg,
+    std::future<runtime::DirReply>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus TcpTransport::send_dir_update(
+    std::size_t from, std::size_t to, const WireDirUpdate& msg,
+    std::future<runtime::DirAck>& reply) {
   return send_request(from, to, msg, reply);
 }
 

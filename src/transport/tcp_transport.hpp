@@ -54,6 +54,12 @@ public:
   SendStatus send_evict(std::size_t from, std::size_t to,
                         const WireEvict& msg,
                         std::future<runtime::ObjectState>& reply) override;
+  SendStatus send_dir_lookup(std::size_t from, std::size_t to,
+                             const WireDirLookup& msg,
+                             std::future<runtime::DirReply>& reply) override;
+  SendStatus send_dir_update(std::size_t from, std::size_t to,
+                             const WireDirUpdate& msg,
+                             std::future<runtime::DirAck>& reply) override;
   SendStatus send_shutdown(std::size_t to) override;
 
   /// Crash notification: reset the connection so pending replies break now
@@ -71,7 +77,9 @@ public:
 private:
   using PendingReply = std::variant<std::promise<runtime::InvokeResult>,
                                     std::promise<bool>,
-                                    std::promise<runtime::ObjectState>>;
+                                    std::promise<runtime::ObjectState>,
+                                    std::promise<runtime::DirReply>,
+                                    std::promise<runtime::DirAck>>;
 
   /// A reply someone awaits, stamped at send time so the reader can record
   /// the request/reply round trip into the peer's RTT histogram.

@@ -39,6 +39,26 @@ runtime::Message to_message(const WireEvict& w,
   return runtime::Message{std::move(m)};
 }
 
+runtime::Message to_message(const WireDirLookup& w,
+                            std::future<runtime::DirReply>* reply) {
+  runtime::MsgDirLookup m;
+  m.name = w.name;
+  m.seq = w.seq;
+  if (reply) *reply = m.reply.get_future();
+  return runtime::Message{std::move(m)};
+}
+
+runtime::Message to_message(const WireDirUpdate& w,
+                            std::future<runtime::DirAck>* reply) {
+  runtime::MsgDirUpdate m;
+  m.name = w.name;
+  m.node = w.node;
+  m.invalidate = w.invalidate;
+  m.seq = w.seq;
+  if (reply) *reply = m.done.get_future();
+  return runtime::Message{std::move(m)};
+}
+
 }  // namespace
 
 const char* to_string(SendStatus status) {
@@ -95,6 +115,18 @@ SendStatus InProcTransport::send_install(std::size_t from, std::size_t to,
 SendStatus InProcTransport::send_evict(
     std::size_t from, std::size_t to, const WireEvict& msg,
     std::future<runtime::ObjectState>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus InProcTransport::send_dir_lookup(
+    std::size_t from, std::size_t to, const WireDirLookup& msg,
+    std::future<runtime::DirReply>& reply) {
+  return send_request(from, to, msg, reply);
+}
+
+SendStatus InProcTransport::send_dir_update(
+    std::size_t from, std::size_t to, const WireDirUpdate& msg,
+    std::future<runtime::DirAck>& reply) {
   return send_request(from, to, msg, reply);
 }
 

@@ -75,6 +75,12 @@ public:
   virtual SendStatus send_evict(std::size_t from, std::size_t to,
                                 const WireEvict& msg,
                                 std::future<runtime::ObjectState>& reply) = 0;
+  virtual SendStatus send_dir_lookup(std::size_t from, std::size_t to,
+                                     const WireDirLookup& msg,
+                                     std::future<runtime::DirReply>& reply) = 0;
+  virtual SendStatus send_dir_update(std::size_t from, std::size_t to,
+                                     const WireDirUpdate& msg,
+                                     std::future<runtime::DirAck>& reply) = 0;
 
   /// Fire-and-forget stop request (multi-process mode; in-proc this is a
   /// MsgStop). No reply: a TCP peer simply closes the connection.
@@ -128,6 +134,12 @@ public:
   SendStatus send_evict(std::size_t from, std::size_t to,
                         const WireEvict& msg,
                         std::future<runtime::ObjectState>& reply) override;
+  SendStatus send_dir_lookup(std::size_t from, std::size_t to,
+                             const WireDirLookup& msg,
+                             std::future<runtime::DirReply>& reply) override;
+  SendStatus send_dir_update(std::size_t from, std::size_t to,
+                             const WireDirUpdate& msg,
+                             std::future<runtime::DirAck>& reply) override;
   SendStatus send_shutdown(std::size_t to) override;
 
 private:

@@ -104,6 +104,14 @@ const char* to_string(FrameType type) {
       return "install-reply";
     case FrameType::EvictReply:
       return "evict-reply";
+    case FrameType::DirLookup:
+      return "dir-lookup";
+    case FrameType::DirUpdate:
+      return "dir-update";
+    case FrameType::DirLookupReply:
+      return "dir-lookup-reply";
+    case FrameType::DirUpdateReply:
+      return "dir-update-reply";
   }
   return "unknown";
 }
@@ -143,6 +151,19 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
           out.push_back(body.ok ? 1 : 0);
         } else if constexpr (std::is_same_v<T, WireEvictReply>) {
           put_state(out, body.state);
+        } else if constexpr (std::is_same_v<T, WireDirLookup>) {
+          put_u64(out, body.seq);
+          put_str(out, body.name);
+        } else if constexpr (std::is_same_v<T, WireDirUpdate>) {
+          put_u64(out, body.seq);
+          put_str(out, body.name);
+          put_u64(out, body.node);
+          out.push_back(body.invalidate ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, WireDirLookupReply>) {
+          out.push_back(body.found ? 1 : 0);
+          put_u64(out, body.node);
+        } else if constexpr (std::is_same_v<T, WireDirUpdateReply>) {
+          out.push_back(body.ok ? 1 : 0);
         }
       },
       frame.payload);
@@ -213,6 +234,37 @@ std::optional<Frame> decode_payload(std::span<const std::uint8_t> payload) {
       WireEvictReply body;
       ok = reader.read_state(body.state);
       frame.payload = std::move(body);
+      break;
+    }
+    case FrameType::DirLookup: {
+      WireDirLookup body;
+      ok = reader.read_u64(body.seq) && reader.read_str(body.name);
+      frame.payload = std::move(body);
+      break;
+    }
+    case FrameType::DirUpdate: {
+      WireDirUpdate body;
+      std::uint8_t flag = 0;
+      ok = reader.read_u64(body.seq) && reader.read_str(body.name) &&
+           reader.read_u64(body.node) && reader.read_u8(flag);
+      body.invalidate = flag != 0;
+      frame.payload = std::move(body);
+      break;
+    }
+    case FrameType::DirLookupReply: {
+      WireDirLookupReply body;
+      std::uint8_t flag = 0;
+      ok = reader.read_u8(flag) && reader.read_u64(body.node);
+      body.found = flag != 0;
+      frame.payload = body;
+      break;
+    }
+    case FrameType::DirUpdateReply: {
+      WireDirUpdateReply body;
+      std::uint8_t flag = 0;
+      ok = reader.read_u8(flag);
+      body.ok = flag != 0;
+      frame.payload = body;
       break;
     }
     default:

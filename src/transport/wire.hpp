@@ -48,6 +48,10 @@ enum class FrameType : std::uint8_t {
   InvokeReply = 5,
   InstallReply = 6,
   EvictReply = 7,
+  DirLookup = 8,
+  DirUpdate = 9,
+  DirLookupReply = 10,
+  DirUpdateReply = 11,
 };
 
 [[nodiscard]] const char* to_string(FrameType type);
@@ -84,6 +88,29 @@ struct WireShutdown {
   friend bool operator==(const WireShutdown&, const WireShutdown&) = default;
 };
 
+/// Asks a shard-owner node for its directory entry (slice record or
+/// forwarding hint) for `name` (runtime::MsgDirLookup, docs/directory.md).
+struct WireDirLookup {
+  std::uint64_t seq = 0;
+  std::string name;
+
+  friend bool operator==(const WireDirLookup&,
+                         const WireDirLookup&) = default;
+};
+
+/// Installs (`invalidate` false) or drops (`invalidate` true) a directory
+/// entry at the receiving node: shard-slice updates after a migration and
+/// forwarding hints left at the old host use the same message.
+struct WireDirUpdate {
+  std::uint64_t seq = 0;
+  std::string name;
+  std::uint64_t node = 0;
+  bool invalidate = false;
+
+  friend bool operator==(const WireDirUpdate&,
+                         const WireDirUpdate&) = default;
+};
+
 // --- reply bodies ----------------------------------------------------------
 
 struct WireInvokeReply {
@@ -107,11 +134,28 @@ struct WireEvictReply {
                          const WireEvictReply&) = default;
 };
 
+struct WireDirLookupReply {
+  bool found = false;
+  std::uint64_t node = 0;
+
+  friend bool operator==(const WireDirLookupReply&,
+                         const WireDirLookupReply&) = default;
+};
+
+struct WireDirUpdateReply {
+  bool ok = false;
+
+  friend bool operator==(const WireDirUpdateReply&,
+                         const WireDirUpdateReply&) = default;
+};
+
 /// One decoded frame: correlation ID plus the typed payload.
 struct Frame {
-  using Payload = std::variant<WireInvoke, WireInstall, WireEvict,
-                               WireShutdown, WireInvokeReply,
-                               WireInstallReply, WireEvictReply>;
+  using Payload =
+      std::variant<WireInvoke, WireInstall, WireEvict, WireShutdown,
+                   WireInvokeReply, WireInstallReply, WireEvictReply,
+                   WireDirLookup, WireDirUpdate, WireDirLookupReply,
+                   WireDirUpdateReply>;
 
   std::uint64_t corr = 0;
   Payload payload;

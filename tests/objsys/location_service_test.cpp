@@ -113,7 +113,8 @@ TEST(LocationServiceTest, ImmediateUpdatePaysOnMigration) {
   f.engine.spawn(resolve_once(f, svc, NodeId{2}, obj, d));
   f.engine.run();
   EXPECT_DOUBLE_EQ(d, 0.0);  // resolve is free
-  const double overhead = svc.migration_overhead(NodeId{1}, NodeId{2});
+  const double overhead =
+      svc.migration_overhead(obj, NodeId{1}, NodeId{2}, true);
   EXPECT_GT(overhead, 0.0);  // fan-out to the other nodes
   EXPECT_EQ(svc.messages(), 3u);
 }

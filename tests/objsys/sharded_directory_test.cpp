@@ -1,0 +1,362 @@
+// Sharded location directory: unit coverage of the model, a randomized
+// linearizability-style property sweep (64 seeds), and a Central-vs-Sharded
+// trace-parity check on a 100-node live system (docs/directory.md).
+#include "objsys/sharded_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runtime/live_system.hpp"
+#include "trace/log.hpp"
+
+namespace omig {
+namespace {
+
+using objsys::ConsistencyStrategy;
+using objsys::DirectoryKind;
+using objsys::DirectoryLookup;
+using objsys::NodeId;
+using objsys::ObjectId;
+using objsys::ShardedDirectory;
+using objsys::ShardedDirectoryOptions;
+
+ShardedDirectoryOptions opts_for(std::size_t nodes,
+                                 ConsistencyStrategy strategy) {
+  ShardedDirectoryOptions o;
+  o.nodes = nodes;
+  o.strategy = strategy;
+  return o;
+}
+
+TEST(ShardedDirectoryTest, StringRoundTrips) {
+  EXPECT_EQ(objsys::to_string(DirectoryKind::Central), "central");
+  EXPECT_EQ(objsys::to_string(DirectoryKind::Sharded), "sharded");
+  EXPECT_EQ(objsys::directory_from_string("sharded"), DirectoryKind::Sharded);
+  EXPECT_EQ(objsys::directory_from_string("nope"), std::nullopt);
+  EXPECT_EQ(objsys::to_string(ConsistencyStrategy::LazyForward),
+            "lazy-forward");
+  EXPECT_EQ(objsys::strategy_from_string("eager-invalidate"),
+            ConsistencyStrategy::EagerInvalidate);
+  EXPECT_EQ(objsys::strategy_from_string("lease-ttl"),
+            ConsistencyStrategy::LeaseTtl);
+  EXPECT_EQ(objsys::strategy_from_string("bogus"), std::nullopt);
+}
+
+TEST(ShardedDirectoryTest, InsertThenLookupResolvesHost) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::LazyForward)};
+  dir.insert(ObjectId{0}, NodeId{2});
+  const DirectoryLookup r = dir.lookup(NodeId{1}, ObjectId{0});
+  ASSERT_TRUE(r.resolved);
+  EXPECT_EQ(r.host, NodeId{2});
+  EXPECT_TRUE(r.owner_consulted);  // nothing cached yet
+  EXPECT_FALSE(r.cache_hit);
+}
+
+TEST(ShardedDirectoryTest, SecondLookupHitsTheCache) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::LazyForward)};
+  dir.insert(ObjectId{0}, NodeId{2});
+  (void)dir.lookup(NodeId{1}, ObjectId{0});
+  const DirectoryLookup r = dir.lookup(NodeId{1}, ObjectId{0});
+  ASSERT_TRUE(r.resolved);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(dir.stats().cache_hits, 1u);
+}
+
+TEST(ShardedDirectoryTest, MoveLeavesForwardingPointerForLazyChase) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::LazyForward)};
+  dir.insert(ObjectId{0}, NodeId{2});
+  (void)dir.lookup(NodeId{1}, ObjectId{0});  // cache: object at 2
+  (void)dir.record_move(ObjectId{0}, NodeId{3});
+  const DirectoryLookup r = dir.lookup(NodeId{1}, ObjectId{0});
+  ASSERT_TRUE(r.resolved);
+  EXPECT_TRUE(r.stale);
+  EXPECT_EQ(r.host, NodeId{3});
+  EXPECT_GE(r.hops, 1u);  // chased 2 -> 3 through the forwarding pointer
+  EXPECT_LE(r.hops, dir.hop_limit());
+  // The chase healed the cache: next lookup is a clean hit.
+  EXPECT_TRUE(dir.lookup(NodeId{1}, ObjectId{0}).cache_hit);
+}
+
+TEST(ShardedDirectoryTest, EagerInvalidateNeverServesStaleEntries) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::EagerInvalidate)};
+  dir.insert(ObjectId{0}, NodeId{0});
+  for (std::uint32_t round = 0; round < 8; ++round) {
+    for (std::uint32_t n = 0; n < 4; ++n) {
+      const DirectoryLookup r = dir.lookup(NodeId{n}, ObjectId{0});
+      ASSERT_TRUE(r.resolved);
+      EXPECT_EQ(r.host, dir.current_host(ObjectId{0}));
+    }
+    (void)dir.record_move(ObjectId{0}, NodeId{(round + 1) % 4});
+  }
+  EXPECT_EQ(dir.stats().stale_hits, 0u);
+}
+
+TEST(ShardedDirectoryTest, LeaseTtlExpiresCacheEntries) {
+  ShardedDirectoryOptions o = opts_for(4, ConsistencyStrategy::LeaseTtl);
+  o.lease_ttl = 2;
+  ShardedDirectory dir{o};
+  dir.insert(ObjectId{0}, NodeId{2});
+  (void)dir.lookup(NodeId{1}, ObjectId{0});
+  EXPECT_TRUE(dir.lookup(NodeId{1}, ObjectId{0}).cache_hit);
+  dir.tick(10);  // age past the lease
+  const DirectoryLookup r = dir.lookup(NodeId{1}, ObjectId{0});
+  ASSERT_TRUE(r.resolved);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_TRUE(r.owner_consulted);
+}
+
+TEST(ShardedDirectoryTest, NeverResolvesToADeadHost) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::LazyForward)};
+  dir.insert(ObjectId{0}, NodeId{2});
+  dir.crash_node(NodeId{2});
+  const DirectoryLookup r = dir.lookup(NodeId{1}, ObjectId{0});
+  EXPECT_FALSE(r.resolved);
+  EXPECT_GE(dir.stats().unresolved, 1u);
+  dir.recover_node(NodeId{2});
+  const DirectoryLookup after = dir.lookup(NodeId{1}, ObjectId{0});
+  ASSERT_TRUE(after.resolved);
+  EXPECT_EQ(after.host, NodeId{2});
+}
+
+TEST(ShardedDirectoryTest, CrashedOwnerIsUnresolvedUntilRecovery) {
+  ShardedDirectory dir{opts_for(4, ConsistencyStrategy::LazyForward)};
+  const ObjectId obj{7};
+  const NodeId owner = dir.owner_of(obj);
+  // Host the object away from its shard owner so only the slice is lost.
+  const NodeId home{static_cast<NodeId::value_type>(
+      (owner.value() + 1) % 4)};
+  dir.insert(obj, home);
+  dir.crash_node(owner);
+  EXPECT_FALSE(dir.lookup(NodeId{(owner.value() + 2) % 4}, obj).resolved);
+  dir.recover_node(owner);  // re-seeds the slice from the authoritative map
+  const DirectoryLookup r = dir.lookup(NodeId{(owner.value() + 2) % 4}, obj);
+  ASSERT_TRUE(r.resolved);
+  EXPECT_EQ(r.host, home);
+}
+
+TEST(ShardedDirectoryTest, ShardMappingIsStableAndOwnerBounded) {
+  ShardedDirectoryOptions o = opts_for(5, ConsistencyStrategy::LazyForward);
+  o.shards = 12;
+  ShardedDirectory dir{o};
+  EXPECT_EQ(dir.shards(), 12u);
+  EXPECT_EQ(dir.hop_limit(), 12u);  // defaults to the shard count
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    const std::size_t shard = dir.shard_of(ObjectId{id});
+    EXPECT_EQ(shard, dir.shard_of(ObjectId{id}));  // deterministic
+    EXPECT_LT(shard, 12u);
+    EXPECT_LT(dir.shard_owner(shard).value(), 5u);
+    EXPECT_EQ(dir.owner_of(ObjectId{id}), dir.shard_owner(shard));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random move/lookup/crash/recover interleavings, 64 seeds.
+// The contract (ISSUE): every resolved lookup returns the current host via a
+// forwarding chain of at most hop_limit (= shard count) hops, a lookup never
+// settles on a dead host, unresolved only ever happens while the owner or
+// the host is down, and after quiescence (everything recovered) every
+// lookup from every node resolves — zero misses.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedDirectoryPropertyTest, RandomHistoriesKeepTheContract) {
+  constexpr std::uint64_t kSeeds = 64;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    std::mt19937_64 rng{seed};
+    const std::size_t nodes = 3 + rng() % 14;
+    ShardedDirectoryOptions o;
+    o.nodes = nodes;
+    o.strategy = static_cast<ConsistencyStrategy>(seed % 3);
+    o.shards = (seed % 2 == 0) ? 0 : 1 + rng() % (2 * nodes);
+    o.lease_ttl = 1 + rng() % 32;
+    ShardedDirectory dir{o};
+
+    const std::uint32_t objects =
+        1 + static_cast<std::uint32_t>(rng() % 24);
+    std::vector<bool> up(nodes, true);
+    for (std::uint32_t id = 0; id < objects; ++id) {
+      dir.insert(ObjectId{id},
+                 NodeId{static_cast<NodeId::value_type>(rng() % nodes)});
+    }
+    auto random_node = [&] {
+      return NodeId{static_cast<NodeId::value_type>(rng() % nodes)};
+    };
+    auto random_obj = [&] {
+      return ObjectId{static_cast<ObjectId::value_type>(rng() % objects)};
+    };
+
+    for (int op = 0; op < 300; ++op) {
+      const std::uint64_t dice = rng() % 100;
+      if (dice < 45) {
+        const ObjectId obj = random_obj();
+        const DirectoryLookup r = dir.lookup(random_node(), obj);
+        ASSERT_LE(r.hops, dir.hop_limit()) << "seed " << seed;
+        const NodeId truth = dir.current_host(obj);
+        if (r.resolved) {
+          ASSERT_EQ(r.host, truth) << "seed " << seed << " op " << op;
+          ASSERT_TRUE(dir.node_up(r.host)) << "seed " << seed;
+        } else {
+          // Only a dead owner or a dead host leaves a lookup unresolved.
+          ASSERT_TRUE(!dir.node_up(dir.owner_of(obj)) ||
+                      !dir.node_up(truth))
+              << "seed " << seed << " op " << op;
+        }
+      } else if (dice < 75) {
+        // Migrate to a live node (migrations never target dead hosts).
+        const NodeId dest = random_node();
+        if (up[dest.value()]) (void)dir.record_move(random_obj(), dest);
+      } else if (dice < 83) {
+        const NodeId victim = random_node();
+        up[victim.value()] = false;
+        dir.crash_node(victim);
+      } else if (dice < 93) {
+        const NodeId back = random_node();
+        if (!up[back.value()]) {
+          up[back.value()] = true;
+          dir.recover_node(back);
+        }
+      } else {
+        dir.tick(rng() % 8);
+      }
+    }
+
+    // Quiescence: recover everything, then every lookup must resolve to
+    // the current host within the hop bound — zero misses.
+    for (std::size_t n = 0; n < nodes; ++n) {
+      if (!up[n]) {
+        dir.recover_node(NodeId{static_cast<NodeId::value_type>(n)});
+      }
+    }
+    const std::uint64_t unresolved_before = dir.stats().unresolved;
+    for (std::uint32_t id = 0; id < objects; ++id) {
+      for (std::size_t n = 0; n < nodes; ++n) {
+        const DirectoryLookup r = dir.lookup(
+            NodeId{static_cast<NodeId::value_type>(n)}, ObjectId{id});
+        ASSERT_TRUE(r.resolved) << "seed " << seed;
+        ASSERT_EQ(r.host, dir.current_host(ObjectId{id})) << "seed " << seed;
+        ASSERT_LE(r.hops, dir.hop_limit());
+      }
+    }
+    EXPECT_EQ(dir.stats().unresolved, unresolved_before) << "seed " << seed;
+  }
+}
+
+TEST(ShardedDirectoryPropertyTest, EagerInvalidateStaleFreeWithoutCrashes) {
+  // Crash-free runs under EagerInvalidate must never serve a stale cache
+  // entry: every migration synchronously drops the entry everywhere.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    std::mt19937_64 rng{seed};
+    const std::size_t nodes = 2 + rng() % 10;
+    ShardedDirectory dir{
+        opts_for(nodes, ConsistencyStrategy::EagerInvalidate)};
+    const std::uint32_t objects =
+        1 + static_cast<std::uint32_t>(rng() % 12);
+    for (std::uint32_t id = 0; id < objects; ++id) {
+      dir.insert(ObjectId{id},
+                 NodeId{static_cast<NodeId::value_type>(rng() % nodes)});
+    }
+    for (int op = 0; op < 200; ++op) {
+      const ObjectId obj{static_cast<ObjectId::value_type>(rng() % objects)};
+      const NodeId node{static_cast<NodeId::value_type>(rng() % nodes)};
+      if (rng() % 2 == 0) {
+        const DirectoryLookup r = dir.lookup(node, obj);
+        ASSERT_TRUE(r.resolved);
+        ASSERT_EQ(r.host, dir.current_host(obj));
+      } else {
+        (void)dir.record_move(obj, node);
+      }
+    }
+    EXPECT_EQ(dir.stats().stale_hits, 0u) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend parity: the same office-style workflow on a 100-node live
+// system must record the identical logical trace under Central and Sharded
+// directories — sharding changes where lookups go, never what the protocol
+// decides.
+// ---------------------------------------------------------------------------
+
+runtime::ObjectFactory doc_factory() {
+  return [](std::string name, runtime::ObjectState state) {
+    auto obj = std::make_unique<runtime::LiveObject>(std::move(name),
+                                                     std::move(state));
+    obj->register_method(
+        "edit", [](runtime::ObjectState& self, const std::string& text) {
+          self.fields["body"] += text;
+          return self.fields["body"];
+        });
+    obj->register_method(
+        "read", [](runtime::ObjectState& self, const std::string&) {
+          return self.fields["body"];
+        });
+    return obj;
+  };
+}
+
+runtime::ObjectState doc_state() {
+  runtime::ObjectState s;
+  s.type = "document";
+  s.fields["body"] = "";
+  return s;
+}
+
+std::vector<trace::Event> run_office_workflow(DirectoryKind kind) {
+  trace::TraceLog log;
+  runtime::LiveSystem::Options opts;
+  opts.nodes = 100;
+  opts.trace = &log;
+  opts.directory = kind;
+  runtime::LiveSystem sys{opts};
+  sys.register_type("document", doc_factory());
+  sys.start();
+
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = "doc" + std::to_string(i);
+    EXPECT_TRUE(sys.create(name, doc_state(), (i * 7) % 100));
+  }
+  for (int i = 0; i + 1 < 20; i += 2) {
+    sys.attach("doc" + std::to_string(i), "doc" + std::to_string(i + 1),
+               "office");
+  }
+  sys.fix("doc0");
+  for (int i = 0; i < 20; ++i) {
+    (void)sys.invoke("doc" + std::to_string(i), "edit", "a");
+  }
+  auto token = sys.move("doc2", 50, "office");
+  (void)sys.invoke("doc2", "edit", "b");
+  sys.end(token);
+  auto visiting = sys.visit("doc4", 60, "office");
+  (void)sys.invoke("doc4", "read", "");
+  sys.end(visiting);
+  (void)sys.migrate("doc6", 70);
+  sys.unfix("doc0");
+  (void)sys.migrate("doc0", 80);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = sys.invoke("doc" + std::to_string(i), "read", "");
+    EXPECT_TRUE(r.ok) << "doc" << i << " under " << objsys::to_string(kind);
+  }
+  sys.stop();
+  return log.events();
+}
+
+TEST(ShardedDirectoryParityTest, CentralAndShardedTracesMatchAt100Nodes) {
+  const auto central = run_office_workflow(DirectoryKind::Central);
+  const auto sharded = run_office_workflow(DirectoryKind::Sharded);
+  ASSERT_EQ(central.size(), sharded.size());
+  ASSERT_GT(central.size(), 0u);
+  for (std::size_t i = 0; i < central.size(); ++i) {
+    EXPECT_EQ(central[i].time, sharded[i].time) << "event " << i;
+    EXPECT_EQ(central[i].kind, sharded[i].kind) << "event " << i;
+    EXPECT_EQ(central[i].object, sharded[i].object) << "event " << i;
+    EXPECT_EQ(central[i].node, sharded[i].node) << "event " << i;
+    EXPECT_EQ(central[i].block, sharded[i].block) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omig
