@@ -1,0 +1,89 @@
+// Scenario-pack throughput on the live runtime: each scenario in the zoo
+// replays in process (threaded LiveSystem, no sockets) and reports issued
+// ops/sec plus per-op p50/p99 latency as JSON;
+// scripts/bench_baseline.sh --scenario merges the medians of 3 runs into
+// BENCH_scenario.json.
+//
+// This measures the runtime protocol stack under each traffic *shape* —
+// the simulator backend is the instrument for the paper's timing claims.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/families.hpp"
+#include "runtime/demo_types.hpp"
+#include "runtime/live_system.hpp"
+#include "scenario/live_driver.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+struct Row {
+  std::string scenario;
+  omig::scenario::LiveScenarioResult result;
+  std::uint64_t op_p50_us = 0;
+  std::uint64_t op_p99_us = 0;
+};
+
+Row run_one(const std::string& name) {
+  using namespace omig;
+  scenario::ScenarioOptions sopts;
+  sopts.name = name;
+  sopts.nodes = 4;
+  sopts.sources = 8;
+  sopts.objects = 48;
+  const auto scen = scenario::make_scenario(sopts);
+
+  runtime::LiveSystem::Options opts;
+  opts.nodes = 4;
+  runtime::LiveSystem sys{opts};
+  runtime::register_demo_types(sys);
+  sys.start();
+
+  scenario::LiveScenarioOptions lopts;
+  lopts.bursts_per_source = 200;
+  lopts.threads = 4;
+  lopts.seed = 1;
+
+  Row row;
+  row.scenario = name;
+  row.result = scenario::run_live_scenario(sys, *scen, lopts);
+  const obs::ScenarioMetrics metrics = obs::scenario_metrics(name);
+  row.op_p50_us = metrics.op_us->quantile(0.50);
+  row.op_p99_us = metrics.op_us->quantile(0.99);
+  sys.stop();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("{\n  \"results\": [\n");
+  bool first = true;
+  for (const omig::scenario::ScenarioInfo& info :
+       omig::scenario::list_scenarios()) {
+    const Row row = run_one(info.name);
+    if (row.result.failures != 0) {
+      std::fprintf(stderr, "bench_scenario: %s had %llu failures\n",
+                   info.name.c_str(),
+                   static_cast<unsigned long long>(row.result.failures));
+      return 1;
+    }
+    std::printf(
+        "%s    {\"scenario\": \"%s\", \"issued_ops\": %llu, "
+        "\"bursts\": %llu, \"moves\": %llu, \"visits\": %llu, "
+        "\"wall_ms\": %.3f, \"ops_per_sec\": %.1f, "
+        "\"op_p50_us\": %llu, \"op_p99_us\": %llu}",
+        first ? "" : ",\n", row.scenario.c_str(),
+        static_cast<unsigned long long>(row.result.ops),
+        static_cast<unsigned long long>(row.result.bursts),
+        static_cast<unsigned long long>(row.result.moves),
+        static_cast<unsigned long long>(row.result.visits),
+        row.result.wall_seconds * 1e3, row.result.ops_per_sec,
+        static_cast<unsigned long long>(row.op_p50_us),
+        static_cast<unsigned long long>(row.op_p99_us));
+    first = false;
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerates the scenario-pack claims grid in EXPERIMENTS.md.
+
+Runs `omig_sim --scenario` over the workload zoo x policy/attachment cells
+x DirectoryKind{central,sharded} (paper claims 1-4), plus the
+consistency-mode table (eager-invalidate / lazy-forward / lease-ttl) for
+the cache and game scenarios, and prints both as markdown. Every cell is a
+single deterministic run (fixed seed, stopping rule ci=0.05 bounded by
+max-time=1500 so overload-collapse cells terminate).
+
+Usage: python3 scripts/scenario_grid.py [path/to/omig_sim]
+"""
+import json
+import subprocess
+import sys
+
+SIM = sys.argv[1] if len(sys.argv) > 1 else "build/tools/omig_sim"
+SCENARIOS = ["social", "cache", "game", "iot"]
+BOUNDS = ["max-blocks=2000", "ci=0.05", "max-time=1500"]
+
+# (label, extra args) — the policy/attachment cells the claims need.
+CELLS = [
+    ("sedentary", ["policy=sedentary"]),
+    ("conventional+unrestricted", ["policy=conventional",
+                                   "attach=unrestricted"]),
+    ("conventional+a-transitive", ["policy=conventional",
+                                   "attach=a-transitive"]),
+    ("placement+unrestricted", ["policy=placement", "attach=unrestricted"]),
+    ("placement+a-transitive", ["policy=placement", "attach=a-transitive"]),
+    ("compare-nodes+a-transitive", ["policy=compare-nodes",
+                                    "attach=a-transitive"]),
+]
+
+
+def run(args):
+    out = subprocess.run([SIM, "--json"] + args + BOUNDS,
+                         capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+def cell_text(doc):
+    if doc["blocks"] == 0:
+        return f"collapse ({doc['migrations']} migr, 0 blocks)"
+    return f"{doc['total_per_call']:.2f}"
+
+
+def claims_grid():
+    print("| scenario | directory | " + " | ".join(l for l, _ in CELLS) + " |")
+    print("|---|---|" + "---|" * len(CELLS))
+    for scenario in SCENARIOS:
+        for directory in ["central", "sharded"]:
+            row = [scenario, directory]
+            for _, extra in CELLS:
+                doc = run(["--scenario", scenario,
+                           f"directory={directory}"] + extra)
+                row.append(cell_text(doc))
+            print("| " + " | ".join(row) + " |")
+
+
+def dir_series(metrics, family, want):
+    for entry in metrics.get(family, []):
+        labels = entry.get("labels", {})
+        if all(labels.get(k) == v for k, v in want.items()):
+            return entry.get("value", 0)
+    return 0
+
+
+def consistency_table():
+    print("| scenario | strategy | total/call | lookups | stale | "
+          "forward hops | invalidations |")
+    print("|---|---|---|---|---|---|---|")
+    for scenario in ["cache", "game"]:
+        for strategy in ["eager-invalidate", "lazy-forward", "lease-ttl"]:
+            doc = run(["--scenario", scenario, "directory=sharded",
+                       f"dir-strategy={strategy}"])
+            m = doc["metrics"]
+            hits = dir_series(m, "omig_dir_lookups_total", {"result": "hit"})
+            stale = dir_series(m, "omig_dir_lookups_total",
+                               {"result": "stale"})
+            miss = dir_series(m, "omig_dir_lookups_total", {"result": "miss"})
+            lookups = hits + stale + miss
+            hops = dir_series(m, "omig_dir_forward_hops_total", {})
+            inval = dir_series(m, "omig_dir_invalidations_total", {})
+            stale_pct = 100.0 * stale / lookups if lookups else 0.0
+            print(f"| {scenario} | {strategy} | {doc['total_per_call']:.2f} "
+                  f"| {lookups} | {stale} ({stale_pct:.1f}%) "
+                  f"| {hops} | {inval} |")
+
+
+if __name__ == "__main__":
+    print("### Claims 1-4 x workload zoo x directory (total/call)\n")
+    claims_grid()
+    print("\n### Directory consistency modes x scenario (sharded)\n")
+    consistency_table()

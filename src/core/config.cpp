@@ -273,6 +273,32 @@ void apply_assignment(ExperimentConfig& config, std::string_view key,
     if (config.lock_lease < 0.0) {
       throw ConfigError{"'lease' must be >= 0 (0 = locks never expire)"};
     }
+  } else if (key == "scenario") {
+    config.scenario.name = std::string{value};
+  } else if (key == "sc-nodes") {
+    config.scenario.nodes = static_cast<int>(parse_int(key, value));
+  } else if (key == "sc-sources") {
+    config.scenario.sources = static_cast<int>(parse_int(key, value));
+  } else if (key == "sc-objects") {
+    config.scenario.objects = static_cast<int>(parse_int(key, value));
+  } else if (key == "sc-rate") {
+    config.scenario.rate = parse_double(key, value);
+  } else if (key == "sc-theta") {
+    config.scenario.zipf_theta = parse_double(key, value);
+  } else if (key == "sc-read") {
+    config.scenario.read_fraction = parse_double(key, value);
+  } else if (key == "sc-move") {
+    config.scenario.move_fraction = parse_double(key, value);
+  } else if (key == "sc-fanout") {
+    config.scenario.fanout = static_cast<int>(parse_int(key, value));
+  } else if (key == "sc-groups") {
+    config.scenario.groups = static_cast<int>(parse_int(key, value));
+  } else if (key == "sc-handoff") {
+    config.scenario.handoff_fraction = parse_double(key, value);
+  } else if (key == "sc-burst") {
+    config.scenario.burst_mean = parse_double(key, value);
+  } else if (key == "sc-alpha") {
+    config.scenario.burst_alpha = parse_double(key, value);
   } else if (key == "fault-plan") {
     try {
       config.fault_plan = fault::load_plan(std::string{value});
@@ -333,6 +359,12 @@ std::string describe(const ExperimentConfig& config) {
     os << " egoistic-clients=" << config.egoistic_clients
        << " egoistic-policy=" << migration::to_string(config.egoistic_policy);
   }
+  if (config.scenario.enabled()) {
+    const auto& sc = config.scenario;
+    os << " scenario=" << sc.name << " sc-nodes=" << sc.nodes
+       << " sc-sources=" << sc.sources << " sc-objects=" << sc.objects
+       << " sc-rate=" << sc.rate;
+  }
   if (config.lock_lease > 0.0) os << " lease=" << config.lock_lease;
   if (!config.fault_plan.empty()) {
     os << " faults={" << config.fault_plan.describe() << "}";
@@ -361,6 +393,12 @@ std::string config_help() {
                  directory={central|sharded} shards=N (0 = one per node)
                  dir-strategy={eager-invalidate|lazy-forward|lease-ttl}
                  dir-lease=T (lease-ttl cache lifetime, logical ticks)
+  scenarios:     scenario={cache|game|iot|social} (docs/scenarios.md;
+                   replaces the office workload with open-loop traffic)
+                 sc-nodes sc-sources sc-objects sc-rate
+                 sc-theta (Zipf skew) sc-read sc-move (pull probability)
+                 sc-fanout sc-groups sc-handoff (game shards)
+                 sc-burst sc-alpha (IoT Pareto burst lengths)
   mixed policy:  egoistic-clients egoistic-policy
   run control:   ci min-blocks max-blocks warmup max-time seed
                  majority (clear-majority threshold for reinstantiation)

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "objsys/invocation.hpp"
 #include "objsys/registry.hpp"
+#include "scenario/sim_driver.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "workload/fragmented.hpp"
@@ -32,12 +33,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
                     config.workload.fragments == 0),
                "mixed policies are only supported on one-layer workloads");
 
+  // Scenario traffic replaces the office workload; the scenario's cluster
+  // size wins so `scenario=... sc-nodes=...` needs no matching `nodes=`.
+  const std::size_t node_count =
+      config.scenario.enabled()
+          ? static_cast<std::size_t>(config.scenario.nodes)
+          : static_cast<std::size_t>(config.workload.nodes);
+
   sim::Engine engine;
-  auto topology = net::make_topology(
-      config.topology, static_cast<std::size_t>(config.workload.nodes));
+  auto topology = net::make_topology(config.topology, node_count);
   net::LatencyModel latency{*topology, config.latency_mode, 1.0};
-  objsys::ObjectRegistry registry{
-      engine, static_cast<std::size_t>(config.workload.nodes)};
+  objsys::ObjectRegistry registry{engine, node_count};
 
   sim::Rng net_rng{config.seed, 1};
   sim::Rng mgr_rng{config.seed, 2};
@@ -66,7 +72,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   std::optional<fault::NodeHealth> health;
   if (!config.fault_plan.empty()) {
     injector = std::make_unique<fault::FaultInjector>(config.fault_plan);
-    health.emplace(engine, static_cast<std::size_t>(config.workload.nodes));
+    health.emplace(engine, node_count);
     fault::spawn_crash_driver(engine, injector->plan(), *health);
     invoker.set_fault(injector.get(), &*health);
     manager.set_fault(injector.get(), &*health);
@@ -94,8 +100,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
       [&recorder](double cost) { recorder.on_background_migration(cost); });
   if (trace != nullptr) manager.set_trace(trace);
 
+  std::unique_ptr<scenario::Scenario> scen;
+  std::unique_ptr<scenario::ScenarioRun> scen_run;
+  scenario::ScenarioTally scen_tally;
   std::unique_ptr<migration::MigrationPolicy> egoistic;
-  if (config.workload.fragments > 0) {
+  if (config.scenario.enabled()) {
+    scen = scenario::make_scenario(config.scenario);
+    scen_run = scenario::spawn_scenario(engine, registry, manager, *policy,
+                                        invoker, recorder, *scen, config.seed,
+                                        scen_tally);
+  } else if (config.workload.fragments > 0) {
     workload::spawn_fragmented(engine, registry, manager, *policy, invoker,
                                recorder, config.workload, config.seed);
   } else if (config.workload.servers2 == 0) {
@@ -140,6 +154,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.call_p95 = recorder.call_duration_quantile(0.95);
   r.call_p99 = recorder.call_duration_quantile(0.99);
   r.lease_expiries = manager.lease_expiries();
+  if (config.scenario.enabled()) {
+    r.scenario_bursts = scen_tally.offered_bursts;
+    r.scenario_ops = scen_tally.ops_invoke + scen_tally.ops_move +
+                     scen_tally.ops_visit;
+    if (r.sim_time > 0.0) {
+      r.scenario_offered =
+          static_cast<double>(scen_tally.offered_bursts) / r.sim_time;
+      r.scenario_achieved =
+          static_cast<double>(scen_tally.ops_invoke) / r.sim_time;
+    }
+    // Tally buckets are milli-units; report quantiles in sim units.
+    r.scenario_op_p50 = static_cast<double>(scenario::tally_quantile(
+                            scen_tally.op_milli, 0.50)) /
+                        1000.0;
+    r.scenario_op_p99 = static_cast<double>(scenario::tally_quantile(
+                            scen_tally.op_milli, 0.99)) /
+                        1000.0;
+  }
   if (injector != nullptr) {
     const fault::FaultCounters& fc = injector->counters();
     r.dropped_messages = fc.dropped.load();
@@ -185,6 +217,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
     sm.invocations_remote->inc(remote);
     sm.call_local_milli->merge(invoker.local_call_milli());
     sm.call_remote_milli->merge(invoker.remote_call_milli());
+    if (config.scenario.enabled()) {
+      obs::ScenarioMetrics scm = obs::scenario_metrics(scen->name());
+      scm.offered_bursts->inc(scen_tally.offered_bursts);
+      scm.completed_bursts->inc(scen_tally.completed_bursts);
+      scm.ops_invoke->inc(scen_tally.ops_invoke);
+      scm.ops_move->inc(scen_tally.ops_move);
+      scm.ops_visit->inc(scen_tally.ops_visit);
+      scm.achieved_ops->set(
+          static_cast<std::int64_t>(r.scenario_achieved * 1000.0));
+      scm.op_milli->merge(scen_tally.op_milli);
+      scm.burst_milli->merge(scen_tally.burst_milli);
+    }
     if (service && service->sharded() != nullptr) {
       const objsys::DirectoryStats& ds = service->sharded()->stats();
       obs::DirMetrics& dm = obs::dir_metrics();

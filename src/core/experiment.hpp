@@ -10,6 +10,7 @@
 #include "net/topology.hpp"
 #include "objsys/invocation.hpp"
 #include "objsys/location_service.hpp"
+#include "scenario/scenario.hpp"
 #include "stats/batch_means.hpp"
 #include "trace/log.hpp"
 #include "workload/params.hpp"
@@ -19,6 +20,12 @@ namespace omig::core {
 /// Everything that defines one simulation run.
 struct ExperimentConfig {
   workload::WorkloadParams workload;
+  /// Scenario-pack traffic (docs/scenarios.md). When `scenario.enabled()`
+  /// the office workload above is not spawned: the scenario's population
+  /// and open-loop sources replace it (its node count wins too). All other
+  /// knobs — policy, transitivity, directory, faults, stopping — apply
+  /// unchanged.
+  scenario::ScenarioOptions scenario;
   migration::PolicyKind policy = migration::PolicyKind::Placement;
 
   /// Attachment semantics (only relevant when the workload attaches
@@ -94,6 +101,14 @@ struct ExperimentResult {
   double call_p50 = 0.0;  ///< median call duration
   double call_p95 = 0.0;  ///< 95th-percentile call duration
   double call_p99 = 0.0;  ///< 99th-percentile call duration
+
+  // Scenario traffic — all zero unless the run had a scenario enabled.
+  std::uint64_t scenario_bursts = 0;    ///< open-loop arrivals generated
+  std::uint64_t scenario_ops = 0;       ///< invocations + moves + visits
+  double scenario_offered = 0.0;        ///< arrivals per sim-time unit
+  double scenario_achieved = 0.0;       ///< completed ops per sim-time unit
+  double scenario_op_p50 = 0.0;         ///< invocation latency quantiles
+  double scenario_op_p99 = 0.0;         ///< (sim units, bucket upper bound)
 
   // Robustness counters — all zero unless the run had a fault plan.
   std::uint64_t dropped_messages = 0;

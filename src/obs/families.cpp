@@ -172,6 +172,41 @@ DirMetrics& dir_metrics() {
   return metrics;
 }
 
+ScenarioMetrics scenario_metrics(const std::string& scenario) {
+  MetricsRegistry& r = MetricsRegistry::global();
+  const Labels by{{"scenario", scenario}};
+  ScenarioMetrics m;
+  m.offered_bursts =
+      &r.counter("omig_scenario_offered_bursts_total",
+                 "Open-loop burst arrivals generated, by scenario", by);
+  m.completed_bursts =
+      &r.counter("omig_scenario_completed_bursts_total",
+                 "Bursts fully executed, by scenario", by);
+  m.ops_invoke = &r.counter("omig_scenario_ops_total",
+                            "Operations issued by scenario and kind",
+                            {{"scenario", scenario}, {"kind", "invoke"}});
+  m.ops_move = &r.counter("omig_scenario_ops_total",
+                          "Operations issued by scenario and kind",
+                          {{"scenario", scenario}, {"kind", "move"}});
+  m.ops_visit = &r.counter("omig_scenario_ops_total",
+                           "Operations issued by scenario and kind",
+                           {{"scenario", scenario}, {"kind", "visit"}});
+  m.achieved_ops = &r.gauge(
+      "omig_scenario_achieved_ops",
+      "Achieved throughput of the last run (sim: ops per 1000 sim units; "
+      "live: ops per second)",
+      by);
+  m.op_milli =
+      &r.histogram("omig_scenario_op_milli",
+                   "Simulated invocation latency in sim milli-units", by);
+  m.burst_milli =
+      &r.histogram("omig_scenario_burst_milli",
+                   "Simulated whole-burst latency in sim milli-units", by);
+  m.op_us = &r.histogram("omig_scenario_op_us",
+                         "Live invocation wall-clock latency (µs)", by);
+  return m;
+}
+
 void register_standard_metrics() {
   (void)sim_metrics();
   (void)runtime_metrics();
@@ -179,6 +214,12 @@ void register_standard_metrics() {
   (void)node_metrics();
   (void)store_metrics();
   (void)dir_metrics();
+  // The scenario family is labelled by scenario name; pre-register the
+  // shipped zoo (src/scenario/) so exporters show the schema. Hard-coded
+  // rather than queried because obs sits below scenario in the layering.
+  for (const char* name : {"cache", "game", "iot", "social"}) {
+    (void)scenario_metrics(name);
+  }
 }
 
 }  // namespace omig::obs

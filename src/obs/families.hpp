@@ -99,6 +99,28 @@ struct DirMetrics {
 };
 [[nodiscard]] DirMetrics& dir_metrics();
 
+/// Scenario-pack traffic layer (src/scenario/, docs/scenarios.md): the
+/// open-loop generator's offered load, issued operations by kind, achieved
+/// throughput, and op-latency distributions, labelled by scenario. Both
+/// backends feed the same family — the simulator folds a per-run
+/// ScenarioTally in (durations in sim milli-units), the live driver
+/// records wall-clock microseconds.
+struct ScenarioMetrics {
+  Counter* offered_bursts;    ///< omig_scenario_offered_bursts_total
+  Counter* completed_bursts;  ///< omig_scenario_completed_bursts_total
+  Counter* ops_invoke;        ///< omig_scenario_ops_total{kind=invoke}
+  Counter* ops_move;          ///< omig_scenario_ops_total{kind=move}
+  Counter* ops_visit;         ///< omig_scenario_ops_total{kind=visit}
+  Gauge* achieved_ops;        ///< ops per unit time (sim: per 1000 sim
+                              ///< units; live: per second), last run wins
+  Histogram* op_milli;        ///< sim invocation latency (milli-units)
+  Histogram* burst_milli;     ///< sim whole-burst latency (milli-units)
+  Histogram* op_us;           ///< live invocation wall latency (µs)
+};
+/// Unlike the fixed families above this one is keyed by scenario name, so
+/// it returns by value; registration is idempotent and cheap on a hit.
+[[nodiscard]] ScenarioMetrics scenario_metrics(const std::string& scenario);
+
 /// Touches every family above so an exporter shows the full schema
 /// before any traffic (Prometheus convention: export zeros, not absence).
 void register_standard_metrics();

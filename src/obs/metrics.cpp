@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
@@ -172,57 +173,77 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
+// Families in first-seen order, each with every series of that name in
+// registration order. Series of one family are not necessarily registered
+// together — scenario_metrics() registers a whole per-scenario block at a
+// time, interleaving family names — and both exporters must render each
+// family exactly once (duplicate # TYPE metadata is invalid exposition
+// format; duplicate JSON keys silently drop series on parse).
+template <typename Entries>
+auto group_by_family(const Entries& entries) {
+  using Entry = typename Entries::value_type::element_type;
+  std::vector<std::pair<std::string_view, std::vector<const Entry*>>> groups;
+  for (const auto& entry_ptr : entries) {
+    const Entry& e = *entry_ptr;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == e.name; });
+    if (it == groups.end()) {
+      groups.emplace_back(e.name, std::vector<const Entry*>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(&e);
+  }
+  return groups;
+}
+
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard lock{mutex_};
   std::ostringstream os;
-  std::string last_family;
-  for (const auto& entry_ptr : entries_) {
-    const Entry& e = *entry_ptr;
-    // HELP/TYPE once per family; series of one family are registered
-    // together, so first-seen order keeps families contiguous.
-    if (e.name != last_family) {
-      os << "# HELP " << e.name << ' ' << e.help << '\n';
-      os << "# TYPE " << e.name << ' '
-         << (e.kind == Kind::Counter
-                 ? "counter"
-                 : e.kind == Kind::Gauge ? "gauge" : "histogram")
-         << '\n';
-      last_family = e.name;
-    }
-    switch (e.kind) {
-      case Kind::Counter:
-        os << e.name << render_labels(e.labels) << ' ' << e.counter->value()
-           << '\n';
-        break;
-      case Kind::Gauge:
-        os << e.name << render_labels(e.labels) << ' ' << e.gauge->value()
-           << '\n';
-        break;
-      case Kind::Histogram: {
-        const Histogram& h = *e.histogram;
-        // Cumulative buckets up to the last non-empty finite one, then
-        // +Inf — a valid (monotone) le-series without 64 lines per
-        // histogram.
-        std::size_t top = 0;
-        for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
-          if (h.bucket(i) > 0) top = i;
-        }
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i <= top; ++i) {
-          cumulative += h.bucket(i);
+  for (const auto& [family, series] : group_by_family(entries_)) {
+    const Entry& first = *series.front();
+    os << "# HELP " << family << ' ' << first.help << '\n';
+    os << "# TYPE " << family << ' '
+       << (first.kind == Kind::Counter
+               ? "counter"
+               : first.kind == Kind::Gauge ? "gauge" : "histogram")
+       << '\n';
+    for (const Entry* entry : series) {
+      const Entry& e = *entry;
+      switch (e.kind) {
+        case Kind::Counter:
+          os << e.name << render_labels(e.labels) << ' ' << e.counter->value()
+             << '\n';
+          break;
+        case Kind::Gauge:
+          os << e.name << render_labels(e.labels) << ' ' << e.gauge->value()
+             << '\n';
+          break;
+        case Kind::Histogram: {
+          const Histogram& h = *e.histogram;
+          // Cumulative buckets up to the last non-empty finite one, then
+          // +Inf — a valid (monotone) le-series without 64 lines per
+          // histogram.
+          std::size_t top = 0;
+          for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+            if (h.bucket(i) > 0) top = i;
+          }
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= top; ++i) {
+            cumulative += h.bucket(i);
+            os << e.name << "_bucket"
+               << render_labels_with(e.labels, "le",
+                                     std::to_string(Histogram::bucket_bound(i)))
+               << ' ' << cumulative << '\n';
+          }
           os << e.name << "_bucket"
-             << render_labels_with(e.labels, "le",
-                                   std::to_string(Histogram::bucket_bound(i)))
-             << ' ' << cumulative << '\n';
+             << render_labels_with(e.labels, "le", "+Inf") << ' ' << h.count()
+             << '\n';
+          os << e.name << "_sum" << render_labels(e.labels) << ' ' << h.sum()
+             << '\n';
+          os << e.name << "_count" << render_labels(e.labels) << ' '
+             << h.count() << '\n';
+          break;
         }
-        os << e.name << "_bucket"
-           << render_labels_with(e.labels, "le", "+Inf") << ' ' << h.count()
-           << '\n';
-        os << e.name << "_sum" << render_labels(e.labels) << ' ' << h.sum()
-           << '\n';
-        os << e.name << "_count" << render_labels(e.labels) << ' ' << h.count()
-           << '\n';
-        break;
       }
     }
   }
@@ -233,43 +254,40 @@ std::string MetricsRegistry::to_json() const {
   std::lock_guard lock{mutex_};
   std::ostringstream os;
   os << '{';
-  std::string open_family;
   const char* family_sep = "";
-  const char* series_sep = "";
-  for (const auto& entry_ptr : entries_) {
-    const Entry& e = *entry_ptr;
-    if (e.name != open_family) {
-      if (!open_family.empty()) os << ']';
-      os << family_sep << '"' << escape_json(e.name) << "\":[";
-      open_family = e.name;
-      family_sep = ",";
-      series_sep = "";
-    }
-    os << series_sep << "{\"labels\":" << labels_json(e.labels);
-    switch (e.kind) {
-      case Kind::Counter: os << ",\"value\":" << e.counter->value(); break;
-      case Kind::Gauge: os << ",\"value\":" << e.gauge->value(); break;
-      case Kind::Histogram: {
-        const Histogram& h = *e.histogram;
-        os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
-           << ",\"p50\":" << h.quantile(0.50) << ",\"p95\":" << h.quantile(0.95)
-           << ",\"p99\":" << h.quantile(0.99) << ",\"buckets\":[";
-        const char* bucket_sep = "";
-        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-          const std::uint64_t n = h.bucket(i);
-          if (n == 0) continue;
-          os << bucket_sep << '[' << Histogram::bucket_bound(i) << ',' << n
-             << ']';
-          bucket_sep = ",";
+  for (const auto& [family, series] : group_by_family(entries_)) {
+    os << family_sep << '"' << escape_json(std::string{family}) << "\":[";
+    family_sep = ",";
+    const char* series_sep = "";
+    for (const Entry* entry : series) {
+      const Entry& e = *entry;
+      os << series_sep << "{\"labels\":" << labels_json(e.labels);
+      switch (e.kind) {
+        case Kind::Counter: os << ",\"value\":" << e.counter->value(); break;
+        case Kind::Gauge: os << ",\"value\":" << e.gauge->value(); break;
+        case Kind::Histogram: {
+          const Histogram& h = *e.histogram;
+          os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+             << ",\"p50\":" << h.quantile(0.50)
+             << ",\"p95\":" << h.quantile(0.95)
+             << ",\"p99\":" << h.quantile(0.99) << ",\"buckets\":[";
+          const char* bucket_sep = "";
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t n = h.bucket(i);
+            if (n == 0) continue;
+            os << bucket_sep << '[' << Histogram::bucket_bound(i) << ',' << n
+               << ']';
+            bucket_sep = ",";
+          }
+          os << ']';
+          break;
         }
-        os << ']';
-        break;
       }
+      os << '}';
+      series_sep = ",";
     }
-    os << '}';
-    series_sep = ",";
+    os << ']';
   }
-  if (!open_family.empty()) os << ']';
   os << '}';
   return os.str();
 }

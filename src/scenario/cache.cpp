@@ -1,0 +1,86 @@
+// Cache tier with Zipf hot-key skew.
+//
+// Keys are objects spread round-robin across the nodes; every access picks
+// its key from a Zipf(θ) distribution (util/zipf.hpp), so a few keys absorb
+// most of the traffic — the canonical CDN / memcached access pattern. Most
+// bursts are a single read or write on the key (no move-block: plain remote
+// invocation). With probability `move_fraction` the burst instead opens a
+// move() block that pulls the key to the caller's node and works on it —
+// the migrate-vs-invoke-remotely tension of paper claims 1–2, now under
+// skew: hot keys get pulled constantly by *different* nodes (conflicting
+// components), cold keys almost never.
+#include <string>
+
+#include "scenario/scenario.hpp"
+#include "util/zipf.hpp"
+
+namespace omig::scenario {
+namespace {
+
+class CacheScenario final : public Scenario {
+public:
+  explicit CacheScenario(const ScenarioOptions& options)
+      : options_{options},
+        name_{"cache"},
+        zipf_{static_cast<std::uint64_t>(options.objects),
+              options.zipf_theta} {
+    population_.nodes = static_cast<std::size_t>(options.nodes);
+    const auto n = static_cast<std::size_t>(options.objects);
+    population_.objects.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      population_.objects.push_back(
+          {"key-" + std::to_string(k), k % population_.nodes, 1.0});
+    }
+    // No alliances/attachments: cache keys are independent. Attachment
+    // effects are the social/game scenarios' job.
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Population& population() const override {
+    return population_;
+  }
+  [[nodiscard]] std::size_t sources() const override {
+    return static_cast<std::size_t>(options_.sources);
+  }
+  [[nodiscard]] std::size_t source_node(std::size_t source) const override {
+    return source % population_.nodes;
+  }
+  [[nodiscard]] double next_arrival(std::size_t /*source*/,
+                                    sim::Rng& rng) const override {
+    return rng.exponential(1.0 / options_.rate);
+  }
+
+  void next_burst(std::size_t /*source*/, sim::Rng& rng,
+                  Burst& out) const override {
+    out.clear();
+    const std::size_t key = static_cast<std::size_t>(zipf_.sample(rng));
+    if (rng.uniform() < options_.move_fraction) {
+      // Pull the key local and hammer it: a short working session.
+      out.target = key;
+      const int n = rng.exponential_count(4.0);
+      out.calls.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        out.calls.push_back({key, rng.uniform() < options_.read_fraction,
+                             rng.exponential(0.2)});
+      }
+    } else {
+      // Plain one-shot get/put against wherever the key lives.
+      out.calls.push_back(
+          {key, rng.uniform() < options_.read_fraction, 0.0});
+    }
+  }
+
+private:
+  ScenarioOptions options_;
+  std::string name_;
+  Population population_;
+  util::ZipfSampler zipf_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_cache(const ScenarioOptions& options) {
+  return std::make_unique<CacheScenario>(options);
+}
+
+}  // namespace omig::scenario

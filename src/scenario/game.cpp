@@ -1,0 +1,132 @@
+// Game-server shards with player handoff.
+//
+// Nodes are partitioned into `groups` shards (contiguous ranges). Players
+// are objects organised into squads of `fanout`: the squad is an alliance,
+// and every member is attached to the squad leader in that context, so a
+// handoff that moves the leader drags the whole squad — correlated moves
+// between node groups, the pattern that makes per-object placement
+// decisions misleading (and where the paper's alliance semantics earn
+// their keep). Each squad is homed on one shard.
+//
+// Most bursts are play traffic: a batch of writes against the source's
+// squad members where they live (no block). With probability
+// `handoff_fraction` a burst is a *handoff*: a move() block that pulls the
+// squad leader (and transitively the squad) to a node in a different
+// group, followed by a flurry of correlated writes on the members — a
+// party zoning into another shard's map.
+#include <string>
+
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+namespace {
+
+class GameScenario final : public Scenario {
+public:
+  explicit GameScenario(const ScenarioOptions& options)
+      : options_{options}, name_{"game"} {
+    const auto nodes = static_cast<std::size_t>(options.nodes);
+    groups_ = std::min(static_cast<std::size_t>(options.groups), nodes);
+    squad_ = static_cast<std::size_t>(options.fanout);
+    population_.nodes = nodes;
+    const auto players = static_cast<std::size_t>(options.objects);
+    const std::size_t squads = (players + squad_ - 1) / squad_;
+    population_.objects.reserve(players);
+    for (std::size_t s = 0; s < squads; ++s) {
+      const std::size_t home = group_node(s % groups_, s / groups_);
+      const std::size_t ctx = population_.alliances.size();
+      population_.alliances.push_back("squad-" + std::to_string(s));
+      const std::size_t leader = s * squad_;
+      for (std::size_t m = 0; m < squad_ && leader + m < players; ++m) {
+        population_.objects.push_back(
+            {"player-" + std::to_string(leader + m), home, 1.0});
+        if (m > 0) population_.attachments.push_back({leader + m, leader, ctx});
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Population& population() const override {
+    return population_;
+  }
+  [[nodiscard]] std::size_t sources() const override {
+    return static_cast<std::size_t>(options_.sources);
+  }
+  [[nodiscard]] std::size_t source_node(std::size_t source) const override {
+    // Sources are session handlers pinned to their squad's home shard.
+    const std::size_t s = source % squad_count();
+    return group_node(s % groups_, s / groups_);
+  }
+  [[nodiscard]] double next_arrival(std::size_t /*source*/,
+                                    sim::Rng& rng) const override {
+    return rng.exponential(1.0 / options_.rate);
+  }
+
+  void next_burst(std::size_t source, sim::Rng& rng,
+                  Burst& out) const override {
+    out.clear();
+    const std::size_t s = source % squad_count();
+    const std::size_t leader = s * squad_;
+    const std::size_t members = squad_members(s);
+    if (rng.uniform() < options_.handoff_fraction) {
+      // Handoff: move the leader to a different group; attachments drag
+      // the squad along. Then every member acts in the new zone.
+      const std::size_t from_group = s % groups_;
+      const std::size_t to_group =
+          (from_group + 1 + rng.uniform_int(groups_ > 1 ? groups_ - 1 : 1)) %
+          groups_;
+      out.target = leader;
+      out.alliance = s;  // the squad's alliance
+      // The block originates from the destination shard: a move() pulls the
+      // leader (and squad) to the issuing node.
+      out.origin = group_node(to_group, rng.uniform_int(population_.nodes));
+      out.calls.reserve(members);
+      for (std::size_t m = 0; m < members; ++m) {
+        out.calls.push_back({leader + m, false, rng.exponential(0.3)});
+      }
+    } else {
+      // Play burst: correlated writes on squad members, no block.
+      const int n = rng.exponential_count(static_cast<double>(members));
+      out.calls.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        out.calls.push_back({leader + rng.uniform_int(members), false,
+                             rng.exponential(0.2)});
+      }
+    }
+  }
+
+private:
+  [[nodiscard]] std::size_t squad_count() const {
+    return population_.alliances.size();
+  }
+  [[nodiscard]] std::size_t squad_members(std::size_t s) const {
+    const std::size_t leader = s * squad_;
+    const std::size_t players = population_.objects.size();
+    return std::min(squad_, players - leader);
+  }
+  /// Node for the `offset`-th squad of `group` (round-robin inside the
+  /// group's contiguous node range).
+  [[nodiscard]] std::size_t group_node(std::size_t group,
+                                       std::size_t offset) const {
+    const std::size_t nodes = population_.nodes;
+    const std::size_t base = group * nodes / groups_;
+    const std::size_t width =
+        std::max<std::size_t>(1, (group + 1) * nodes / groups_ - base);
+    return base + offset % width;
+  }
+
+  ScenarioOptions options_;
+  std::string name_;
+  Population population_;
+  std::size_t groups_ = 1;
+  std::size_t squad_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_game(const ScenarioOptions& options) {
+  return std::make_unique<GameScenario>(options);
+}
+
+}  // namespace omig::scenario

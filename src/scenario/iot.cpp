@@ -1,0 +1,92 @@
+// IoT fleet with bursty producers.
+//
+// Gateways are objects (one per `objects`), spread round-robin over the
+// nodes. Sources are devices: each reports to the gateway device % objects
+// and alternates between long OFF periods (exponential, mean 1/rate) and ON
+// bursts whose length is heavy-tailed — a discretised Pareto(α) with mean
+// `burst_mean`, the classic self-similar traffic model (most bursts are a
+// few readings; occasionally a device uploads a backlog of thousands).
+//
+// Bursts are plain write streams to the gateway. With probability
+// `move_fraction` a long burst instead opens a visit() block that pulls
+// the gateway to the device's edge node for the duration of the upload and
+// migrates it back afterwards — visit() as an edge-affinity optimisation,
+// stressing claim 2's transient placement under asymmetric load.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace omig::scenario {
+namespace {
+
+class IotScenario final : public Scenario {
+public:
+  explicit IotScenario(const ScenarioOptions& options)
+      : options_{options}, name_{"iot"} {
+    population_.nodes = static_cast<std::size_t>(options.nodes);
+    const auto gateways = static_cast<std::size_t>(options.objects);
+    population_.objects.reserve(gateways);
+    for (std::size_t g = 0; g < gateways; ++g) {
+      population_.objects.push_back(
+          {"gateway-" + std::to_string(g), g % population_.nodes, 1.0});
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Population& population() const override {
+    return population_;
+  }
+  [[nodiscard]] std::size_t sources() const override {
+    return static_cast<std::size_t>(options_.sources);
+  }
+  [[nodiscard]] std::size_t source_node(std::size_t source) const override {
+    // Devices connect at edge nodes unrelated to their gateway's home.
+    return static_cast<std::size_t>(
+        sim::SplitMix64{0xde71cceULL + source}.next() % population_.nodes);
+  }
+  [[nodiscard]] double next_arrival(std::size_t /*source*/,
+                                    sim::Rng& rng) const override {
+    return rng.exponential(1.0 / options_.rate);  // OFF period
+  }
+
+  void next_burst(std::size_t source, sim::Rng& rng,
+                  Burst& out) const override {
+    out.clear();
+    const std::size_t gateway = source % population_.objects.size();
+
+    // Discretised Pareto burst length with mean burst_mean: scale
+    // x_m = mean·(α−1)/α, L = round(x_m · u^(−1/α)), clamped to keep a
+    // single pathological draw from dominating a whole run.
+    const double alpha = options_.burst_alpha;
+    const double x_m = options_.burst_mean * (alpha - 1.0) / alpha;
+    const double u = std::max(rng.uniform(), 1e-12);
+    const auto len = static_cast<std::size_t>(std::clamp(
+        std::llround(x_m * std::pow(u, -1.0 / alpha)), 1LL, 10000LL));
+
+    const bool pull = rng.uniform() < options_.move_fraction;
+    if (pull) {
+      // Backlog upload: bring the gateway to the edge, stream, send back.
+      out.target = gateway;
+      out.visit = true;
+    }
+    out.calls.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      out.calls.push_back({gateway, /*read=*/false, rng.exponential(0.05)});
+    }
+  }
+
+private:
+  ScenarioOptions options_;
+  std::string name_;
+  Population population_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_iot(const ScenarioOptions& options) {
+  return std::make_unique<IotScenario>(options);
+}
+
+}  // namespace omig::scenario

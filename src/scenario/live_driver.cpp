@@ -1,0 +1,143 @@
+#include "scenario/live_driver.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/families.hpp"
+#include "runtime/demo_types.hpp"
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+namespace {
+
+/// Per-worker accounting, merged after the join (no contention while
+/// traffic flows; the metric histograms are lock-free anyway).
+struct WorkerTally {
+  std::uint64_t bursts = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t visits = 0;
+  std::uint64_t refusals = 0;
+  std::uint64_t failures = 0;
+};
+
+void run_source(runtime::LiveSystem& system, const Scenario& scenario,
+                const LiveScenarioOptions& options, std::size_t source,
+                obs::ScenarioMetrics& metrics, WorkerTally& tally) {
+  sim::Rng rng{source_stream(options.seed, scenario.name(), source), 0};
+  const Population& pop = scenario.population();
+  const std::size_t node_count = system.node_count();
+  const std::size_t my_node = scenario.source_node(source) % node_count;
+  Burst burst;
+  for (int b = 0; b < options.bursts_per_source; ++b) {
+    const double gap = scenario.next_arrival(source, rng);
+    if (options.pacing.count() > 0) {
+      std::this_thread::sleep_for(options.pacing * gap);
+    }
+    scenario.next_burst(source, rng, burst);
+    metrics.offered_bursts->inc();
+
+    const std::size_t origin =
+        (burst.origin != kNone ? burst.origin : my_node) % node_count;
+    runtime::LiveSystem::MoveToken token;
+    const bool has_block = burst.target != kNone;
+    if (has_block) {
+      const std::string& target = pop.objects[burst.target].name;
+      const std::string alliance =
+          burst.alliance != kNone ? pop.alliances[burst.alliance] : "";
+      token = burst.visit ? system.visit(target, origin, alliance)
+                          : system.move(target, origin, alliance);
+      ++(burst.visit ? tally.visits : tally.moves);
+      (burst.visit ? metrics.ops_visit : metrics.ops_move)->inc();
+      if (!token.granted) ++tally.refusals;
+    }
+
+    for (const Burst::Call& call : burst.calls) {
+      const std::string& object = pop.objects[call.object].name;
+      const auto start = std::chrono::steady_clock::now();
+      const runtime::InvokeResult result =
+          call.read ? system.invoke_from(origin, object, "get", "")
+                    : system.invoke_from(origin, object, "add", "1");
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      metrics.op_us->record(static_cast<std::uint64_t>(us.count()));
+      metrics.ops_invoke->inc();
+      ++tally.ops;
+      if (!result.ok) ++tally.failures;
+    }
+
+    if (has_block) system.end(token);
+    ++tally.bursts;
+    metrics.completed_bursts->inc();
+  }
+}
+
+}  // namespace
+
+LiveScenarioResult run_live_scenario(runtime::LiveSystem& system,
+                                     const Scenario& scenario,
+                                     const LiveScenarioOptions& options) {
+  OMIG_REQUIRE(options.bursts_per_source >= 1,
+               "live scenario needs at least one burst per source");
+  OMIG_REQUIRE(options.threads >= 1, "live scenario needs a worker thread");
+  const Population& pop = scenario.population();
+  const std::size_t node_count = system.node_count();
+  OMIG_REQUIRE(node_count >= 1, "live scenario needs a started system");
+
+  // Materialise the population. Objects are demo "counter"s; creation
+  // failures (duplicate names from a previous run on the same system) are
+  // tolerated so tests can re-run scenarios against one cluster.
+  for (const ObjectSpec& spec : pop.objects) {
+    system.create(spec.name, runtime::make_state("counter", {{"count", "0"}}),
+                  spec.home % node_count);
+  }
+  for (const AttachSpec& edge : pop.attachments) {
+    system.attach(pop.objects[edge.a].name, pop.objects[edge.b].name,
+                  edge.alliance != kNone ? pop.alliances[edge.alliance] : "");
+  }
+
+  obs::ScenarioMetrics metrics = obs::scenario_metrics(scenario.name());
+  const std::size_t sources = scenario.sources();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(options.threads),
+                            sources);
+  std::vector<WorkerTally> tallies(workers);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        // Static partition: source s belongs to worker s % workers, so a
+        // source's op sequence never depends on the worker count.
+        for (std::size_t s = w; s < sources; s += workers) {
+          run_source(system, scenario, options, s, metrics, tallies[w]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  LiveScenarioResult result;
+  for (const WorkerTally& t : tallies) {
+    result.bursts += t.bursts;
+    result.ops += t.ops;
+    result.moves += t.moves;
+    result.visits += t.visits;
+    result.refusals += t.refusals;
+    result.failures += t.failures;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.ops_per_sec = result.wall_seconds > 0.0
+                           ? static_cast<double>(result.ops) /
+                                 result.wall_seconds
+                           : 0.0;
+  metrics.achieved_ops->set(static_cast<std::int64_t>(result.ops_per_sec));
+  return result;
+}
+
+}  // namespace omig::scenario

@@ -1,0 +1,61 @@
+// Live-runtime backend for the scenario pack.
+//
+// Replays the same Scenario burst streams that drive the simulator against
+// a runtime::LiveSystem — real threads, optionally real omig_node processes
+// over TCP (tools/omig_node --cluster N --scenario NAME). Objects are
+// materialised as "counter" demo objects (reads = get(), writes = add(1)),
+// so any node binary with the demo factories can host them.
+//
+// Determinism: each source keeps the per-source hashed Rng stream from
+// scenario.hpp, so the *sequence of operations* a source issues is
+// bit-identical for a given seed regardless of how many worker threads
+// replay the sources or how the backend schedules them. Wall-clock timing
+// (and hence interleaving) naturally varies; the simulator is the
+// instrument for timing-sensitive claims.
+//
+// Open-loop deviation: the live driver paces arrivals (pacing × the drawn
+// gap) but executes each source's bursts synchronously — a burst that
+// outruns its next arrival delays it. The simulator backend implements the
+// pure open-loop semantics; the live driver's job is exercising the real
+// protocol stack under each scenario's *pattern*.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "runtime/live_system.hpp"
+#include "scenario/scenario.hpp"
+
+namespace omig::scenario {
+
+struct LiveScenarioOptions {
+  int bursts_per_source = 20;  ///< live runs are finite, not CI-stopped
+  int threads = 4;             ///< worker threads replaying the sources
+  std::uint64_t seed = 1;
+  /// Wall-clock time per sim-time unit of drawn inter-arrival gap;
+  /// zero = replay as fast as the cluster allows (throughput mode).
+  std::chrono::microseconds pacing{0};
+};
+
+struct LiveScenarioResult {
+  std::uint64_t bursts = 0;   ///< bursts completed
+  std::uint64_t ops = 0;      ///< invocations issued
+  std::uint64_t moves = 0;    ///< move() blocks opened
+  std::uint64_t visits = 0;   ///< visit() blocks opened
+  std::uint64_t refusals = 0; ///< move/visit tokens not granted (placement
+                              ///< conflicts — expected under contention)
+  std::uint64_t failures = 0; ///< failed creates/invokes (should be 0 on a
+                              ///< healthy cluster)
+  double wall_seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+/// Materialises the population on `system` (which must be started, with
+/// the demo types registered) and replays `options.bursts_per_source`
+/// bursts per source. Also folds the run into the omig_scenario_* metric
+/// families.
+LiveScenarioResult run_live_scenario(runtime::LiveSystem& system,
+                                     const Scenario& scenario,
+                                     const LiveScenarioOptions& options);
+
+}  // namespace omig::scenario

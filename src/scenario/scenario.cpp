@@ -1,0 +1,77 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+
+void validate(const ScenarioOptions& options) {
+  OMIG_REQUIRE(options.nodes >= 1, "scenario needs at least one node");
+  OMIG_REQUIRE(options.sources >= 1, "scenario needs at least one source");
+  OMIG_REQUIRE(options.objects >= 1, "scenario needs at least one object");
+  OMIG_REQUIRE(options.rate > 0.0, "scenario arrival rate must be positive");
+  OMIG_REQUIRE(options.zipf_theta >= 0.0, "zipf theta must be >= 0");
+  OMIG_REQUIRE(options.read_fraction >= 0.0 && options.read_fraction <= 1.0,
+               "read fraction must be in [0, 1]");
+  OMIG_REQUIRE(options.move_fraction >= 0.0 && options.move_fraction <= 1.0,
+               "move fraction must be in [0, 1]");
+  OMIG_REQUIRE(options.fanout >= 1, "fanout must be >= 1");
+  OMIG_REQUIRE(options.groups >= 1, "groups must be >= 1");
+  OMIG_REQUIRE(options.handoff_fraction >= 0.0 &&
+                   options.handoff_fraction <= 1.0,
+               "handoff fraction must be in [0, 1]");
+  OMIG_REQUIRE(options.burst_mean >= 1.0, "burst mean must be >= 1");
+  OMIG_REQUIRE(options.burst_alpha > 1.0,
+               "burst alpha must be > 1 (finite mean)");
+}
+
+// Factories, one per translation unit.
+std::unique_ptr<Scenario> make_social(const ScenarioOptions& options);
+std::unique_ptr<Scenario> make_cache(const ScenarioOptions& options);
+std::unique_ptr<Scenario> make_game(const ScenarioOptions& options);
+std::unique_ptr<Scenario> make_iot(const ScenarioOptions& options);
+
+std::vector<ScenarioInfo> list_scenarios() {
+  std::vector<ScenarioInfo> out{
+      {"cache", "cache tier: Zipf hot-key skew, occasional pull-to-caller"},
+      {"game", "game-server shards: squads with cross-group player handoff"},
+      {"iot", "IoT fleet: on/off producers with heavy-tailed write bursts"},
+      {"social", "social graph: power-law adjacency, visit storms on edges"},
+  };
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioInfo& a, const ScenarioInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::unique_ptr<Scenario> make_scenario(const ScenarioOptions& options) {
+  validate(options);
+  if (options.name == "social") return make_social(options);
+  if (options.name == "cache") return make_cache(options);
+  if (options.name == "game") return make_game(options);
+  if (options.name == "iot") return make_iot(options);
+  OMIG_REQUIRE(false, "unknown scenario '" + options.name +
+                          "' (see omig_sim --list-scenarios)");
+  return nullptr;  // unreachable
+}
+
+std::uint64_t source_stream(std::uint64_t base_seed,
+                            const std::string& scenario_name,
+                            std::size_t source) {
+  // Fold the scenario name into the seed so e.g. cache source 3 and game
+  // source 3 draw independently, then mix with the source index. splitmix64
+  // gives good avalanche for sequential indices.
+  std::uint64_t h = base_seed;
+  for (const char c : scenario_name) {
+    h = sim::SplitMix64{h ^ static_cast<std::uint64_t>(
+                                static_cast<unsigned char>(c))}
+            .next();
+  }
+  return sim::SplitMix64{h ^ (0x5ce0a9774c6fb359ULL +
+                              static_cast<std::uint64_t>(source))}
+      .next();
+}
+
+}  // namespace omig::scenario

@@ -1,0 +1,173 @@
+// Scenario pack: an open-loop traffic generator with a workload zoo.
+//
+// The paper evaluates its placement/attachment claims on one synthetic
+// component model (the office workflow, src/workload/). A production-scale
+// system must handle many shapes of traffic, so this subsystem describes
+// workloads *declaratively*: a `Scenario` names a static population (objects,
+// alliances, attachment edges) and, per traffic source, a stochastic stream
+// of *bursts* — each burst optionally opening a move()/visit() block and
+// issuing a batch of invocations.
+//
+// The generator is open-loop: arrival times are drawn from the scenario's
+// inter-arrival process and do NOT depend on service completion. A slow
+// backend therefore accumulates in-flight bursts instead of silently
+// throttling the offered load — the standard methodology for measuring
+// systems under overload (closed-loop generators hide collapse).
+//
+// The same Scenario object drives both backends:
+//   * the simulator          — src/scenario/sim_driver.{hpp,cpp}
+//   * the live runtime       — src/scenario/live_driver.{hpp,cpp}
+// Backend-agnosticism is why everything here speaks in plain indices
+// (node/object/alliance as size_t) rather than sim or runtime id types.
+//
+// Determinism contract: every random draw a scenario makes happens via the
+// sim::Rng passed in by the driver, which derives one stream per source from
+// (base seed, scenario name, source index) — see source_stream(). Sweep
+// results stay bit-identical at any thread count because a source's draws
+// depend only on its own stream. Scenario constructors may use their own
+// internal Rng for population building (e.g. preferential attachment); they
+// must derive it from the options seed, never from global state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace omig::scenario {
+
+/// Sentinel index meaning "no such entity" (no target, no alliance).
+inline constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Knobs shared by every scenario, parsed from `scenario=`/`sc-*` config
+/// keys (core/config.cpp) and CLI flags. A scenario reads only the knobs
+/// that make sense for it; docs/scenarios.md has the per-scenario mapping.
+struct ScenarioOptions {
+  std::string name;        ///< empty = scenario traffic disabled
+  int nodes = 8;           ///< cluster size
+  int sources = 16;        ///< independent open-loop traffic sources
+  int objects = 64;        ///< population size (vertices / keys / gateways)
+  double rate = 0.05;      ///< burst arrivals per sim-time unit per source
+  double zipf_theta = 0.99;    ///< cache: hot-key skew exponent
+  double read_fraction = 0.9;  ///< cache/social: share of read invocations
+  double move_fraction = 0.05; ///< cache/iot: P(burst migrates the object)
+  int fanout = 3;              ///< social: neighbours per storm; game: squad
+  int groups = 4;              ///< game: node groups ("shards")
+  double handoff_fraction = 0.15;  ///< game: P(burst is a cross-group move)
+  double burst_mean = 6.0;     ///< iot: mean ON-burst length (writes)
+  double burst_alpha = 1.5;    ///< iot: Pareto tail index of burst lengths
+
+  [[nodiscard]] bool enabled() const { return !name.empty(); }
+};
+
+/// Throws AssertionError on out-of-range knobs.
+void validate(const ScenarioOptions& options);
+
+/// One object in the static population.
+struct ObjectSpec {
+  std::string name;
+  std::size_t home = 0;  ///< node index
+  double size = 1.0;     ///< migration-cost weight
+};
+
+/// One attachment edge (created once at start-up).
+struct AttachSpec {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  std::size_t alliance = kNone;  ///< cooperation context, kNone = global
+};
+
+/// The static population a scenario needs the backend to materialise.
+struct Population {
+  std::size_t nodes = 0;
+  std::vector<ObjectSpec> objects;
+  std::vector<std::string> alliances;
+  std::vector<AttachSpec> attachments;
+};
+
+/// One open-loop burst: optionally a move()/visit() block on `target`,
+/// always a batch of invocations. Gaps are pre-drawn by the scenario so
+/// that all randomness is consumed in the source's coroutine (determinism
+/// contract above) — the driver replays the burst without touching the Rng.
+struct Burst {
+  std::size_t target = kNone;   ///< block target object; kNone = no block
+  bool visit = false;           ///< visit() instead of move()
+  std::size_t alliance = kNone; ///< block's cooperation context
+  std::size_t origin = kNone;   ///< node issuing this burst; kNone = the
+                                ///< source's own node (game handoffs issue
+                                ///< from the destination shard)
+
+  struct Call {
+    std::size_t object = 0;  ///< invocation callee
+    bool read = true;        ///< Read vs Write invocation
+    double gap = 0.0;        ///< think time before this call (sim units)
+  };
+  std::vector<Call> calls;
+
+  void clear() {
+    target = kNone;
+    visit = false;
+    alliance = kNone;
+    origin = kNone;
+    calls.clear();
+  }
+};
+
+/// A workload: static population + per-source burst stream. Implementations
+/// live in src/scenario/{social,cache,game,iot}.cpp; add new ones there and
+/// register them in make_scenario()/list_scenarios() (docs/scenarios.md
+/// walks through it).
+class Scenario {
+public:
+  virtual ~Scenario() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// The static population. Stable for the scenario's lifetime; drivers
+  /// materialise it once before traffic starts.
+  [[nodiscard]] virtual const Population& population() const = 0;
+
+  /// Number of traffic sources (== options.sources unless the scenario
+  /// derives it, e.g. IoT devices).
+  [[nodiscard]] virtual std::size_t sources() const = 0;
+
+  /// Node index a source issues from.
+  [[nodiscard]] virtual std::size_t source_node(std::size_t source) const = 0;
+
+  /// Inter-arrival gap before the source's next burst. Open-loop: the
+  /// driver schedules the next arrival immediately, independent of how long
+  /// the previous burst takes to complete.
+  [[nodiscard]] virtual double next_arrival(std::size_t source,
+                                            sim::Rng& rng) const = 0;
+
+  /// Fills `out` with the source's next burst. Must consume randomness only
+  /// from `rng`.
+  virtual void next_burst(std::size_t source, sim::Rng& rng,
+                          Burst& out) const = 0;
+};
+
+/// Catalogue entry for --list-scenarios.
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// All registered scenarios, sorted by name.
+[[nodiscard]] std::vector<ScenarioInfo> list_scenarios();
+
+/// Builds the named scenario. Throws AssertionError for unknown names or
+/// invalid knob combinations.
+[[nodiscard]] std::unique_ptr<Scenario> make_scenario(
+    const ScenarioOptions& options);
+
+/// Per-source seed stream: hashes (base seed, scenario name, source index)
+/// through splitmix64 so sources are independent and the thread count that
+/// executes them cannot perturb their draws.
+[[nodiscard]] std::uint64_t source_stream(std::uint64_t base_seed,
+                                          const std::string& scenario_name,
+                                          std::size_t source);
+
+}  // namespace omig::scenario

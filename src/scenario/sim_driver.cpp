@@ -1,0 +1,145 @@
+#include "scenario/sim_driver.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+namespace {
+
+/// Sim durations are recorded in milli-units, matching the Invoker's call
+/// tallies (sub-unit resolution in the power-of-2 buckets).
+std::uint64_t to_milli(sim::SimTime duration) {
+  return duration <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(std::llround(duration * 1000.0));
+}
+
+struct SourceEnv {
+  sim::Engine* engine;
+  migration::MigrationManager* manager;
+  migration::MigrationPolicy* policy;
+  objsys::Invoker* invoker;
+  workload::BlockObserver* observer;
+  const Scenario* scenario;
+  const ScenarioRun* run;
+  ScenarioTally* tally;
+};
+
+/// Executes one burst: optional move()/visit() block around a replayed
+/// call batch. Every burst — block or not — reports a MoveBlock to the
+/// observer so the Recorder's stopping rule and the paper's
+/// total-per-call metric see all scenario traffic.
+sim::Task run_burst(SourceEnv env, Burst burst, std::size_t source_node) {
+  if (burst.calls.empty() && burst.target == kNone) co_return;
+
+  const objsys::NodeId origin{static_cast<std::uint32_t>(
+      burst.origin != kNone ? burst.origin : source_node)};
+  const bool has_block = burst.target != kNone;
+  const std::size_t anchor =
+      has_block ? burst.target : burst.calls.front().object;
+  const objsys::AllianceId alliance =
+      burst.alliance != kNone ? env.run->alliances[burst.alliance]
+                              : objsys::AllianceId::invalid();
+  const sim::SimTime burst_start = env.engine->now();
+
+  migration::MoveBlock blk = env.manager->new_block(
+      origin, env.run->objects[anchor], alliance, burst.visit);
+  if (has_block) {
+    ++(burst.visit ? env.tally->ops_visit : env.tally->ops_move);
+    co_await env.policy->begin_block(blk);
+  }
+
+  for (const Burst::Call& call : burst.calls) {
+    if (call.gap > 0.0) co_await env.engine->delay(call.gap);
+    const sim::SimTime start = env.engine->now();
+    co_await env.invoker->invoke(origin, env.run->objects[call.object],
+                                 call.read ? objsys::InvocationKind::Read
+                                           : objsys::InvocationKind::Write);
+    const sim::SimTime duration = env.engine->now() - start;
+    env.observer->on_call(duration);
+    blk.call_time += duration;
+    ++blk.calls;
+    ++env.tally->ops_invoke;
+    env.tally->op_milli.record(to_milli(duration));
+  }
+
+  if (has_block) env.policy->end_block(blk);
+  env.observer->on_block(blk);
+  ++env.tally->completed_bursts;
+  env.tally->burst_milli.record(to_milli(env.engine->now() - burst_start));
+}
+
+/// One open-loop traffic source: draws arrivals and bursts from its own
+/// Rng stream and fires each burst as an independent task.
+sim::Task run_source(SourceEnv env, std::size_t source, std::uint64_t seed) {
+  sim::Rng rng{source_stream(seed, env.scenario->name(), source), 0};
+  const std::size_t node = env.scenario->source_node(source);
+  for (;;) {
+    co_await env.engine->delay(env.scenario->next_arrival(source, rng));
+    Burst burst;
+    env.scenario->next_burst(source, rng, burst);
+    ++env.tally->offered_bursts;
+    env.engine->spawn(run_burst(env, std::move(burst), node));
+  }
+}
+
+}  // namespace
+
+std::uint64_t tally_quantile(const obs::HistogramTally& tally, double q) {
+  if (tally.count == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(tally.count)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    seen += tally.buckets[i];
+    if (seen >= rank) return obs::Histogram::bucket_bound(i);
+  }
+  return obs::Histogram::bucket_bound(obs::Histogram::kBuckets - 1);
+}
+
+std::unique_ptr<ScenarioRun> spawn_scenario(
+    sim::Engine& engine, objsys::ObjectRegistry& registry,
+    migration::MigrationManager& manager, migration::MigrationPolicy& policy,
+    objsys::Invoker& invoker, workload::BlockObserver& observer,
+    const Scenario& scenario, std::uint64_t seed, ScenarioTally& tally) {
+  const Population& pop = scenario.population();
+  OMIG_REQUIRE(registry.node_count() >= pop.nodes,
+               "registry has fewer nodes than the scenario population");
+
+  auto run = std::make_unique<ScenarioRun>();
+  run->objects.reserve(pop.objects.size());
+  for (const ObjectSpec& spec : pop.objects) {
+    run->objects.push_back(
+        registry.create(spec.name,
+                        objsys::NodeId{static_cast<std::uint32_t>(spec.home)},
+                        spec.size));
+  }
+  run->alliances.reserve(pop.alliances.size());
+  migration::AllianceRegistry& alliances = manager.alliances();
+  for (const std::string& name : pop.alliances) {
+    run->alliances.push_back(alliances.create(name));
+  }
+  migration::AttachmentGraph& attachments = manager.attachments();
+  for (const AttachSpec& edge : pop.attachments) {
+    const objsys::AllianceId ctx = edge.alliance != kNone
+                                       ? run->alliances[edge.alliance]
+                                       : objsys::AllianceId::invalid();
+    attachments.attach(run->objects[edge.a], run->objects[edge.b], ctx);
+    if (ctx.valid()) {
+      alliances.add_member(ctx, run->objects[edge.a]);
+      alliances.add_member(ctx, run->objects[edge.b]);
+    }
+  }
+
+  SourceEnv env{&engine, &manager, &policy,    &invoker,
+                &observer, &scenario, run.get(), &tally};
+  for (std::size_t s = 0; s < scenario.sources(); ++s) {
+    engine.spawn(run_source(env, s, seed));
+  }
+  return run;
+}
+
+}  // namespace omig::scenario

@@ -1,0 +1,63 @@
+// Simulator backend for the scenario pack.
+//
+// Materialises a Scenario's population in the object registry and spawns
+// one open-loop source coroutine per traffic source. Each arrival spawns an
+// independent burst task, so burst service time never throttles the arrival
+// process (see scenario.hpp for the methodology).
+//
+// Determinism: each source owns one Rng stream derived by source_stream();
+// all of a burst's randomness (targets, gaps, lengths) is drawn in the
+// source coroutine via Scenario::next_burst, and the burst task merely
+// replays it. The engine is single-threaded per cell, so sweep-level
+// parallelism cannot reorder draws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "migration/manager.hpp"
+#include "migration/policy.hpp"
+#include "obs/metrics.hpp"
+#include "objsys/invocation.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/engine.hpp"
+#include "workload/observer.hpp"
+
+namespace omig::scenario {
+
+/// Per-run traffic accounting, kept as plain counters/tallies on the sim's
+/// hot path (like Invoker's call tallies) and folded into the global
+/// metrics registry once per run by core/experiment.cpp.
+struct ScenarioTally {
+  std::uint64_t offered_bursts = 0;    ///< arrivals generated (open loop)
+  std::uint64_t completed_bursts = 0;  ///< bursts fully executed
+  std::uint64_t ops_invoke = 0;        ///< invocations issued
+  std::uint64_t ops_move = 0;          ///< move() blocks opened
+  std::uint64_t ops_visit = 0;         ///< visit() blocks opened
+  obs::HistogramTally op_milli;        ///< invocation latency (sim milli)
+  obs::HistogramTally burst_milli;     ///< whole-burst latency (sim milli)
+};
+
+/// The materialised population: scenario indices → backend ids. Heap
+/// allocated so the source coroutines can hold a stable pointer to it;
+/// keep it alive until the engine is cleared.
+struct ScenarioRun {
+  std::vector<objsys::ObjectId> objects;
+  std::vector<objsys::AllianceId> alliances;
+};
+
+/// Conservative quantile over a per-run tally (upper bound of the bucket
+/// holding the q-th observation, like Histogram::quantile). 0 when empty.
+[[nodiscard]] std::uint64_t tally_quantile(const obs::HistogramTally& tally,
+                                           double q);
+
+/// Builds the population (objects, alliances, attachments) and spawns the
+/// source coroutines. `tally` must outlive the engine run.
+std::unique_ptr<ScenarioRun> spawn_scenario(
+    sim::Engine& engine, objsys::ObjectRegistry& registry,
+    migration::MigrationManager& manager, migration::MigrationPolicy& policy,
+    objsys::Invoker& invoker, workload::BlockObserver& observer,
+    const Scenario& scenario, std::uint64_t seed, ScenarioTally& tally);
+
+}  // namespace omig::scenario

@@ -1,0 +1,148 @@
+// Social-graph fanout: power-law adjacency, visit storms along edges.
+//
+// The population is an undirected graph grown by preferential attachment
+// (Barabási–Albert with m = fanout), so vertex degrees follow a power law —
+// a handful of celebrity vertices touch a large share of the traffic. Each
+// vertex is an object homed on hash(vertex) % nodes; each vertex forms an
+// alliance with its first `fanout` neighbours and attaches to them, so
+// migrating a celebrity drags its alliance along under A-transitive
+// semantics — this is the scenario that stresses paper claim 4 (unrestricted
+// transitivity is devastating; alliances restore sensible behaviour).
+//
+// A burst is a "visit storm": a degree-weighted random seed vertex is
+// visit()ed to the source's node and the source then reads/writes the seed
+// plus `fanout` of its neighbours, mimicking a feed render that touches a
+// profile and its adjacency.
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+namespace {
+
+class SocialScenario final : public Scenario {
+public:
+  explicit SocialScenario(const ScenarioOptions& options)
+      : options_{options}, name_{"social"} {
+    const auto n = static_cast<std::size_t>(options.objects);
+    const auto m = static_cast<std::size_t>(options.fanout);
+    adjacency_.resize(n);
+
+    // Preferential attachment via the repeated-endpoint trick: picking a
+    // uniform element of `endpoints` is degree-weighted sampling. The build
+    // is internal to the population (not traffic), so it uses a fixed
+    // stream id; the graph depends only on (objects, fanout).
+    sim::Rng build_rng{0x50c1a1ULL, 7};
+    std::vector<std::size_t> endpoints;
+    const std::size_t core = std::min(n, m + 1);
+    for (std::size_t v = 0; v < core; ++v) {  // seed clique
+      for (std::size_t u = 0; u < v; ++u) link(u, v, endpoints);
+    }
+    for (std::size_t v = core; v < n; ++v) {
+      for (std::size_t e = 0; e < m; ++e) {
+        const std::size_t u =
+            endpoints[build_rng.uniform_int(endpoints.size())];
+        if (u != v && !linked(u, v)) link(u, v, endpoints);
+      }
+    }
+    // Isolated vertices can happen when every preferential draw collides;
+    // tie them to their successor so every storm has neighbours to touch.
+    for (std::size_t v = 0; v + 1 < n; ++v) {
+      if (adjacency_[v].empty()) link(v, v + 1, endpoints);
+    }
+
+    // Degree-weighted seed-vertex sampling reuses the endpoints list.
+    storm_seeds_ = std::move(endpoints);
+
+    population_.nodes = static_cast<std::size_t>(options.nodes);
+    population_.objects.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      // Spread vertices across nodes with a splitmix hash, not modulo, so
+      // adjacent vertices (which call each other) usually live apart.
+      const std::size_t home = static_cast<std::size_t>(
+          sim::SplitMix64{0xface7501ULL + v}.next() % population_.nodes);
+      population_.objects.push_back(
+          {"profile-" + std::to_string(v), home, 1.0});
+    }
+    // One alliance per vertex covering it and its first m neighbours, with
+    // attachment edges vertex->neighbour in that context.
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t ctx = population_.alliances.size();
+      population_.alliances.push_back("circle-" + std::to_string(v));
+      std::size_t added = 0;
+      for (const std::size_t u : adjacency_[v]) {
+        if (added++ == m) break;
+        population_.attachments.push_back({v, u, ctx});
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] const Population& population() const override {
+    return population_;
+  }
+  [[nodiscard]] std::size_t sources() const override {
+    return static_cast<std::size_t>(options_.sources);
+  }
+  [[nodiscard]] std::size_t source_node(std::size_t source) const override {
+    return source % population_.nodes;
+  }
+  [[nodiscard]] double next_arrival(std::size_t /*source*/,
+                                    sim::Rng& rng) const override {
+    return rng.exponential(1.0 / options_.rate);
+  }
+
+  void next_burst(std::size_t /*source*/, sim::Rng& rng,
+                  Burst& out) const override {
+    out.clear();
+    const std::size_t seed =
+        storm_seeds_[rng.uniform_int(storm_seeds_.size())];
+    out.target = seed;
+    out.visit = true;  // feed render: pull the profile in, return it after
+    out.alliance = seed;  // the vertex's own circle
+    const auto& nbrs = adjacency_[seed];
+    const std::size_t touched =
+        std::min(nbrs.size(), static_cast<std::size_t>(options_.fanout));
+    out.calls.reserve(1 + touched);
+    out.calls.push_back(
+        {seed, rng.uniform() < options_.read_fraction, rng.exponential(0.5)});
+    for (std::size_t i = 0; i < touched; ++i) {
+      // Walk a rotating window of the adjacency so storms on the same seed
+      // don't always touch the same neighbours.
+      const std::size_t u = nbrs[(rng.uniform_int(nbrs.size()) + i)
+                                 % nbrs.size()];
+      out.calls.push_back(
+          {u, rng.uniform() < options_.read_fraction, rng.exponential(0.5)});
+    }
+  }
+
+private:
+  [[nodiscard]] bool linked(std::size_t u, std::size_t v) const {
+    for (const std::size_t w : adjacency_[u]) {
+      if (w == v) return true;
+    }
+    return false;
+  }
+  void link(std::size_t u, std::size_t v, std::vector<std::size_t>& ends) {
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    ends.push_back(u);
+    ends.push_back(v);
+  }
+
+  ScenarioOptions options_;
+  std::string name_;
+  Population population_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<std::size_t> storm_seeds_;  ///< degree-weighted vertex pool
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_social(const ScenarioOptions& options) {
+  return std::make_unique<SocialScenario>(options);
+}
+
+}  // namespace omig::scenario

@@ -1,0 +1,70 @@
+// Seeded Zipf(θ) sampler over a finite key space.
+//
+// The scenario pack's cache tier (docs/scenarios.md) models hot-key skew:
+// key k has probability ∝ 1/(k+1)^θ. We sample by exact inverse-CDF over a
+// precomputed cumulative table — O(n) memory once per scenario, O(log n)
+// per draw, and the distribution is exact (the chi-square test in
+// tests/scenario/zipf_test.cpp pins it), unlike the usual YCSB
+// rejection-inversion approximation. All randomness comes from the
+// caller's sim::Rng stream, so draws inherit the per-source seeding
+// discipline and sweeps stay bit-identical at any thread count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "util/assert.hpp"
+
+namespace omig::util {
+
+class ZipfSampler {
+public:
+  /// Distribution over ranks [0, n): P(k) ∝ 1/(k+1)^theta. theta = 0 is
+  /// uniform; theta ≈ 1 is the classic Zipf web/cache skew.
+  ZipfSampler(std::uint64_t n, double theta) : theta_{theta} {
+    OMIG_REQUIRE(n >= 1, "ZipfSampler needs at least one rank");
+    OMIG_REQUIRE(theta >= 0.0, "ZipfSampler exponent must be >= 0");
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -theta);
+      cdf_.push_back(total);
+    }
+    // Normalise so the final entry is exactly 1: uniform() < 1 always lands.
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;
+  }
+
+  /// One draw; consumes exactly one uniform() from `rng`.
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const {
+    const double u = rng.uniform();
+    // First rank whose cumulative probability exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Exact P(rank = k), for distribution tests.
+  [[nodiscard]] double probability(std::uint64_t k) const {
+    OMIG_REQUIRE(k < cdf_.size(), "rank out of range");
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return cdf_.size(); }
+  [[nodiscard]] double theta() const { return theta_; }
+
+private:
+  double theta_;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k)
+};
+
+}  // namespace omig::util

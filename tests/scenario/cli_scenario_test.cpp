@@ -1,0 +1,100 @@
+// CLI surface of the scenario pack: `omig_sim --list-scenarios`,
+// `omig_sim --scenario <name> --json`, and the multi-process
+// `omig_node --cluster N --scenario <name>` launcher. Binaries are located
+// via $OMIG_SIM_BIN / $OMIG_NODE_BIN, falling back to the build-time paths
+// compiled into this target.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace omig {
+namespace {
+
+std::string sim_binary() {
+  if (const char* env = std::getenv("OMIG_SIM_BIN")) return env;
+#ifdef OMIG_SIM_BIN_DEFAULT
+  return OMIG_SIM_BIN_DEFAULT;
+#else
+  return "omig_sim";
+#endif
+}
+
+std::string node_binary() {
+  if (const char* env = std::getenv("OMIG_NODE_BIN")) return env;
+#ifdef OMIG_NODE_BIN_DEFAULT
+  return OMIG_NODE_BIN_DEFAULT;
+#else
+  return "omig_node";
+#endif
+}
+
+/// Runs `cmd`, captures stdout, and reports the pclose status via `status`.
+std::string capture(const std::string& cmd, int& status) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) {
+    status = -1;
+    return "";
+  }
+  std::string output;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
+  status = pclose(pipe);
+  return output;
+}
+
+TEST(CliScenarioTest, ListScenariosShowsTheZoo) {
+  ASSERT_TRUE(std::filesystem::exists(sim_binary()))
+      << "omig_sim binary not found at " << sim_binary()
+      << " (set OMIG_SIM_BIN)";
+  int status = 0;
+  const std::string out =
+      capture(sim_binary() + " --list-scenarios 2>/dev/null", status);
+  EXPECT_EQ(status, 0);
+  for (const char* name : {"cache", "game", "iot", "social"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << out;
+  }
+}
+
+TEST(CliScenarioTest, SimScenarioRunEmitsScenarioJson) {
+  int status = 0;
+  const std::string out = capture(
+      sim_binary() +
+          " --scenario cache sc-sources=4 sc-objects=16 max-blocks=300" +
+          " ci=0.2 --json 2>/dev/null",
+      status);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("\"scenario\": \"cache\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"scenario_bursts\":"), std::string::npos);
+  EXPECT_NE(out.find("\"scenario_achieved\":"), std::string::npos);
+  EXPECT_NE(out.find("\"omig_scenario_ops_total\":"), std::string::npos);
+}
+
+TEST(CliScenarioTest, SimRejectsUnknownScenario) {
+  int status = 0;
+  capture(sim_binary() + " --scenario warehouse max-blocks=100 2>/dev/null",
+          status);
+  EXPECT_NE(status, 0);
+}
+
+TEST(CliScenarioTest, ClusterReplaysAScenarioOverTcp) {
+  ASSERT_TRUE(std::filesystem::exists(node_binary()))
+      << "omig_node binary not found at " << node_binary()
+      << " (set OMIG_NODE_BIN)";
+  int status = 0;
+  const std::string out = capture(
+      node_binary() +
+          " --cluster 2 --scenario cache --sources 4 --objects 12 --bursts 3"
+          " 2>/dev/null",
+      status);
+  EXPECT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("cluster scenario cache:"), std::string::npos) << out;
+  EXPECT_NE(out.find("failures=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("all node processes exited cleanly"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omig

@@ -1,0 +1,55 @@
+// Scenario traffic under fault injection: a fixed-seed fault schedule
+// (drops, dups, a mid-run crash with restart) replayed under the cache and
+// game scenarios must complete, observe the crash, and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace omig::scenario {
+namespace {
+
+core::ExperimentConfig chaotic_config(const std::string& name,
+                                      std::uint64_t fault_seed) {
+  core::ExperimentConfig cfg;
+  cfg.scenario.name = name;
+  cfg.scenario.nodes = 4;
+  cfg.scenario.sources = 6;
+  cfg.scenario.objects = 24;
+  cfg.scenario.rate = 0.1;
+  cfg.stopping.relative_target = 0.2;
+  cfg.stopping.min_observations = 150;
+  cfg.stopping.max_observations = 600;
+  cfg.fault_plan = fault::parse_plan_text(
+      "seed " + std::to_string(fault_seed) +
+      "\ndrop * * 0.05\ndup * * 0.02\ncrash 2 80 40\n");
+  return cfg;
+}
+
+TEST(ScenarioChaosTest, ScenariosSurviveCrashAndLinkFaults) {
+  for (const char* name : {"cache", "game"}) {
+    SCOPED_TRACE(name);
+    const core::ExperimentResult r =
+        core::run_experiment(chaotic_config(name, 11));
+    EXPECT_GT(r.scenario_bursts, 0u);
+    EXPECT_GT(r.scenario_ops, 0u);
+    EXPECT_EQ(r.node_crashes, 1u);
+    EXPECT_EQ(r.node_restarts, 1u);
+    EXPECT_GT(r.fault_retries, 0u);
+  }
+}
+
+TEST(ScenarioChaosTest, ChaoticRunsAreDeterministic) {
+  const core::ExperimentConfig cfg = chaotic_config("cache", 23);
+  const core::ExperimentResult a = core::run_experiment(cfg);
+  const core::ExperimentResult b = core::run_experiment(cfg);
+  EXPECT_EQ(a.scenario_ops, b.scenario_ops);
+  EXPECT_EQ(a.fault_retries, b.fault_retries);
+  EXPECT_EQ(a.sim_time, b.sim_time);
+  EXPECT_EQ(a.total_per_call, b.total_per_call);
+}
+
+}  // namespace
+}  // namespace omig::scenario

@@ -1,0 +1,174 @@
+// Model-level tests for the scenario pack (docs/scenarios.md): every
+// registered scenario must produce a well-formed population and an endless
+// stream of well-formed bursts, and the simulator backend must run each of
+// them end to end through run_experiment.
+#include "scenario/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "util/assert.hpp"
+
+namespace omig::scenario {
+namespace {
+
+ScenarioOptions small_options(const std::string& name) {
+  ScenarioOptions opts;
+  opts.name = name;
+  opts.nodes = 4;
+  opts.sources = 6;
+  opts.objects = 24;
+  opts.rate = 0.1;
+  return opts;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioInfo& info : list_scenarios()) names.push_back(info.name);
+  return names;
+}
+
+TEST(ScenarioTest, CatalogueHasTheZooSortedByName) {
+  const auto infos = list_scenarios();
+  ASSERT_EQ(infos.size(), 4u);
+  EXPECT_EQ(infos[0].name, "cache");
+  EXPECT_EQ(infos[1].name, "game");
+  EXPECT_EQ(infos[2].name, "iot");
+  EXPECT_EQ(infos[3].name, "social");
+  for (const ScenarioInfo& info : infos) EXPECT_FALSE(info.summary.empty());
+}
+
+TEST(ScenarioTest, UnknownNameAndBadKnobsAreRejected) {
+  EXPECT_THROW(make_scenario(small_options("warehouse")), AssertionError);
+  ScenarioOptions bad = small_options("cache");
+  bad.rate = 0.0;
+  EXPECT_THROW(make_scenario(bad), AssertionError);
+  bad = small_options("cache");
+  bad.read_fraction = 1.5;
+  EXPECT_THROW(make_scenario(bad), AssertionError);
+  bad = small_options("iot");
+  bad.burst_alpha = 1.0;
+  EXPECT_THROW(make_scenario(bad), AssertionError);
+  bad = small_options("game");
+  bad.nodes = 0;
+  EXPECT_THROW(make_scenario(bad), AssertionError);
+}
+
+TEST(ScenarioTest, PopulationsAreWellFormed) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    const auto scen = make_scenario(small_options(name));
+    EXPECT_EQ(scen->name(), name);
+    const Population& pop = scen->population();
+    EXPECT_EQ(pop.nodes, 4u);
+    EXPECT_FALSE(pop.objects.empty());
+    std::set<std::string> seen;
+    for (const ObjectSpec& obj : pop.objects) {
+      EXPECT_LT(obj.home, pop.nodes);
+      EXPECT_GT(obj.size, 0.0);
+      EXPECT_TRUE(seen.insert(obj.name).second) << "duplicate " << obj.name;
+    }
+    for (const AttachSpec& edge : pop.attachments) {
+      EXPECT_LT(edge.a, pop.objects.size());
+      EXPECT_LT(edge.b, pop.objects.size());
+      EXPECT_NE(edge.a, edge.b);
+      if (edge.alliance != kNone) {
+        EXPECT_LT(edge.alliance, pop.alliances.size());
+      }
+    }
+    for (std::size_t s = 0; s < scen->sources(); ++s) {
+      EXPECT_LT(scen->source_node(s), pop.nodes);
+    }
+  }
+}
+
+TEST(ScenarioTest, BurstStreamsAreWellFormed) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    const auto scen = make_scenario(small_options(name));
+    const Population& pop = scen->population();
+    bool saw_block = false;
+    bool saw_call = false;
+    for (std::size_t s = 0; s < scen->sources(); ++s) {
+      sim::Rng rng{source_stream(1, name, s), 0};
+      Burst burst;
+      for (int i = 0; i < 400; ++i) {
+        EXPECT_GT(scen->next_arrival(s, rng), 0.0);
+        scen->next_burst(s, rng, burst);
+        if (burst.target != kNone) {
+          saw_block = true;
+          EXPECT_LT(burst.target, pop.objects.size());
+        }
+        if (burst.alliance != kNone) {
+          EXPECT_LT(burst.alliance, pop.alliances.size());
+        }
+        if (burst.origin != kNone) {
+          EXPECT_LT(burst.origin, pop.nodes);
+        }
+        for (const Burst::Call& call : burst.calls) {
+          saw_call = true;
+          EXPECT_LT(call.object, pop.objects.size());
+          EXPECT_GE(call.gap, 0.0);
+        }
+      }
+    }
+    EXPECT_TRUE(saw_call) << "scenario never invoked anything";
+    EXPECT_TRUE(saw_block) << "scenario never opened a move/visit block";
+  }
+}
+
+TEST(ScenarioTest, SourceStreamsAreIndependent) {
+  EXPECT_NE(source_stream(1, "cache", 0), source_stream(1, "cache", 1));
+  EXPECT_NE(source_stream(1, "cache", 0), source_stream(2, "cache", 0));
+  EXPECT_NE(source_stream(1, "cache", 0), source_stream(1, "game", 0));
+  EXPECT_EQ(source_stream(7, "iot", 3), source_stream(7, "iot", 3));
+}
+
+TEST(ScenarioTest, EveryScenarioRunsOnTheSimulatorBackend) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    core::ExperimentConfig cfg;
+    cfg.scenario = small_options(name);
+    cfg.stopping.relative_target = 0.2;
+    cfg.stopping.min_observations = 100;
+    cfg.stopping.max_observations = 400;
+    const core::ExperimentResult r = core::run_experiment(cfg);
+    EXPECT_GT(r.scenario_bursts, 0u);
+    EXPECT_GT(r.scenario_ops, 0u);
+    EXPECT_GT(r.scenario_offered, 0.0);
+    EXPECT_GT(r.scenario_achieved, 0.0);
+    EXPECT_GT(r.scenario_op_p99, 0.0);
+    EXPECT_GE(r.scenario_op_p99, r.scenario_op_p50);
+    EXPECT_GT(r.calls, 0u);
+  }
+}
+
+TEST(ScenarioTest, ScenarioConfigKeysParse) {
+  const core::ExperimentConfig cfg = core::parse_config(
+      {"scenario=cache", "sc-nodes=4", "sc-sources=6", "sc-objects=32",
+       "sc-rate=0.2", "sc-theta=0.8", "sc-read=0.5", "sc-move=0.1",
+       "sc-fanout=2", "sc-groups=2", "sc-handoff=0.3", "sc-burst=4",
+       "sc-alpha=2.0"});
+  EXPECT_TRUE(cfg.scenario.enabled());
+  EXPECT_EQ(cfg.scenario.name, "cache");
+  EXPECT_EQ(cfg.scenario.nodes, 4);
+  EXPECT_EQ(cfg.scenario.sources, 6);
+  EXPECT_EQ(cfg.scenario.objects, 32);
+  EXPECT_DOUBLE_EQ(cfg.scenario.rate, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.scenario.zipf_theta, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.scenario.read_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.scenario.move_fraction, 0.1);
+  EXPECT_EQ(cfg.scenario.fanout, 2);
+  EXPECT_EQ(cfg.scenario.groups, 2);
+  EXPECT_DOUBLE_EQ(cfg.scenario.handoff_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.scenario.burst_mean, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.scenario.burst_alpha, 2.0);
+}
+
+}  // namespace
+}  // namespace omig::scenario

@@ -22,10 +22,14 @@
 //       in Prometheus text format over HTTP (0 = ephemeral; docs/metrics.md),
 //       and --metrics-log-ms logs snapshot deltas to stderr on that cadence.
 //
-//   omig_node --cluster N
-//       Spawns N child node processes and drives the office workflow
-//       (docs/transport.md) across them as a remote LiveSystem
-//       coordinator — the paper's scenario as N+1 real processes.
+//   omig_node --cluster N [--scenario NAME [--sources S] [--objects K]
+//             [--bursts B] [--seed X] [--threads T]]
+//       Spawns N child node processes and coordinates them as a remote
+//       LiveSystem. Without --scenario it drives the office workflow
+//       (docs/transport.md); with --scenario it replays the named
+//       scenario-pack workload (docs/scenarios.md) across the cluster —
+//       the same burst streams the simulator measures, on N+1 real
+//       processes over TCP.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -51,6 +55,8 @@
 #include "obs/families.hpp"
 #include "runtime/demo_types.hpp"
 #include "runtime/live_system.hpp"
+#include "scenario/live_driver.hpp"
+#include "scenario/scenario.hpp"
 #include "store/store.hpp"
 #include "transport/bridge.hpp"
 #include "transport/metrics_exporter.hpp"
@@ -66,7 +72,9 @@ int usage(const char* argv0) {
                "              [--data-dir DIR] [--fault-plan FILE]\n"
                "              [--metrics-port P [--metrics-port-file FILE]]\n"
                "              [--metrics-log-ms N]\n"
-               "       %s --cluster N\n",
+               "       %s --cluster N [--scenario NAME [--sources S]\n"
+               "              [--objects K] [--bursts B] [--seed X]\n"
+               "              [--threads T]]\n",
                argv0, argv0);
   return 2;
 }
@@ -234,7 +242,53 @@ void kill_children(const std::vector<Child>& children) {
   }
 }
 
-int cluster(const char* argv0, std::size_t count) {
+/// --cluster options: which workload the coordinator drives.
+struct ClusterOptions {
+  std::string scenario;  ///< empty = the office workflow demo
+  int sources = 8;
+  int objects = 24;
+  int bursts = 10;       ///< bursts per source
+  int threads = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Replays a scenario-pack workload across the remote cluster. Returns 0
+/// when every burst completed without a failed invocation.
+int run_cluster_scenario(runtime::LiveSystem& sys, std::size_t count,
+                         const ClusterOptions& copts) {
+  scenario::ScenarioOptions sopts;
+  sopts.name = copts.scenario;
+  sopts.nodes = static_cast<int>(count);
+  sopts.sources = copts.sources;
+  sopts.objects = copts.objects;
+  const auto scen = scenario::make_scenario(sopts);
+
+  scenario::LiveScenarioOptions lopts;
+  lopts.bursts_per_source = copts.bursts;
+  lopts.threads = copts.threads;
+  lopts.seed = copts.seed;
+  const scenario::LiveScenarioResult r =
+      scenario::run_live_scenario(sys, *scen, lopts);
+
+  std::printf(
+      "cluster scenario %s: bursts=%llu ops=%llu moves=%llu visits=%llu "
+      "refusals=%llu failures=%llu ops/s=%.0f migrations=%llu\n",
+      copts.scenario.c_str(), static_cast<unsigned long long>(r.bursts),
+      static_cast<unsigned long long>(r.ops),
+      static_cast<unsigned long long>(r.moves),
+      static_cast<unsigned long long>(r.visits),
+      static_cast<unsigned long long>(r.refusals),
+      static_cast<unsigned long long>(r.failures), r.ops_per_sec,
+      static_cast<unsigned long long>(sys.migrations()));
+  if (r.failures != 0) {
+    std::fprintf(stderr, "cluster: scenario had failed operations\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cluster(const char* argv0, std::size_t count,
+            const ClusterOptions& copts) {
   char dir_template[] = "omig-cluster-XXXXXX";
   if (mkdtemp(dir_template) == nullptr) {
     std::perror("mkdtemp");
@@ -287,9 +341,19 @@ int cluster(const char* argv0, std::size_t count) {
   }
   std::printf("cluster: %zu node processes up\n", count);
 
-  // Drive the office workflow as a remote coordinator.
+  // Drive the chosen workload as a remote coordinator: a scenario-pack
+  // replay when --scenario was given, the office workflow demo otherwise.
   int rc = 0;
-  {
+  if (!copts.scenario.empty()) {
+    runtime::LiveSystem::Options opts;
+    opts.remote_nodes = peers;
+    runtime::LiveSystem sys{opts};
+    runtime::register_demo_types(sys);
+    sys.start();
+    rc = run_cluster_scenario(sys, count, copts);
+    sys.shutdown_remote_nodes();
+    sys.stop();
+  } else {
     runtime::LiveSystem::Options opts;
     opts.remote_nodes = peers;
     runtime::LiveSystem sys{opts};
@@ -356,6 +420,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::size_t cluster_count = 0;
   ServeOptions serve_opts;
+  ClusterOptions cluster_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -400,12 +465,38 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cluster_count = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.scenario = v;
+    } else if (arg == "--sources") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.sources = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--objects") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.objects = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--bursts") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.bursts = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.seed = std::strtoull(v, nullptr, 10);
     } else {
       return usage(argv[0]);
     }
   }
 
   if (serve_mode) return serve(id, port, port_file, serve_opts);
-  if (cluster_count >= 2) return cluster(argv[0], cluster_count);
+  if (cluster_count >= 2) {
+    return cluster(argv[0], cluster_count, cluster_opts);
+  }
   return usage(argv[0]);
 }

@@ -20,6 +20,7 @@
 #include "core/sweep.hpp"
 #include "core/table.hpp"
 #include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
 #include "trace/log.hpp"
 #include "util/executor.hpp"
 
@@ -37,6 +38,7 @@ struct CliOptions {
   std::size_t trace_lines = 0;
   std::string trace_file;
   std::string trace_json;
+  bool list_scenarios = false;
   bool help = false;
 };
 
@@ -83,6 +85,10 @@ CliOptions parse_cli(int argc, char** argv) {
       opts.json = true;
     } else if (arg == "--fault-plan") {
       opts.assignments.push_back("fault-plan=" + next("--fault-plan"));
+    } else if (arg == "--scenario") {
+      opts.assignments.push_back("scenario=" + next("--scenario"));
+    } else if (arg == "--list-scenarios") {
+      opts.list_scenarios = true;
     } else if (arg == "--trace") {
       opts.trace_lines = std::stoul(next("--trace"));
     } else if (arg == "--trace-file") {
@@ -118,6 +124,10 @@ flags:
                             torn-write/short-write/fsync-fail <node> <prob>,
                             wal-kill/wal-torn-kill <node> <after-appends>
                             (docs/fault_model.md, docs/durability.md)
+  --scenario NAME           run open-loop scenario traffic instead of the
+                            office workload (same as scenario=NAME; knobs
+                            sc-* below, docs/scenarios.md)
+  --list-scenarios          print the scenario catalogue and exit
   --trace N                 print the last N protocol events of the run
   --trace-file PATH         dump the full protocol trace as JSONL
   --trace-json PATH         dump the trace in Chrome trace-event format
@@ -139,7 +149,14 @@ void print_json(const core::ExperimentConfig& cfg,
   os.precision(10);
   const char* sep = "";
   auto num = [&](const char* key, double value) {
-    os << sep << "\n  \"" << key << "\": " << value;
+    // A run that completes zero blocks (e.g. overload collapse bounded by
+    // max-time) has ci_relative = inf; bare inf/nan is not valid JSON.
+    os << sep << "\n  \"" << key << "\": ";
+    if (std::isfinite(value)) {
+      os << value;
+    } else {
+      os << '"' << value << '"';
+    }
     sep = ",";
   };
   auto count = [&](const char* key, std::uint64_t value) {
@@ -171,6 +188,15 @@ void print_json(const core::ExperimentConfig& cfg,
   count("node_crashes", r.node_crashes);
   count("node_restarts", r.node_restarts);
   count("recoveries", r.recoveries);
+  if (cfg.scenario.enabled()) {
+    os << sep << "\n  \"scenario\": \"" << cfg.scenario.name << "\"";
+    count("scenario_bursts", r.scenario_bursts);
+    count("scenario_ops", r.scenario_ops);
+    num("scenario_offered", r.scenario_offered);
+    num("scenario_achieved", r.scenario_achieved);
+    num("scenario_op_p50", r.scenario_op_p50);
+    num("scenario_op_p99", r.scenario_op_p99);
+  }
   count("seed", cfg.seed);
   count("threads", static_cast<std::uint64_t>(threads));
   // The run's registry state (docs/metrics.md): per-policy fold-ins plus
@@ -219,6 +245,17 @@ int run_single(const CliOptions& opts) {
                      core::format_double(r.call_p99, 2)});
   table.add_row({"simulated time", core::format_double(r.sim_time, 1)});
   table.add_row({"engine events", std::to_string(r.events)});
+  if (cfg.scenario.enabled()) {
+    table.add_row({"scenario bursts", std::to_string(r.scenario_bursts)});
+    table.add_row({"scenario ops", std::to_string(r.scenario_ops)});
+    table.add_row({"scenario offered bursts/t",
+                   core::format_double(r.scenario_offered, 4)});
+    table.add_row({"scenario achieved ops/t",
+                   core::format_double(r.scenario_achieved, 4)});
+    table.add_row({"scenario op p50/p99",
+                   core::format_double(r.scenario_op_p50, 3) + " / " +
+                       core::format_double(r.scenario_op_p99, 3)});
+  }
   if (!cfg.fault_plan.empty() || cfg.lock_lease > 0.0) {
     table.add_row({"messages dropped/duplicated/delayed",
                    std::to_string(r.dropped_messages) + " / " +
@@ -279,8 +316,10 @@ int run_sweep(const CliOptions& opts) {
       [&](double x) {
         core::ExperimentConfig cfg = core::parse_config(opts.assignments);
         static const std::set<std::string> int_keys{
-            "nodes",      "clients",   "servers1",        "servers2", "ws",
-            "min-blocks", "max-blocks", "egoistic-clients", "seed"};
+            "nodes",      "clients",    "servers1",         "servers2",
+            "ws",         "min-blocks", "max-blocks",       "egoistic-clients",
+            "seed",       "sc-nodes",   "sc-sources",       "sc-objects",
+            "sc-fanout",  "sc-groups"};
         std::ostringstream v;
         if (int_keys.contains(key)) {
           v << static_cast<long long>(std::llround(x));
@@ -322,6 +361,12 @@ int main(int argc, char** argv) {
     const CliOptions opts = parse_cli(argc, argv);
     if (opts.help) {
       print_help();
+      return 0;
+    }
+    if (opts.list_scenarios) {
+      for (const scenario::ScenarioInfo& info : scenario::list_scenarios()) {
+        std::cout << info.name << "\t" << info.summary << "\n";
+      }
       return 0;
     }
     return opts.sweep.empty() ? run_single(opts) : run_sweep(opts);
