@@ -39,7 +39,7 @@ ObjectState cart_state() {
 void race(bool placement) {
   LiveSystem::Options opts;
   opts.nodes = 3;
-  opts.placement_policy = placement;
+  opts.policy = placement ? MovePolicy::Placement : MovePolicy::Conventional;
   opts.remote_latency = std::chrono::microseconds{200};
   LiveSystem sys{opts};
   sys.register_type("cart", cart_factory());

@@ -29,6 +29,11 @@ CELLS = [
     ("placement+a-transitive", ["policy=placement", "attach=a-transitive"]),
     ("compare-nodes+a-transitive", ["policy=compare-nodes",
                                     "attach=a-transitive"]),
+    # The claim-3 re-judgement (docs/policies.md): feedback-driven kinds,
+    # same A-transitive scoping as the dynamic-policy cell they contest.
+    ("adaptive+a-transitive", ["policy=adaptive", "attach=a-transitive"]),
+    ("adaptive-load+a-transitive", ["policy=adaptive-load",
+                                    "attach=a-transitive"]),
 ]
 
 

@@ -57,6 +57,8 @@ std::optional<migration::PolicyKind> policy_from_string(std::string_view s) {
   if (s == "compare-nodes") return PolicyKind::CompareNodes;
   if (s == "compare-reinstantiate") return PolicyKind::CompareReinstantiate;
   if (s == "load-share") return PolicyKind::LoadShare;
+  if (s == "adaptive") return PolicyKind::Adaptive;
+  if (s == "adaptive-load") return PolicyKind::AdaptiveLoad;
   return std::nullopt;
 }
 
@@ -214,7 +216,8 @@ void apply_assignment(ExperimentConfig& config, std::string_view key,
   } else if (key == "policy") {
     config.policy = parse_enum(key, value, &policy_from_string,
                                "sedentary|conventional|placement|"
-                               "compare-nodes|compare-reinstantiate");
+                               "compare-nodes|compare-reinstantiate|"
+                               "load-share|adaptive|adaptive-load");
   } else if (key == "attach") {
     config.transitivity =
         parse_enum(key, value, &transitivity_from_string,
@@ -251,7 +254,27 @@ void apply_assignment(ExperimentConfig& config, std::string_view key,
     config.egoistic_policy =
         parse_enum(key, value, &policy_from_string,
                    "sedentary|conventional|placement|compare-nodes|"
-                   "compare-reinstantiate");
+                   "compare-reinstantiate|load-share|adaptive|adaptive-load");
+  } else if (key == "ema-decay") {
+    config.ema_decay = parse_double(key, value);
+    if (config.ema_decay <= 0.0 || config.ema_decay >= 1.0) {
+      throw ConfigError{"'ema-decay' must be in (0,1)"};
+    }
+  } else if (key == "hysteresis") {
+    config.hysteresis_band = parse_double(key, value);
+    if (config.hysteresis_band < 0.0 || config.hysteresis_band > 1.0) {
+      throw ConfigError{"'hysteresis' must be in [0,1]"};
+    }
+  } else if (key == "min-weight") {
+    config.adaptive_min_weight = parse_double(key, value);
+    if (config.adaptive_min_weight < 0.0) {
+      throw ConfigError{"'min-weight' must be >= 0"};
+    }
+  } else if (key == "load-factor") {
+    config.load_factor = parse_double(key, value);
+    if (config.load_factor <= 0.0) {
+      throw ConfigError{"'load-factor' must be > 0"};
+    }
   } else if (key == "majority") {
     config.clear_majority_minimum = static_cast<int>(parse_int(key, value));
   } else if (key == "ci") {
@@ -359,6 +382,15 @@ std::string describe(const ExperimentConfig& config) {
     os << " egoistic-clients=" << config.egoistic_clients
        << " egoistic-policy=" << migration::to_string(config.egoistic_policy);
   }
+  if (config.policy == migration::PolicyKind::Adaptive ||
+      config.policy == migration::PolicyKind::AdaptiveLoad) {
+    os << " ema-decay=" << config.ema_decay
+       << " hysteresis=" << config.hysteresis_band
+       << " min-weight=" << config.adaptive_min_weight;
+    if (config.policy == migration::PolicyKind::AdaptiveLoad) {
+      os << " load-factor=" << config.load_factor;
+    }
+  }
   if (config.scenario.enabled()) {
     const auto& sc = config.scenario;
     os << " scenario=" << sc.name << " sc-nodes=" << sc.nodes
@@ -383,9 +415,14 @@ std::string config_help() {
                    (fragmented-service outlook)
                  replication={none|on-read} (mutable read replicas)
   semantics:     policy={sedentary|conventional|placement|compare-nodes|
-                         compare-reinstantiate}
+                         compare-reinstantiate|load-share|adaptive|
+                         adaptive-load}
                  attach={unrestricted|a-transitive} exclusive={0|1}
                  transfer={parallel|serial}
+  adaptive:      ema-decay (EMA retention per access, docs/policies.md)
+                 hysteresis (dominant-vs-host share margin)
+                 min-weight (min effective EMA sample size)
+                 load-factor (adaptive-load hosted-objects veto)
   substrate:     topology={full-mesh|ring|star|grid}
                  latency={uniform|hop-scaled|fixed}
                  location={none|name-server|forwarding|broadcast|

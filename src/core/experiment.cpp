@@ -12,6 +12,7 @@
 #include "obs/families.hpp"
 #include "obs/metrics.hpp"
 #include "objsys/invocation.hpp"
+#include "objsys/locality.hpp"
 #include "objsys/registry.hpp"
 #include "scenario/sim_driver.hpp"
 #include "sim/engine.hpp"
@@ -63,8 +64,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   opts.transfer = config.transfer;
   opts.clear_majority_minimum = config.clear_majority_minimum;
   opts.lock_lease = config.lock_lease;
+  opts.hysteresis_band = config.hysteresis_band;
+  opts.adaptive_min_weight = config.adaptive_min_weight;
+  opts.load_factor = config.load_factor;
   migration::MigrationManager manager{engine, registry,  latency, mgr_rng,
                                       attachments, alliances, opts};
+
+  // Access-locality telemetry only exists when an adaptive policy consumes
+  // it: non-adaptive runs keep a bare invocation hot path (and the tracker
+  // would not perturb them anyway — it is pure arithmetic, no RNG).
+  const auto is_adaptive = [](migration::PolicyKind k) {
+    return k == migration::PolicyKind::Adaptive ||
+           k == migration::PolicyKind::AdaptiveLoad;
+  };
+  std::unique_ptr<objsys::LocalityTracker> locality;
+  if (config.track_locality || is_adaptive(config.policy) ||
+      (config.egoistic_clients > 0 && is_adaptive(config.egoistic_policy))) {
+    locality =
+        std::make_unique<objsys::LocalityTracker>(node_count, config.ema_decay);
+    invoker.set_locality_tracker(locality.get());
+    manager.set_locality_tracker(locality.get());
+  }
 
   // Fault machinery only exists when the plan asks for it — an empty plan
   // leaves every code path and RNG stream exactly as in a fault-free build.
@@ -154,6 +174,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   r.call_p95 = recorder.call_duration_quantile(0.95);
   r.call_p99 = recorder.call_duration_quantile(0.99);
   r.lease_expiries = manager.lease_expiries();
+  {
+    const migration::PolicyCounters& pc = manager.policy_counters();
+    r.policy_migrations = pc.migrations_triggered;
+    r.policy_suppressed_hysteresis = pc.suppressed_hysteresis;
+    r.policy_suppressed_load = pc.suppressed_load;
+    r.policy_reversals = pc.pingpong_reversals;
+    if (locality != nullptr) r.ema_updates = locality->updates();
+  }
   if (config.scenario.enabled()) {
     r.scenario_bursts = scen_tally.offered_bursts;
     r.scenario_ops = scen_tally.ops_invoke + scen_tally.ops_move +
@@ -228,6 +256,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
           static_cast<std::int64_t>(r.scenario_achieved * 1000.0));
       scm.op_milli->merge(scen_tally.op_milli);
       scm.burst_milli->merge(scen_tally.burst_milli);
+    }
+    if (locality != nullptr) {
+      obs::PolicyMetrics pm = obs::policy_metrics(
+          std::string{migration::to_string(config.policy)});
+      pm.migrations_triggered->inc(r.policy_migrations);
+      pm.suppressed_hysteresis->inc(r.policy_suppressed_hysteresis);
+      pm.suppressed_load->inc(r.policy_suppressed_load);
+      pm.pingpong_reversals->inc(r.policy_reversals);
+      pm.ema_updates->inc(r.ema_updates);
     }
     if (service && service->sharded() != nullptr) {
       const objsys::DirectoryStats& ds = service->sharded()->stats();

@@ -38,6 +38,19 @@ struct ExperimentConfig {
   /// ManagerOptions::clear_majority_minimum).
   int clear_majority_minimum = 2;
 
+  /// Adaptive-policy knobs (docs/policies.md; only consulted when `policy`
+  /// or `egoistic_policy` is Adaptive/AdaptiveLoad). Defaults mirror
+  /// ManagerOptions.
+  double ema_decay = 0.9;          ///< per-access EMA retention factor
+  double hysteresis_band = 0.2;    ///< dominant-vs-host share margin
+  double adaptive_min_weight = 4.0;  ///< min effective EMA sample size
+  double load_factor = 2.0;        ///< AdaptiveLoad's hosted-objects veto
+  /// Attach the locality tracker even under a non-adaptive policy. No
+  /// policy consumes it then — this isolates the tracker's bookkeeping
+  /// cost on the invocation hot path (bench_policy's A/B; the tracker is
+  /// RNG-free, so results are unchanged by construction).
+  bool track_locality = false;
+
   /// Mutable-object replication (Section 5 outlook; see docs/MODEL.md).
   objsys::ReplicationMode replication = objsys::ReplicationMode::None;
 
@@ -109,6 +122,14 @@ struct ExperimentResult {
   double scenario_achieved = 0.0;       ///< completed ops per sim-time unit
   double scenario_op_p50 = 0.0;         ///< invocation latency quantiles
   double scenario_op_p99 = 0.0;         ///< (sim units, bucket upper bound)
+
+  // Adaptive-policy telemetry — all zero unless the run used an adaptive
+  // PolicyKind (docs/policies.md).
+  std::uint64_t policy_migrations = 0;   ///< adaptive migrations triggered
+  std::uint64_t policy_suppressed_hysteresis = 0;  ///< moves under the band
+  std::uint64_t policy_suppressed_load = 0;        ///< load-veto refusals
+  std::uint64_t policy_reversals = 0;    ///< migrations undoing the previous
+  std::uint64_t ema_updates = 0;         ///< locality-tracker record() calls
 
   // Robustness counters — all zero unless the run had a fault plan.
   std::uint64_t dropped_messages = 0;

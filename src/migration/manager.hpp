@@ -17,6 +17,7 @@
 #include "migration/attachment.hpp"
 #include "migration/block.hpp"
 #include "net/latency.hpp"
+#include "objsys/locality.hpp"
 #include "objsys/location_service.hpp"
 #include "objsys/registry.hpp"
 #include "sim/engine.hpp"
@@ -56,6 +57,30 @@ struct ManagerOptions {
   /// the object is released in place and a competing move may take over.
   /// Zero = locks never expire (the paper's semantics).
   double lock_lease = 0.0;
+
+  // --- adaptive policies (docs/policies.md) -------------------------------
+  /// Hysteresis band for the adaptive policies: the EMA-dominant node must
+  /// lead the current host's share by at least this margin before the
+  /// object migrates (design decision 9, docs/ARCHITECTURE.md — prevents
+  /// ping-ponging between two evenly-matched callers).
+  double hysteresis_band = 0.2;
+  /// Minimum effective EMA sample size before an adaptive migration is
+  /// considered at all (a single access must not relocate an object).
+  double adaptive_min_weight = 4.0;
+  /// Load veto for the load-aware adaptive policy: a migration toward the
+  /// dominant node is suppressed when that node already hosts more than
+  /// `load_factor` × the mean per-node object count.
+  double load_factor = 2.0;
+};
+
+/// Per-run tallies of the adaptive policies' decisions, folded into the
+/// omig_policy_* families once per run (core/experiment.cpp). Plain
+/// integers: the engine is single-threaded.
+struct PolicyCounters {
+  std::uint64_t migrations_triggered = 0;   ///< adaptive moves executed
+  std::uint64_t suppressed_hysteresis = 0;  ///< margin/weight under the band
+  std::uint64_t suppressed_load = 0;        ///< load veto fired
+  std::uint64_t pingpong_reversals = 0;     ///< move undoing the previous one
 };
 
 class MigrationManager {
@@ -135,6 +160,19 @@ public:
     service_ = service;
   }
 
+  /// Access-locality tracker the adaptive policies consult; attached by the
+  /// experiment driver for the adaptive PolicyKinds. Not owned.
+  void set_locality_tracker(objsys::LocalityTracker* tracker) {
+    locality_ = tracker;
+  }
+  [[nodiscard]] objsys::LocalityTracker* locality() { return locality_; }
+
+  /// Adaptive-policy decision tallies (see PolicyCounters).
+  [[nodiscard]] PolicyCounters& policy_counters() { return policy_counters_; }
+  [[nodiscard]] const PolicyCounters& policy_counters() const {
+    return policy_counters_;
+  }
+
   /// Optional instrumentation: all protocol events (requests, refusals,
   /// transits, locks) are recorded into `log`. Not owned; null disables.
   void set_trace(trace::TraceLog* log) { trace_ = log; }
@@ -188,6 +226,8 @@ private:
   util::DenseTable<ObjectId, std::vector<int>> open_moves_;
   std::function<void(double)> background_sink_;
   objsys::LocationService* service_ = nullptr;
+  objsys::LocalityTracker* locality_ = nullptr;
+  PolicyCounters policy_counters_;
   trace::TraceLog* trace_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   fault::NodeHealth* health_ = nullptr;

@@ -19,6 +19,10 @@ std::string_view to_string(PolicyKind kind) {
       return "compare-reinstantiate";
     case PolicyKind::LoadShare:
       return "load-share";
+    case PolicyKind::Adaptive:
+      return "adaptive";
+    case PolicyKind::AdaptiveLoad:
+      return "adaptive-load";
   }
   return "unknown";
 }
@@ -57,6 +61,10 @@ std::unique_ptr<MigrationPolicy> make_policy(PolicyKind kind,
       return std::make_unique<CompareReinstantiatePolicy>(mgr);
     case PolicyKind::LoadShare:
       return std::make_unique<LoadSharePolicy>(mgr);
+    case PolicyKind::Adaptive:
+      return std::make_unique<AdaptivePlacementPolicy>(mgr);
+    case PolicyKind::AdaptiveLoad:
+      return std::make_unique<AdaptiveLoadPolicy>(mgr);
   }
   OMIG_REQUIRE(false, "unknown policy kind");
   return nullptr;

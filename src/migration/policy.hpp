@@ -25,6 +25,11 @@ enum class PolicyKind {
   LoadShare,             ///< beyond-paper: pursues Section 2.2's load-sharing
                          ///< goal — moves objects to lightly used nodes,
                          ///< regardless of who is calling them
+  Adaptive,              ///< beyond-paper: migrates toward the EMA-dominant
+                         ///< caller node, gated by a hysteresis band
+                         ///< (docs/policies.md)
+  AdaptiveLoad,          ///< Adaptive plus a per-node load veto: an
+                         ///< overloaded dominant node does not attract moves
 };
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind);

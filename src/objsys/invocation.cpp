@@ -1,5 +1,6 @@
 #include "objsys/invocation.hpp"
 
+#include "objsys/locality.hpp"
 #include "objsys/location_service.hpp"
 #include "util/assert.hpp"
 
@@ -79,6 +80,7 @@ sim::Task Invoker::invoke(NodeId caller, ObjectId callee,
     }
   }
   ++invocations_;
+  if (locality_ != nullptr) locality_->record(callee, caller);
   const bool immutable = registry_->descriptor(callee).immutable;
   const NodeId loc = registry_->location(callee);
 

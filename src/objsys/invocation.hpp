@@ -22,6 +22,7 @@
 namespace omig::objsys {
 
 class LocationService;
+class LocalityTracker;
 
 /// Whether an invocation only observes the callee's state (Read) or
 /// modifies it (Write). The paper's model does not distinguish them; the
@@ -45,6 +46,13 @@ public:
   /// Optional location-mechanism cost model (paper normalises this away;
   /// see `LocationService` and the ablation benches). Not owned.
   void set_location_service(LocationService* service) { service_ = service; }
+
+  /// Optional access-locality tracker (docs/policies.md): every invocation
+  /// records its caller node into the per-object EMA the adaptive policies
+  /// consult. Pure arithmetic on the hot path — no RNG, no events — so
+  /// attaching it cannot change any simulated outcome. Not owned; null
+  /// disables (the default, and the only mode non-adaptive runs use).
+  void set_locality_tracker(LocalityTracker* tracker) { locality_ = tracker; }
 
   /// Optional fault model (docs/fault_model.md). With an injector, each
   /// message leg may be dropped (the caller waits out its retry timeout and
@@ -105,6 +113,7 @@ private:
   const net::LatencyModel* latency_;
   sim::Rng* rng_;
   LocationService* service_ = nullptr;
+  LocalityTracker* locality_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
   fault::NodeHealth* health_ = nullptr;
   ReplicationMode replication_ = ReplicationMode::None;

@@ -1,0 +1,56 @@
+#include "objsys/locality.hpp"
+
+#include "util/assert.hpp"
+
+namespace omig::objsys {
+
+namespace {
+/// Renormalisation threshold for the growing weight. Doubles overflow near
+/// 1e308; rescaling at 1e100 leaves ~200 orders of magnitude of headroom
+/// and, with decay >= 0.5, triggers at most once every ~330 events.
+constexpr double kRenormAt = 1e100;
+}  // namespace
+
+LocalityTracker::LocalityTracker(std::size_t node_count, double decay)
+    : node_count_{node_count}, decay_{decay}, growth_{1.0 / decay} {
+  OMIG_REQUIRE(decay > 0.0 && decay < 1.0,
+               "locality decay must be in (0,1)");
+  OMIG_REQUIRE(node_count > 0, "locality tracker needs at least one node");
+}
+
+void LocalityTracker::record(ObjectId callee, NodeId caller) {
+  OMIG_ASSERT(caller.valid() && caller.value() < node_count_);
+  Entry& e = table_[callee];
+  if (e.score.empty()) e.score.resize(node_count_, 0.0);
+  e.score[caller.value()] += e.next_weight;
+  e.total += e.next_weight;
+  e.next_weight *= growth_;
+  if (e.next_weight >= kRenormAt) {
+    const double inv = 1.0 / e.next_weight;
+    for (double& s : e.score) s *= inv;
+    e.total *= inv;
+    e.next_weight = 1.0;
+  }
+  ++updates_;
+}
+
+LocalityEstimate LocalityTracker::estimate(ObjectId obj, NodeId host) const {
+  LocalityEstimate out;
+  const Entry* e = table_.find(obj);
+  if (e == nullptr || e->total <= 0.0) return out;
+  std::size_t best = 0;
+  for (std::size_t n = 1; n < e->score.size(); ++n) {
+    if (e->score[n] > e->score[best]) best = n;  // lowest index wins ties
+  }
+  out.dominant = NodeId{static_cast<NodeId::value_type>(best)};
+  out.share = e->score[best] / e->total;
+  if (host.valid() && host.value() < e->score.size()) {
+    out.host_share = e->score[host.value()] / e->total;
+  }
+  // Effective sample size in units of "the most recent access counts 1":
+  // total / weight-of-the-latest-event = sum of decay^age over all events.
+  out.weight = e->total * growth_ / e->next_weight;
+  return out;
+}
+
+}  // namespace omig::objsys

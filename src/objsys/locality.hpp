@@ -1,0 +1,72 @@
+// Per-object access-locality tracker.
+//
+// Maintains, for every object, an exponentially-weighted moving average of
+// the caller-node distribution of its invocations. The adaptive placement
+// policies (docs/policies.md) consult it at move() time: if one node has
+// issued a clear EMA majority of the recent accesses, the object migrates
+// toward that node; otherwise it stays put.
+//
+// Hot-path contract (docs/performance.md): record() is O(1), touches no
+// atomics, consumes no randomness, and schedules no events — attaching a
+// tracker to an Invoker cannot perturb the deterministic per-cell RNG
+// streams, so the existing sweep goldens stay byte-identical. The EMA uses
+// the growing-weight formulation: each access adds a weight that grows by
+// 1/decay per event, which makes the *relative* weights of past accesses
+// decay geometrically without revisiting them. Weights are renormalised
+// (O(nodes), amortised over thousands of events) before they can overflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "objsys/ids.hpp"
+#include "util/dense_table.hpp"
+
+namespace omig::objsys {
+
+/// What the tracker knows about one object at a decision point.
+struct LocalityEstimate {
+  NodeId dominant = NodeId::invalid();  ///< highest-EMA caller node
+  double share = 0.0;        ///< dominant's fraction of the EMA mass [0,1]
+  double host_share = 0.0;   ///< the queried host's fraction of the mass
+  double weight = 0.0;       ///< effective sample size (≤ 1/(1-decay))
+};
+
+class LocalityTracker {
+public:
+  /// `decay` is the per-event retention factor in (0,1): after k further
+  /// accesses an access retains decay^k of its original weight. 0.9 keeps
+  /// an effective window of ~10 accesses.
+  explicit LocalityTracker(std::size_t node_count, double decay = 0.9);
+
+  /// Records one invocation of `callee` issued from `caller`. O(1), no
+  /// atomics, no RNG, no events.
+  void record(ObjectId callee, NodeId caller);
+
+  /// The EMA-dominant caller node of `obj` and its share of the EMA mass,
+  /// plus `host`'s share (0 if `host` never called). Ties break toward the
+  /// lowest node index, so the estimate is deterministic. Returns an
+  /// invalid dominant for an object that was never recorded.
+  [[nodiscard]] LocalityEstimate estimate(ObjectId obj, NodeId host) const;
+
+  /// record() calls so far (folded into omig_policy_ema_updates_total).
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+  [[nodiscard]] double decay() const { return decay_; }
+  [[nodiscard]] std::size_t tracked_objects() const { return table_.size(); }
+
+private:
+  struct Entry {
+    std::vector<double> score;  ///< EMA mass per caller node
+    double total = 0.0;         ///< sum of score[]
+    double next_weight = 1.0;   ///< weight the next access will add
+  };
+
+  std::size_t node_count_;
+  double decay_;
+  double growth_;  ///< 1/decay: per-event weight growth factor
+  util::DenseTable<ObjectId, Entry> table_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace omig::objsys

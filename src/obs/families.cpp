@@ -207,6 +207,30 @@ ScenarioMetrics scenario_metrics(const std::string& scenario) {
   return m;
 }
 
+PolicyMetrics policy_metrics(const std::string& policy) {
+  MetricsRegistry& r = MetricsRegistry::global();
+  const Labels by{{"policy", policy}};
+  PolicyMetrics m;
+  m.migrations_triggered =
+      &r.counter("omig_policy_migrations_total",
+                 "Migrations the adaptive policy triggered, by policy", by);
+  m.suppressed_hysteresis = &r.counter(
+      "omig_policy_suppressed_total",
+      "Adaptive migrations suppressed, by policy and reason",
+      {{"policy", policy}, {"reason", "hysteresis"}});
+  m.suppressed_load = &r.counter(
+      "omig_policy_suppressed_total",
+      "Adaptive migrations suppressed, by policy and reason",
+      {{"policy", policy}, {"reason", "load"}});
+  m.pingpong_reversals = &r.counter(
+      "omig_policy_pingpong_reversals_total",
+      "Adaptive migrations that undid the object's previous one", by);
+  m.ema_updates =
+      &r.counter("omig_policy_ema_updates_total",
+                 "Access-locality EMA updates recorded, by policy", by);
+  return m;
+}
+
 void register_standard_metrics() {
   (void)sim_metrics();
   (void)runtime_metrics();
@@ -219,6 +243,10 @@ void register_standard_metrics() {
   // rather than queried because obs sits below scenario in the layering.
   for (const char* name : {"cache", "game", "iot", "social"}) {
     (void)scenario_metrics(name);
+  }
+  // Same story for the adaptive-policy family (docs/policies.md).
+  for (const char* name : {"adaptive", "adaptive-load"}) {
+    (void)policy_metrics(name);
   }
 }
 

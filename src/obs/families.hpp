@@ -121,6 +121,22 @@ struct ScenarioMetrics {
 /// it returns by value; registration is idempotent and cheap on a hit.
 [[nodiscard]] ScenarioMetrics scenario_metrics(const std::string& scenario);
 
+/// Adaptive-placement policy layer (docs/policies.md): the decisions the
+/// feedback-driven policies took and the locality telemetry that fed them,
+/// labelled by policy kind. Both backends feed the same family — the
+/// simulator folds per-run PolicyCounters in once per run
+/// (core/experiment.cpp), the live runtime increments per decision.
+struct PolicyMetrics {
+  Counter* migrations_triggered;   ///< omig_policy_migrations_total
+  Counter* suppressed_hysteresis;  ///< omig_policy_suppressed_total{reason=hysteresis}
+  Counter* suppressed_load;        ///< omig_policy_suppressed_total{reason=load}
+  Counter* pingpong_reversals;     ///< omig_policy_pingpong_reversals_total
+  Counter* ema_updates;            ///< omig_policy_ema_updates_total
+};
+/// Keyed by policy name ("adaptive" / "adaptive-load"), so it returns by
+/// value like scenario_metrics; registration is idempotent.
+[[nodiscard]] PolicyMetrics policy_metrics(const std::string& policy);
+
 /// Touches every family above so an exporter shows the full schema
 /// before any traffic (Prometheus convention: export zeros, not absence).
 void register_standard_metrics();

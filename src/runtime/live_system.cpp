@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
 
@@ -32,6 +33,26 @@ std::uint64_t now_ms() {
           .count());
 }
 }  // namespace
+
+const char* to_string(MovePolicy policy) {
+  switch (policy) {
+    case MovePolicy::Conventional: return "conventional";
+    case MovePolicy::Placement: return "placement";
+    case MovePolicy::Adaptive: return "adaptive";
+    case MovePolicy::AdaptiveLoad: return "adaptive-load";
+  }
+  return "?";
+}
+
+MovePolicy move_policy_from_string(const std::string& name) {
+  if (name == "conventional") return MovePolicy::Conventional;
+  if (name == "placement") return MovePolicy::Placement;
+  if (name == "adaptive") return MovePolicy::Adaptive;
+  if (name == "adaptive-load") return MovePolicy::AdaptiveLoad;
+  throw std::invalid_argument{
+      "unknown move policy '" + name +
+      "' (expected conventional|placement|adaptive|adaptive-load)"};
+}
 
 LiveSystem::LiveSystem(Options options) : options_{std::move(options)} {
   OMIG_REQUIRE(options_.nodes >= 1 || remote(), "need at least one node");
@@ -73,6 +94,11 @@ void LiveSystem::start() {
   }
   if (!options_.fault_plan.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(options_.fault_plan);
+  }
+  if (adaptive_policy()) {
+    locality_ =
+        std::make_unique<objsys::LocalityTracker>(count, options_.ema_decay);
+    policy_obs_ = obs::policy_metrics(to_string(options_.policy));
   }
 
   // All inter-node traffic goes through one transport; faults inject at
@@ -342,6 +368,9 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
   // Sharded mode: a node the previous round found empty — the resolve
   // path invalidates its cache entry and chases the forwarding hints.
   std::optional<std::size_t> stale;
+  // The locality EMA counts logical invocations, so feed it once even if
+  // stale rounds retry the delivery.
+  bool locality_recorded = false;
   for (;;) {
     std::size_t node;
     {
@@ -360,6 +389,10 @@ InvokeResult LiveSystem::invoke_impl(std::optional<std::size_t> from,
         return InvokeResult{false, "unknown object: " + object};
       }
       node = it->second.node;
+      if (!locality_recorded && from.has_value()) {
+        record_locality_locked(object, *from);
+        locality_recorded = true;
+      }
     }
     if (sharded()) {
       node = resolve_sharded(from, object, stale);
@@ -650,7 +683,12 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
     token.id = next_token_++;
     trace_locked(trace::EventKind::BlockBegin, object, dest, token.id);
 
-    if (options_.placement_policy) {
+    // The adaptive kinds treat `dest` as advisory: the closure relocates
+    // to the EMA's choice (the current host when the telemetry says stay,
+    // which relocate() resolves as a no-op), under placement locking.
+    std::size_t target = dest;
+
+    if (options_.policy != MovePolicy::Conventional) {
       // A lock whose lease ran out belongs to a block that died (node
       // crash) or stalled past its budget: release everything it holds —
       // the objects stay in place — and let this move proceed.
@@ -661,6 +699,9 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
         obs::runtime_metrics().refused_moves->inc();
         trace_locked(trace::EventKind::MoveRefused, object, dest, token.id);
         return token;  // granted = false: caller invokes remotely
+      }
+      if (adaptive_policy()) {
+        target = adaptive_target_locked(object, alliance);
       }
       const auto lease_deadline =
           std::chrono::steady_clock::now() + options_.lock_lease;
@@ -677,12 +718,13 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
           (void)store_->lease(name, token.id);
         }
         token.locked.push_back(name);
-        trace_locked(trace::EventKind::Lock, name, dest, token.id);
+        trace_locked(trace::EventKind::Lock, name, target, token.id);
         transit_cv_.wait(lock,
                          [&] { return !directory_.at(name).in_transit; });
         if (meta.fixed) continue;
         meta.in_transit = true;
-        trace_locked(trace::EventKind::MigrationStart, name, dest, token.id);
+        trace_locked(trace::EventKind::MigrationStart, name, target,
+                     token.id);
         to_move.push_back(name);
       }
     } else {
@@ -701,9 +743,67 @@ LiveSystem::MoveToken LiveSystem::move(const std::string& object,
     for (const std::string& name : to_move) {
       token.origins.emplace_back(name, directory_.at(name).node);
     }
+    dest = target;
   }
   relocate(to_move, dest);
   return token;
+}
+
+void LiveSystem::record_locality_locked(const std::string& object,
+                                        std::size_t from) {
+  if (locality_ == nullptr || from >= node_count()) return;
+  auto [it, inserted] = locality_ids_.try_emplace(
+      object, static_cast<std::uint32_t>(locality_ids_.size()));
+  locality_->record(objsys::ObjectId{it->second},
+                    objsys::NodeId{static_cast<std::uint32_t>(from)});
+  ema_updates_.fetch_add(1, std::memory_order_relaxed);
+  policy_obs_->ema_updates->inc();
+}
+
+std::size_t LiveSystem::adaptive_target_locked(const std::string& object,
+                                               const std::string& alliance) {
+  const Meta& meta = directory_.at(object);
+  const std::size_t host = meta.node;
+  const auto id_it = locality_ids_.find(object);
+  if (id_it == locality_ids_.end()) return host;  // never invoked: no data
+  const objsys::LocalityEstimate est = locality_->estimate(
+      objsys::ObjectId{id_it->second},
+      objsys::NodeId{static_cast<std::uint32_t>(host)});
+  if (!est.dominant.valid() || est.dominant.value() == host) return host;
+  if (est.weight < options_.adaptive_min_weight ||
+      est.share - est.host_share < options_.hysteresis_band) {
+    policy_suppressed_hysteresis_.fetch_add(1, std::memory_order_relaxed);
+    policy_obs_->suppressed_hysteresis->inc();
+    return host;
+  }
+  const std::size_t dest = est.dominant.value();
+  if (options_.policy == MovePolicy::AdaptiveLoad) {
+    std::size_t at_dest = 0;
+    for (const auto& [name, m] : directory_) at_dest += m.node == dest;
+    const std::size_t cluster = closure_locked(object, alliance).size();
+    // Mean hosted objects per node, floored at 1 — same sparse-population
+    // rule as the simulator policy (src/migration/policy_adaptive.cpp).
+    const double mean =
+        std::max(1.0, static_cast<double>(directory_.size()) /
+                          static_cast<double>(node_count()));
+    if (static_cast<double>(at_dest + cluster) >
+        options_.load_factor * mean) {
+      policy_suppressed_load_.fetch_add(1, std::memory_order_relaxed);
+      policy_obs_->suppressed_load->inc();
+      return host;
+    }
+  }
+  auto [move_it, first] = last_policy_move_.try_emplace(object, host, dest);
+  if (!first) {
+    if (move_it->second.first == dest && move_it->second.second == host) {
+      policy_reversals_.fetch_add(1, std::memory_order_relaxed);
+      policy_obs_->pingpong_reversals->inc();
+    }
+    move_it->second = {host, dest};
+  }
+  policy_migrations_.fetch_add(1, std::memory_order_relaxed);
+  policy_obs_->migrations_triggered->inc();
+  return dest;
 }
 
 void LiveSystem::end(MoveToken& token) {
@@ -1063,6 +1163,19 @@ std::uint64_t LiveSystem::invocations() const { return invocations_.load(); }
 std::uint64_t LiveSystem::remote_invocations() const { return remote_.load(); }
 std::uint64_t LiveSystem::migrations() const { return migrations_.load(); }
 std::uint64_t LiveSystem::refused_moves() const { return refused_.load(); }
+std::uint64_t LiveSystem::policy_migrations() const {
+  return policy_migrations_.load();
+}
+std::uint64_t LiveSystem::policy_suppressed_hysteresis() const {
+  return policy_suppressed_hysteresis_.load();
+}
+std::uint64_t LiveSystem::policy_suppressed_load() const {
+  return policy_suppressed_load_.load();
+}
+std::uint64_t LiveSystem::policy_reversals() const {
+  return policy_reversals_.load();
+}
+std::uint64_t LiveSystem::ema_updates() const { return ema_updates_.load(); }
 std::uint64_t LiveSystem::retries() const { return retries_.load(); }
 std::uint64_t LiveSystem::lease_expiries() const {
   return lease_expiries_.load();

@@ -42,6 +42,8 @@
 
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "obs/families.hpp"
+#include "objsys/locality.hpp"
 #include "objsys/location_cache.hpp"
 #include "objsys/sharded_directory.hpp"
 #include "runtime/live_node.hpp"
@@ -67,6 +69,23 @@ enum class TransportKind : std::uint8_t {
   Tcp,     ///< wire frames over localhost sockets (NodeServer per node)
 };
 
+/// Placement policy governing move()/visit() blocks (docs/policies.md).
+/// Conventional and Placement are the paper's pair; the adaptive kinds
+/// are the feedback-driven re-judgement of claim 3: they treat the
+/// requested destination as advisory and decide from the per-object
+/// access-locality EMA instead.
+enum class MovePolicy : std::uint8_t {
+  Conventional,  ///< always migrate to the requested node, no locks
+  Placement,     ///< transient placement: conflicting moves are refused
+  Adaptive,      ///< migrate toward the EMA-dominant caller, hysteresis-gated
+  AdaptiveLoad,  ///< Adaptive plus a per-node hosted-objects load veto
+};
+
+[[nodiscard]] const char* to_string(MovePolicy policy);
+/// Parses "conventional|placement|adaptive|adaptive-load"; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] MovePolicy move_policy_from_string(const std::string& name);
+
 class LiveSystem {
 public:
   struct Options {
@@ -76,9 +95,23 @@ public:
     std::chrono::microseconds remote_latency{0};
     /// Restrict attachment transitiveness to the alliance a move names.
     bool a_transitive_attachments = false;
-    /// Use transient placement for move(): a conflicting move is refused
-    /// instead of stealing the object (Section 3.2).
-    bool placement_policy = true;
+    /// move()/visit() semantics. Placement (the default) refuses a
+    /// conflicting move instead of stealing the object (Section 3.2); the
+    /// adaptive kinds migrate toward the EMA-dominant caller instead of
+    /// the requested destination (docs/policies.md).
+    MovePolicy policy = MovePolicy::Placement;
+
+    // --- adaptive-policy knobs (docs/policies.md) -------------------------
+    /// Per-access EMA retention factor of the locality tracker.
+    double ema_decay = 0.9;
+    /// Migrate only when the dominant node's EMA share leads the host's
+    /// share by at least this margin (design decision 9, ARCHITECTURE.md).
+    double hysteresis_band = 0.2;
+    /// Minimum effective EMA sample size before migrating at all.
+    double adaptive_min_weight = 4.0;
+    /// AdaptiveLoad: veto migrations into a node whose hosted-object count
+    /// would exceed this multiple of the per-node mean.
+    double load_factor = 2.0;
 
     // --- location directory (docs/directory.md) ---------------------------
     /// Central: every lookup reads the coordinator's directory map (the
@@ -271,6 +304,19 @@ public:
   [[nodiscard]] const store::DurableStore* store() const {
     return store_.get();
   }
+  // Adaptive-policy counters (all zero unless Options::policy is
+  // Adaptive/AdaptiveLoad; docs/policies.md).
+  /// Migrations the adaptive policy decided to perform.
+  [[nodiscard]] std::uint64_t policy_migrations() const;
+  /// Candidate moves suppressed by the hysteresis band / min weight.
+  [[nodiscard]] std::uint64_t policy_suppressed_hysteresis() const;
+  /// Candidate moves vetoed by AdaptiveLoad's hosted-objects cap.
+  [[nodiscard]] std::uint64_t policy_suppressed_load() const;
+  /// Adaptive migrations that exactly undid the object's previous one.
+  [[nodiscard]] std::uint64_t policy_reversals() const;
+  /// Locality-EMA updates recorded by invocations.
+  [[nodiscard]] std::uint64_t ema_updates() const;
+
   [[nodiscard]] std::uint64_t dropped_messages() const;
   [[nodiscard]] std::uint64_t duplicated_messages() const;
   /// Messages answered from the nodes' dedup caches.
@@ -375,6 +421,21 @@ private:
   /// True if `meta`'s lock lease has expired (requires `mutex_`).
   [[nodiscard]] bool lease_expired(const Meta& meta) const;
 
+  /// True when Options::policy is one of the adaptive kinds.
+  [[nodiscard]] bool adaptive_policy() const {
+    return options_.policy == MovePolicy::Adaptive ||
+           options_.policy == MovePolicy::AdaptiveLoad;
+  }
+  /// Feeds `object`'s locality EMA with one access from `from` (requires
+  /// `mutex_`). No-op unless the policy is adaptive.
+  void record_locality_locked(const std::string& object, std::size_t from);
+  /// The adaptive placement decision for `object` (requires `mutex_`):
+  /// the node to relocate the block's closure to — the object's current
+  /// host when the EMA says stay (no data, dominant already hosts, band
+  /// or load veto). Updates the policy counters and ping-pong state.
+  [[nodiscard]] std::size_t adaptive_target_locked(
+      const std::string& object, const std::string& alliance);
+
   /// Records a protocol event on the logical clock (requires `mutex_`).
   /// No-op without Options::trace. Pass kExternalSender as `node` for
   /// events without a node operand and 0 as `block` for blockless ones.
@@ -443,6 +504,17 @@ private:
   std::uint64_t next_object_id_ = 0;  ///< guarded by mutex_
   std::uint64_t trace_clock_ = 0;     ///< guarded by mutex_
 
+  /// Access-locality telemetry (docs/policies.md); null unless the policy
+  /// is adaptive. The tracker is dense-id keyed, so names get stable ids
+  /// in first-invocation order. All guarded by mutex_.
+  std::unique_ptr<objsys::LocalityTracker> locality_;
+  std::unordered_map<std::string, std::uint32_t> locality_ids_;
+  /// Last adaptive relocation per object (from, to) — ping-pong detector.
+  std::unordered_map<std::string, std::pair<std::size_t, std::size_t>>
+      last_policy_move_;
+  /// Cached obs family ("adaptive" / "adaptive-load"); set in start().
+  std::optional<obs::PolicyMetrics> policy_obs_;
+
   /// Per-origin lookup caches (node_count() + 1 entries; the last one
   /// serves external senders). Pointers because the caches hold mutexes.
   std::vector<std::unique_ptr<objsys::NamedLocationCache>> caches_;
@@ -482,6 +554,11 @@ private:
   std::atomic<std::uint64_t> dir_updates_{0};
   std::atomic<std::uint64_t> dir_invalidations_{0};
   std::atomic<std::uint64_t> dir_fallbacks_{0};
+  std::atomic<std::uint64_t> policy_migrations_{0};
+  std::atomic<std::uint64_t> policy_suppressed_hysteresis_{0};
+  std::atomic<std::uint64_t> policy_suppressed_load_{0};
+  std::atomic<std::uint64_t> policy_reversals_{0};
+  std::atomic<std::uint64_t> ema_updates_{0};
 };
 
 }  // namespace omig::runtime

@@ -1,0 +1,140 @@
+// Golden determinism record for the adaptive policy kinds.
+//
+// Companion to tests/core/sweep_golden_test.cpp: the same canonicalised
+// hexfloat rendering, but over an adaptive / adaptive-load fig-8 grid and
+// extended with the omig_policy_* counters, proving that (a) the adaptive
+// decision path consumes no randomness of its own and (b) a sweep over the
+// new PolicyKinds is bit-identical at any worker-thread count.
+//
+// To regenerate after a legitimate functional change:
+//   OMIG_PRINT_POLICY_GOLDEN=1 ./build/tests/test_policy
+//       --gtest_filter='AdaptiveSweepGoldenTest.*'
+// and paste the output over the raw string below (say so in the commit).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "core/sweep.hpp"
+
+namespace omig::core {
+namespace {
+
+stats::StoppingRule tiny_rule() {
+  stats::StoppingRule rule;
+  rule.relative_target = 0.10;
+  rule.min_observations = 200;
+  rule.max_observations = 500;
+  return rule;
+}
+
+std::vector<SweepVariant> adaptive_variants() {
+  return {
+      {"adaptive",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::Adaptive);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+      {"adaptive-load",
+       [](double x) {
+         auto cfg = fig8_config(x, migration::PolicyKind::AdaptiveLoad);
+         cfg.stopping = tiny_rule();
+         return cfg;
+       }},
+  };
+}
+
+const std::vector<double> kXs{5.0, 30.0, 80.0};
+
+void canonicalise(std::ostream& os, const std::vector<SweepPoint>& points) {
+  os << std::hexfloat;
+  for (const auto& p : points) {
+    os << "x=" << p.x << '\n';
+    for (const auto& r : p.results) {
+      os << "  tpc=" << r.total_per_call << " cd=" << r.call_duration
+         << " mpc=" << r.migration_per_call << " blocks=" << r.blocks
+         << " calls=" << r.calls << " migr=" << r.migrations
+         << " ctrl=" << r.control_messages << " events=" << r.events
+         << " t=" << r.sim_time << " pm=" << r.policy_migrations
+         << " ph=" << r.policy_suppressed_hysteresis
+         << " pl=" << r.policy_suppressed_load
+         << " pr=" << r.policy_reversals << " ema=" << r.ema_updates << '\n';
+    }
+  }
+}
+
+std::string golden_run(std::uint64_t base_seed, int threads) {
+  const auto variants = adaptive_variants();
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.base_seed = base_seed;
+  const auto points = run_sweep(kXs, variants, opts);
+  std::ostringstream os;
+  os << "seed=" << std::hex << base_seed << std::dec
+     << " threads=" << threads << '\n';
+  canonicalise(os, points);
+  os << sweep_table("t_m", variants, points, Metric::TotalPerCall).to_text();
+  return os.str();
+}
+
+// Captured when the adaptive kinds were introduced; regenerated only on
+// functional changes (docs/performance.md).
+const char* const kGolden = R"GOLD(seed=1 threads=1
+x=0x1.4p+2
+  tpc=0x1.614815c264a3bp+0 cd=0x1.1fb0b8725b6ccp+0 mpc=0x1.065d754024db4p-2 blocks=500 calls=3871 migr=126 ctrl=569 events=10418 t=0x1.1371465f83166p+12 pm=151 ph=92 pl=0 pr=58 ema=4416
+  tpc=0x1.5e1a7f7824d46p+0 cd=0x1.1ddc347c364c2p+0 mpc=0x1.00f92befba21ep-2 blocks=500 calls=4244 migr=137 ctrl=558 events=11031 t=0x1.2d0feb34b967fp+12 pm=165 ph=46 pl=7 pr=62 ema=4723
+x=0x1.ep+4
+  tpc=0x1.8446c7440bb12p+0 cd=0x1.3d0e50a6ba385p+0 mpc=0x1.1ce1da7545e24p-2 blocks=500 calls=4287 migr=146 ctrl=523 events=11019 t=0x1.1e55d570b6bb7p+13 pm=159 ph=65 pl=0 pr=73 ema=4480
+  tpc=0x1.848e3834b205fp+0 cd=0x1.3ea9f8813871fp+0 mpc=0x1.1790fecde6501p-2 blocks=500 calls=4042 migr=144 ctrl=531 events=10620 t=0x1.1556d7aab3d44p+13 pm=152 ph=54 pl=7 pr=82 ema=4244
+x=0x1.4p+6
+  tpc=0x1.7fcf81e917fabp+0 cd=0x1.31cb94681750dp+0 mpc=0x1.380fb60402a79p-2 blocks=500 calls=3872 migr=156 ctrl=521 events=10086 t=0x1.0883b8a45845bp+14 pm=160 ph=62 pl=0 pr=81 ema=4034
+  tpc=0x1.ab3e681015b78p+0 cd=0x1.633da9d0a3329p+0 mpc=0x1.2002f8fdca13p-2 blocks=448 calls=3757 migr=133 ctrl=465 events=10291 t=0x1.e7c106390b2f3p+13 pm=140 ph=49 pl=29 pr=61 ema=3926
+    t_m  adaptive  adaptive-load
+--------------------------------
+ 5.0000    1.3800         1.3676
+30.0000    1.5167         1.5178
+80.0000    1.4993         1.6689
+)GOLD";
+
+TEST(AdaptiveSweepGoldenTest, AdaptiveKindsMatchTheRecordBitForBit) {
+  const std::string one = golden_run(0x1ULL, 1);
+  if (std::getenv("OMIG_PRINT_POLICY_GOLDEN") != nullptr) {
+    std::fputs(one.c_str(), stdout);
+  }
+  EXPECT_EQ(one, kGolden);
+  // The 8-thread grid reproduces the sequential record byte for byte
+  // (modulo the `threads=` header, which names the worker count).
+  const std::string eight = golden_run(0x1ULL, 8);
+  EXPECT_EQ(eight.substr(eight.find('\n')),
+            std::string{kGolden}.substr(std::string{kGolden}.find('\n')));
+}
+
+TEST(AdaptiveSweepGoldenTest, ThreadCountNeverChangesAdaptiveResults) {
+  // Same invariant for seeds and thread counts not pinned in the record.
+  for (const std::uint64_t seed : {0xfeedc0deULL, 0xabad1deaULL}) {
+    const std::string one = golden_run(seed, 1);
+    const std::string five = golden_run(seed, 5);
+    EXPECT_EQ(one.substr(one.find('\n')), five.substr(five.find('\n')))
+        << "adaptive sweep diverged across thread counts for seed " << seed;
+  }
+}
+
+TEST(AdaptiveSweepGoldenTest, AdaptiveTelemetryIsLive) {
+  // The fig-8 goal-conflict workload must actually exercise the decision
+  // path: EMA updates on every invocation and at least one suppressed or
+  // triggered migration — otherwise the golden pins a dead feature.
+  ExperimentConfig cfg = fig8_config(5.0, migration::PolicyKind::Adaptive);
+  cfg.stopping = tiny_rule();
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.ema_updates, 0u);
+  EXPECT_GT(r.policy_migrations + r.policy_suppressed_hysteresis, 0u);
+}
+
+}  // namespace
+}  // namespace omig::core

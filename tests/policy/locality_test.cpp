@@ -1,0 +1,122 @@
+// LocalityTracker unit tests: the per-object access-locality EMA that
+// feeds the adaptive placement policies (docs/policies.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "objsys/locality.hpp"
+
+namespace omig::objsys {
+namespace {
+
+ObjectId obj(std::uint32_t i) { return ObjectId{i}; }
+NodeId node(std::uint32_t i) { return NodeId{i}; }
+
+TEST(LocalityTrackerTest, UntouchedObjectHasNoEstimate) {
+  LocalityTracker tracker{4};
+  const LocalityEstimate est = tracker.estimate(obj(0), node(0));
+  EXPECT_FALSE(est.dominant.valid());
+  EXPECT_DOUBLE_EQ(est.share, 0.0);
+  EXPECT_DOUBLE_EQ(est.weight, 0.0);
+  EXPECT_EQ(tracker.updates(), 0u);
+}
+
+TEST(LocalityTrackerTest, DominantFollowsTheMajorityCaller) {
+  LocalityTracker tracker{4};
+  for (int i = 0; i < 6; ++i) tracker.record(obj(0), node(2));
+  for (int i = 0; i < 2; ++i) tracker.record(obj(0), node(1));
+  const LocalityEstimate est = tracker.estimate(obj(0), node(0));
+  EXPECT_EQ(est.dominant, node(2));
+  EXPECT_GT(est.share, 0.5);
+  EXPECT_DOUBLE_EQ(est.host_share, 0.0);  // host never called
+  EXPECT_EQ(tracker.updates(), 8u);
+}
+
+TEST(LocalityTrackerTest, HostShareReportsTheHostsSlice) {
+  LocalityTracker tracker{4};
+  for (int i = 0; i < 4; ++i) tracker.record(obj(0), node(1));
+  const LocalityEstimate est = tracker.estimate(obj(0), node(1));
+  EXPECT_EQ(est.dominant, node(1));
+  EXPECT_DOUBLE_EQ(est.share, 1.0);
+  EXPECT_DOUBLE_EQ(est.host_share, 1.0);
+}
+
+TEST(LocalityTrackerTest, EstimatesAreDeterministic) {
+  // Two trackers fed the same sequence agree bit-for-bit — the property the
+  // 1-vs-8-thread sweep goldens rely on. Also pins the documented tie rule:
+  // the dominant scan keeps the first strict maximum, so equal scores
+  // resolve to the lowest node index.
+  LocalityTracker a{5, 0.8};
+  LocalityTracker b{5, 0.8};
+  const std::uint32_t callers[] = {4, 1, 1, 3, 0, 1, 4, 4, 2, 1, 4};
+  for (std::uint32_t c : callers) {
+    a.record(obj(0), node(c));
+    b.record(obj(0), node(c));
+  }
+  const LocalityEstimate ea = a.estimate(obj(0), node(2));
+  const LocalityEstimate eb = b.estimate(obj(0), node(2));
+  EXPECT_EQ(ea.dominant, eb.dominant);
+  EXPECT_EQ(ea.share, eb.share);          // exact: same float operations
+  EXPECT_EQ(ea.host_share, eb.host_share);
+  EXPECT_EQ(ea.weight, eb.weight);
+}
+
+TEST(LocalityTrackerTest, RecencyOutweighsHistory) {
+  // 20 old accesses from node 1, then 8 recent from node 2: with decay
+  // 0.9 the effective window is ~10 accesses, so node 2 takes over.
+  LocalityTracker tracker{4, 0.9};
+  for (int i = 0; i < 20; ++i) tracker.record(obj(0), node(1));
+  EXPECT_EQ(tracker.estimate(obj(0), node(0)).dominant, node(1));
+  for (int i = 0; i < 8; ++i) tracker.record(obj(0), node(2));
+  const LocalityEstimate est = tracker.estimate(obj(0), node(0));
+  EXPECT_EQ(est.dominant, node(2));
+  EXPECT_GT(est.share, 0.5);
+}
+
+TEST(LocalityTrackerTest, WeightConvergesToTheEffectiveSampleSize) {
+  // The effective sample size of an EMA with retention d converges to
+  // 1/(1-d): 10 for the default decay of 0.9.
+  LocalityTracker tracker{2, 0.9};
+  tracker.record(obj(0), node(0));
+  EXPECT_NEAR(tracker.estimate(obj(0), node(0)).weight, 1.0, 1e-9);
+  for (int i = 0; i < 500; ++i) tracker.record(obj(0), node(0));
+  EXPECT_NEAR(tracker.estimate(obj(0), node(0)).weight, 10.0, 1e-6);
+}
+
+TEST(LocalityTrackerTest, RenormalisationKeepsEstimatesFinite) {
+  // With decay 0.2 the growing weight multiplies by 5 per access, so a few
+  // hundred accesses cross the 1e100 renormalisation threshold many times.
+  LocalityTracker tracker{3, 0.2};
+  for (int i = 0; i < 2000; ++i) {
+    tracker.record(obj(0), node(static_cast<std::uint32_t>(i % 2)));
+  }
+  const LocalityEstimate est = tracker.estimate(obj(0), node(2));
+  EXPECT_TRUE(std::isfinite(est.share));
+  EXPECT_TRUE(std::isfinite(est.weight));
+  EXPECT_TRUE(est.dominant.valid());
+  // The latest access came from node 1 and decay is aggressive: node 1
+  // holds almost the whole window.
+  EXPECT_EQ(est.dominant, node(1));
+  EXPECT_GT(est.share, 0.7);
+  // Effective sample size stays at the EMA's limit, 1/(1-0.2) = 1.25.
+  EXPECT_NEAR(est.weight, 1.25, 1e-6);
+}
+
+TEST(LocalityTrackerTest, ObjectsAreTrackedIndependently) {
+  LocalityTracker tracker{4};
+  tracker.record(obj(0), node(1));
+  tracker.record(obj(7), node(3));
+  EXPECT_EQ(tracker.estimate(obj(0), node(0)).dominant, node(1));
+  EXPECT_EQ(tracker.estimate(obj(7), node(0)).dominant, node(3));
+  EXPECT_EQ(tracker.tracked_objects(), 2u);
+}
+
+TEST(LocalityTrackerTest, RejectsDegenerateParameters) {
+  EXPECT_ANY_THROW(LocalityTracker(0, 0.9));
+  EXPECT_ANY_THROW(LocalityTracker(4, 0.0));
+  EXPECT_ANY_THROW(LocalityTracker(4, 1.0));
+  EXPECT_ANY_THROW(LocalityTracker(4, -0.5));
+}
+
+}  // namespace
+}  // namespace omig::objsys

@@ -36,7 +36,7 @@ std::unique_ptr<LiveSystem> make_system(std::size_t nodes,
                                         bool a_transitive = false) {
   LiveSystem::Options opts;
   opts.nodes = nodes;
-  opts.placement_policy = placement;
+  opts.policy = placement ? MovePolicy::Placement : MovePolicy::Conventional;
   opts.a_transitive_attachments = a_transitive;
   auto sys = std::make_unique<LiveSystem>(opts);
   sys->register_type("counter", counter_factory());

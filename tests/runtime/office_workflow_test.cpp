@@ -24,7 +24,7 @@ protected:
   void SetUp() override {
     LiveSystem::Options opts;
     opts.nodes = 4;
-    opts.placement_policy = true;
+    opts.policy = MovePolicy::Placement;
     opts.a_transitive_attachments = true;
     opts.transport = GetParam();
     sys = std::make_unique<LiveSystem>(opts);

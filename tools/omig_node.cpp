@@ -24,12 +24,16 @@
 //
 //   omig_node --cluster N [--scenario NAME [--sources S] [--objects K]
 //             [--bursts B] [--seed X] [--threads T]]
+//             [--policy conventional|placement|adaptive|adaptive-load]
+//             [--hysteresis X]
 //       Spawns N child node processes and coordinates them as a remote
 //       LiveSystem. Without --scenario it drives the office workflow
 //       (docs/transport.md); with --scenario it replays the named
 //       scenario-pack workload (docs/scenarios.md) across the cluster —
 //       the same burst streams the simulator measures, on N+1 real
-//       processes over TCP.
+//       processes over TCP. --policy selects the coordinator's move()
+//       semantics (docs/policies.md); the adaptive kinds print one line
+//       of policy telemetry at the end of the run.
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -44,6 +48,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <variant>
@@ -74,7 +79,10 @@ int usage(const char* argv0) {
                "              [--metrics-log-ms N]\n"
                "       %s --cluster N [--scenario NAME [--sources S]\n"
                "              [--objects K] [--bursts B] [--seed X]\n"
-               "              [--threads T]]\n",
+               "              [--threads T]]\n"
+               "              [--policy conventional|placement|adaptive|"
+               "adaptive-load]\n"
+               "              [--hysteresis X]\n",
                argv0, argv0);
   return 2;
 }
@@ -250,7 +258,25 @@ struct ClusterOptions {
   int bursts = 10;       ///< bursts per source
   int threads = 4;
   std::uint64_t seed = 1;
+  /// move()/visit() semantics of the coordinator (docs/policies.md).
+  runtime::MovePolicy policy = runtime::MovePolicy::Placement;
+  double hysteresis = 0.2;  ///< adaptive kinds: EMA share margin
 };
+
+/// One line of adaptive-policy telemetry, when the run collected any.
+void print_policy_stats(const runtime::LiveSystem& sys,
+                        runtime::MovePolicy policy) {
+  if (sys.ema_updates() == 0) return;
+  std::printf(
+      "cluster policy %s: migrations=%llu suppressed=%llu/%llu "
+      "reversals=%llu ema-updates=%llu\n",
+      runtime::to_string(policy),
+      static_cast<unsigned long long>(sys.policy_migrations()),
+      static_cast<unsigned long long>(sys.policy_suppressed_hysteresis()),
+      static_cast<unsigned long long>(sys.policy_suppressed_load()),
+      static_cast<unsigned long long>(sys.policy_reversals()),
+      static_cast<unsigned long long>(sys.ema_updates()));
+}
 
 /// Replays a scenario-pack workload across the remote cluster. Returns 0
 /// when every burst completed without a failed invocation.
@@ -347,15 +373,20 @@ int cluster(const char* argv0, std::size_t count,
   if (!copts.scenario.empty()) {
     runtime::LiveSystem::Options opts;
     opts.remote_nodes = peers;
+    opts.policy = copts.policy;
+    opts.hysteresis_band = copts.hysteresis;
     runtime::LiveSystem sys{opts};
     runtime::register_demo_types(sys);
     sys.start();
     rc = run_cluster_scenario(sys, count, copts);
+    print_policy_stats(sys, copts.policy);
     sys.shutdown_remote_nodes();
     sys.stop();
   } else {
     runtime::LiveSystem::Options opts;
     opts.remote_nodes = peers;
+    opts.policy = copts.policy;
+    opts.hysteresis_band = copts.hysteresis;
     runtime::LiveSystem sys{opts};
     runtime::register_demo_types(sys);
     sys.start();
@@ -387,6 +418,7 @@ int cluster(const char* argv0, std::size_t count,
           entries.value.c_str(), total.value.c_str(),
           static_cast<unsigned long long>(sys.migrations()),
           static_cast<unsigned long long>(sys.invocations()));
+      print_policy_stats(sys, copts.policy);
     }
     if (!ok) {
       std::fprintf(stderr, "cluster: workflow FAILED\n");
@@ -489,6 +521,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cluster_opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      try {
+        cluster_opts.policy = runtime::move_policy_from_string(v);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--hysteresis") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cluster_opts.hysteresis = std::strtod(v, nullptr);
     } else {
       return usage(argv[0]);
     }

@@ -197,6 +197,18 @@ void print_json(const core::ExperimentConfig& cfg,
     num("scenario_op_p50", r.scenario_op_p50);
     num("scenario_op_p99", r.scenario_op_p99);
   }
+  const auto adaptive = [](migration::PolicyKind k) {
+    return k == migration::PolicyKind::Adaptive ||
+           k == migration::PolicyKind::AdaptiveLoad;
+  };
+  if (adaptive(cfg.policy) ||
+      (cfg.egoistic_clients > 0 && adaptive(cfg.egoistic_policy))) {
+    count("policy_migrations", r.policy_migrations);
+    count("policy_suppressed_hysteresis", r.policy_suppressed_hysteresis);
+    count("policy_suppressed_load", r.policy_suppressed_load);
+    count("policy_reversals", r.policy_reversals);
+    count("ema_updates", r.ema_updates);
+  }
   count("seed", cfg.seed);
   count("threads", static_cast<std::uint64_t>(threads));
   // The run's registry state (docs/metrics.md): per-policy fold-ins plus
@@ -255,6 +267,15 @@ int run_single(const CliOptions& opts) {
     table.add_row({"scenario op p50/p99",
                    core::format_double(r.scenario_op_p50, 3) + " / " +
                        core::format_double(r.scenario_op_p99, 3)});
+  }
+  if (r.ema_updates > 0) {
+    table.add_row({"adaptive migrations triggered",
+                   std::to_string(r.policy_migrations)});
+    table.add_row({"suppressed (hysteresis / load)",
+                   std::to_string(r.policy_suppressed_hysteresis) + " / " +
+                       std::to_string(r.policy_suppressed_load)});
+    table.add_row({"ping-pong reversals", std::to_string(r.policy_reversals)});
+    table.add_row({"locality EMA updates", std::to_string(r.ema_updates)});
   }
   if (!cfg.fault_plan.empty() || cfg.lock_lease > 0.0) {
     table.add_row({"messages dropped/duplicated/delayed",
