@@ -1,0 +1,95 @@
+// epoll(7) readiness backend — the default, always available.
+//
+// Level-triggered: the loop re-arms interest as waiters come and go, so
+// there is no edge-trigger starvation to reason about, and a wake()
+// eventfd written before epoll_wait still registers (the counter stays
+// nonzero until drained here).
+#include "net/poller.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "util/assert.hpp"
+
+namespace omig::net {
+namespace {
+
+class EpollPoller final : public Poller {
+public:
+  EpollPoller() {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    OMIG_ASSERT(epfd_ >= 0);
+    wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    OMIG_ASSERT(wakefd_ >= 0);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakefd_;
+    [[maybe_unused]] int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev);
+    OMIG_ASSERT(rc == 0);
+  }
+
+  ~EpollPoller() override {
+    ::close(wakefd_);
+    ::close(epfd_);
+  }
+
+  [[nodiscard]] const char* name() const override { return "epoll"; }
+
+  void update(int fd, bool read, bool write) override {
+    epoll_event ev{};
+    ev.events = (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (!read && !write) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+      return;
+    }
+    if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0) return;
+    if (errno == ENOENT) ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  int wait(std::chrono::milliseconds timeout,
+           std::vector<PollerEvent>& out) override {
+    std::array<epoll_event, 128> evs{};
+    int ms = timeout.count() < 0 ? -1 : static_cast<int>(timeout.count());
+    int n = ::epoll_wait(epfd_, evs.data(), static_cast<int>(evs.size()), ms);
+    if (n <= 0) return 0;  // timeout or EINTR: spurious wakeup is fine
+    int reported = 0;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = evs[static_cast<std::size_t>(i)];
+      if (ev.data.fd == wakefd_) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(wakefd_, &drain, sizeof drain);
+        continue;
+      }
+      // EPOLLERR/EPOLLHUP wake every armed direction: the waiter's own
+      // read()/write() call observes and classifies the failure.
+      bool broken = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(PollerEvent{ev.data.fd,
+                                (ev.events & EPOLLIN) != 0 || broken,
+                                (ev.events & EPOLLOUT) != 0 || broken});
+      ++reported;
+    }
+    return reported;
+  }
+
+  void wake() override {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wakefd_, &one, sizeof one);
+  }
+
+private:
+  int epfd_ = -1;
+  int wakefd_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_epoll_poller() {
+  return std::make_unique<EpollPoller>();
+}
+
+}  // namespace omig::net

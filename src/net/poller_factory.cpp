@@ -1,0 +1,26 @@
+// Backend selection: io_uring when compiled in and permitted by the
+// kernel, epoll otherwise. The runtime probe matters in practice —
+// io_uring_setup(2) is a common seccomp-denylist entry in container
+// sandboxes, so "compiled with the header" never implies "usable".
+#include "net/poller.hpp"
+
+namespace omig::net {
+
+// Defined in poller_epoll.cpp / poller_uring.cpp.
+std::unique_ptr<Poller> make_epoll_poller();
+std::unique_ptr<Poller> make_uring_poller();
+bool probe_io_uring();
+
+bool io_uring_available() {
+  static const bool available = probe_io_uring();
+  return available;
+}
+
+std::unique_ptr<Poller> make_poller(PollBackend kind) {
+  if (kind != PollBackend::Epoll && io_uring_available()) {
+    if (auto p = make_uring_poller()) return p;
+  }
+  return make_epoll_poller();
+}
+
+}  // namespace omig::net

@@ -1,0 +1,320 @@
+// io_uring readiness backend — raw syscalls, no liburing.
+//
+// Compiled only when <linux/io_uring.h> was found at configure time
+// (OMIG_HAVE_IO_URING); otherwise this TU provides stubs so
+// make_poller() can fall back to epoll unconditionally. Even when
+// compiled in, io_uring_setup(2) is probed at runtime: container
+// seccomp policies commonly reject it (ENOSYS/EPERM), and the probe
+// result decides whether PollBackend::Auto picks this backend at all.
+//
+// Shape: one single-shot IORING_OP_POLL_ADD per fd covering the armed
+// directions. Interest changes cancel the in-flight poll
+// (IORING_OP_POLL_REMOVE keyed by a per-arm token in user_data — stale
+// completions are dropped by token mismatch) and arm a fresh one. A
+// nonblocking eventfd is kept permanently poll-armed for cross-thread
+// wake(). The blocking wait uses IORING_ENTER_EXT_ARG timeouts
+// (IORING_FEAT_EXT_ARG is required; absent → constructor fails →
+// epoll fallback).
+#include "net/poller.hpp"
+
+#ifndef OMIG_HAVE_IO_URING
+
+namespace omig::net {
+std::unique_ptr<Poller> make_uring_poller() { return nullptr; }
+bool probe_io_uring() { return false; }
+}  // namespace omig::net
+
+#else  // OMIG_HAVE_IO_URING
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <unordered_map>
+
+namespace omig::net {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+// Mapped ring indices are shared with the kernel; access them with the
+// documented acquire/release protocol via atomic_ref.
+std::uint32_t load_acquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>{*p}.load(std::memory_order_acquire);
+}
+void store_release(unsigned* p, std::uint32_t v) {
+  std::atomic_ref<unsigned>{*p}.store(v, std::memory_order_release);
+}
+
+constexpr std::uint64_t kWakeToken = ~std::uint64_t{0};
+
+class UringPoller final : public Poller {
+public:
+  UringPoller() {
+    io_uring_params params{};
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = 4096;
+    ring_fd_ = sys_io_uring_setup(1024, &params);
+    if (ring_fd_ < 0) return;
+    if ((params.features & IORING_FEAT_EXT_ARG) == 0 ||
+        (params.features & IORING_FEAT_NODROP) == 0) {
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+      return;
+    }
+
+    sq_ring_bytes_ =
+        params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    std::size_t cq_bytes =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_bytes > sq_ring_bytes_) sq_ring_bytes_ = cq_bytes;
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) { sq_ring_ = nullptr; fail(); return; }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+      cq_ring_bytes_ = 0;  // shared mapping, unmapped once
+    } else {
+      cq_ring_bytes_ = cq_bytes;
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) { cq_ring_bytes_ = 0; fail(); return; }
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == static_cast<void*>(MAP_FAILED)) {
+      sqes_ = nullptr;
+      fail();
+      return;
+    }
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    sq_entries_ = params.sq_entries;
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+
+    wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wakefd_ < 0) { fail(); return; }
+    ok_ = true;
+    arm_wakefd();
+  }
+
+  ~UringPoller() override {
+    if (wakefd_ >= 0) ::close(wakefd_);
+    if (sqes_ != nullptr) ::munmap(sqes_, sqe_bytes_);
+    if (cq_ring_bytes_ != 0) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  /// False when setup failed; the caller falls back to epoll.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  [[nodiscard]] const char* name() const override { return "io_uring"; }
+
+  void update(int fd, bool read, bool write) override {
+    Armed& armed = armed_[fd];
+    if (armed.token != 0 && armed.read == read && armed.write == write) return;
+    if (armed.token != 0) {
+      io_uring_sqe* sqe = get_sqe();
+      sqe->opcode = IORING_OP_POLL_REMOVE;
+      sqe->fd = -1;
+      sqe->addr = armed.token;       // match the in-flight poll by token
+      sqe->user_data = kWakeToken - 1;  // cancellation result: ignored
+      armed.token = 0;
+    }
+    if (!read && !write) {
+      armed_.erase(fd);
+      return;
+    }
+    armed.read = read;
+    armed.write = write;
+    armed.token = next_token_;
+    next_token_ += 2;  // even tokens; odd/sentinel values stay distinct
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->poll32_events = (read ? POLLIN : 0u) | (write ? POLLOUT : 0u);
+    sqe->user_data = armed.token;
+    token_fd_[armed.token] = fd;
+  }
+
+  int wait(std::chrono::milliseconds timeout,
+           std::vector<PollerEvent>& out) override {
+    __kernel_timespec ts{};
+    io_uring_getevents_arg arg{};
+    if (timeout.count() >= 0) {
+      ts.tv_sec = timeout.count() / 1000;
+      ts.tv_nsec = (timeout.count() % 1000) * 1'000'000;
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    }
+    unsigned to_submit = pending_sqes_;
+    int rc = sys_io_uring_enter(ring_fd_, to_submit, /*min_complete=*/1,
+                                IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+                                &arg, sizeof arg);
+    if (rc >= 0) {
+      pending_sqes_ -= std::min<unsigned>(pending_sqes_,
+                                          static_cast<unsigned>(rc));
+    } else if (errno != ETIME && errno != EINTR) {
+      return 0;
+    }
+    return reap(out);
+  }
+
+  void wake() override {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wakefd_, &one, sizeof one);
+  }
+
+private:
+  struct Armed {
+    std::uint64_t token = 0;
+    bool read = false;
+    bool write = false;
+  };
+
+  // Construction failure: whatever mapped so far stays recorded in the
+  // members and is released by the destructor; ok() reports the state.
+  void fail() { ok_ = false; }
+
+  void arm_wakefd() {
+    io_uring_sqe* sqe = get_sqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = wakefd_;
+    sqe->poll32_events = POLLIN;
+    sqe->user_data = kWakeToken;
+  }
+
+  io_uring_sqe* get_sqe() {
+    // Loop thread only. Flush inline if the SQ is full.
+    if (pending_sqes_ == sq_entries_) flush();
+    unsigned tail = *sq_tail_;  // we are the only producer
+    unsigned idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof *sqe);
+    sq_array_[idx] = idx;
+    store_release(sq_tail_, tail + 1);
+    ++pending_sqes_;
+    return sqe;
+  }
+
+  void flush() {
+    while (pending_sqes_ > 0) {
+      int rc = sys_io_uring_enter(ring_fd_, pending_sqes_, 0, 0, nullptr, 0);
+      if (rc < 0) break;
+      pending_sqes_ -= static_cast<unsigned>(rc);
+    }
+  }
+
+  int reap(std::vector<PollerEvent>& out) {
+    int reported = 0;
+    unsigned head = *cq_head_;
+    while (head != load_acquire(cq_tail_)) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      std::uint64_t token = cqe.user_data;
+      int res = cqe.res;
+      ++head;
+      if (token == kWakeToken) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(wakefd_, &drain, sizeof drain);
+        arm_wakefd();
+        continue;
+      }
+      auto it = token_fd_.find(token);
+      if (it == token_fd_.end()) continue;  // cancelled/stale arm
+      int fd = it->second;
+      token_fd_.erase(it);
+      auto ait = armed_.find(fd);
+      if (ait == armed_.end() || ait->second.token != token) continue;
+      bool want_r = ait->second.read;
+      bool want_w = ait->second.write;
+      armed_.erase(ait);  // single-shot: the loop re-arms what remains
+      if (res < 0) {
+        // Poll failure (e.g. fd closed): wake every armed direction so
+        // the waiter observes the error from its own syscall.
+        out.push_back(PollerEvent{fd, want_r, want_w});
+      } else {
+        auto mask = static_cast<unsigned>(res);
+        bool broken = (mask & (POLLERR | POLLHUP)) != 0;
+        out.push_back(PollerEvent{fd,
+                                  (mask & POLLIN) != 0 || (broken && want_r),
+                                  (mask & POLLOUT) != 0 || (broken && want_w)});
+      }
+      ++reported;
+    }
+    store_release(cq_head_, head);
+    return reported;
+  }
+
+  bool ok_ = false;
+  int ring_fd_ = -1;
+  int wakefd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqe_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_entries_ = 0;
+  unsigned pending_sqes_ = 0;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  std::uint64_t next_token_ = 2;
+  std::unordered_map<int, Armed> armed_;
+  std::unordered_map<std::uint64_t, int> token_fd_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_uring_poller() {
+  auto p = std::make_unique<UringPoller>();
+  if (!p->ok()) return nullptr;
+  return p;
+}
+
+bool probe_io_uring() {
+  io_uring_params params{};
+  int fd = sys_io_uring_setup(4, &params);
+  if (fd < 0) return false;
+  bool usable = (params.features & IORING_FEAT_EXT_ARG) != 0 &&
+                (params.features & IORING_FEAT_NODROP) != 0;
+  ::close(fd);
+  return usable;
+}
+
+}  // namespace omig::net
+
+#endif  // OMIG_HAVE_IO_URING

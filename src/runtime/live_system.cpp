@@ -12,6 +12,7 @@
 #include "trace/log.hpp"
 #include "transport/bridge.hpp"
 #include "transport/node_server.hpp"
+#include "transport/async_tcp_transport.hpp"
 #include "transport/tcp_transport.hpp"
 #include "util/assert.hpp"
 
@@ -103,31 +104,55 @@ void LiveSystem::start() {
 
   // All inter-node traffic goes through one transport; faults inject at
   // this seam, so the same FaultPlan drives every backend identically.
-  if (remote() || options_.transport == TransportKind::Tcp) {
-    transport::TcpTransport::Options topts;
-    topts.max_connect_attempts = options_.tcp_connect_attempts;
-    topts.connect_backoff = options_.tcp_connect_backoff;
+  if (remote() || options_.transport != TransportKind::InProc) {
+    const bool async = options_.transport == TransportKind::AsyncTcp;
+    if (async) {
+      // One proactor loop carries the whole process: every NodeServer's
+      // accept/read/write and the client transport's connections.
+      net_loop_ = std::make_unique<net::EventLoop>();
+      net_loop_->start();
+    }
+    std::vector<transport::Peer> peers;
     if (remote()) {
-      topts.peers = options_.remote_nodes;
+      peers = options_.remote_nodes;
     } else {
       // Local TCP: every node gets a loopback frame server bridging onto
       // its mailbox, and traffic takes the full marshalling round trip.
       servers_.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
         Mailbox<Message>& box = nodes_[i]->mailbox();
+        // One handler strand per server: the node's mailbox serialises
+        // request execution anyway, so extra strands buy nothing here.
         servers_.push_back(std::make_unique<transport::NodeServer>(
             [&box](transport::Frame frame) {
               return transport::serve_on_mailbox(box, std::move(frame));
-            }));
+            },
+            net_loop_.get(), /*handler_threads=*/1));
         const std::uint16_t port = servers_.back()->start();
         OMIG_REQUIRE(port != 0, "could not bind a loopback listener");
-        topts.peers.push_back(transport::Peer{"127.0.0.1", port});
+        peers.push_back(transport::Peer{"127.0.0.1", port});
       }
     }
-    auto tcp = std::make_unique<transport::TcpTransport>(std::move(topts),
-                                                         injector_.get());
-    tcp_ = tcp.get();
-    transport_ = std::move(tcp);
+    if (async) {
+      transport::AsyncTcpTransport::Options topts;
+      topts.peers = std::move(peers);
+      topts.max_connect_attempts = options_.tcp_connect_attempts;
+      topts.connect_backoff = options_.tcp_connect_backoff;
+      topts.loop = net_loop_.get();
+      auto tcp = std::make_unique<transport::AsyncTcpTransport>(
+          std::move(topts), injector_.get());
+      tcp_ = tcp.get();
+      transport_ = std::move(tcp);
+    } else {
+      transport::TcpTransport::Options topts;
+      topts.peers = std::move(peers);
+      topts.max_connect_attempts = options_.tcp_connect_attempts;
+      topts.connect_backoff = options_.tcp_connect_backoff;
+      auto tcp = std::make_unique<transport::TcpTransport>(std::move(topts),
+                                                           injector_.get());
+      tcp_ = tcp.get();
+      transport_ = std::move(tcp);
+    }
   } else {
     transport_ = std::make_unique<transport::InProcTransport>(
         [this](std::size_t to) {

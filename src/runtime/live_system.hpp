@@ -55,18 +55,26 @@ namespace omig::trace {
 class TraceLog;
 }
 
+namespace omig::net {
+class EventLoop;
+}
+
 namespace omig::transport {
 class NodeServer;
-class TcpTransport;
+class SocketTransport;
 }
 
 namespace omig::runtime {
 
-/// Which backend carries inter-node traffic (ignored when
-/// Options::remote_nodes is set — remote mode is always TCP).
+/// Which backend carries inter-node traffic. When Options::remote_nodes
+/// is set, InProc is meaningless and upgrades to Tcp; AsyncTcp is
+/// honoured in remote mode too.
 enum class TransportKind : std::uint8_t {
-  InProc,  ///< promise-carrying messages straight into the mailboxes
-  Tcp,     ///< wire frames over localhost sockets (NodeServer per node)
+  InProc,    ///< promise-carrying messages straight into the mailboxes
+  Tcp,       ///< wire frames over localhost sockets, blocking I/O +
+             ///< one reader thread per peer (NodeServer per node)
+  AsyncTcp,  ///< same wire frames, all I/O multiplexed on one
+             ///< net::EventLoop shared by the client side and servers
 };
 
 /// Placement policy governing move()/visit() blocks (docs/policies.md).
@@ -523,10 +531,15 @@ private:
   std::unique_ptr<fault::FaultInjector> injector_;
   /// Coordinator-level durable store (Options::data_dir); null = in-memory.
   std::unique_ptr<store::DurableStore> store_;
+  /// Shared proactor loop in AsyncTcp mode (null otherwise). Declared
+  /// before the servers and the transport so it destructs after them —
+  /// their teardown posts final tasks onto it.
+  std::unique_ptr<net::EventLoop> net_loop_;
   /// One frame server per local node in TCP mode (empty otherwise).
   std::vector<std::unique_ptr<transport::NodeServer>> servers_;
   std::unique_ptr<transport::Transport> transport_;
-  transport::TcpTransport* tcp_ = nullptr;  ///< transport_, when it is TCP
+  /// transport_, when it is a socket backend (blocking or async).
+  transport::SocketTransport* tcp_ = nullptr;
 
   std::mutex stop_mutex_;
   std::thread fault_thread_;

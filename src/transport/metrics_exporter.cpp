@@ -1,13 +1,15 @@
 #include "transport/metrics_exporter.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "transport/tcp.hpp"
 
 namespace omig::transport {
 
-MetricsExporter::MetricsExporter(obs::MetricsRegistry& registry)
-    : registry_{registry} {}
+MetricsExporter::MetricsExporter(obs::MetricsRegistry& registry,
+                                 net::EventLoop* loop)
+    : registry_{registry}, external_loop_{loop} {}
 
 MetricsExporter::~MetricsExporter() { stop(); }
 
@@ -17,35 +19,50 @@ std::uint16_t MetricsExporter::start(std::uint16_t port,
   if (listener_fd_ >= 0) return port_;
   const int fd = tcp_listen(host, port);
   if (fd < 0) return 0;
+  if (!tcp_set_nonblocking(fd)) {
+    tcp_close(fd);
+    return 0;
+  }
   listener_fd_ = fd;
   port_ = tcp_local_port(fd);
-  stopping_ = false;
-  accept_thread_ = std::thread{[this] { accept_loop(); }};
+  stopping_.store(false, std::memory_order_release);
+  if (external_loop_ != nullptr) {
+    loop_ = external_loop_;
+  } else {
+    owned_loop_ = std::make_unique<net::EventLoop>();
+    owned_loop_->start();
+    loop_ = owned_loop_.get();
+  }
+  loop_->post([this, fd] { loop_->spawn(accept_task(this, fd)); });
   return port_;
 }
 
 void MetricsExporter::stop() {
-  std::thread accept_thread;
-  std::vector<std::thread> connections;
-  {
-    std::lock_guard lock{mutex_};
-    if (listener_fd_ < 0 && !accept_thread_.joinable()) return;
-    stopping_ = true;
-    tcp_shutdown(listener_fd_);
-    tcp_close(listener_fd_);
-    listener_fd_ = -1;
-    accept_thread = std::move(accept_thread_);
-    connections = std::move(connections_);
+  std::lock_guard lock{mutex_};
+  if (listener_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  const int listener = listener_fd_;
+  if (loop_->running()) {
+    std::promise<void> done;
+    std::future<void> finished = done.get_future();
+    loop_->post([this, listener, &done] {
+      loop_->spawn(teardown_task(this, listener, &done));
+    });
+    (void)finished.wait_for(std::chrono::seconds{5});
+  } else {
+    tcp_close(listener);
   }
-  if (accept_thread.joinable()) accept_thread.join();
-  for (std::thread& t : connections) {
-    if (t.joinable()) t.join();
+  listener_fd_ = -1;
+  if (owned_loop_) {
+    owned_loop_->stop();
+    owned_loop_.reset();
   }
+  loop_ = nullptr;
 }
 
 bool MetricsExporter::running() const {
   std::lock_guard lock{mutex_};
-  return listener_fd_ >= 0;
+  return listener_fd_ >= 0 && !stopping_.load(std::memory_order_acquire);
 }
 
 std::uint16_t MetricsExporter::port() const {
@@ -53,48 +70,87 @@ std::uint16_t MetricsExporter::port() const {
   return port_;
 }
 
-void MetricsExporter::accept_loop() {
+sim::Task MetricsExporter::accept_task(MetricsExporter* e, int listener) {
+  TaskGuard guard{e};
+  net::EventLoop& loop = *e->loop_;
   for (;;) {
-    int listener = -1;
-    {
-      std::lock_guard lock{mutex_};
-      if (stopping_) return;
-      listener = listener_fd_;
+    const bool ok = co_await loop.readable(listener);
+    if (!ok || e->stopping_.load(std::memory_order_acquire)) co_return;
+    for (;;) {
+      const long fd = tcp_accept_nonblocking(listener);
+      if (fd == kWouldBlock) break;
+      if (fd < 0) co_return;  // listener is gone
+      e->scrape_fds_.insert(static_cast<int>(fd));
+      loop.spawn(serve_task(e, static_cast<int>(fd)));
     }
-    const int fd = tcp_accept(listener);
-    if (fd < 0) return;  // listener closed by stop()
-    std::lock_guard lock{mutex_};
-    if (stopping_) {
-      tcp_close(fd);
-      return;
-    }
-    connections_.emplace_back([this, fd] { serve_connection(fd); });
   }
 }
 
-void MetricsExporter::serve_connection(int fd) {
+sim::Task MetricsExporter::serve_task(MetricsExporter* e, int fd) {
+  TaskGuard guard{e};
+  net::EventLoop& loop = *e->loop_;
   // Read the request until the header terminator; scrapes are tiny, so a
   // small bounded buffer suffices and anything larger is dropped.
   std::string request;
   std::uint8_t chunk[512];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos &&
-         request.size() < 8192) {
-    const long n = tcp_recv_some(fd, chunk, sizeof chunk);
-    if (n <= 0) break;
+  bool alive = true;
+  while (alive && request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos && request.size() < 8192) {
+    const bool ok = co_await loop.readable(fd);
+    if (!ok || !e->scrape_fds_.contains(fd)) co_return;  // torn down
+    const long n = tcp_read_some(fd, chunk, sizeof chunk);
+    if (n == kWouldBlock) continue;
+    if (n <= 0) {
+      alive = false;
+      break;
+    }
     request.append(reinterpret_cast<const char*>(chunk),
                    static_cast<std::size_t>(n));
   }
-  const std::string body = registry_.to_prometheus();
-  std::string response =
-      "HTTP/1.0 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-      "Content-Length: " + std::to_string(body.size()) + "\r\n"
-      "Connection: close\r\n"
-      "\r\n" + body;
-  (void)tcp_send_all(fd, reinterpret_cast<const std::uint8_t*>(response.data()),
-                     response.size());
+  if (alive) {
+    const std::string body = e->registry_.to_prometheus();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n"
+        "\r\n" + body;
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const long n = tcp_write_some(
+          fd, reinterpret_cast<const std::uint8_t*>(response.data()) + off,
+          response.size() - off);
+      if (n == kWouldBlock) {
+        const bool ok = co_await loop.writable(fd);
+        if (!ok || !e->scrape_fds_.contains(fd)) co_return;
+        continue;
+      }
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  loop.cancel_fd(fd);
   tcp_close(fd);
+  e->scrape_fds_.erase(fd);
+}
+
+sim::Task MetricsExporter::teardown_task(MetricsExporter* e, int listener,
+                                         std::promise<void>* done) {
+  net::EventLoop& loop = *e->loop_;
+  loop.cancel_fd(listener);
+  tcp_close(listener);
+  // Cancelling the fds wakes every parked scrape coroutine with `false`;
+  // each checks scrape_fds_ and exits without touching the closed fd.
+  const std::vector<int> open(e->scrape_fds_.begin(), e->scrape_fds_.end());
+  e->scrape_fds_.clear();
+  for (const int fd : open) {
+    loop.cancel_fd(fd);
+    tcp_close(fd);
+  }
+  for (int i = 0; i < 4000 && e->live_tasks_ > 0; ++i) {
+    co_await loop.sleep_for(std::chrono::milliseconds{1});
+  }
+  done->set_value();
 }
 
 }  // namespace omig::transport

@@ -6,14 +6,24 @@
 // deliberately tiny HTTP/1.0 responder: read until the blank line, answer
 // any GET with the full text-format exposition, close. That is exactly
 // what `curl` and a Prometheus scraper need, and nothing more.
+//
+// Rendering the exposition never blocks, so — unlike the node frame
+// server — every scrape runs entirely as a coroutine on the event loop:
+// no per-connection threads, and therefore no threads to reap. (The old
+// thread-per-scrape implementation only reaped its connection threads in
+// stop(), so a long-lived exporter accumulated one dead thread per
+// scrape; the loop conversion removes the leak by construction.)
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
+#include <unordered_set>
 
+#include "net/event_loop.hpp"
 #include "obs/metrics.hpp"
 
 namespace omig::transport {
@@ -21,8 +31,11 @@ namespace omig::transport {
 class MetricsExporter {
 public:
   /// Serves `registry` (usually MetricsRegistry::global()); the registry
-  /// must outlive the exporter.
-  explicit MetricsExporter(obs::MetricsRegistry& registry);
+  /// must outlive the exporter. `loop` = nullptr: own a private loop per
+  /// start() cycle; otherwise scrape I/O shares the given loop, which
+  /// must outlive the exporter and keep running across stop().
+  explicit MetricsExporter(obs::MetricsRegistry& registry,
+                           net::EventLoop* loop = nullptr);
   ~MetricsExporter();
   MetricsExporter(const MetricsExporter&) = delete;
   MetricsExporter& operator=(const MetricsExporter&) = delete;
@@ -32,23 +45,42 @@ public:
   std::uint16_t start(std::uint16_t port = 0,
                       const std::string& host = "127.0.0.1");
 
-  /// Closes the listener and joins all threads. Idempotent.
+  /// Closes the listener and every in-flight scrape. Idempotent;
+  /// start() may be called again afterwards.
   void stop();
 
   [[nodiscard]] bool running() const;
   [[nodiscard]] std::uint16_t port() const;
 
 private:
-  void accept_loop();
-  void serve_connection(int fd);
+  static sim::Task accept_task(MetricsExporter* e, int listener);
+  static sim::Task serve_task(MetricsExporter* e, int fd);
+  static sim::Task teardown_task(MetricsExporter* e, int listener,
+                                 std::promise<void>* done);
 
   obs::MetricsRegistry& registry_;
-  mutable std::mutex mutex_;
+  net::EventLoop* const external_loop_;
+
+  mutable std::mutex mutex_;  ///< control plane: start/stop/port
+  std::unique_ptr<net::EventLoop> owned_loop_;
+  net::EventLoop* loop_ = nullptr;  ///< non-null while running
   int listener_fd_ = -1;
   std::uint16_t port_ = 0;
-  bool stopping_ = false;
-  std::thread accept_thread_;
-  std::vector<std::thread> connections_;
+  std::atomic<bool> stopping_{false};
+
+  // Loop-thread only:
+  std::unordered_set<int> scrape_fds_;  ///< in-flight scrape connections
+  std::uint64_t live_tasks_ = 0;
+
+  struct TaskGuard {
+    explicit TaskGuard(MetricsExporter* e) : e_(e) { ++e_->live_tasks_; }
+    ~TaskGuard() { --e_->live_tasks_; }
+    TaskGuard(const TaskGuard&) = delete;
+    TaskGuard& operator=(const TaskGuard&) = delete;
+
+  private:
+    MetricsExporter* e_;
+  };
 };
 
 }  // namespace omig::transport

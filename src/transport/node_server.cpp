@@ -1,12 +1,19 @@
 #include "transport/node_server.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "obs/families.hpp"
 #include "transport/tcp.hpp"
 #include "util/assert.hpp"
 
 namespace omig::transport {
 
-NodeServer::NodeServer(Handler handler) : handler_{std::move(handler)} {
+NodeServer::NodeServer(Handler handler, net::EventLoop* loop,
+                       int handler_threads)
+    : handler_{std::move(handler)},
+      external_loop_{loop},
+      handler_threads_{std::max(1, handler_threads)} {
   OMIG_REQUIRE(handler_ != nullptr, "server needs a handler");
 }
 
@@ -15,45 +22,78 @@ NodeServer::~NodeServer() { stop(); }
 std::uint16_t NodeServer::start(std::uint16_t port, const std::string& host) {
   std::lock_guard lock{mutex_};
   if (listener_fd_ >= 0) return port_;  // already running: idempotent
-  const int fd = tcp_listen(host, port);
+  // Big backlog: the async client side can dial thousands of connections
+  // in one burst (the kernel clamps to somaxconn).
+  const int fd = tcp_listen(host, port, 4096);
   if (fd < 0) return 0;
+  if (!tcp_set_nonblocking(fd)) {
+    tcp_close(fd);
+    return 0;
+  }
   listener_fd_ = fd;
   port_ = tcp_local_port(fd);
-  stopping_ = false;
-  accept_thread_ = std::thread{[this] { accept_loop(); }};
+  stopping_.store(false, std::memory_order_release);
+  if (external_loop_ != nullptr) {
+    loop_ = external_loop_;
+  } else {
+    // Loops are single-use, so every start() cycle owns a fresh one.
+    owned_loop_ = std::make_unique<net::EventLoop>();
+    owned_loop_->start();
+    loop_ = owned_loop_.get();
+  }
+  strands_.clear();
+  for (int i = 0; i < handler_threads_; ++i) {
+    auto strand = std::make_unique<Strand>();
+    Strand* raw = strand.get();
+    strand->thread = std::thread{[this, raw] { strand_worker(*raw); }};
+    strands_.push_back(std::move(strand));
+  }
+  loop_->post([this, fd] { loop_->spawn(accept_task(this, fd)); });
   return port_;
 }
 
 void NodeServer::stop() {
-  std::thread accept;
-  std::vector<std::unique_ptr<Connection>> conns;
-  {
-    std::lock_guard lock{mutex_};
-    if (listener_fd_ < 0 && connections_.empty() &&
-        !accept_thread_.joinable()) {
-      return;  // already stopped: idempotent
-    }
-    stopping_ = true;
-    // shutdown() wakes the blocked accept()/recv() calls without closing
-    // the fds — they are closed exactly once, after their thread joined.
-    tcp_shutdown(listener_fd_);
-    for (auto& conn : connections_) tcp_shutdown(conn->fd);
-    accept = std::move(accept_thread_);
-    conns = std::move(connections_);
-  }
-  if (accept.joinable()) accept.join();
-  for (auto& conn : conns) {
-    if (conn->thread.joinable()) conn->thread.join();
-    tcp_close(conn->fd);
-  }
   std::lock_guard lock{mutex_};
-  tcp_close(listener_fd_);
+  if (listener_fd_ < 0) return;  // already stopped: idempotent
+  stopping_.store(true, std::memory_order_release);
+  // Strands first: in-flight handlers finish, queued frames are dropped,
+  // and after the joins no strand can post replies any more — so the
+  // teardown task below (FIFO after any reply post) sees the last of them.
+  for (auto& strand : strands_) {
+    {
+      std::lock_guard strand_lock{strand->mutex};
+      strand->stop = true;
+    }
+    strand->cv.notify_all();
+  }
+  for (auto& strand : strands_) {
+    if (strand->thread.joinable()) strand->thread.join();
+  }
+  // strands_ stays populated until the teardown below quiesced the reader
+  // coroutines — they push into the strand queues without mutex_.
+  const int listener = listener_fd_;
+  if (loop_->running()) {
+    std::promise<void> done;
+    std::future<void> finished = done.get_future();
+    loop_->post([this, listener, &done] {
+      loop_->spawn(teardown_task(this, listener, &done));
+    });
+    (void)finished.wait_for(std::chrono::seconds{5});
+  } else {
+    tcp_close(listener);  // external loop died first; just free the fd
+  }
+  strands_.clear();
   listener_fd_ = -1;
+  if (owned_loop_) {
+    owned_loop_->stop();
+    owned_loop_.reset();
+  }
+  loop_ = nullptr;
 }
 
 bool NodeServer::running() const {
   std::lock_guard lock{mutex_};
-  return listener_fd_ >= 0 && !stopping_;
+  return listener_fd_ >= 0 && !stopping_.load(std::memory_order_acquire);
 }
 
 std::uint16_t NodeServer::port() const {
@@ -61,65 +101,142 @@ std::uint16_t NodeServer::port() const {
   return port_;
 }
 
-void NodeServer::accept_loop() {
+sim::Task NodeServer::accept_task(NodeServer* s, int listener) {
+  TaskGuard guard{s};
+  net::EventLoop& loop = *s->loop_;
   for (;;) {
-    int listener = -1;
-    {
-      std::lock_guard lock{mutex_};
-      if (stopping_) return;
-      listener = listener_fd_;
-    }
-    const int fd = tcp_accept(listener);
-    if (fd < 0) return;  // listener shut down
-    std::lock_guard lock{mutex_};
-    if (stopping_) {
-      tcp_close(fd);
-      return;
-    }
-    reap_finished_locked();
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    Connection* raw = conn.get();
-    connections_.push_back(std::move(conn));
-    raw->thread = std::thread{[this, raw, fd] {
-      serve_connection(fd);
-      std::lock_guard exit_lock{mutex_};
-      raw->done = true;
-    }};
-  }
-}
-
-void NodeServer::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done) {
-      // The thread has released mutex_ already; the join is immediate.
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      tcp_close((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
+    const bool ok = co_await loop.readable(listener);
+    if (!ok || s->stopping_.load(std::memory_order_acquire)) co_return;
+    for (;;) {  // drain the whole accept burst before sleeping again
+      const int fd = static_cast<int>(tcp_accept_nonblocking(listener));
+      if (fd == kWouldBlock) break;
+      if (fd < 0) co_return;  // listener is gone
+      auto conn = std::make_shared<Conn>(loop, s->next_conn_id_++);
+      conn->fd = fd;
+      s->conns_.emplace(conn->id, conn);
+      loop.spawn(reader_task(s, conn));
+      loop.spawn(writer_task(s, conn));
     }
   }
 }
 
-void NodeServer::serve_connection(int fd) {
+sim::Task NodeServer::reader_task(NodeServer* s, std::shared_ptr<Conn> conn) {
+  TaskGuard guard{s};
+  net::EventLoop& loop = *s->loop_;
   FrameBuffer frames;
-  std::uint8_t buffer[16 * 1024];
   for (;;) {
-    const long n = tcp_recv_some(fd, buffer, sizeof(buffer));
-    if (n <= 0) return;  // EOF, reset, or shutdown by stop()
-    obs::node_metrics().server_bytes_in->inc(static_cast<std::uint64_t>(n));
-    frames.feed({buffer, static_cast<std::size_t>(n)});
-    while (auto frame = frames.next()) {
-      std::optional<Frame> reply = handler_(std::move(*frame));
-      if (reply.has_value()) {
-        const std::vector<std::uint8_t> bytes = encode_frame(*reply);
-        if (!tcp_send_all(fd, bytes.data(), bytes.size())) return;
-        obs::node_metrics().server_bytes_out->inc(bytes.size());
-      }
+    const bool ok = co_await loop.readable(conn->fd);
+    if (!ok || conn->closed) co_return;
+    if (s->read_scratch_.empty()) s->read_scratch_.resize(16 * 1024);
+    const long n = tcp_read_some(conn->fd, s->read_scratch_.data(),
+                                 s->read_scratch_.size());
+    if (n == kWouldBlock) continue;
+    if (n <= 0) {  // EOF, reset, or malformed close below
+      s->close_conn(*conn);
+      co_return;
     }
-    if (frames.error()) return;  // malformed stream: drop the connection
+    obs::node_metrics().server_bytes_in->inc(static_cast<std::uint64_t>(n));
+    frames.feed({s->read_scratch_.data(), static_cast<std::size_t>(n)});
+    while (auto frame = frames.next()) {
+      // Pin the connection to one strand: per-connection frame order is
+      // the contract (it mirrors the node's mailbox sequencing).
+      Strand& strand = *s->strands_[conn->id % s->strands_.size()];
+      {
+        std::lock_guard lock{strand.mutex};
+        strand.queue.emplace_back(conn->id, std::move(*frame));
+      }
+      strand.cv.notify_one();
+    }
+    if (frames.error()) {  // malformed stream: drop the connection
+      s->close_conn(*conn);
+      co_return;
+    }
   }
+}
+
+sim::Task NodeServer::writer_task(NodeServer* s, std::shared_ptr<Conn> conn) {
+  TaskGuard guard{s};
+  net::EventLoop& loop = *s->loop_;
+  for (;;) {
+    while (!conn->closed && conn->outq.empty()) {
+      if (!co_await conn->out_ready.wait()) co_return;
+    }
+    if (conn->closed) co_return;
+    const std::vector<std::uint8_t>& front = conn->outq.front();
+    const long n = tcp_write_some(conn->fd, front.data() + conn->out_off,
+                                  front.size() - conn->out_off);
+    if (n == kWouldBlock) {
+      const bool ok = co_await loop.writable(conn->fd);
+      if (!ok || conn->closed) co_return;
+      continue;
+    }
+    if (n <= 0) {
+      s->close_conn(*conn);
+      co_return;
+    }
+    conn->out_off += static_cast<std::size_t>(n);
+    if (conn->out_off == front.size()) {
+      obs::node_metrics().server_bytes_out->inc(front.size());
+      conn->outq.pop_front();
+      conn->out_off = 0;
+    }
+  }
+}
+
+sim::Task NodeServer::teardown_task(NodeServer* s, int listener,
+                                    std::promise<void>* done) {
+  net::EventLoop& loop = *s->loop_;
+  loop.cancel_fd(listener);
+  tcp_close(listener);
+  // Snapshot: close_conn erases from conns_ while we iterate.
+  std::vector<std::shared_ptr<Conn>> open;
+  open.reserve(s->conns_.size());
+  for (auto& [id, conn] : s->conns_) open.push_back(conn);
+  for (auto& conn : open) s->close_conn(*conn);
+  for (int i = 0; i < 4000 && s->live_tasks_ > 0; ++i) {
+    co_await loop.sleep_for(std::chrono::milliseconds{1});
+  }
+  done->set_value();
+}
+
+void NodeServer::strand_worker(Strand& strand) {
+  for (;;) {
+    std::pair<std::uint64_t, Frame> work{0, Frame{}};
+    {
+      std::unique_lock lock{strand.mutex};
+      strand.cv.wait(lock,
+                     [&strand] { return strand.stop || !strand.queue.empty(); });
+      if (strand.stop) return;  // queued frames are dropped, like unread bytes
+      work = std::move(strand.queue.front());
+      strand.queue.pop_front();
+    }
+    std::optional<Frame> reply = handler_(std::move(work.second));
+    if (!reply.has_value()) continue;
+    std::vector<std::uint8_t> bytes = encode_frame(*reply);
+    loop_->post([this, conn_id = work.first, bytes = std::move(bytes)]() mutable {
+      queue_reply_on_loop(conn_id, std::move(bytes));
+    });
+  }
+}
+
+void NodeServer::queue_reply_on_loop(std::uint64_t conn_id,
+                                     std::vector<std::uint8_t> bytes) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // connection died while the handler ran
+  it->second->outq.push_back(std::move(bytes));
+  it->second->out_ready.set();
+}
+
+void NodeServer::close_conn(Conn& conn) {
+  if (conn.closed) return;
+  conn.closed = true;
+  if (conn.fd >= 0) {
+    loop_->cancel_fd(conn.fd);
+    tcp_close(conn.fd);
+    conn.fd = -1;
+  }
+  conn.out_ready.cancel();
+  conns_.erase(conn.id);  // shared_ptr keeps it alive for its coroutines
 }
 
 }  // namespace omig::transport

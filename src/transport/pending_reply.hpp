@@ -1,0 +1,70 @@
+// Correlation-ID reply matching, shared by the socket transports.
+//
+// A request sent over a socket parks a typed std::promise keyed by its
+// correlation ID; the peer's reply frame is matched back by ID and must
+// carry the reply type the sender awaits. Both the blocking TcpTransport
+// (one demux thread per connection) and AsyncTcpTransport (one demux
+// coroutine per connection) use this table — the demux logic is identical,
+// only the execution model differs.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <utility>
+#include <variant>
+
+#include "runtime/message.hpp"
+#include "transport/wire.hpp"
+
+namespace omig::transport {
+
+using PendingReply = std::variant<std::promise<runtime::InvokeResult>,
+                                  std::promise<bool>,
+                                  std::promise<runtime::ObjectState>,
+                                  std::promise<runtime::DirReply>,
+                                  std::promise<runtime::DirAck>>;
+
+/// A reply someone awaits, stamped at send time so the demux can record
+/// the request/reply round trip into the peer's RTT histogram.
+struct Pending {
+  PendingReply promise;
+  std::chrono::steady_clock::time_point sent_at;
+};
+
+/// Fulfils one pending reply from a reply frame's payload. Returns false
+/// when the reply type does not match what the sender awaits — a protocol
+/// violation that costs the peer its connection.
+inline bool fulfil_pending(PendingReply& pending, Frame::Payload&& payload) {
+  if (auto* invoke =
+          std::get_if<std::promise<runtime::InvokeResult>>(&pending)) {
+    auto* reply = std::get_if<WireInvokeReply>(&payload);
+    if (reply == nullptr) return false;
+    invoke->set_value(std::move(reply->result));
+    return true;
+  }
+  if (auto* install = std::get_if<std::promise<bool>>(&pending)) {
+    auto* reply = std::get_if<WireInstallReply>(&payload);
+    if (reply == nullptr) return false;
+    install->set_value(reply->ok);
+    return true;
+  }
+  if (auto* lookup = std::get_if<std::promise<runtime::DirReply>>(&pending)) {
+    auto* reply = std::get_if<WireDirLookupReply>(&payload);
+    if (reply == nullptr) return false;
+    lookup->set_value(runtime::DirReply{reply->found, reply->node});
+    return true;
+  }
+  if (auto* update = std::get_if<std::promise<runtime::DirAck>>(&pending)) {
+    auto* reply = std::get_if<WireDirUpdateReply>(&payload);
+    if (reply == nullptr) return false;
+    update->set_value(runtime::DirAck{reply->ok});
+    return true;
+  }
+  auto& evict = std::get<std::promise<runtime::ObjectState>>(pending);
+  auto* reply = std::get_if<WireEvictReply>(&payload);
+  if (reply == nullptr) return false;
+  evict.set_value(std::move(reply->state));
+  return true;
+}
+
+}  // namespace omig::transport

@@ -1,6 +1,7 @@
 #include "transport/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -99,6 +100,70 @@ long tcp_recv_some(int fd, std::uint8_t* buffer, std::size_t size) {
     const auto n = ::recv(fd, buffer, size, 0);
     if (n < 0 && errno == EINTR) continue;
     return static_cast<long>(n);
+  }
+}
+
+bool tcp_set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int tcp_connect_begin(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  if (!make_addr(host, port, addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  set_nodelay(fd);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;  // localhost fast path: completed synchronously
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) return fd;
+    ::close(fd);
+    return -1;
+  }
+}
+
+bool tcp_connect_done(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return false;
+  return err == 0;
+}
+
+long tcp_accept_nonblocking(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+long tcp_write_some(int fd, const std::uint8_t* data, std::size_t size) {
+  for (;;) {
+    const auto n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+long tcp_read_some(int fd, std::uint8_t* buffer, std::size_t size) {
+  for (;;) {
+    const auto n = ::recv(fd, buffer, size, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
   }
 }
 

@@ -42,4 +42,38 @@ void tcp_shutdown(int fd);
 /// Closes the fd (ignores errors and -1).
 void tcp_close(int fd);
 
+// --- nonblocking variants for the event loop (net/event_loop.hpp) ----------
+//
+// Would-block is a distinct, expected outcome on the loop — the caller
+// parks on a readiness awaiter — so these helpers report it explicitly
+// (kWouldBlock) instead of folding it into the error case.
+
+inline constexpr long kWouldBlock = -2;
+
+/// Puts the fd into O_NONBLOCK mode. False on fcntl failure.
+[[nodiscard]] bool tcp_set_nonblocking(int fd);
+
+/// Starts a nonblocking connect to `host:port`: returns a nonblocking,
+/// TCP_NODELAY fd whose connect is complete or in progress (await
+/// writability, then check tcp_connect_done), or -1 on immediate failure.
+[[nodiscard]] int tcp_connect_begin(const std::string& host,
+                                    std::uint16_t port);
+
+/// After the fd turned writable: did the nonblocking connect succeed?
+[[nodiscard]] bool tcp_connect_done(int fd);
+
+/// Nonblocking accept. Returns the connection fd (nonblocking,
+/// TCP_NODELAY), kWouldBlock when the backlog is empty, or -1 on error.
+[[nodiscard]] long tcp_accept_nonblocking(int listener_fd);
+
+/// One nonblocking send (MSG_NOSIGNAL): >0 bytes written, kWouldBlock,
+/// or -1 (peer gone).
+[[nodiscard]] long tcp_write_some(int fd, const std::uint8_t* data,
+                                  std::size_t size);
+
+/// One nonblocking recv: >0 bytes read, 0 = orderly EOF, kWouldBlock,
+/// or -1 (error).
+[[nodiscard]] long tcp_read_some(int fd, std::uint8_t* buffer,
+                                 std::size_t size);
+
 }  // namespace omig::transport

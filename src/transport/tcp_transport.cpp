@@ -8,53 +8,8 @@
 
 namespace omig::transport {
 
-namespace {
-
-/// Fulfils one pending reply from a reply frame's payload. Returns false
-/// when the reply type does not match what the sender awaits — a protocol
-/// violation that costs the peer its connection.
-bool fulfil(std::variant<std::promise<runtime::InvokeResult>,
-                         std::promise<bool>,
-                         std::promise<runtime::ObjectState>,
-                         std::promise<runtime::DirReply>,
-                         std::promise<runtime::DirAck>>& pending,
-            Frame::Payload&& payload) {
-  if (auto* invoke = std::get_if<std::promise<runtime::InvokeResult>>(
-          &pending)) {
-    auto* reply = std::get_if<WireInvokeReply>(&payload);
-    if (reply == nullptr) return false;
-    invoke->set_value(std::move(reply->result));
-    return true;
-  }
-  if (auto* install = std::get_if<std::promise<bool>>(&pending)) {
-    auto* reply = std::get_if<WireInstallReply>(&payload);
-    if (reply == nullptr) return false;
-    install->set_value(reply->ok);
-    return true;
-  }
-  if (auto* lookup = std::get_if<std::promise<runtime::DirReply>>(&pending)) {
-    auto* reply = std::get_if<WireDirLookupReply>(&payload);
-    if (reply == nullptr) return false;
-    lookup->set_value(runtime::DirReply{reply->found, reply->node});
-    return true;
-  }
-  if (auto* update = std::get_if<std::promise<runtime::DirAck>>(&pending)) {
-    auto* reply = std::get_if<WireDirUpdateReply>(&payload);
-    if (reply == nullptr) return false;
-    update->set_value(runtime::DirAck{reply->ok});
-    return true;
-  }
-  auto& evict = std::get<std::promise<runtime::ObjectState>>(pending);
-  auto* reply = std::get_if<WireEvictReply>(&payload);
-  if (reply == nullptr) return false;
-  evict.set_value(std::move(reply->state));
-  return true;
-}
-
-}  // namespace
-
 TcpTransport::TcpTransport(Options options, fault::FaultInjector* injector)
-    : Transport{injector}, options_{std::move(options)} {
+    : SocketTransport{injector}, options_{std::move(options)} {
   conns_.reserve(options_.peers.size());
   for (const Peer& peer : options_.peers) {
     auto conn = std::make_unique<Conn>();
@@ -186,7 +141,7 @@ bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
   for (;;) {
     if (conn.fd >= 0) return true;
     if (stopping_.load(std::memory_order_relaxed)) return false;
-    if (conn.reader.joinable()) {
+    if (conn.reader.joinable() && !conn.connecting) {
       // The old link's reader is finished or about to be; claim the thread
       // object and join it outside the lock (it needs the mutex to exit).
       std::thread dead = std::move(conn.reader);
@@ -195,17 +150,39 @@ bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
       lock.lock();
       continue;  // another sender may have reconnected meanwhile
     }
+    if (conn.connecting) {
+      // Another sender is mid connect/backoff with the lock released.
+      // Wait for its outcome instead of dialling concurrently; if it
+      // fails, loop around and run our own bounded attempt budget.
+      conn.cv.wait(lock, [&conn] { return conn.fd >= 0 || !conn.connecting; });
+      continue;
+    }
     break;
   }
-  // Idle link: connect with bounded exponential backoff. Holding the lock
-  // throughout serialises competing senders onto one connect attempt.
+  // Idle link and we are the elected connector: dial with bounded
+  // exponential backoff, releasing the lock across every sleep and
+  // connect(2) so senders to a healthy reconnected link (or ones that
+  // will fail fast) never stall behind our backoff.
+  conn.connecting = true;
+  bool connected = false;
   for (int attempt = 0; attempt < options_.max_connect_attempts; ++attempt) {
+    const Peer peer = conn.peer;  // re-read: set_peer may land mid-dial
+    lock.unlock();
     if (attempt > 0) {
       const int shift = std::min(attempt - 1, 6);
       std::this_thread::sleep_for(options_.connect_backoff * (1 << shift));
     }
-    const int fd = tcp_connect(conn.peer.host, conn.peer.port);
+    const int fd = tcp_connect(peer.host, peer.port);
+    lock.lock();
+    if (stopping_.load(std::memory_order_relaxed)) {
+      tcp_close(fd);
+      break;
+    }
     if (fd < 0) continue;
+    if (conn.peer.host != peer.host || conn.peer.port != peer.port) {
+      tcp_close(fd);  // peer was re-pointed while we dialled the old one
+      continue;
+    }
     conn.fd = fd;
     ++conn.generation;
     if (conn.ever_connected) {
@@ -216,9 +193,12 @@ bool TcpTransport::ensure_connected(std::unique_lock<std::mutex>& lock,
     const std::uint64_t generation = conn.generation;
     conn.reader = std::thread{
         [this, &conn, fd, generation] { reader_loop(conn, fd, generation); }};
-    return true;
+    connected = true;
+    break;
   }
-  return false;
+  conn.connecting = false;
+  conn.cv.notify_all();
+  return connected;
 }
 
 SendStatus TcpTransport::write_frame_locked(Conn& conn, const Frame& frame) {
@@ -269,7 +249,8 @@ void TcpTransport::reader_loop(Conn& conn, int fd, std::uint64_t generation) {
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - it->second.sent_at)
               .count()));
-      const bool matched = fulfil(it->second.promise, std::move(frame->payload));
+      const bool matched =
+          fulfil_pending(it->second.promise, std::move(frame->payload));
       conn.pending.erase(it);
       if (!matched) {
         healthy = false;  // type-confused peer: drop the connection

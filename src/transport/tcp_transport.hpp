@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -27,11 +28,12 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "transport/pending_reply.hpp"
 #include "transport/transport.hpp"
 
 namespace omig::transport {
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public SocketTransport {
 public:
   struct Options {
     /// Peer endpoints, indexed by node id.
@@ -67,36 +69,28 @@ public:
   void on_node_crash(std::size_t node) override;
 
   /// Re-points a peer (e.g. a node process restarted on a new port).
-  void set_peer(std::size_t node, Peer peer);
+  void set_peer(std::size_t node, Peer peer) override;
 
   /// Connections re-established after a reset (0 on an undisturbed run).
-  [[nodiscard]] std::uint64_t reconnects() const {
+  [[nodiscard]] std::uint64_t reconnects() const override {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
 private:
-  using PendingReply = std::variant<std::promise<runtime::InvokeResult>,
-                                    std::promise<bool>,
-                                    std::promise<runtime::ObjectState>,
-                                    std::promise<runtime::DirReply>,
-                                    std::promise<runtime::DirAck>>;
-
-  /// A reply someone awaits, stamped at send time so the reader can record
-  /// the request/reply round trip into the peer's RTT histogram.
-  struct Pending {
-    PendingReply promise;
-    std::chrono::steady_clock::time_point sent_at;
-  };
-
   /// Per-peer link state. `generation` ties a reader thread to the link it
   /// serves: a reader that outlives its link (reset + reconnect won the
   /// race) sees a newer generation and leaves the fresh state alone.
+  /// `connecting` elects one sender as the connector; everyone else waits
+  /// on `cv` with the mutex *released*, so a peer that is down does not
+  /// stall unrelated senders behind a backoff sleep.
   struct Conn {
     std::mutex mutex;
+    std::condition_variable cv;  ///< signalled when a connect attempt ends
     Peer peer;
     int fd = -1;
     std::uint64_t generation = 0;
     bool ever_connected = false;
+    bool connecting = false;  ///< a sender is mid connect/backoff, unlocked
     std::thread reader;
     std::unordered_map<std::uint64_t, Pending> pending;
     obs::Histogram* rtt = nullptr;  ///< omig_transport_rtt_us{peer="N"}

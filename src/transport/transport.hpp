@@ -112,6 +112,23 @@ private:
   fault::FaultInjector* injector_;  ///< non-owning; may be null
 };
 
+/// Shared surface of the socket-backed backends (blocking TcpTransport,
+/// event-loop AsyncTcpTransport): the system layer re-points a peer after
+/// a node restarts on a fresh port and reads the reconnect count, without
+/// caring which backend sits behind the seam.
+class SocketTransport : public Transport {
+public:
+  /// Re-points a peer (e.g. a node process restarted on a new port) and
+  /// resets its connection.
+  virtual void set_peer(std::size_t node, Peer peer) = 0;
+
+  /// Connections re-established after a reset (0 on an undisturbed run).
+  [[nodiscard]] virtual std::uint64_t reconnects() const = 0;
+
+protected:
+  using Transport::Transport;
+};
+
 /// The original in-process backend: requests become promise-carrying
 /// runtime::Messages pushed straight into the destination node's mailbox.
 /// Mailbox rejections map to SendStatus::Closed.

@@ -305,12 +305,15 @@ runtime::ObjectState doc_state() {
   return s;
 }
 
-std::vector<trace::Event> run_office_workflow(DirectoryKind kind) {
+std::vector<trace::Event> run_office_workflow(
+    DirectoryKind kind,
+    runtime::TransportKind transport = runtime::TransportKind::InProc) {
   trace::TraceLog log;
   runtime::LiveSystem::Options opts;
   opts.nodes = 100;
   opts.trace = &log;
   opts.directory = kind;
+  opts.transport = transport;
   runtime::LiveSystem sys{opts};
   sys.register_type("document", doc_factory());
   sys.start();
@@ -355,6 +358,32 @@ TEST(ShardedDirectoryParityTest, CentralAndShardedTracesMatchAt100Nodes) {
     EXPECT_EQ(central[i].object, sharded[i].object) << "event " << i;
     EXPECT_EQ(central[i].node, sharded[i].node) << "event " << i;
     EXPECT_EQ(central[i].block, sharded[i].block) << "event " << i;
+  }
+}
+
+// The same parity contract must survive the wire: Central vs Sharded over
+// the event-loop TCP backend (100 nodes = 100 NodeServers plus the client
+// transport's 100 links, all on one shared loop) produces the identical
+// protocol trace — and the identical trace to the in-process run, so the
+// directory choice and the transport choice are independently invisible.
+TEST(ShardedDirectoryParityTest, CentralAndShardedTracesMatchOverAsyncTcp) {
+  const auto inproc = run_office_workflow(DirectoryKind::Central);
+  const auto central = run_office_workflow(DirectoryKind::Central,
+                                           runtime::TransportKind::AsyncTcp);
+  const auto sharded = run_office_workflow(DirectoryKind::Sharded,
+                                           runtime::TransportKind::AsyncTcp);
+  ASSERT_EQ(central.size(), sharded.size());
+  ASSERT_EQ(central.size(), inproc.size());
+  ASSERT_GT(central.size(), 0u);
+  for (std::size_t i = 0; i < central.size(); ++i) {
+    EXPECT_EQ(central[i].time, sharded[i].time) << "event " << i;
+    EXPECT_EQ(central[i].kind, sharded[i].kind) << "event " << i;
+    EXPECT_EQ(central[i].object, sharded[i].object) << "event " << i;
+    EXPECT_EQ(central[i].node, sharded[i].node) << "event " << i;
+    EXPECT_EQ(central[i].block, sharded[i].block) << "event " << i;
+    EXPECT_EQ(central[i].kind, inproc[i].kind) << "event " << i;
+    EXPECT_EQ(central[i].object, inproc[i].object) << "event " << i;
+    EXPECT_EQ(central[i].node, inproc[i].node) << "event " << i;
   }
 }
 

@@ -14,6 +14,7 @@
 #include "runtime/live_node.hpp"
 #include "runtime/live_system.hpp"
 #include "trace/log.hpp"
+#include "transport/async_tcp_transport.hpp"
 #include "transport/bridge.hpp"
 #include "transport/node_server.hpp"
 #include "transport/tcp_transport.hpp"
@@ -26,9 +27,15 @@ using runtime::TransportKind;
 
 constexpr std::size_t kSender = 99;
 
-// --- standalone TcpTransport against one real node -------------------------
+// --- standalone socket transports against one real node --------------------
+//
+// The same link-behaviour suite runs against both socket backends: the
+// blocking thread-per-peer TcpTransport and the event-loop
+// AsyncTcpTransport. Where failure *signals* legitimately differ (the
+// async backend accepts the send and breaks the reply instead of
+// returning a typed rejection), the test branches on async().
 
-class TcpLink : public ::testing::Test {
+class TcpLink : public ::testing::TestWithParam<TransportKind> {
 protected:
   void SetUp() override {
     factories_ = runtime::demo_factories();
@@ -39,17 +46,29 @@ protected:
     });
     port_ = server_->start();
     ASSERT_NE(port_, 0);
-    TcpTransport::Options opts;
-    opts.peers = {Peer{"127.0.0.1", port_}};
-    opts.max_connect_attempts = 2;
-    opts.connect_backoff = std::chrono::milliseconds{1};
-    tcp_ = std::make_unique<TcpTransport>(std::move(opts), nullptr);
+    if (async()) {
+      AsyncTcpTransport::Options opts;
+      opts.peers = {Peer{"127.0.0.1", port_}};
+      opts.max_connect_attempts = 2;
+      opts.connect_backoff = std::chrono::milliseconds{1};
+      tcp_ = std::make_unique<AsyncTcpTransport>(std::move(opts), nullptr);
+    } else {
+      TcpTransport::Options opts;
+      opts.peers = {Peer{"127.0.0.1", port_}};
+      opts.max_connect_attempts = 2;
+      opts.connect_backoff = std::chrono::milliseconds{1};
+      tcp_ = std::make_unique<TcpTransport>(std::move(opts), nullptr);
+    }
   }
 
   void TearDown() override {
     tcp_.reset();
     server_->stop();
     node_->stop();
+  }
+
+  [[nodiscard]] bool async() const {
+    return GetParam() == TransportKind::AsyncTcp;
   }
 
   bool install(const std::string& name, runtime::ObjectState state) {
@@ -67,12 +86,21 @@ protected:
   std::unordered_map<std::string, runtime::ObjectFactory> factories_;
   std::unique_ptr<runtime::LiveNode> node_;
   std::unique_ptr<NodeServer> server_;
-  std::unique_ptr<TcpTransport> tcp_;
+  std::unique_ptr<SocketTransport> tcp_;
   std::uint16_t port_ = 0;
   std::uint64_t next_seq_ = 1;
 };
 
-TEST_F(TcpLink, RequestReplyRoundTrip) {
+INSTANTIATE_TEST_SUITE_P(Backends, TcpLink,
+                         ::testing::Values(TransportKind::Tcp,
+                                           TransportKind::AsyncTcp),
+                         [](const auto& info) {
+                           return info.param == TransportKind::AsyncTcp
+                                      ? "AsyncTcp"
+                                      : "Tcp";
+                         });
+
+TEST_P(TcpLink, RequestReplyRoundTrip) {
   ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "5"}})));
 
   WireInvoke msg;
@@ -96,7 +124,7 @@ TEST_F(TcpLink, RequestReplyRoundTrip) {
   EXPECT_EQ(evicted.fields.at("count"), "8");
 }
 
-TEST_F(TcpLink, ManyInFlightRequestsDemultiplexByCorrelation) {
+TEST_P(TcpLink, ManyInFlightRequestsDemultiplexByCorrelation) {
   ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "0"}})));
   // Issue a burst of invokes before reading any reply: every future must
   // get *its* answer back (correlation IDs, not ordering luck).
@@ -120,7 +148,7 @@ TEST_F(TcpLink, ManyInFlightRequestsDemultiplexByCorrelation) {
   EXPECT_EQ(values.back(), std::to_string(kBurst));
 }
 
-TEST_F(TcpLink, UnknownPeerIsUnreachable) {
+TEST_P(TcpLink, UnknownPeerIsUnreachable) {
   WireInvoke msg;
   msg.object = "c";
   std::future<runtime::InvokeResult> reply;
@@ -128,7 +156,7 @@ TEST_F(TcpLink, UnknownPeerIsUnreachable) {
             SendStatus::Unreachable);
 }
 
-TEST_F(TcpLink, DeadListenerIsUnreachableAndRecoversOnRestart) {
+TEST_P(TcpLink, DeadListenerIsUnreachableAndRecoversOnRestart) {
   ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "1"}})));
   server_->stop();
 
@@ -137,16 +165,24 @@ TEST_F(TcpLink, DeadListenerIsUnreachableAndRecoversOnRestart) {
   msg.object = "c";
   msg.method = "get";
   std::future<runtime::InvokeResult> reply;
-  // The first send may still ride the old connection (Closed when the
-  // write hits the reset) or fail to reconnect (Unreachable); either way
-  // it is a typed rejection, not a hang.
-  SendStatus status = tcp_->send_invoke(kSender, 0, msg, reply);
-  if (status == SendStatus::Ok) {
-    // Accepted just before the reset was observed: the reply must break.
+  if (async()) {
+    // The async backend accepts every send; a dead peer surfaces as the
+    // broken-promise "lost in flight" signal once the connect budget is
+    // exhausted — never as a hang.
+    ASSERT_EQ(tcp_->send_invoke(kSender, 0, msg, reply), SendStatus::Ok);
     EXPECT_THROW(reply.get(), std::future_error);
-    status = tcp_->send_invoke(kSender, 0, msg, reply);
+  } else {
+    // The first send may still ride the old connection (Closed when the
+    // write hits the reset) or fail to reconnect (Unreachable); either way
+    // it is a typed rejection, not a hang.
+    SendStatus status = tcp_->send_invoke(kSender, 0, msg, reply);
+    if (status == SendStatus::Ok) {
+      // Accepted just before the reset was observed: the reply must break.
+      EXPECT_THROW(reply.get(), std::future_error);
+      status = tcp_->send_invoke(kSender, 0, msg, reply);
+    }
+    EXPECT_NE(status, SendStatus::Ok);
   }
-  EXPECT_NE(status, SendStatus::Ok);
 
   // Restart on the same port (the node itself kept running, so the object
   // is still there) — the transport reconnects transparently.
@@ -157,7 +193,7 @@ TEST_F(TcpLink, DeadListenerIsUnreachableAndRecoversOnRestart) {
   EXPECT_GE(tcp_->reconnects(), 1u);
 }
 
-TEST_F(TcpLink, OversizedFrameIsRejectedWithoutKillingTheLink) {
+TEST_P(TcpLink, OversizedFrameIsRejectedWithoutKillingTheLink) {
   ASSERT_TRUE(install("c", runtime::make_state("counter", {{"count", "1"}})));
   WireInstall big;
   big.seq = next_seq_++;
@@ -259,7 +295,8 @@ void run_workflow(LiveSystem& sys) {
 }
 
 TEST(TransportEquivalence, TcpBackendRunsTheWorkflowIdentically) {
-  for (const TransportKind kind : {TransportKind::InProc, TransportKind::Tcp}) {
+  for (const TransportKind kind :
+       {TransportKind::InProc, TransportKind::Tcp, TransportKind::AsyncTcp}) {
     LiveSystem sys{system_options(kind, 3)};
     run_workflow(sys);
     EXPECT_EQ(sys.refused_moves(), 1u);
@@ -271,6 +308,7 @@ TEST(TransportEquivalence, TcpBackendRunsTheWorkflowIdentically) {
 TEST(TransportEquivalence, ProtocolTracesMatchAcrossBackends) {
   trace::TraceLog inproc_trace;
   trace::TraceLog tcp_trace;
+  trace::TraceLog async_trace;
   {
     LiveSystem sys{system_options(TransportKind::InProc, 3, &inproc_trace)};
     run_workflow(sys);
@@ -281,9 +319,17 @@ TEST(TransportEquivalence, ProtocolTracesMatchAcrossBackends) {
     run_workflow(sys);
     sys.stop();
   }
+  {
+    LiveSystem sys{system_options(TransportKind::AsyncTcp, 3, &async_trace)};
+    run_workflow(sys);
+    sys.stop();
+  }
   ASSERT_GT(inproc_trace.size(), 0u);
-  // Identical protocol history, event for event, on the logical clock.
+  // Identical protocol history, event for event, on the logical clock —
+  // whether traffic stays in-process, blocks on sockets, or multiplexes
+  // through the proactor loop.
   EXPECT_EQ(inproc_trace.render(10'000), tcp_trace.render(10'000));
+  EXPECT_EQ(inproc_trace.render(10'000), async_trace.render(10'000));
   // And the history is not just equal but *valid*.
   EXPECT_EQ(trace::check::locks_balance(inproc_trace), "");
   EXPECT_EQ(trace::check::transits_alternate(inproc_trace), "");
@@ -306,15 +352,24 @@ TEST(TransportEquivalence, TracesMatchUnderTheSameFaultPlan) {
   };
   trace::TraceLog inproc_trace;
   trace::TraceLog tcp_trace;
+  trace::TraceLog async_trace;
   const std::uint64_t inproc_dropped = run(TransportKind::InProc,
                                            &inproc_trace);
   const std::uint64_t tcp_dropped = run(TransportKind::Tcp, &tcp_trace);
+  const std::uint64_t async_dropped = run(TransportKind::AsyncTcp,
+                                          &async_trace);
   // Same seed, same delivery order, same injector stream: identical fault
-  // sequences and identical protocol histories on either backend.
+  // sequences and identical protocol histories on every backend. The
+  // async backend consumes the injector stream on the caller's thread
+  // precisely so this holds.
   EXPECT_EQ(inproc_dropped, tcp_dropped);
+  EXPECT_EQ(inproc_dropped, async_dropped);
   EXPECT_EQ(inproc_trace.render(10'000), tcp_trace.render(10'000));
+  EXPECT_EQ(inproc_trace.render(10'000), async_trace.render(10'000));
   EXPECT_EQ(trace::check::locks_balance(tcp_trace), "");
   EXPECT_EQ(trace::check::transits_alternate(tcp_trace), "");
+  EXPECT_EQ(trace::check::locks_balance(async_trace), "");
+  EXPECT_EQ(trace::check::transits_alternate(async_trace), "");
 }
 
 TEST(TransportFaults, CrashedNodeCountsTypedRejections) {
@@ -357,6 +412,34 @@ TEST(TransportFaults, TcpCrashRestartRecoversObjects) {
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.value, "0");
   EXPECT_EQ(sys.recoveries(), 1u);
+  sys.stop();
+}
+
+TEST(TransportFaults, AsyncTcpCrashRestartRecoversObjects) {
+  LiveSystem::Options opts = system_options(TransportKind::AsyncTcp, 2);
+  opts.max_retries = 4;
+  LiveSystem sys{opts};
+  runtime::register_demo_types(sys);
+  sys.start();
+  ASSERT_TRUE(
+      sys.create("c", runtime::make_state("counter", {{"count", "0"}}), 1));
+  ASSERT_TRUE(sys.invoke("c", "add", "5").ok);
+
+  sys.crash_node(1);
+  EXPECT_FALSE(sys.node_up(1));
+  // The async backend accepts the sends and breaks the replies once the
+  // reconnect budget runs dry; the retry layer turns that into a failed
+  // invoke, not a hang. (No typed-rejection count here: every send
+  // returned Ok — the loss is asynchronous by design.)
+  EXPECT_FALSE(sys.invoke("c", "get", "").ok);
+
+  sys.restart_node(1);
+  EXPECT_TRUE(sys.node_up(1));
+  const runtime::InvokeResult result = sys.invoke("c", "get", "");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.value, "0");
+  EXPECT_EQ(sys.recoveries(), 1u);
+  EXPECT_GE(sys.transport_reconnects(), 1u);
   sys.stop();
 }
 

@@ -222,5 +222,113 @@ TEST(FrameBufferTest, PartialFrameIsNotAnError) {
   EXPECT_FALSE(buffer.error());
 }
 
+// --- read-boundary fuzz -----------------------------------------------------
+//
+// The event-loop readers hand FrameBuffer whatever recv() returned, so
+// frame boundaries land anywhere: mid length-prefix, mid payload, many
+// frames coalesced into one read. Reassembly must be byte-exact under
+// every split pattern. The sweep below drives a long multi-frame stream
+// through 1-byte feeds, a boundary-targeted split set, and 64 seeded
+// random chunkings; every run must reproduce the same frame sequence.
+
+std::vector<Frame> fuzz_corpus() {
+  std::vector<Frame> frames;
+  std::uint64_t corr = 1;
+  for (int round = 0; round < 8; ++round) {
+    for (Frame& frame : sample_frames()) {
+      frame.corr = corr++;
+      frames.push_back(frame);
+    }
+    // A couple of bulky states so splits land deep inside payloads.
+    runtime::ObjectState big = sample_state();
+    big.fields["blob"] = std::string(1024 + 137 * round, 'x');
+    frames.push_back(Frame{corr++, WireInstall{99, "bulk", std::move(big)}});
+  }
+  return frames;
+}
+
+void expect_reassembles(const std::vector<Frame>& expected,
+                        const std::vector<std::uint8_t>& stream,
+                        const std::vector<std::size_t>& cuts,
+                        const std::string& label) {
+  FrameBuffer buffer;
+  std::vector<Frame> got;
+  std::size_t offset = 0;
+  auto drain = [&] {
+    while (auto frame = buffer.next()) got.push_back(std::move(*frame));
+  };
+  for (const std::size_t cut : cuts) {
+    ASSERT_LE(cut, stream.size()) << label;
+    ASSERT_GE(cut, offset) << label;
+    buffer.feed({stream.data() + offset, cut - offset});
+    ASSERT_FALSE(buffer.error()) << label << " offset " << offset;
+    drain();
+    offset = cut;
+  }
+  buffer.feed({stream.data() + offset, stream.size() - offset});
+  drain();
+  ASSERT_FALSE(buffer.error()) << label;
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].corr, expected[i].corr) << label << " frame " << i;
+    EXPECT_EQ(got[i].payload, expected[i].payload) << label << " frame " << i;
+  }
+}
+
+TEST(FrameBufferFuzz, OneByteFeedsReassembleExactly) {
+  const std::vector<Frame> frames = fuzz_corpus();
+  std::vector<std::uint8_t> stream;
+  for (const Frame& frame : frames) {
+    const auto bytes = encode_frame(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 1; i < stream.size(); ++i) cuts.push_back(i);
+  expect_reassembles(frames, stream, cuts, "1-byte feeds");
+}
+
+TEST(FrameBufferFuzz, SplitsInsideEveryLengthPrefixAndPayload) {
+  const std::vector<Frame> frames = fuzz_corpus();
+  std::vector<std::uint8_t> stream;
+  std::vector<std::size_t> cuts;
+  for (const Frame& frame : frames) {
+    const std::size_t base = stream.size();
+    const auto bytes = encode_frame(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    // One cut inside the 4-byte length prefix, one right after it, and
+    // one mid-payload — the three places a recv() boundary hurts most.
+    cuts.push_back(base + 2);
+    cuts.push_back(base + 4);
+    cuts.push_back(base + 4 + (bytes.size() - 4) / 2);
+  }
+  expect_reassembles(frames, stream, cuts, "boundary splits");
+}
+
+TEST(FrameBufferFuzz, SeededRandomChunkingsAllReassemble) {
+  const std::vector<Frame> frames = fuzz_corpus();
+  std::vector<std::uint8_t> stream;
+  for (const Frame& frame : frames) {
+    const auto bytes = encode_frame(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    // Tiny deterministic LCG: chunk sizes 1..97 bytes, skewed small.
+    std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+    auto next = [&x] {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      return x >> 33;
+    };
+    std::vector<std::size_t> cuts;
+    std::size_t at = 0;
+    while (at < stream.size()) {
+      at += 1 + next() % 97;
+      if (at >= stream.size()) break;
+      cuts.push_back(at);
+    }
+    expect_reassembles(frames, stream, cuts,
+                       "seed " + std::to_string(seed));
+  }
+}
+
 }  // namespace
 }  // namespace omig::transport

@@ -25,7 +25,7 @@
 //   omig_node --cluster N [--scenario NAME [--sources S] [--objects K]
 //             [--bursts B] [--seed X] [--threads T]]
 //             [--policy conventional|placement|adaptive|adaptive-load]
-//             [--hysteresis X]
+//             [--hysteresis X] [--transport tcp|async]
 //       Spawns N child node processes and coordinates them as a remote
 //       LiveSystem. Without --scenario it drives the office workflow
 //       (docs/transport.md); with --scenario it replays the named
@@ -56,6 +56,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "net/event_loop.hpp"
 #include "obs/delta_logger.hpp"
 #include "obs/families.hpp"
 #include "runtime/demo_types.hpp"
@@ -82,7 +83,7 @@ int usage(const char* argv0) {
                "              [--threads T]]\n"
                "              [--policy conventional|placement|adaptive|"
                "adaptive-load]\n"
-               "              [--hysteresis X]\n",
+               "              [--hysteresis X] [--transport tcp|async]\n",
                argv0, argv0);
   return 2;
 }
@@ -159,10 +160,20 @@ int serve(std::size_t id, std::uint16_t port, const std::string& port_file,
   }
   node.start();
 
+  // One proactor loop carries all of this process's socket I/O: the frame
+  // server's connections and the metrics scrape endpoint. Declared before
+  // the exporter and server so it outlives both (their teardown posts
+  // final tasks onto it).
+  net::EventLoop loop;
+  loop.start();
+  std::printf("omig_node %zu event loop backend: %s\n", id,
+              loop.backend_name());
+  std::fflush(stdout);
+
   // Pre-register every standard family so a scrape on a fresh node shows
   // the complete schema at zero instead of an empty page.
   obs::register_standard_metrics();
-  transport::MetricsExporter exporter{obs::MetricsRegistry::global()};
+  transport::MetricsExporter exporter{obs::MetricsRegistry::global(), &loop};
   if (serve_opts.metrics_port >= 0) {
     const std::uint16_t bound = exporter.start(
         static_cast<std::uint16_t>(serve_opts.metrics_port));
@@ -191,19 +202,22 @@ int serve(std::size_t id, std::uint16_t port, const std::string& port_file,
   std::mutex mutex;
   std::condition_variable cv;
   bool stopping = false;
-  transport::NodeServer server{[&](transport::Frame frame) {
-    const bool is_shutdown =
-        std::holds_alternative<transport::WireShutdown>(frame.payload);
-    auto reply = transport::serve_on_mailbox(node.mailbox(), std::move(frame));
-    if (is_shutdown) {
-      {
-        std::lock_guard lock{mutex};
-        stopping = true;
-      }
-      cv.notify_all();
-    }
-    return reply;
-  }};
+  transport::NodeServer server{
+      [&](transport::Frame frame) {
+        const bool is_shutdown =
+            std::holds_alternative<transport::WireShutdown>(frame.payload);
+        auto reply =
+            transport::serve_on_mailbox(node.mailbox(), std::move(frame));
+        if (is_shutdown) {
+          {
+            std::lock_guard lock{mutex};
+            stopping = true;
+          }
+          cv.notify_all();
+        }
+        return reply;
+      },
+      &loop};
 
   const std::uint16_t bound = server.start(port);
   if (bound == 0) {
@@ -261,6 +275,9 @@ struct ClusterOptions {
   /// move()/visit() semantics of the coordinator (docs/policies.md).
   runtime::MovePolicy policy = runtime::MovePolicy::Placement;
   double hysteresis = 0.2;  ///< adaptive kinds: EMA share margin
+  /// Coordinator-side transport backend (docs/transport.md): the blocking
+  /// thread-per-peer client or the event-loop proactor.
+  runtime::TransportKind transport = runtime::TransportKind::Tcp;
 };
 
 /// One line of adaptive-policy telemetry, when the run collected any.
@@ -375,6 +392,7 @@ int cluster(const char* argv0, std::size_t count,
     opts.remote_nodes = peers;
     opts.policy = copts.policy;
     opts.hysteresis_band = copts.hysteresis;
+    opts.transport = copts.transport;
     runtime::LiveSystem sys{opts};
     runtime::register_demo_types(sys);
     sys.start();
@@ -387,6 +405,7 @@ int cluster(const char* argv0, std::size_t count,
     opts.remote_nodes = peers;
     opts.policy = copts.policy;
     opts.hysteresis_band = copts.hysteresis;
+    opts.transport = copts.transport;
     runtime::LiveSystem sys{opts};
     runtime::register_demo_types(sys);
     sys.start();
@@ -534,6 +553,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       cluster_opts.hysteresis = std::strtod(v, nullptr);
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const std::string kind = v;
+      if (kind == "tcp") {
+        cluster_opts.transport = runtime::TransportKind::Tcp;
+      } else if (kind == "async") {
+        cluster_opts.transport = runtime::TransportKind::AsyncTcp;
+      } else {
+        std::fprintf(stderr, "unknown transport '%s' (tcp|async)\n", v);
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
